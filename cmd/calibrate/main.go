@@ -1,0 +1,65 @@
+// Command calibrate measures the centralized (single-model, all-data)
+// accuracy of the synthetic tasks across a noise grid. It is the tool used
+// to pin the tasks' difficulty to the paper's CIFAR accuracy bands
+// (DESIGN.md §1); rerun it after changing the generator.
+//
+//	calibrate -train 3000 -epochs 15
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fedpkd/internal/dataset"
+	"fedpkd/internal/fl"
+	"fedpkd/internal/models"
+	"fedpkd/internal/nn"
+	"fedpkd/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		trainSize = flag.Int("train", 3000, "training samples")
+		testSize  = flag.Int("test", 1000, "test samples")
+		epochs    = flag.Int("epochs", 15, "training epochs")
+		seed      = flag.Uint64("seed", 42, "seed")
+	)
+	flag.Parse()
+
+	fmt.Println("centralized ResNet20 accuracy (difficulty calibration)")
+	for _, probe := range []struct {
+		name   string
+		base   dataset.SyntheticSpec
+		noises []float64
+	}{
+		{"SynthC10", dataset.SynthC10(*seed), []float64{0.8, 1.0, 1.2, 1.4}},
+		{"SynthC100", dataset.SynthC100(*seed), []float64{0.6, 0.8, 1.0, 1.2}},
+	} {
+		fmt.Printf("\n%s (current preset noise %.2f):\n", probe.name, probe.base.Noise)
+		for _, noise := range probe.noises {
+			spec := probe.base
+			spec.Noise = noise
+			s := dataset.Generate(spec, *trainSize, *testSize, 0)
+			net, err := models.BuildNamed(stats.NewRNG(1), "ResNet20", spec.InputDim, spec.Classes)
+			if err != nil {
+				return err
+			}
+			fl.TrainCE(net, nn.NewAdam(0.001), s.Train, stats.NewRNG(2), *epochs, 32)
+			marker := ""
+			if noise == probe.base.Noise {
+				marker = "  <- preset"
+			}
+			fmt.Printf("  noise=%.2f: train=%.3f test=%.3f%s\n",
+				noise, fl.Accuracy(net, s.Train), fl.Accuracy(net, s.Test), marker)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+// Command fedbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	fedbench -exp fig5 -scale std -seed 42 -out results/
+//	fedbench -exp all -scale quick
+//	fedbench -list
+//
+// Each experiment prints the same rows/series the paper reports and, with
+// -out, also writes CSV files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"fedpkd/internal/expt"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fedbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		expID     = flag.String("exp", "", "experiment id (or 'all'); see -list")
+		scaleName = flag.String("scale", "std", "compute scale: quick, std, or full")
+		seed      = flag.Uint64("seed", 42, "experiment seed")
+		outDir    = flag.String("out", "", "directory for CSV output (optional)")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		targetC10 = flag.Float64("target-c10", expt.DefaultTargetC10, "table1 accuracy target for SynthC10")
+		targetC1h = flag.Float64("target-c100", expt.DefaultTargetC100, "table1 accuracy target for SynthC100")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments:", strings.Join(expt.ExperimentIDs(), " "))
+		return nil
+	}
+	if *expID == "" {
+		return fmt.Errorf("missing -exp (use -list to see ids)")
+	}
+	sc, err := expt.ScaleByName(*scaleName)
+	if err != nil {
+		return err
+	}
+
+	ids := []string{*expID}
+	if *expID == "all" {
+		ids = expt.ExperimentIDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		var res *expt.Result
+		if id == "table1" {
+			res, err = expt.RunTable1(sc, *seed, *targetC10, *targetC1h)
+		} else {
+			res, err = expt.Run(id, sc, *seed)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Println(res.Table())
+		fmt.Printf("(%s completed in %s at scale %s)\n\n", id, time.Since(start).Round(time.Millisecond), sc.Name)
+		if *outDir != "" {
+			if err := writeCSVs(*outDir, res); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeCSVs(dir string, res *expt.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("create output dir: %w", err)
+	}
+	path := filepath.Join(dir, res.ID+".csv")
+	if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	mdPath := filepath.Join(dir, res.ID+".md")
+	if err := os.WriteFile(mdPath, []byte(res.Markdown()), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", mdPath, err)
+	}
+	if s := res.SeriesCSV(); s != "" {
+		path := filepath.Join(dir, res.ID+"_series.csv")
+		if err := os.WriteFile(path, []byte(s), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", path, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+// Command partition-viz renders the per-client label distribution of a
+// non-IID partition as a text heat map, to inspect how skewed a setting is
+// before running an experiment.
+//
+//	partition-viz -partition dirichlet -alpha 0.1
+//	partition-viz -partition shards -k 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fedpkd"
+)
+
+// shades maps a fraction of a client's data to a glyph.
+func shade(frac float64) byte {
+	switch {
+	case frac == 0:
+		return '.'
+	case frac < 0.05:
+		return '-'
+	case frac < 0.15:
+		return '+'
+	case frac < 0.3:
+		return '*'
+	default:
+		return '#'
+	}
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "partition-viz:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		partition = flag.String("partition", "dirichlet", "partition: iid, dirichlet, shards")
+		alpha     = flag.Float64("alpha", 0.1, "Dirichlet concentration")
+		k         = flag.Int("k", 3, "classes per client (shards)")
+		clients   = flag.Int("clients", 8, "number of clients")
+		seed      = flag.Uint64("seed", 42, "seed")
+	)
+	flag.Parse()
+
+	var pcfg fedpkd.PartitionConfig
+	switch *partition {
+	case "iid":
+		pcfg = fedpkd.PartitionConfig{Kind: fedpkd.PartitionIID}
+	case "dirichlet":
+		pcfg = fedpkd.PartitionConfig{Kind: fedpkd.PartitionDirichlet, Alpha: *alpha}
+	case "shards":
+		pcfg = fedpkd.PartitionConfig{Kind: fedpkd.PartitionShards, Shards: fedpkd.ShardConfig{
+			ShardSize: 10, ShardsPerClient: 3000 / *clients / 10, ClassesPerClient: *k,
+		}}
+	default:
+		return fmt.Errorf("unknown partition %q", *partition)
+	}
+
+	env, err := fedpkd.NewEnvironment(fedpkd.EnvConfig{
+		Spec:       fedpkd.SynthC10(*seed),
+		NumClients: *clients,
+		TrainSize:  3000, TestSize: 100, PublicSize: 0,
+		Partition: pcfg,
+		Seed:      *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("partition %s, %d clients, 10 classes\n", env.Cfg.Partition.String(), *clients)
+	fmt.Println("(. none  - <5%  + <15%  * <30%  # >=30% of the client's samples)")
+	fmt.Println()
+	fmt.Println("          class: 0 1 2 3 4 5 6 7 8 9   samples")
+	for c, d := range env.ClientData {
+		hist := d.Histogram()
+		row := make([]byte, 0, 20)
+		for _, n := range hist {
+			row = append(row, shade(float64(n)/float64(d.Len())), ' ')
+		}
+		fmt.Printf("client %2d:       %s  %7d\n", c, row, d.Len())
+	}
+	return nil
+}

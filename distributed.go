@@ -1,0 +1,27 @@
+package fedpkd
+
+import (
+	"fedpkd/internal/distrib"
+)
+
+// Distributed-execution types, aliased for the public surface.
+type (
+	// DistributedConfig parameterizes a distributed FedPKD run.
+	DistributedConfig = distrib.Config
+	// DistributedMode selects the wire (bus or TCP).
+	DistributedMode = distrib.Mode
+)
+
+// Distributed transport modes.
+const (
+	ModeBus = distrib.ModeBus
+	ModeTCP = distrib.ModeTCP
+)
+
+// RunDistributed executes FedPKD with the server and every client in their
+// own goroutine, exchanging knowledge exclusively through the transport
+// layer (real TCP with ModeTCP). The ledger in the returned history records
+// actual encoded wire bytes.
+func RunDistributed(cfg DistributedConfig, rounds int) (*History, error) {
+	return distrib.Run(cfg, rounds)
+}

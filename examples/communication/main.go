@@ -1,0 +1,70 @@
+// Communication efficiency: runs FedPKD, FedMD, and FedAvg on the same
+// environment and compares the traffic each consumes to reach a target
+// accuracy, plus estimated transfer times on a constrained uplink — the
+// paper's Table I measurement.
+//
+//	go run ./examples/communication
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"fedpkd"
+)
+
+func main() {
+	env, err := fedpkd.NewEnvironment(fedpkd.EnvConfig{
+		Spec:       fedpkd.SynthC10(11),
+		NumClients: 4,
+		TrainSize:  1200, TestSize: 600, PublicSize: 300, LocalTestSize: 80,
+		Partition: fedpkd.PartitionConfig{Kind: fedpkd.PartitionDirichlet, Alpha: 0.5},
+		Seed:      11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	common := fedpkd.CommonConfig{Env: env, Seed: 11}
+
+	pkd, err := fedpkd.NewFedPKD(fedpkd.Config{
+		Env: env, ClientPrivateEpochs: 4, ClientPublicEpochs: 2, ServerEpochs: 8, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	md, err := fedpkd.NewFedMD(fedpkd.FedMDConfig{Common: common, LocalEpochs: 4, DistillEpochs: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	avg, err := fedpkd.NewFedAvg(fedpkd.FedAvgConfig{Common: common, LocalEpochs: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const (
+		rounds = 4
+		target = 0.45
+	)
+	// A constrained edge uplink: 8 Mbps up, 40 Mbps down, 20 ms latency.
+	uplinkMbpsToSeconds := func(mbTotal float64) time.Duration {
+		seconds := mbTotal * 8 / 8.0 // MB -> Mb at 8 Mbps
+		return time.Duration(seconds * float64(time.Second))
+	}
+
+	fmt.Printf("target accuracy: %.0f%% (client-model metric)\n\n", target*100)
+	fmt.Printf("%-8s  %-10s  %-14s  %-16s\n", "algo", "total MB", "MB to target", "uplink time est")
+	for _, algo := range []fedpkd.Algorithm{pkd, md, avg} {
+		hist, err := algo.Run(rounds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		toTarget := "not reached"
+		est := "-"
+		if mbUsed, ok := hist.MBToClientAcc(target); ok {
+			toTarget = fmt.Sprintf("%.2f", mbUsed)
+			est = uplinkMbpsToSeconds(mbUsed).Round(time.Millisecond).String()
+		}
+		fmt.Printf("%-8s  %-10.2f  %-14s  %-16s\n", algo.Name(), hist.TotalMB(), toTarget, est)
+	}
+}

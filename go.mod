@@ -1,0 +1,3 @@
+module fedpkd
+
+go 1.22

@@ -1,0 +1,80 @@
+// Package baselines implements the six comparison algorithms of the paper's
+// evaluation — FedAvg, FedProx, FedMD, DS-FL, FedDF, and FedET — plus the
+// plain average-logit KD method of the motivating Fig. 1. Every baseline is
+// a full working algorithm on the same substrates FedPKD uses (internal/nn,
+// internal/dataset, internal/kd, internal/comm), implementing fl.Algorithm.
+package baselines
+
+import (
+	"fmt"
+
+	"fedpkd/internal/comm"
+	"fedpkd/internal/fl"
+	"fedpkd/internal/models"
+	"fedpkd/internal/nn"
+	"fedpkd/internal/stats"
+)
+
+// CommonConfig holds the knobs every baseline shares.
+type CommonConfig struct {
+	// Env supplies data splits and partitions.
+	Env *fl.Env
+	// BatchSize is the minibatch size B (default 32).
+	BatchSize int
+	// LR is the Adam learning rate (default 0.001).
+	LR float64
+	// Seed drives model init and batch order.
+	Seed uint64
+}
+
+func (c *CommonConfig) fillDefaults() error {
+	if c.Env == nil {
+		return fmt.Errorf("baselines: Env is required")
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 32
+	}
+	if c.LR == 0 {
+		c.LR = 0.001
+	}
+	return nil
+}
+
+// buildFleet constructs one model per client for the given architectures.
+func buildFleet(common CommonConfig, archs []string) ([]*nn.Network, []nn.Optimizer, error) {
+	env := common.Env
+	if len(archs) != env.Cfg.NumClients {
+		return nil, nil, fmt.Errorf("baselines: %d archs for %d clients", len(archs), env.Cfg.NumClients)
+	}
+	nets := make([]*nn.Network, len(archs))
+	opts := make([]nn.Optimizer, len(archs))
+	for c, arch := range archs {
+		net, err := models.BuildNamed(stats.Split(common.Seed, uint64(c)+100), arch, env.InputDim(), env.Classes())
+		if err != nil {
+			return nil, nil, fmt.Errorf("baselines: client %d: %w", c, err)
+		}
+		nets[c] = net
+		opts[c] = nn.NewAdam(common.LR)
+	}
+	return nets, opts, nil
+}
+
+// newHistory starts a history labeled for the environment.
+func newHistory(algo string, env *fl.Env) *fl.History {
+	return &fl.History{
+		Algo:    algo,
+		Dataset: env.Cfg.Spec.Name,
+		Setting: env.Cfg.Partition.String(),
+	}
+}
+
+// record appends the standard round metrics. serverAcc or clientAcc may be
+// -1 for algorithms without that metric.
+func record(h *fl.History, round int, serverAcc, clientAcc float64, ledger *comm.Ledger) {
+	h.Add(fl.RoundMetrics{
+		Round:        round,
+		ServerAcc:    serverAcc,
+		ClientAcc:    clientAcc,
+		CumulativeMB: ledger.TotalMB(),
+	})
+}

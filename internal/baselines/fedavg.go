@@ -1,0 +1,164 @@
+package baselines
+
+import (
+	"fmt"
+
+	"fedpkd/internal/comm"
+	"fedpkd/internal/fl"
+	"fedpkd/internal/models"
+	"fedpkd/internal/nn"
+	"fedpkd/internal/stats"
+)
+
+// FedAvgConfig parameterizes FedAvg (McMahan et al., 2017) and, with a
+// positive Mu, FedProx (Li et al., 2020).
+type FedAvgConfig struct {
+	Common CommonConfig
+	// LocalEpochs is e_{c,tr}; the paper uses 10 for FedAvg/FedProx.
+	LocalEpochs int
+	// Arch is the shared model architecture (default ResNet20 — FedAvg
+	// requires homogeneous models).
+	Arch string
+	// Mu is the FedProx proximal coefficient; 0 disables it (plain FedAvg).
+	Mu float64
+}
+
+// FedAvg runs weight-averaging federated learning. Each round: clients load
+// the global weights, train locally (with an optional proximal term), and
+// upload their weights; the server computes the sample-weighted average
+// (Eq. 1) and broadcasts it.
+type FedAvg struct {
+	cfg     FedAvgConfig
+	name    string
+	clients []*nn.Network
+	opts    []nn.Optimizer
+	// evalNet holds the global weights for server-side evaluation.
+	evalNet *nn.Network
+	global  []float64
+	ledger  *comm.Ledger
+	round   int
+}
+
+var _ fl.Algorithm = (*FedAvg)(nil)
+
+// NewFedAvg builds a FedAvg run (or FedProx when cfg.Mu > 0).
+func NewFedAvg(cfg FedAvgConfig) (*FedAvg, error) {
+	if err := cfg.Common.fillDefaults(); err != nil {
+		return nil, err
+	}
+	if cfg.LocalEpochs == 0 {
+		cfg.LocalEpochs = 10
+	}
+	if cfg.Arch == "" {
+		cfg.Arch = "ResNet20"
+	}
+	env := cfg.Common.Env
+	archs := make([]string, env.Cfg.NumClients)
+	for i := range archs {
+		archs[i] = cfg.Arch
+	}
+	clients, opts, err := buildFleet(cfg.Common, archs)
+	if err != nil {
+		return nil, err
+	}
+	evalNet, err := models.BuildNamed(stats.Split(cfg.Common.Seed, 99), cfg.Arch, env.InputDim(), env.Classes())
+	if err != nil {
+		return nil, err
+	}
+	name := "FedAvg"
+	if cfg.Mu > 0 {
+		name = "FedProx"
+	}
+	f := &FedAvg{
+		cfg:     cfg,
+		name:    name,
+		clients: clients,
+		opts:    opts,
+		evalNet: evalNet,
+		global:  nn.FlattenParams(evalNet.Params()),
+		ledger:  comm.NewLedger(),
+	}
+	return f, nil
+}
+
+// Name implements fl.Algorithm.
+func (f *FedAvg) Name() string { return f.name }
+
+// Ledger returns the traffic ledger.
+func (f *FedAvg) Ledger() *comm.Ledger { return f.ledger }
+
+// GlobalModel returns a network holding the current global weights.
+func (f *FedAvg) GlobalModel() *nn.Network { return f.evalNet }
+
+// Run implements fl.Algorithm.
+func (f *FedAvg) Run(rounds int) (*fl.History, error) {
+	env := f.cfg.Common.Env
+	hist := newHistory(f.name, env)
+	for r := 0; r < rounds; r++ {
+		if err := f.Round(); err != nil {
+			return hist, fmt.Errorf("%s round %d: %w", f.name, f.round-1, err)
+		}
+		record(hist, f.round-1,
+			fl.Accuracy(f.evalNet, env.Splits.Test),
+			fl.MeanClientAccuracy(f.clients, env.LocalTests),
+			f.ledger)
+	}
+	return hist, nil
+}
+
+// Round executes one FedAvg/FedProx communication round.
+func (f *FedAvg) Round() error {
+	env := f.cfg.Common.Env
+	t := f.round
+	f.round++
+	f.ledger.StartRound(t)
+
+	modelBytes := comm.ModelBytes(len(f.global))
+	err := fl.ForEachClient(len(f.clients), func(c int) error {
+		// Download global weights.
+		f.ledger.AddDownload(modelBytes)
+		if err := nn.SetFlatParams(f.clients[c].Params(), f.global); err != nil {
+			return err
+		}
+		rng := stats.Split(f.cfg.Common.Seed, uint64(t)*1000+uint64(c))
+		if f.cfg.Mu > 0 {
+			fl.TrainCEProx(f.clients[c], f.opts[c], env.ClientData[c], rng,
+				f.cfg.LocalEpochs, f.cfg.Common.BatchSize, f.cfg.Mu, f.global)
+		} else {
+			fl.TrainCE(f.clients[c], f.opts[c], env.ClientData[c], rng,
+				f.cfg.LocalEpochs, f.cfg.Common.BatchSize)
+		}
+		// Upload updated weights.
+		f.ledger.AddUpload(modelBytes)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Sample-weighted average (Eq. 1).
+	next := make([]float64, len(f.global))
+	var totalSamples float64
+	for c, net := range f.clients {
+		w := float64(env.ClientData[c].Len())
+		flat := nn.FlattenParams(net.Params())
+		for i, v := range flat {
+			next[i] += w * v
+		}
+		totalSamples += w
+	}
+	for i := range next {
+		next[i] /= totalSamples
+	}
+	f.global = next
+	return nn.SetFlatParams(f.evalNet.Params(), f.global)
+}
+
+// NewFedProx builds a FedProx run: FedAvg with a proximal term. Mu defaults
+// to 0.01 when unset.
+func NewFedProx(cfg FedAvgConfig) (*FedAvg, error) {
+	if cfg.Mu == 0 {
+		cfg.Mu = 0.01
+	}
+	return NewFedAvg(cfg)
+}

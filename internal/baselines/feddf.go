@@ -1,0 +1,166 @@
+package baselines
+
+import (
+	"fmt"
+
+	"fedpkd/internal/comm"
+	"fedpkd/internal/fl"
+	"fedpkd/internal/kd"
+	"fedpkd/internal/models"
+	"fedpkd/internal/nn"
+	"fedpkd/internal/stats"
+	"fedpkd/internal/tensor"
+)
+
+// FedDFConfig parameterizes FedDF (Lin et al., 2020).
+type FedDFConfig struct {
+	Common CommonConfig
+	// LocalEpochs is e_{c,tr} (paper: 30 for FedDF).
+	LocalEpochs int
+	// ServerEpochs is e_s, the ensemble-distillation epochs (paper: 5).
+	ServerEpochs int
+	// Arch is the shared architecture; FedDF constrains the server model to
+	// the client architecture (default ResNet20).
+	Arch string
+}
+
+// FedDF runs robust model fusion: clients train from the global weights and
+// upload their models; the server initializes from the FedAvg average and
+// then fine-tunes it by distilling the ensemble of client logits on the
+// public set; the fused model is broadcast. Because clients ship whole
+// models, the server can compute their public-set logits locally — no logit
+// traffic.
+type FedDF struct {
+	cfg     FedDFConfig
+	clients []*nn.Network
+	opts    []nn.Optimizer
+	server  *nn.Network
+	// serverOpt is recreated each round: fusion restarts from the averaged
+	// weights, so stale Adam moments would be misleading.
+	global []float64
+	ledger *comm.Ledger
+	round  int
+}
+
+var _ fl.Algorithm = (*FedDF)(nil)
+
+// NewFedDF builds a FedDF run.
+func NewFedDF(cfg FedDFConfig) (*FedDF, error) {
+	if err := cfg.Common.fillDefaults(); err != nil {
+		return nil, err
+	}
+	if cfg.LocalEpochs == 0 {
+		cfg.LocalEpochs = 30
+	}
+	if cfg.ServerEpochs == 0 {
+		cfg.ServerEpochs = 5
+	}
+	if cfg.Arch == "" {
+		cfg.Arch = "ResNet20"
+	}
+	if cfg.Common.Env.Cfg.PublicSize == 0 {
+		return nil, fmt.Errorf("baselines: FedDF needs a public dataset")
+	}
+	env := cfg.Common.Env
+	archs := make([]string, env.Cfg.NumClients)
+	for i := range archs {
+		archs[i] = cfg.Arch
+	}
+	clients, opts, err := buildFleet(cfg.Common, archs)
+	if err != nil {
+		return nil, err
+	}
+	server, err := models.BuildNamed(stats.Split(cfg.Common.Seed, 99), cfg.Arch, env.InputDim(), env.Classes())
+	if err != nil {
+		return nil, err
+	}
+	return &FedDF{
+		cfg:     cfg,
+		clients: clients,
+		opts:    opts,
+		server:  server,
+		global:  nn.FlattenParams(server.Params()),
+		ledger:  comm.NewLedger(),
+	}, nil
+}
+
+// Name implements fl.Algorithm.
+func (f *FedDF) Name() string { return "FedDF" }
+
+// Ledger returns the traffic ledger.
+func (f *FedDF) Ledger() *comm.Ledger { return f.ledger }
+
+// Server returns the fused server model.
+func (f *FedDF) Server() *nn.Network { return f.server }
+
+// Run implements fl.Algorithm. FedDF is not focused on client-model
+// performance (per the paper's comparison), so ClientAcc is recorded as -1.
+func (f *FedDF) Run(rounds int) (*fl.History, error) {
+	env := f.cfg.Common.Env
+	hist := newHistory(f.Name(), env)
+	for r := 0; r < rounds; r++ {
+		if err := f.Round(); err != nil {
+			return hist, fmt.Errorf("FedDF round %d: %w", f.round-1, err)
+		}
+		record(hist, f.round-1, fl.Accuracy(f.server, env.Splits.Test), -1, f.ledger)
+	}
+	return hist, nil
+}
+
+// Round executes one FedDF communication round.
+func (f *FedDF) Round() error {
+	env := f.cfg.Common.Env
+	t := f.round
+	f.round++
+	f.ledger.StartRound(t)
+
+	modelBytes := comm.ModelBytes(len(f.global))
+	publicX := env.Splits.Public.X
+
+	clientLogits := make([]*tensor.Matrix, len(f.clients))
+	err := fl.ForEachClient(len(f.clients), func(c int) error {
+		f.ledger.AddDownload(modelBytes)
+		if err := nn.SetFlatParams(f.clients[c].Params(), f.global); err != nil {
+			return err
+		}
+		rng := stats.Split(f.cfg.Common.Seed, uint64(t)*1000+uint64(c))
+		fl.TrainCE(f.clients[c], f.opts[c], env.ClientData[c], rng, f.cfg.LocalEpochs, f.cfg.Common.BatchSize)
+		f.ledger.AddUpload(modelBytes)
+		// The server holds the uploaded model, so it computes these logits
+		// locally — no wire cost.
+		clientLogits[c] = f.clients[c].Logits(publicX)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Initialize fusion from the FedAvg average (Eq. 1).
+	next := make([]float64, len(f.global))
+	var totalSamples float64
+	for c, net := range f.clients {
+		w := float64(env.ClientData[c].Len())
+		flat := nn.FlattenParams(net.Params())
+		for i, v := range flat {
+			next[i] += w * v
+		}
+		totalSamples += w
+	}
+	for i := range next {
+		next[i] /= totalSamples
+	}
+	if err := nn.SetFlatParams(f.server.Params(), next); err != nil {
+		return err
+	}
+
+	// Ensemble distillation: fine-tune the averaged model toward the mean
+	// client logits (pure KL).
+	ensemble := kd.AggregateMean(clientLogits)
+	pseudo := kd.PseudoLabels(ensemble)
+	rng := stats.Split(f.cfg.Common.Seed, uint64(t)*1000+999)
+	fl.TrainDistill(f.server, nn.NewAdam(f.cfg.Common.LR), publicX, ensemble, pseudo,
+		rng, f.cfg.ServerEpochs, f.cfg.Common.BatchSize, 1, 1)
+
+	f.global = nn.FlattenParams(f.server.Params())
+	return nil
+}

@@ -1,0 +1,154 @@
+package baselines
+
+import (
+	"fmt"
+
+	"fedpkd/internal/comm"
+	"fedpkd/internal/fl"
+	"fedpkd/internal/kd"
+	"fedpkd/internal/models"
+	"fedpkd/internal/nn"
+	"fedpkd/internal/stats"
+	"fedpkd/internal/tensor"
+)
+
+// FedETConfig parameterizes FedET (Cho et al., 2022).
+type FedETConfig struct {
+	Common CommonConfig
+	// LocalEpochs is e_{c,tr} (paper: 10).
+	LocalEpochs int
+	// ServerEpochs is e_s (paper: 10).
+	ServerEpochs int
+	// ClientArchs lists per-client architectures; FedET supports
+	// heterogeneous fleets (default heterogeneous ResNet11/20/29 cycle).
+	ClientArchs []string
+	// ServerArch is the larger server model (default ResNet56).
+	ServerArch string
+}
+
+// FedET runs heterogeneous ensemble knowledge transfer: small client models
+// upload public-set logits (weighted by ensemble confidence) plus their
+// model parameters — FedET requires a unified representation-layer
+// architecture and synchronizes it, which is what makes its traffic heavy —
+// and a larger server model is trained by ensemble distillation; clients
+// then distill from the server's logits.
+type FedET struct {
+	cfg       FedETConfig
+	clients   []*nn.Network
+	opts      []nn.Optimizer
+	server    *nn.Network
+	serverOpt nn.Optimizer
+	ledger    *comm.Ledger
+	round     int
+}
+
+var _ fl.Algorithm = (*FedET)(nil)
+
+// NewFedET builds a FedET run.
+func NewFedET(cfg FedETConfig) (*FedET, error) {
+	if err := cfg.Common.fillDefaults(); err != nil {
+		return nil, err
+	}
+	if cfg.LocalEpochs == 0 {
+		cfg.LocalEpochs = 10
+	}
+	if cfg.ServerEpochs == 0 {
+		cfg.ServerEpochs = 10
+	}
+	if cfg.ClientArchs == nil {
+		cfg.ClientArchs = models.HeterogeneousFleet(cfg.Common.Env.Cfg.NumClients)
+	}
+	if cfg.ServerArch == "" {
+		cfg.ServerArch = "ResNet56"
+	}
+	if cfg.Common.Env.Cfg.PublicSize == 0 {
+		return nil, fmt.Errorf("baselines: FedET needs a public dataset")
+	}
+	clients, opts, err := buildFleet(cfg.Common, cfg.ClientArchs)
+	if err != nil {
+		return nil, err
+	}
+	env := cfg.Common.Env
+	server, err := models.BuildNamed(stats.Split(cfg.Common.Seed, 99), cfg.ServerArch, env.InputDim(), env.Classes())
+	if err != nil {
+		return nil, err
+	}
+	return &FedET{
+		cfg:       cfg,
+		clients:   clients,
+		opts:      opts,
+		server:    server,
+		serverOpt: nn.NewAdam(cfg.Common.LR),
+		ledger:    comm.NewLedger(),
+	}, nil
+}
+
+// Name implements fl.Algorithm.
+func (f *FedET) Name() string { return "FedET" }
+
+// Ledger returns the traffic ledger.
+func (f *FedET) Ledger() *comm.Ledger { return f.ledger }
+
+// Server returns the large server model.
+func (f *FedET) Server() *nn.Network { return f.server }
+
+// Run implements fl.Algorithm.
+func (f *FedET) Run(rounds int) (*fl.History, error) {
+	env := f.cfg.Common.Env
+	hist := newHistory(f.Name(), env)
+	for r := 0; r < rounds; r++ {
+		if err := f.Round(); err != nil {
+			return hist, fmt.Errorf("FedET round %d: %w", f.round-1, err)
+		}
+		record(hist, f.round-1,
+			fl.Accuracy(f.server, env.Splits.Test),
+			fl.MeanClientAccuracy(f.clients, env.LocalTests),
+			f.ledger)
+	}
+	return hist, nil
+}
+
+// Round executes one FedET communication round.
+func (f *FedET) Round() error {
+	env := f.cfg.Common.Env
+	t := f.round
+	f.round++
+	f.ledger.StartRound(t)
+
+	publicX := env.Splits.Public.X
+	classes := env.Classes()
+	logitBytes := comm.LogitsBytes(publicX.Rows, classes)
+
+	clientLogits := make([]*tensor.Matrix, len(f.clients))
+	err := fl.ForEachClient(len(f.clients), func(c int) error {
+		rng := stats.Split(f.cfg.Common.Seed, uint64(t)*1000+uint64(c))
+		fl.TrainCE(f.clients[c], f.opts[c], env.ClientData[c], rng, f.cfg.LocalEpochs, f.cfg.Common.BatchSize)
+		clientLogits[c] = f.clients[c].Logits(publicX)
+		// Dual upload: logits plus the client's model parameters (FedET's
+		// representation-layer synchronization).
+		f.ledger.AddUpload(logitBytes)
+		f.ledger.AddUpload(comm.ModelBytes(f.clients[c].ParamCount()))
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Confidence-weighted ensemble distillation into the large server model.
+	ensemble := kd.AggregateConfidenceWeighted(clientLogits)
+	pseudo := kd.PseudoLabels(ensemble)
+	rng := stats.Split(f.cfg.Common.Seed, uint64(t)*1000+999)
+	fl.TrainDistill(f.server, f.serverOpt, publicX, ensemble, pseudo,
+		rng, f.cfg.ServerEpochs, f.cfg.Common.BatchSize, 0.5, 1)
+
+	// Clients distill from the server's logits.
+	serverLogits := f.server.Logits(publicX)
+	serverPseudo := kd.PseudoLabels(serverLogits)
+	return fl.ForEachClient(len(f.clients), func(c int) error {
+		f.ledger.AddDownload(logitBytes)
+		rng := stats.Split(f.cfg.Common.Seed, uint64(t)*1000+500+uint64(c))
+		fl.TrainDistill(f.clients[c], f.opts[c], publicX, serverLogits, serverPseudo,
+			rng, 5, f.cfg.Common.BatchSize, 0.5, 1)
+		return nil
+	})
+}

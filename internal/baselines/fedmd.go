@@ -1,0 +1,146 @@
+package baselines
+
+import (
+	"fmt"
+
+	"fedpkd/internal/comm"
+	"fedpkd/internal/fl"
+	"fedpkd/internal/kd"
+	"fedpkd/internal/models"
+	"fedpkd/internal/nn"
+	"fedpkd/internal/stats"
+	"fedpkd/internal/tensor"
+)
+
+// FedMDConfig parameterizes FedMD (Li & Wang, 2019) and, with an ERA
+// temperature, DS-FL (Itahara et al., 2020).
+type FedMDConfig struct {
+	Common CommonConfig
+	// LocalEpochs is the per-round private-training epoch count (paper: 10).
+	LocalEpochs int
+	// DistillEpochs is the per-round digest epoch count (paper: e_s = 20).
+	DistillEpochs int
+	// Archs lists each client's architecture; defaults to homogeneous
+	// ResNet20. FedMD supports heterogeneous fleets.
+	Archs []string
+	// ERATemperature, when positive, switches aggregation to DS-FL's
+	// entropy-reduction method with that temperature.
+	ERATemperature float64
+}
+
+// FedMD runs logit-consensus federated distillation. Each round: clients
+// train privately, upload public-set logits; the server aggregates them
+// (plain mean for FedMD, entropy-reduction for DS-FL) and broadcasts the
+// consensus; clients digest the consensus via KL distillation. There is no
+// server model.
+type FedMD struct {
+	cfg     FedMDConfig
+	name    string
+	clients []*nn.Network
+	opts    []nn.Optimizer
+	ledger  *comm.Ledger
+	round   int
+}
+
+var _ fl.Algorithm = (*FedMD)(nil)
+
+// NewFedMD builds a FedMD run (or DS-FL when ERATemperature > 0).
+func NewFedMD(cfg FedMDConfig) (*FedMD, error) {
+	if err := cfg.Common.fillDefaults(); err != nil {
+		return nil, err
+	}
+	if cfg.LocalEpochs == 0 {
+		cfg.LocalEpochs = 10
+	}
+	if cfg.DistillEpochs == 0 {
+		cfg.DistillEpochs = 20
+	}
+	if cfg.Archs == nil {
+		cfg.Archs = models.HomogeneousFleet(cfg.Common.Env.Cfg.NumClients)
+	}
+	if cfg.Common.Env.Cfg.PublicSize == 0 {
+		return nil, fmt.Errorf("baselines: FedMD needs a public dataset")
+	}
+	clients, opts, err := buildFleet(cfg.Common, cfg.Archs)
+	if err != nil {
+		return nil, err
+	}
+	name := "FedMD"
+	if cfg.ERATemperature > 0 {
+		name = "DS-FL"
+	}
+	return &FedMD{cfg: cfg, name: name, clients: clients, opts: opts, ledger: comm.NewLedger()}, nil
+}
+
+// NewDSFL builds a DS-FL run: FedMD with entropy-reduction aggregation.
+// The temperature defaults to 0.5 when unset.
+func NewDSFL(cfg FedMDConfig) (*FedMD, error) {
+	if cfg.ERATemperature == 0 {
+		cfg.ERATemperature = 0.5
+	}
+	return NewFedMD(cfg)
+}
+
+// Name implements fl.Algorithm.
+func (f *FedMD) Name() string { return f.name }
+
+// Ledger returns the traffic ledger.
+func (f *FedMD) Ledger() *comm.Ledger { return f.ledger }
+
+// Clients returns the client models.
+func (f *FedMD) Clients() []*nn.Network { return f.clients }
+
+// Run implements fl.Algorithm. FedMD and DS-FL have no server model, so
+// ServerAcc is recorded as -1.
+func (f *FedMD) Run(rounds int) (*fl.History, error) {
+	env := f.cfg.Common.Env
+	hist := newHistory(f.name, env)
+	for r := 0; r < rounds; r++ {
+		if err := f.Round(); err != nil {
+			return hist, fmt.Errorf("%s round %d: %w", f.name, f.round-1, err)
+		}
+		record(hist, f.round-1, -1, fl.MeanClientAccuracy(f.clients, env.LocalTests), f.ledger)
+	}
+	return hist, nil
+}
+
+// Round executes one FedMD/DS-FL communication round.
+func (f *FedMD) Round() error {
+	env := f.cfg.Common.Env
+	t := f.round
+	f.round++
+	f.ledger.StartRound(t)
+
+	publicX := env.Splits.Public.X
+	classes := env.Classes()
+	logitBytes := comm.LogitsBytes(publicX.Rows, classes)
+
+	clientLogits := make([]*tensor.Matrix, len(f.clients))
+	err := fl.ForEachClient(len(f.clients), func(c int) error {
+		rng := stats.Split(f.cfg.Common.Seed, uint64(t)*1000+uint64(c))
+		fl.TrainCE(f.clients[c], f.opts[c], env.ClientData[c], rng, f.cfg.LocalEpochs, f.cfg.Common.BatchSize)
+		clientLogits[c] = f.clients[c].Logits(publicX)
+		f.ledger.AddUpload(logitBytes)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	var consensus *tensor.Matrix
+	if f.cfg.ERATemperature > 0 {
+		consensus = kd.AggregateERA(clientLogits, f.cfg.ERATemperature)
+	} else {
+		consensus = kd.AggregateMean(clientLogits)
+	}
+	pseudo := kd.PseudoLabels(consensus)
+
+	// Digest: clients approach the consensus via pure KL (gamma = 1).
+	return fl.ForEachClient(len(f.clients), func(c int) error {
+		f.ledger.AddDownload(logitBytes)
+		rng := stats.Split(f.cfg.Common.Seed, uint64(t)*1000+500+uint64(c))
+		fl.TrainDistill(f.clients[c], f.opts[c], publicX, consensus, pseudo,
+			rng, f.cfg.DistillEpochs, f.cfg.Common.BatchSize, 1, 1)
+		return nil
+	})
+}

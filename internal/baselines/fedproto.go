@@ -1,0 +1,119 @@
+package baselines
+
+import (
+	"fedpkd/internal/comm"
+	"fedpkd/internal/fl"
+	"fedpkd/internal/models"
+	"fedpkd/internal/nn"
+	"fedpkd/internal/proto"
+	"fedpkd/internal/stats"
+)
+
+// FedProtoConfig parameterizes FedProto (Tan et al., 2021), the
+// prototype-only method the paper's related work contrasts FedPKD with:
+// clients exchange nothing but per-class prototypes; the server aggregates
+// them and sends them back as regularization targets. There is no server
+// model and no public dataset.
+type FedProtoConfig struct {
+	Common CommonConfig
+	// LocalEpochs per round (default 10).
+	LocalEpochs int
+	// Epsilon weights the prototype-regularization term of local training
+	// (default 0.5, matching FedPKD's ε).
+	Epsilon float64
+	// Archs lists per-client architectures; FedProto supports heterogeneous
+	// fleets as long as the feature width is shared (the zoo guarantees it).
+	Archs []string
+}
+
+// FedProto runs prototype-aggregation federated learning.
+type FedProto struct {
+	cfg     FedProtoConfig
+	clients []*nn.Network
+	opts    []nn.Optimizer
+	global  *proto.Set
+	ledger  *comm.Ledger
+	round   int
+}
+
+var _ fl.Algorithm = (*FedProto)(nil)
+
+// NewFedProto builds a FedProto run.
+func NewFedProto(cfg FedProtoConfig) (*FedProto, error) {
+	if err := cfg.Common.fillDefaults(); err != nil {
+		return nil, err
+	}
+	if cfg.LocalEpochs == 0 {
+		cfg.LocalEpochs = 10
+	}
+	if cfg.Epsilon == 0 {
+		cfg.Epsilon = 0.5
+	}
+	if cfg.Archs == nil {
+		cfg.Archs = models.HomogeneousFleet(cfg.Common.Env.Cfg.NumClients)
+	}
+	clients, opts, err := buildFleet(cfg.Common, cfg.Archs)
+	if err != nil {
+		return nil, err
+	}
+	return &FedProto{cfg: cfg, clients: clients, opts: opts, ledger: comm.NewLedger()}, nil
+}
+
+// Name implements fl.Algorithm.
+func (f *FedProto) Name() string { return "FedProto" }
+
+// Ledger returns the traffic ledger.
+func (f *FedProto) Ledger() *comm.Ledger { return f.ledger }
+
+// GlobalPrototypes returns the latest aggregated prototypes (nil before the
+// first round).
+func (f *FedProto) GlobalPrototypes() *proto.Set { return f.global }
+
+// Run implements fl.Algorithm. FedProto has no server model, so ServerAcc
+// is recorded as -1.
+func (f *FedProto) Run(rounds int) (*fl.History, error) {
+	env := f.cfg.Common.Env
+	hist := newHistory(f.Name(), env)
+	for r := 0; r < rounds; r++ {
+		if err := f.Round(); err != nil {
+			return hist, err
+		}
+		record(hist, f.round-1, -1, fl.MeanClientAccuracy(f.clients, env.LocalTests), f.ledger)
+	}
+	return hist, nil
+}
+
+// Round executes one FedProto communication round.
+func (f *FedProto) Round() error {
+	env := f.cfg.Common.Env
+	t := f.round
+	f.round++
+	f.ledger.StartRound(t)
+
+	clientProtos := make([]*proto.Set, len(f.clients))
+	err := fl.ForEachClient(len(f.clients), func(c int) error {
+		rng := stats.Split(f.cfg.Common.Seed, uint64(t)*1000+uint64(c))
+		if t == 0 || f.global == nil {
+			fl.TrainCE(f.clients[c], f.opts[c], env.ClientData[c], rng, f.cfg.LocalEpochs, f.cfg.Common.BatchSize)
+		} else {
+			fl.TrainCEWithProto(f.clients[c], f.opts[c], env.ClientData[c], rng,
+				f.cfg.LocalEpochs, f.cfg.Common.BatchSize, f.global, f.cfg.Epsilon)
+		}
+		clientProtos[c] = proto.Compute(f.clients[c].Features, env.ClientData[c])
+		f.ledger.AddUpload(comm.PrototypeBytes(clientProtos[c].Len(), clientProtos[c].Dim))
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	global, err := proto.Aggregate(clientProtos)
+	if err != nil {
+		return err
+	}
+	f.global = global
+	for range f.clients {
+		f.ledger.AddDownload(comm.PrototypeBytes(global.Len(), global.Dim))
+	}
+	return nil
+}

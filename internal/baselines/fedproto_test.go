@@ -1,0 +1,68 @@
+package baselines
+
+import (
+	"testing"
+
+	"fedpkd/internal/models"
+)
+
+func TestFedProtoLearnsWithoutServerOrPublicSet(t *testing.T) {
+	env := tinyEnv(t)
+	f, err := NewFedProto(FedProtoConfig{Common: tinyCommon(env), LocalEpochs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := f.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.FinalServerAcc() != -1 {
+		t.Error("FedProto must not report a server accuracy")
+	}
+	if hist.FinalClientAcc() < 0.3 {
+		t.Errorf("FedProto client accuracy %v", hist.FinalClientAcc())
+	}
+	if f.GlobalPrototypes() == nil || f.GlobalPrototypes().Len() == 0 {
+		t.Error("global prototypes missing after run")
+	}
+}
+
+func TestFedProtoTrafficIsTiny(t *testing.T) {
+	// Prototypes are a few KB per round — orders of magnitude below logits
+	// or model updates.
+	env := tinyEnv(t)
+	fp, err := NewFedProto(FedProtoConfig{Common: tinyCommon(env), LocalEpochs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fp.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	md, err := NewFedMD(FedMDConfig{Common: tinyCommon(env), LocalEpochs: 1, DistillEpochs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := md.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	// At this tiny public-set size the gap is modest; at paper scale (5000
+	// public samples) it is orders of magnitude.
+	if fp.Ledger().TotalBytes() >= md.Ledger().TotalBytes() {
+		t.Errorf("FedProto traffic %d should be below FedMD's %d",
+			fp.Ledger().TotalBytes(), md.Ledger().TotalBytes())
+	}
+}
+
+func TestFedProtoHeterogeneous(t *testing.T) {
+	env := tinyEnv(t)
+	f, err := NewFedProto(FedProtoConfig{
+		Common: tinyCommon(env), LocalEpochs: 1,
+		Archs: models.HeterogeneousFleet(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Run(1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,149 @@
+package baselines
+
+import (
+	"fmt"
+
+	"fedpkd/internal/comm"
+	"fedpkd/internal/fl"
+	"fedpkd/internal/kd"
+	"fedpkd/internal/models"
+	"fedpkd/internal/nn"
+	"fedpkd/internal/stats"
+	"fedpkd/internal/tensor"
+)
+
+// VanillaKDConfig parameterizes the plain KD-based FL method of the paper's
+// motivating experiments (Figs. 1-3): clients train privately and upload
+// public-set logits; the server trains on the equally averaged logits. No
+// prototypes, no variance weighting, no filtering.
+type VanillaKDConfig struct {
+	Common CommonConfig
+	// LocalEpochs per round (default 10).
+	LocalEpochs int
+	// ServerEpochs per round (default 20).
+	ServerEpochs int
+	// ClientArch and ServerArch default to ResNet20/ResNet56.
+	ClientArch, ServerArch string
+}
+
+// VanillaKD is the strawman FedPKD improves on.
+type VanillaKD struct {
+	cfg       VanillaKDConfig
+	clients   []*nn.Network
+	opts      []nn.Optimizer
+	server    *nn.Network
+	serverOpt nn.Optimizer
+	ledger    *comm.Ledger
+	round     int
+}
+
+var _ fl.Algorithm = (*VanillaKD)(nil)
+
+// NewVanillaKD builds a plain KD-based FL run.
+func NewVanillaKD(cfg VanillaKDConfig) (*VanillaKD, error) {
+	if err := cfg.Common.fillDefaults(); err != nil {
+		return nil, err
+	}
+	if cfg.LocalEpochs == 0 {
+		cfg.LocalEpochs = 10
+	}
+	if cfg.ServerEpochs == 0 {
+		cfg.ServerEpochs = 20
+	}
+	if cfg.ClientArch == "" {
+		cfg.ClientArch = "ResNet20"
+	}
+	if cfg.ServerArch == "" {
+		cfg.ServerArch = "ResNet56"
+	}
+	if cfg.Common.Env.Cfg.PublicSize == 0 {
+		return nil, fmt.Errorf("baselines: VanillaKD needs a public dataset")
+	}
+	env := cfg.Common.Env
+	archs := make([]string, env.Cfg.NumClients)
+	for i := range archs {
+		archs[i] = cfg.ClientArch
+	}
+	clients, opts, err := buildFleet(cfg.Common, archs)
+	if err != nil {
+		return nil, err
+	}
+	server, err := models.BuildNamed(stats.Split(cfg.Common.Seed, 99), cfg.ServerArch, env.InputDim(), env.Classes())
+	if err != nil {
+		return nil, err
+	}
+	return &VanillaKD{
+		cfg:       cfg,
+		clients:   clients,
+		opts:      opts,
+		server:    server,
+		serverOpt: nn.NewAdam(cfg.Common.LR),
+		ledger:    comm.NewLedger(),
+	}, nil
+}
+
+// Name implements fl.Algorithm.
+func (f *VanillaKD) Name() string { return "KD" }
+
+// Ledger returns the traffic ledger.
+func (f *VanillaKD) Ledger() *comm.Ledger { return f.ledger }
+
+// Server returns the server model.
+func (f *VanillaKD) Server() *nn.Network { return f.server }
+
+// AggregatedLogits returns the current round's equally averaged client
+// logits on the public set — the quantity whose quality Figs. 2-3 measure.
+func (f *VanillaKD) AggregatedLogits() *tensor.Matrix {
+	publicX := f.cfg.Common.Env.Splits.Public.X
+	clientLogits := make([]*tensor.Matrix, len(f.clients))
+	for c, net := range f.clients {
+		clientLogits[c] = net.Logits(publicX)
+	}
+	return kd.AggregateMean(clientLogits)
+}
+
+// Run implements fl.Algorithm.
+func (f *VanillaKD) Run(rounds int) (*fl.History, error) {
+	env := f.cfg.Common.Env
+	hist := newHistory(f.Name(), env)
+	for r := 0; r < rounds; r++ {
+		if err := f.Round(); err != nil {
+			return hist, fmt.Errorf("KD round %d: %w", f.round-1, err)
+		}
+		record(hist, f.round-1,
+			fl.Accuracy(f.server, env.Splits.Test),
+			fl.MeanClientAccuracy(f.clients, env.LocalTests),
+			f.ledger)
+	}
+	return hist, nil
+}
+
+// Round executes one vanilla-KD communication round.
+func (f *VanillaKD) Round() error {
+	env := f.cfg.Common.Env
+	t := f.round
+	f.round++
+	f.ledger.StartRound(t)
+
+	publicX := env.Splits.Public.X
+	logitBytes := comm.LogitsBytes(publicX.Rows, env.Classes())
+
+	clientLogits := make([]*tensor.Matrix, len(f.clients))
+	err := fl.ForEachClient(len(f.clients), func(c int) error {
+		rng := stats.Split(f.cfg.Common.Seed, uint64(t)*1000+uint64(c))
+		fl.TrainCE(f.clients[c], f.opts[c], env.ClientData[c], rng, f.cfg.LocalEpochs, f.cfg.Common.BatchSize)
+		clientLogits[c] = f.clients[c].Logits(publicX)
+		f.ledger.AddUpload(logitBytes)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	ensemble := kd.AggregateMean(clientLogits)
+	pseudo := kd.PseudoLabels(ensemble)
+	rng := stats.Split(f.cfg.Common.Seed, uint64(t)*1000+999)
+	fl.TrainDistill(f.server, f.serverOpt, publicX, ensemble, pseudo,
+		rng, f.cfg.ServerEpochs, f.cfg.Common.BatchSize, 0.5, 1)
+	return nil
+}

@@ -1,0 +1,163 @@
+// Package comm models the communication cost of federated learning: the
+// wire size of every message kind the algorithms exchange (model updates,
+// logits, prototypes), a thread-safe per-round ledger, and a link model that
+// converts bytes into transfer-time estimates. The paper's Fig. 3 and
+// Table I are computed from these measurements.
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BytesPerValue is the wire width of one scalar. Models and knowledge are
+// transferred as float32, matching the paper's accounting (a ResNet20
+// update is reported as 0.511 MB ≈ 4 bytes/param).
+const BytesPerValue = 4
+
+// MB is the number of bytes per megabyte used in reporting (10^6, matching
+// the paper's MB figures).
+const MB = 1e6
+
+// LogitsBytes returns the wire size of per-sample logits for a public set.
+func LogitsBytes(samples, classes int) int {
+	return samples * classes * BytesPerValue
+}
+
+// PrototypeBytes returns the wire size of numPrototypes feature-space
+// prototypes (one per class actually present).
+func PrototypeBytes(numPrototypes, featureDim int) int {
+	return numPrototypes * featureDim * BytesPerValue
+}
+
+// ModelBytes returns the wire size of a model update with paramCount scalar
+// parameters.
+func ModelBytes(paramCount int) int {
+	return paramCount * BytesPerValue
+}
+
+// SampleIndexBytes returns the wire size of a set of sample indices (the
+// server tells clients which filtered public samples the logits refer to).
+// Indices travel as uint32.
+func SampleIndexBytes(samples int) int {
+	return samples * 4
+}
+
+// RoundTraffic is the measured traffic of one communication round.
+type RoundTraffic struct {
+	Round    int
+	Upload   int64 // client -> server bytes, summed over clients
+	Download int64 // server -> client bytes, summed over clients
+}
+
+// Total returns upload + download.
+func (r RoundTraffic) Total() int64 { return r.Upload + r.Download }
+
+// Ledger accumulates traffic measurements across rounds. It is safe for
+// concurrent use: parallel clients record their uploads simultaneously.
+// The zero value is NOT ready to use; call NewLedger.
+type Ledger struct {
+	mu     sync.Mutex
+	rounds []RoundTraffic
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{}
+}
+
+// StartRound begins accounting for the given round number.
+func (l *Ledger) StartRound(round int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.rounds = append(l.rounds, RoundTraffic{Round: round})
+}
+
+// AddUpload records client→server traffic in the current round.
+func (l *Ledger) AddUpload(bytes int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.mustCurrent().Upload += int64(bytes)
+}
+
+// AddDownload records server→client traffic in the current round.
+func (l *Ledger) AddDownload(bytes int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.mustCurrent().Download += int64(bytes)
+}
+
+func (l *Ledger) mustCurrent() *RoundTraffic {
+	if len(l.rounds) == 0 {
+		panic("comm: ledger used before StartRound")
+	}
+	return &l.rounds[len(l.rounds)-1]
+}
+
+// Rounds returns a copy of the per-round traffic records.
+func (l *Ledger) Rounds() []RoundTraffic {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]RoundTraffic, len(l.rounds))
+	copy(out, l.rounds)
+	return out
+}
+
+// TotalBytes returns all traffic recorded so far.
+func (l *Ledger) TotalBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var total int64
+	for _, r := range l.rounds {
+		total += r.Total()
+	}
+	return total
+}
+
+// TotalMB returns all traffic in megabytes.
+func (l *Ledger) TotalMB() float64 {
+	return float64(l.TotalBytes()) / MB
+}
+
+// CumulativeMBByRound returns, for each recorded round, the total MB
+// transferred up to and including that round.
+func (l *Ledger) CumulativeMBByRound() []float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]float64, len(l.rounds))
+	var cum int64
+	for i, r := range l.rounds {
+		cum += r.Total()
+		out[i] = float64(cum) / MB
+	}
+	return out
+}
+
+// LinkModel estimates wall-clock transfer times for a client uplink and
+// downlink — used to translate traffic into the waiting time that motivates
+// the paper's communication-efficiency claims.
+type LinkModel struct {
+	// UplinkMbps and DownlinkMbps are link capacities in megabits/second.
+	UplinkMbps, DownlinkMbps float64
+	// Latency is the one-way network latency added per transfer.
+	Latency time.Duration
+}
+
+// UploadTime returns the estimated time to push bytes upstream.
+func (m LinkModel) UploadTime(bytes int64) time.Duration {
+	return m.transferTime(bytes, m.UplinkMbps)
+}
+
+// DownloadTime returns the estimated time to pull bytes downstream.
+func (m LinkModel) DownloadTime(bytes int64) time.Duration {
+	return m.transferTime(bytes, m.DownlinkMbps)
+}
+
+func (m LinkModel) transferTime(bytes int64, mbps float64) time.Duration {
+	if mbps <= 0 {
+		panic(fmt.Sprintf("comm: non-positive link rate %v", mbps))
+	}
+	seconds := float64(bytes*8) / (mbps * 1e6)
+	return m.Latency + time.Duration(seconds*float64(time.Second))
+}

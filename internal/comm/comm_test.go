@@ -1,0 +1,103 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWireSizes(t *testing.T) {
+	if got := LogitsBytes(5000, 10); got != 200000 {
+		t.Errorf("LogitsBytes(5000,10) = %d, want 200000", got)
+	}
+	if got := PrototypeBytes(10, 48); got != 1920 {
+		t.Errorf("PrototypeBytes(10,48) = %d, want 1920", got)
+	}
+	if got := ModelBytes(127754); got != 511016 {
+		t.Errorf("ModelBytes = %d", got)
+	}
+	if got := SampleIndexBytes(100); got != 400 {
+		t.Errorf("SampleIndexBytes(100) = %d, want 400", got)
+	}
+}
+
+func TestLedgerAccumulates(t *testing.T) {
+	l := NewLedger()
+	l.StartRound(0)
+	l.AddUpload(100)
+	l.AddDownload(50)
+	l.StartRound(1)
+	l.AddUpload(200)
+
+	rounds := l.Rounds()
+	if len(rounds) != 2 {
+		t.Fatalf("Rounds len = %d", len(rounds))
+	}
+	if rounds[0].Upload != 100 || rounds[0].Download != 50 || rounds[1].Upload != 200 {
+		t.Errorf("rounds = %+v", rounds)
+	}
+	if l.TotalBytes() != 350 {
+		t.Errorf("TotalBytes = %d, want 350", l.TotalBytes())
+	}
+	if l.TotalMB() != 350/MB {
+		t.Errorf("TotalMB = %v", l.TotalMB())
+	}
+	cum := l.CumulativeMBByRound()
+	if cum[0] != 150/MB || cum[1] != 350/MB {
+		t.Errorf("CumulativeMBByRound = %v", cum)
+	}
+}
+
+func TestLedgerBeforeStartPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AddUpload before StartRound should panic")
+		}
+	}()
+	NewLedger().AddUpload(1)
+}
+
+func TestLedgerConcurrent(t *testing.T) {
+	l := NewLedger()
+	l.StartRound(0)
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.AddUpload(1)
+			l.AddDownload(2)
+		}()
+	}
+	wg.Wait()
+	if l.TotalBytes() != 300 {
+		t.Errorf("concurrent total = %d, want 300", l.TotalBytes())
+	}
+}
+
+func TestLinkModel(t *testing.T) {
+	m := LinkModel{UplinkMbps: 8, DownlinkMbps: 80, Latency: 10 * time.Millisecond}
+	// 1 MB at 8 Mbps = 1 second (+latency).
+	if got := m.UploadTime(1e6); got != time.Second+10*time.Millisecond {
+		t.Errorf("UploadTime = %v", got)
+	}
+	if got := m.DownloadTime(1e6); got != 100*time.Millisecond+10*time.Millisecond {
+		t.Errorf("DownloadTime = %v", got)
+	}
+}
+
+func TestLinkModelBadRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-rate link should panic")
+		}
+	}()
+	LinkModel{}.UploadTime(1)
+}
+
+func TestRoundTrafficTotal(t *testing.T) {
+	r := RoundTraffic{Upload: 3, Download: 4}
+	if r.Total() != 7 {
+		t.Errorf("Total = %d", r.Total())
+	}
+}

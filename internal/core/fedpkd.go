@@ -1,0 +1,451 @@
+// Package core implements FedPKD, the paper's contribution: a
+// prototype-based knowledge-distillation framework for heterogeneous
+// federated learning. One communication round (Algorithm 2) is:
+//
+//  1. Client private training — Eq. (4) in round 0, Eq. (16) (CE +
+//     ε·prototype MSE) afterwards.
+//  2. Dual knowledge transfer — each client uploads its public-set logits
+//     and its local prototypes (Eq. 5).
+//  3. Prototype-based ensemble distillation — the server aggregates logits
+//     with variance weights (Eqs. 6-7), aggregates prototypes (Eq. 8),
+//     pseudo-labels the public set (Eq. 9), filters it with Algorithm 1,
+//     and trains the server model with Eqs. (11)-(13).
+//  4. Server knowledge transfer — the server sends its logits on the
+//     filtered subset plus the global prototypes; clients train with
+//     Eq. (15).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"fedpkd/internal/comm"
+	"fedpkd/internal/dataset"
+	"fedpkd/internal/filter"
+	"fedpkd/internal/fl"
+	"fedpkd/internal/kd"
+	"fedpkd/internal/models"
+	"fedpkd/internal/nn"
+	"fedpkd/internal/proto"
+	"fedpkd/internal/stats"
+	"fedpkd/internal/tensor"
+)
+
+// Aggregation selects how client logits are ensembled on the server.
+type Aggregation string
+
+// Supported logit aggregations. The paper's mechanism is variance
+// weighting; mean exists for the ablation benches.
+const (
+	AggregationVariance Aggregation = "variance"
+	AggregationMean     Aggregation = "mean"
+)
+
+// FilterSignal selects the quality signal Algorithm 1 ranks samples by.
+type FilterSignal string
+
+// Supported filter signals. The paper's mechanism ranks by prototype
+// distance; confidence exists for the ablation benches.
+const (
+	FilterByPrototype  FilterSignal = "prototype"
+	FilterByConfidence FilterSignal = "confidence"
+)
+
+// Config parameterizes a FedPKD run. Zero-valued hyperparameters are filled
+// with the paper's defaults by New.
+type Config struct {
+	// Env supplies the data: client splits, public set, test sets.
+	Env *fl.Env
+	// ClientArchs names each client's architecture (len == NumClients);
+	// defaults to the homogeneous ResNet20 fleet.
+	ClientArchs []string
+	// ServerArch names the server architecture; defaults to ResNet56.
+	ServerArch string
+
+	// ClientPrivateEpochs is e_{c,tr} (paper: 15).
+	ClientPrivateEpochs int
+	// ClientPublicEpochs is e_{c,p} (paper: 10).
+	ClientPublicEpochs int
+	// ServerEpochs is e_s (paper: 40).
+	ServerEpochs int
+	// BatchSize is B (paper: 32).
+	BatchSize int
+	// LR is the Adam learning rate η (paper: 0.001).
+	LR float64
+	// SelectRatio is θ, the kept fraction in Algorithm 1 (paper: 0.7).
+	SelectRatio float64
+	// Delta is δ, the KD-vs-prototype mix of the server loss (paper: 0.5).
+	Delta float64
+	// Gamma is γ, the KL-vs-CE mix of client public training (paper: 0.5).
+	Gamma float64
+	// Epsilon is ε, the prototype-regularization weight of client private
+	// training (paper: 0.5).
+	Epsilon float64
+	// Temperature is the distillation temperature (paper: 1).
+	Temperature float64
+
+	// ClientFraction, when in (0, 1), samples that fraction of clients to
+	// participate in each round (at least one), modelling the partial
+	// participation of real federated deployments. 0 or 1 means everyone
+	// participates.
+	ClientFraction float64
+	// ClientDropProb is the per-round probability that a participating
+	// client fails before uploading (straggler/crash injection); its
+	// knowledge is simply absent from that round's aggregation.
+	ClientDropProb float64
+
+	// DisablePrototypes removes the prototype loss terms from both the
+	// server objective (Eq. 12) and client private training (Eq. 16) — the
+	// paper's "w/o Pro" ablation.
+	DisablePrototypes bool
+	// DisableFiltering trains on the full public set — the paper's
+	// "w/o D.F." ablation.
+	DisableFiltering bool
+	// Aggregation overrides the logit ensemble (default variance).
+	Aggregation Aggregation
+	// FilterSignal overrides the Algorithm 1 ranking signal (default
+	// prototype distance).
+	FilterSignal FilterSignal
+
+	// Seed drives model initialization and batch order.
+	Seed uint64
+}
+
+func (c *Config) fillDefaults() {
+	if c.ClientArchs == nil {
+		c.ClientArchs = models.HomogeneousFleet(c.Env.Cfg.NumClients)
+	}
+	if c.ServerArch == "" {
+		c.ServerArch = "ResNet56"
+	}
+	if c.ClientPrivateEpochs == 0 {
+		c.ClientPrivateEpochs = 15
+	}
+	if c.ClientPublicEpochs == 0 {
+		c.ClientPublicEpochs = 10
+	}
+	if c.ServerEpochs == 0 {
+		c.ServerEpochs = 40
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 32
+	}
+	if c.LR == 0 {
+		c.LR = 0.001
+	}
+	if c.SelectRatio == 0 {
+		c.SelectRatio = 0.7
+	}
+	if c.Delta == 0 {
+		c.Delta = 0.5
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 0.5
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.5
+	}
+	if c.Temperature == 0 {
+		c.Temperature = 1
+	}
+	if c.Aggregation == "" {
+		c.Aggregation = AggregationVariance
+	}
+	if c.FilterSignal == "" {
+		c.FilterSignal = FilterByPrototype
+	}
+}
+
+// FedPKD is one configured run of the framework.
+type FedPKD struct {
+	cfg Config
+
+	clients    []*nn.Network
+	clientOpts []nn.Optimizer
+	server     *nn.Network
+	serverOpt  nn.Optimizer
+
+	globalProtos *proto.Set
+	ledger       *comm.Ledger
+	round        int
+}
+
+var _ fl.Algorithm = (*FedPKD)(nil)
+
+// New builds a FedPKD run from a config, applying the paper's defaults to
+// unset hyperparameters.
+func New(cfg Config) (*FedPKD, error) {
+	if cfg.Env == nil {
+		return nil, fmt.Errorf("core: Config.Env is required")
+	}
+	cfg.fillDefaults()
+	n := cfg.Env.Cfg.NumClients
+	if len(cfg.ClientArchs) != n {
+		return nil, fmt.Errorf("core: %d client archs for %d clients", len(cfg.ClientArchs), n)
+	}
+	if cfg.SelectRatio <= 0 || cfg.SelectRatio > 1 {
+		return nil, fmt.Errorf("core: SelectRatio must be in (0,1], got %v", cfg.SelectRatio)
+	}
+	if cfg.ClientFraction < 0 || cfg.ClientFraction > 1 {
+		return nil, fmt.Errorf("core: ClientFraction must be in [0,1], got %v", cfg.ClientFraction)
+	}
+	if cfg.ClientDropProb < 0 || cfg.ClientDropProb >= 1 {
+		return nil, fmt.Errorf("core: ClientDropProb must be in [0,1), got %v", cfg.ClientDropProb)
+	}
+	if cfg.Env.Cfg.PublicSize == 0 {
+		return nil, fmt.Errorf("core: FedPKD needs a public dataset")
+	}
+
+	f := &FedPKD{
+		cfg:        cfg,
+		clients:    make([]*nn.Network, n),
+		clientOpts: make([]nn.Optimizer, n),
+		ledger:     comm.NewLedger(),
+	}
+	for c := 0; c < n; c++ {
+		net, err := models.BuildNamed(stats.Split(cfg.Seed, uint64(c)+100), cfg.ClientArchs[c], cfg.Env.InputDim(), cfg.Env.Classes())
+		if err != nil {
+			return nil, fmt.Errorf("core: client %d: %w", c, err)
+		}
+		f.clients[c] = net
+		f.clientOpts[c] = nn.NewAdam(cfg.LR)
+	}
+	server, err := models.BuildNamed(stats.Split(cfg.Seed, 99), cfg.ServerArch, cfg.Env.InputDim(), cfg.Env.Classes())
+	if err != nil {
+		return nil, fmt.Errorf("core: server: %w", err)
+	}
+	f.server = server
+	f.serverOpt = nn.NewAdam(cfg.LR)
+	return f, nil
+}
+
+// Name implements fl.Algorithm.
+func (f *FedPKD) Name() string { return "FedPKD" }
+
+// ConfigSnapshot returns the run's configuration with all defaults applied.
+// The ClientArchs slice is copied so callers cannot mutate the run.
+func (f *FedPKD) ConfigSnapshot() Config {
+	cfg := f.cfg
+	cfg.ClientArchs = append([]string(nil), f.cfg.ClientArchs...)
+	return cfg
+}
+
+// Server returns the trained server model.
+func (f *FedPKD) Server() *nn.Network { return f.server }
+
+// Clients returns the client models.
+func (f *FedPKD) Clients() []*nn.Network { return f.clients }
+
+// GlobalPrototypes returns the latest global prototype set (nil before the
+// first round).
+func (f *FedPKD) GlobalPrototypes() *proto.Set { return f.globalProtos }
+
+// Ledger returns the traffic ledger.
+func (f *FedPKD) Ledger() *comm.Ledger { return f.ledger }
+
+// Run executes the given number of communication rounds (Algorithm 2).
+func (f *FedPKD) Run(rounds int) (*fl.History, error) {
+	env := f.cfg.Env
+	hist := &fl.History{
+		Algo:    f.Name(),
+		Dataset: env.Cfg.Spec.Name,
+		Setting: env.Cfg.Partition.String(),
+	}
+	for r := 0; r < rounds; r++ {
+		if err := f.Round(); err != nil {
+			return hist, fmt.Errorf("core: round %d: %w", f.round-1, err)
+		}
+		hist.Add(fl.RoundMetrics{
+			Round:        f.round - 1,
+			ServerAcc:    fl.Accuracy(f.server, env.Splits.Test),
+			ClientAcc:    fl.MeanClientAccuracy(f.clients, env.LocalTests),
+			CumulativeMB: f.ledger.TotalMB(),
+		})
+	}
+	return hist, nil
+}
+
+// Round executes one communication round.
+func (f *FedPKD) Round() error {
+	env := f.cfg.Env
+	t := f.round
+	f.round++
+	f.ledger.StartRound(t)
+
+	publicX := env.Splits.Public.X
+	classes := env.Classes()
+
+	// Partial participation: sample this round's cohort and inject upload
+	// failures.
+	participants := f.sampleParticipants(t)
+
+	// Phase 1+2: client private training and dual knowledge extraction.
+	logitsByClient := make(map[int]*tensor.Matrix, len(participants))
+	protosByClient := make(map[int]*proto.Set, len(participants))
+	var mu sync.Mutex
+	dropRng := stats.Split(f.cfg.Seed, uint64(t)*1000+777)
+	err := fl.ForEachClient(len(participants), func(i int) error {
+		c := participants[i]
+		rng := stats.Split(f.cfg.Seed, uint64(t)*1000+uint64(c))
+		net := f.clients[c]
+		if t == 0 || f.globalProtos == nil || f.cfg.DisablePrototypes {
+			fl.TrainCE(net, f.clientOpts[c], env.ClientData[c], rng, f.cfg.ClientPrivateEpochs, f.cfg.BatchSize)
+		} else {
+			fl.TrainCEWithProto(net, f.clientOpts[c], env.ClientData[c], rng,
+				f.cfg.ClientPrivateEpochs, f.cfg.BatchSize, f.globalProtos, f.cfg.Epsilon)
+		}
+		logits := net.Logits(publicX)
+		protos := proto.Compute(net.Features, env.ClientData[c])
+
+		mu.Lock()
+		defer mu.Unlock()
+		if f.cfg.ClientDropProb > 0 && dropRng.Float64() < f.cfg.ClientDropProb {
+			// The client crashed before uploading: its work is lost.
+			return nil
+		}
+		logitsByClient[c] = logits
+		protosByClient[c] = protos
+		f.ledger.AddUpload(comm.LogitsBytes(publicX.Rows, classes))
+		f.ledger.AddUpload(comm.PrototypeBytes(protos.Len(), protos.Dim))
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if len(logitsByClient) == 0 {
+		// Every participant failed: nothing to aggregate this round.
+		return nil
+	}
+	clientLogits := make([]*tensor.Matrix, 0, len(logitsByClient))
+	clientProtos := make([]*proto.Set, 0, len(protosByClient))
+	for _, c := range participants {
+		if l, ok := logitsByClient[c]; ok {
+			clientLogits = append(clientLogits, l)
+			clientProtos = append(clientProtos, protosByClient[c])
+		}
+	}
+
+	// Phase 3a: aggregate the dual knowledge.
+	var aggregated *tensor.Matrix
+	switch f.cfg.Aggregation {
+	case AggregationMean:
+		aggregated = kd.AggregateMean(clientLogits)
+	default:
+		aggregated = kd.AggregateVarianceWeighted(clientLogits)
+	}
+	globalProtos, err := proto.Aggregate(clientProtos)
+	if err != nil {
+		return fmt.Errorf("aggregate prototypes: %w", err)
+	}
+	f.globalProtos = globalProtos
+	pseudo := kd.PseudoLabels(aggregated)
+
+	// Phase 3b: prototype-based data filtering (Algorithm 1).
+	selected := f.selectPublicSubset(publicX, pseudo, aggregated, globalProtos)
+
+	subsetX := dataset.GatherRows(publicX, selected)
+	subsetTeacher := dataset.GatherRows(aggregated, selected)
+	subsetPseudo := make([]int, len(selected))
+	for i, j := range selected {
+		subsetPseudo[i] = pseudo[j]
+	}
+
+	// Phase 3c: prototype-based ensemble distillation (Eqs. 11-13).
+	serverRng := stats.Split(f.cfg.Seed, uint64(t)*1000+999)
+	serverProtos := globalProtos
+	if f.cfg.DisablePrototypes {
+		serverProtos = nil
+	}
+	fl.TrainServerPKD(f.server, f.serverOpt, subsetX, subsetTeacher, subsetPseudo, serverProtos,
+		serverRng, f.cfg.ServerEpochs, f.cfg.BatchSize, f.cfg.Delta, f.cfg.Temperature)
+
+	// Phase 4: server knowledge transfer and client public training
+	// (Eqs. 14-15), to this round's participants.
+	serverLogits := f.server.Logits(subsetX)
+	serverPseudo := kd.PseudoLabels(serverLogits)
+	downloadBytes := comm.LogitsBytes(len(selected), classes) +
+		comm.SampleIndexBytes(len(selected)) +
+		comm.PrototypeBytes(globalProtos.Len(), globalProtos.Dim)
+	return fl.ForEachClient(len(participants), func(i int) error {
+		c := participants[i]
+		f.ledger.AddDownload(downloadBytes)
+		rng := stats.Split(f.cfg.Seed, uint64(t)*1000+500+uint64(c))
+		fl.TrainDistill(f.clients[c], f.clientOpts[c], subsetX, serverLogits, serverPseudo,
+			rng, f.cfg.ClientPublicEpochs, f.cfg.BatchSize, f.cfg.Gamma, f.cfg.Temperature)
+		return nil
+	})
+}
+
+// sampleParticipants returns this round's participating client ids:
+// everyone when ClientFraction is 0 or 1, otherwise a deterministic random
+// sample of ceil(fraction·n) clients (at least one).
+func (f *FedPKD) sampleParticipants(round int) []int {
+	n := len(f.clients)
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	if f.cfg.ClientFraction == 0 || f.cfg.ClientFraction == 1 {
+		return all
+	}
+	k := int(math.Ceil(f.cfg.ClientFraction * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	rng := stats.Split(f.cfg.Seed, uint64(round)*1000+888)
+	stats.Shuffle(rng, all)
+	picked := all[:k]
+	sort.Ints(picked)
+	return picked
+}
+
+// selectPublicSubset applies Algorithm 1 (or its ablation variants) and
+// returns the selected public-set indices.
+func (f *FedPKD) selectPublicSubset(publicX *tensor.Matrix, pseudo []int, aggregated *tensor.Matrix, globalProtos *proto.Set) []int {
+	n := publicX.Rows
+	if f.cfg.DisableFiltering {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	if f.cfg.FilterSignal == FilterByConfidence {
+		return selectByConfidence(aggregated, pseudo, f.cfg.SelectRatio)
+	}
+	serverFeats := f.server.Features(publicX)
+	return filter.Select(serverFeats, pseudo, globalProtos, f.cfg.SelectRatio)
+}
+
+// selectByConfidence is the ablation comparator for Algorithm 1: rank
+// samples per pseudo-class by ensemble softmax confidence instead of
+// prototype distance.
+func selectByConfidence(aggregated *tensor.Matrix, pseudo []int, ratio float64) []int {
+	// Confidence = max softmax prob; reuse the prototype filter by building
+	// a distance-like score (1 - confidence) against a synthetic set.
+	type scored struct {
+		idx   int
+		score float64
+	}
+	byClass := make(map[int][]scored)
+	probs := make([]float64, aggregated.Cols)
+	for i := 0; i < aggregated.Rows; i++ {
+		stats.Softmax(aggregated.Row(i), probs)
+		byClass[pseudo[i]] = append(byClass[pseudo[i]], scored{idx: i, score: 1 - stats.Max(probs)})
+	}
+	var selected []int
+	for _, ss := range byClass {
+		keep := int(math.Ceil(ratio * float64(len(ss))))
+		if keep > len(ss) {
+			keep = len(ss)
+		}
+		sort.SliceStable(ss, func(a, b int) bool { return ss[a].score < ss[b].score })
+		for k := 0; k < keep; k++ {
+			selected = append(selected, ss[k].idx)
+		}
+	}
+	sort.Ints(selected)
+	return selected
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"testing"
+
+	"fedpkd/internal/dataset"
+	"fedpkd/internal/fl"
+	"fedpkd/internal/models"
+)
+
+// tinyEnv builds a fast environment for integration tests.
+func tinyEnv(t *testing.T, alpha float64) *fl.Env {
+	t.Helper()
+	// Ease the task at this tiny scale: these tests validate the protocol
+	// mechanics, not the benchmark difficulty bands.
+	spec := dataset.SynthC10(11)
+	spec.Noise = 0.6
+	env, err := fl.NewEnv(fl.EnvConfig{
+		Spec:       spec,
+		NumClients: 3,
+		TrainSize:  360, TestSize: 200, PublicSize: 120,
+		LocalTestSize: 40,
+		Partition:     fl.PartitionConfig{Kind: fl.PartitionDirichlet, Alpha: alpha},
+		Seed:          21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// tinyConfig scales FedPKD down for test speed.
+func tinyConfig(env *fl.Env) Config {
+	return Config{
+		Env:                 env,
+		ClientPrivateEpochs: 4,
+		ClientPublicEpochs:  3,
+		ServerEpochs:        10,
+		Seed:                3,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	env := tinyEnv(t, 0.5)
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil Env should error")
+	}
+	cfg := tinyConfig(env)
+	cfg.ClientArchs = []string{"ResNet20"} // wrong count
+	if _, err := New(cfg); err == nil {
+		t.Error("arch count mismatch should error")
+	}
+	cfg = tinyConfig(env)
+	cfg.SelectRatio = 1.5
+	if _, err := New(cfg); err == nil {
+		t.Error("bad SelectRatio should error")
+	}
+	cfg = tinyConfig(env)
+	cfg.ClientArchs = []string{"Bogus", "Bogus", "Bogus"}
+	if _, err := New(cfg); err == nil {
+		t.Error("unknown arch should error")
+	}
+}
+
+func TestDefaultsMatchPaper(t *testing.T) {
+	cfg := Config{Env: tinyEnv(t, 0.5)}
+	cfg.fillDefaults()
+	if cfg.ClientPrivateEpochs != 15 || cfg.ClientPublicEpochs != 10 || cfg.ServerEpochs != 40 {
+		t.Errorf("epoch defaults = %d/%d/%d, want 15/10/40", cfg.ClientPrivateEpochs, cfg.ClientPublicEpochs, cfg.ServerEpochs)
+	}
+	if cfg.BatchSize != 32 || cfg.LR != 0.001 {
+		t.Errorf("B=%d LR=%v, want 32/0.001", cfg.BatchSize, cfg.LR)
+	}
+	if cfg.SelectRatio != 0.7 || cfg.Delta != 0.5 || cfg.Gamma != 0.5 || cfg.Epsilon != 0.5 {
+		t.Errorf("θ=%v δ=%v γ=%v ε=%v, want 0.7/0.5/0.5/0.5", cfg.SelectRatio, cfg.Delta, cfg.Gamma, cfg.Epsilon)
+	}
+	if cfg.ServerArch != "ResNet56" || cfg.ClientArchs[0] != "ResNet20" {
+		t.Errorf("archs = %v / %s", cfg.ClientArchs, cfg.ServerArch)
+	}
+}
+
+func TestRunLearns(t *testing.T) {
+	env := tinyEnv(t, 0.5)
+	f, err := New(tinyConfig(env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := f.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.Len() != 3 {
+		t.Fatalf("history has %d rounds", hist.Len())
+	}
+	// Better than chance (0.1) by a clear margin after 3 rounds.
+	if hist.FinalServerAcc() < 0.3 {
+		t.Errorf("server accuracy %v after 3 rounds, want > 0.3", hist.FinalServerAcc())
+	}
+	if hist.FinalClientAcc() < 0.3 {
+		t.Errorf("client accuracy %v after 3 rounds, want > 0.3", hist.FinalClientAcc())
+	}
+	// Traffic must be recorded and monotonically increasing.
+	prev := 0.0
+	for _, r := range hist.Rounds {
+		if r.CumulativeMB <= prev {
+			t.Errorf("round %d cumulative MB %v not increasing", r.Round, r.CumulativeMB)
+		}
+		prev = r.CumulativeMB
+	}
+	if f.GlobalPrototypes() == nil || f.GlobalPrototypes().Len() == 0 {
+		t.Error("global prototypes missing after run")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	env := tinyEnv(t, 0.5)
+	run := func() *fl.History {
+		f, err := New(tinyConfig(env))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := f.Run(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	a, b := run(), run()
+	for i := range a.Rounds {
+		if a.Rounds[i].ServerAcc != b.Rounds[i].ServerAcc || a.Rounds[i].ClientAcc != b.Rounds[i].ClientAcc {
+			t.Fatalf("round %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestHeterogeneousClients(t *testing.T) {
+	env := tinyEnv(t, 0.5)
+	cfg := tinyConfig(env)
+	cfg.ClientArchs = models.HeterogeneousFleet(3)
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := f.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.FinalServerAcc() < 0.25 {
+		t.Errorf("heterogeneous server accuracy %v", hist.FinalServerAcc())
+	}
+	// Fleet really is heterogeneous.
+	counts := map[int]int{}
+	for _, c := range f.Clients() {
+		counts[c.ParamCount()]++
+	}
+	if len(counts) < 2 {
+		t.Error("expected at least two distinct client capacities")
+	}
+}
+
+func TestAblationSwitches(t *testing.T) {
+	env := tinyEnv(t, 0.5)
+
+	cfg := tinyConfig(env)
+	cfg.DisableFiltering = true
+	noFilter, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := noFilter.Run(1); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg = tinyConfig(env)
+	cfg.DisablePrototypes = true
+	noProto, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := noProto.Run(1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Filtering reduces the download traffic (server sends only the subset).
+	cfg = tinyConfig(env)
+	withFilter, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := withFilter.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if withFilter.Ledger().TotalBytes() >= noFilter.Ledger().TotalBytes() {
+		t.Errorf("filtering should reduce traffic: %d vs %d",
+			withFilter.Ledger().TotalBytes(), noFilter.Ledger().TotalBytes())
+	}
+}
+
+func TestAggregationAndFilterVariants(t *testing.T) {
+	env := tinyEnv(t, 0.5)
+	for _, cfgMod := range []func(*Config){
+		func(c *Config) { c.Aggregation = AggregationMean },
+		func(c *Config) { c.FilterSignal = FilterByConfidence },
+	} {
+		cfg := tinyConfig(env)
+		cfgMod(&cfg)
+		f, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Run(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSelectRatioControlsSubsetTraffic(t *testing.T) {
+	env := tinyEnv(t, 0.5)
+	traffic := func(ratio float64) int64 {
+		cfg := tinyConfig(env)
+		cfg.SelectRatio = ratio
+		f, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Run(1); err != nil {
+			t.Fatal(err)
+		}
+		return f.Ledger().TotalBytes()
+	}
+	if traffic(0.3) >= traffic(0.9) {
+		t.Error("smaller θ must yield less traffic")
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestPartialParticipation(t *testing.T) {
+	env := tinyEnv(t, 0.5)
+	cfg := tinyConfig(env)
+	cfg.ClientFraction = 0.5 // 2 of 3 clients per round
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	participants := f.sampleParticipants(0)
+	if len(participants) != 2 {
+		t.Fatalf("sampled %d participants, want 2", len(participants))
+	}
+	// Different rounds can sample different cohorts; over several rounds
+	// every client should appear at least once.
+	seen := map[int]bool{}
+	for r := 0; r < 10; r++ {
+		for _, c := range f.sampleParticipants(r) {
+			seen[c] = true
+		}
+	}
+	if len(seen) != 3 {
+		t.Errorf("over 10 rounds only clients %v participated", seen)
+	}
+
+	hist, err := f.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.Len() != 2 {
+		t.Fatalf("history rounds = %d", hist.Len())
+	}
+
+	// Traffic must be below the full-participation run's.
+	full, err := New(tinyConfig(env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := full.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	if f.Ledger().TotalBytes() >= full.Ledger().TotalBytes() {
+		t.Errorf("partial participation traffic %d should be below full %d",
+			f.Ledger().TotalBytes(), full.Ledger().TotalBytes())
+	}
+}
+
+func TestFullParticipationDefault(t *testing.T) {
+	env := tinyEnv(t, 0.5)
+	f, err := New(tinyConfig(env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.sampleParticipants(0); len(got) != 3 {
+		t.Errorf("default participation = %d clients, want all 3", len(got))
+	}
+}
+
+func TestClientDropoutInjection(t *testing.T) {
+	env := tinyEnv(t, 0.5)
+	cfg := tinyConfig(env)
+	cfg.ClientDropProb = 0.5
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := f.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.Len() != 3 {
+		t.Fatalf("history rounds = %d", hist.Len())
+	}
+	// With failures injected, traffic must be strictly below the
+	// failure-free run.
+	clean, err := New(tinyConfig(env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clean.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	if f.Ledger().TotalBytes() >= clean.Ledger().TotalBytes() {
+		t.Errorf("dropout traffic %d should be below clean %d",
+			f.Ledger().TotalBytes(), clean.Ledger().TotalBytes())
+	}
+	// The run must still learn something despite losses.
+	if hist.FinalServerAcc() <= 0.1 {
+		t.Errorf("server accuracy %v no better than chance under dropout", hist.FinalServerAcc())
+	}
+}
+
+func TestParticipationValidation(t *testing.T) {
+	env := tinyEnv(t, 0.5)
+	cfg := tinyConfig(env)
+	cfg.ClientFraction = 1.5
+	if _, err := New(cfg); err == nil {
+		t.Error("ClientFraction > 1 should error")
+	}
+	cfg = tinyConfig(env)
+	cfg.ClientDropProb = 1
+	if _, err := New(cfg); err == nil {
+		t.Error("ClientDropProb of 1 should error")
+	}
+}

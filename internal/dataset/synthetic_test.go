@@ -1,0 +1,135 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func TestGenerateShapesAndDeterminism(t *testing.T) {
+	spec := SynthC10(42)
+	s1 := Generate(spec, 200, 100, 50)
+	s2 := Generate(spec, 200, 100, 50)
+
+	if s1.Train.Len() != 200 || s1.Test.Len() != 100 || s1.Public.Len() != 50 {
+		t.Fatalf("split sizes %d/%d/%d", s1.Train.Len(), s1.Test.Len(), s1.Public.Len())
+	}
+	if s1.Public.Labeled() {
+		t.Error("public split must be unlabeled")
+	}
+	if len(s1.PublicLabels) != 50 {
+		t.Error("PublicLabels must cover the public split")
+	}
+	if !s1.Train.X.Equal(s2.Train.X, 0) {
+		t.Error("same spec must generate identical data")
+	}
+	for i := range s1.Train.Labels {
+		if s1.Train.Labels[i] != s2.Train.Labels[i] {
+			t.Fatal("same spec must generate identical labels")
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := Generate(SynthC10(1), 50, 10, 10)
+	b := Generate(SynthC10(2), 50, 10, 10)
+	if a.Train.X.Equal(b.Train.X, 1e-9) {
+		t.Error("different seeds must generate different data")
+	}
+}
+
+func TestGenerateClassBalance(t *testing.T) {
+	s := Generate(SynthC10(3), 1000, 100, 100)
+	for class, n := range s.Train.Histogram() {
+		if n != 100 {
+			t.Errorf("class %d has %d samples, want 100", class, n)
+		}
+	}
+}
+
+func TestGenerateSplitsAreDistinct(t *testing.T) {
+	s := Generate(SynthC10(4), 100, 100, 100)
+	if s.Train.X.Equal(s.Test.X, 1e-9) {
+		t.Error("train and test must differ")
+	}
+	if s.Test.X.Equal(s.Public.X, 1e-9) {
+		t.Error("test and public must differ")
+	}
+}
+
+func TestSyntheticIsLearnable(t *testing.T) {
+	// A nearest-class-mean classifier in input space should beat chance by a
+	// wide margin — confirms class structure survives the nonlinear map.
+	spec := SynthC10(5)
+	s := Generate(spec, 1000, 500, 0)
+
+	means := make([][]float64, spec.Classes)
+	counts := make([]int, spec.Classes)
+	dim := s.Train.Dim()
+	for i := range means {
+		means[i] = make([]float64, dim)
+	}
+	for i := 0; i < s.Train.Len(); i++ {
+		y := s.Train.Labels[i]
+		row := s.Train.X.Row(i)
+		for j, v := range row {
+			means[y][j] += v
+		}
+		counts[y]++
+	}
+	for i := range means {
+		for j := range means[i] {
+			means[i][j] /= float64(counts[i])
+		}
+	}
+	correct := 0
+	for i := 0; i < s.Test.Len(); i++ {
+		row := s.Test.X.Row(i)
+		best, bestDist := -1, 0.0
+		for c := range means {
+			var d float64
+			for j, v := range row {
+				diff := v - means[c][j]
+				d += diff * diff
+			}
+			if best == -1 || d < bestDist {
+				best, bestDist = c, d
+			}
+		}
+		if best == s.Test.Labels[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(s.Test.Len())
+	if acc < 0.4 {
+		t.Errorf("nearest-mean accuracy %v; synthetic task may be unlearnable", acc)
+	}
+	if acc > 0.999 {
+		t.Errorf("nearest-mean accuracy %v; synthetic task is trivially easy", acc)
+	}
+}
+
+func TestSynthC100Harder(t *testing.T) {
+	c10 := SynthC10(6)
+	c100 := SynthC100(6)
+	if c100.Classes != 100 || c10.Classes != 10 {
+		t.Fatal("wrong class counts")
+	}
+	s := Generate(c100, 500, 100, 50)
+	if s.Train.Classes != 100 {
+		t.Error("generated dataset must carry class count")
+	}
+}
+
+func TestGenerateRowOrderShuffled(t *testing.T) {
+	s := Generate(SynthC10(7), 100, 10, 10)
+	// Labels must not be in generation order 0,1,2,...,9,0,1,...
+	inOrder := true
+	for i, y := range s.Train.Labels {
+		if y != i%10 {
+			inOrder = false
+			break
+		}
+	}
+	if inOrder {
+		t.Error("train rows appear unshuffled")
+	}
+}

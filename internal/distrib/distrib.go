@@ -1,0 +1,402 @@
+// Package distrib runs FedPKD as communicating processes: the server and
+// every client execute in their own goroutine and exchange knowledge
+// exclusively through the transport layer (in-memory bus or real TCP),
+// exercising the same wire protocol a multi-host deployment would use. The
+// ledger records the actual encoded wire bytes rather than the analytic
+// sizes of internal/comm.
+package distrib
+
+import (
+	"fmt"
+	"io"
+
+	"fedpkd/internal/comm"
+	"fedpkd/internal/core"
+	"fedpkd/internal/dataset"
+	"fedpkd/internal/filter"
+	"fedpkd/internal/fl"
+	"fedpkd/internal/kd"
+	"fedpkd/internal/models"
+	"fedpkd/internal/nn"
+	"fedpkd/internal/proto"
+	"fedpkd/internal/stats"
+	"fedpkd/internal/tensor"
+	"fedpkd/internal/transport"
+)
+
+// Mode selects the wire.
+type Mode string
+
+// Supported modes.
+const (
+	// ModeBus uses the in-memory transport.
+	ModeBus Mode = "bus"
+	// ModeTCP uses loopback TCP connections.
+	ModeTCP Mode = "tcp"
+)
+
+// Config parameterizes a distributed FedPKD run. The algorithm knobs are
+// core.Config's; Mode selects the transport.
+type Config struct {
+	Core core.Config
+	Mode Mode
+}
+
+// Run executes rounds of FedPKD over the transport and returns the history.
+// All model state lives in the worker goroutines during a round; evaluation
+// happens at round barriers when every worker is parked. The distributed
+// runner always uses full participation: cfg.Core.ClientFraction and
+// ClientDropProb apply to the in-process simulation only.
+func Run(cfg Config, rounds int) (*fl.History, error) {
+	if cfg.Mode == "" {
+		cfg.Mode = ModeBus
+	}
+	env := cfg.Core.Env
+	if env == nil {
+		return nil, fmt.Errorf("distrib: Core.Env is required")
+	}
+	// Reuse core.New for validation and defaulting, then run our own loop.
+	validated, err := core.New(cfg.Core)
+	if err != nil {
+		return nil, err
+	}
+	coreCfg := validated.ConfigSnapshot()
+
+	serverConn, clientConns, cleanup, err := buildTransport(cfg.Mode, env.Cfg.NumClients)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+
+	numClients := env.Cfg.NumClients
+	clients := make([]*nn.Network, numClients)
+	clientOpts := make([]nn.Optimizer, numClients)
+	for c := 0; c < numClients; c++ {
+		net, err := models.BuildNamed(stats.Split(coreCfg.Seed, uint64(c)+100), coreCfg.ClientArchs[c], env.InputDim(), env.Classes())
+		if err != nil {
+			return nil, err
+		}
+		clients[c] = net
+		clientOpts[c] = nn.NewAdam(coreCfg.LR)
+	}
+	server, err := models.BuildNamed(stats.Split(coreCfg.Seed, 99), coreCfg.ServerArch, env.InputDim(), env.Classes())
+	if err != nil {
+		return nil, err
+	}
+	serverOpt := nn.NewAdam(coreCfg.LR)
+
+	ledger := comm.NewLedger()
+	hist := &fl.History{Algo: "FedPKD(distributed)", Dataset: env.Cfg.Spec.Name, Setting: env.Cfg.Partition.String()}
+
+	// Round barriers: start signals fan out, done signals fan in.
+	start := make([]chan int, numClients)
+	for c := range start {
+		start[c] = make(chan int, 1)
+	}
+	done := make(chan error, numClients)
+
+	for c := 0; c < numClients; c++ {
+		go clientWorker(c, coreCfg, env, clients[c], clientOpts[c], clientConns[c], start[c], done)
+	}
+
+	serverErr := make(chan error, 1)
+	go func() {
+		serverErr <- serverWorker(coreCfg, env, server, serverOpt, serverConn, ledger, rounds)
+	}()
+
+	var firstErr error
+	for t := 0; t < rounds; t++ {
+		ledger.StartRound(t)
+		for c := range start {
+			start[c] <- t
+		}
+		for i := 0; i < numClients; i++ {
+			if err := <-done; err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if firstErr != nil {
+			break
+		}
+		// All workers parked: evaluate safely.
+		hist.Add(fl.RoundMetrics{
+			Round:        t,
+			ServerAcc:    fl.Accuracy(server, env.Splits.Test),
+			ClientAcc:    fl.MeanClientAccuracy(clients, env.LocalTests),
+			CumulativeMB: ledger.TotalMB(),
+		})
+	}
+	for c := range start {
+		close(start[c])
+	}
+	if err := <-serverErr; err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return hist, firstErr
+}
+
+// buildTransport wires one server conn and n client conns.
+func buildTransport(mode Mode, n int) (transport.Conn, []transport.Conn, func(), error) {
+	switch mode {
+	case ModeBus:
+		bus := transport.NewBus(n, n*2)
+		conns := make([]transport.Conn, n)
+		for c := range conns {
+			conns[c] = bus.ClientConn(c)
+		}
+		return bus.ServerConn(), conns, bus.Close, nil
+	case ModeTCP:
+		srv, err := transport.Listen("127.0.0.1:0")
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		accepted := make(chan transport.Conn, n)
+		acceptErr := make(chan error, 1)
+		go func() {
+			for i := 0; i < n; i++ {
+				conn, err := srv.Accept()
+				if err != nil {
+					acceptErr <- err
+					return
+				}
+				accepted <- conn
+			}
+			acceptErr <- nil
+		}()
+		conns := make([]transport.Conn, n)
+		for c := range conns {
+			conn, err := transport.Dial(srv.Addr())
+			if err != nil {
+				srv.Close()
+				return nil, nil, nil, err
+			}
+			conns[c] = conn
+		}
+		if err := <-acceptErr; err != nil {
+			srv.Close()
+			return nil, nil, nil, err
+		}
+		// The server multiplexes over the accepted connections.
+		serverSide := make([]transport.Conn, 0, n)
+		for i := 0; i < n; i++ {
+			serverSide = append(serverSide, <-accepted)
+		}
+		mux := newMuxConn(serverSide)
+		cleanup := func() {
+			mux.Close()
+			for _, c := range conns {
+				c.Close()
+			}
+			srv.Close()
+		}
+		return mux, conns, cleanup, nil
+	default:
+		return nil, nil, nil, fmt.Errorf("distrib: unknown mode %q", mode)
+	}
+}
+
+// clientWorker runs one client's per-round protocol.
+func clientWorker(id int, cfg core.Config, env *fl.Env, net *nn.Network, opt nn.Optimizer, conn transport.Conn, start <-chan int, done chan<- error) {
+	var globalProtos *proto.Set
+	publicX := env.Splits.Public.X
+	for t := range start {
+		done <- func() error {
+			rng := stats.Split(cfg.Seed, uint64(t)*1000+uint64(id))
+			// Private training (Eq. 4 / Eq. 16).
+			if t == 0 || globalProtos == nil || cfg.DisablePrototypes {
+				fl.TrainCE(net, opt, env.ClientData[id], rng, cfg.ClientPrivateEpochs, cfg.BatchSize)
+			} else {
+				fl.TrainCEWithProto(net, opt, env.ClientData[id], rng, cfg.ClientPrivateEpochs, cfg.BatchSize, globalProtos, cfg.Epsilon)
+			}
+
+			// Dual knowledge upload.
+			logits := net.Logits(publicX)
+			protos := proto.Compute(net.Features, env.ClientData[id])
+			pc, cnt, dim, vals := transport.ProtoToWire(protos)
+			payload, err := transport.Encode(transport.ClientKnowledge{
+				ClientID: id, Round: t,
+				Samples: logits.Rows, Classes: logits.Cols,
+				Logits:       transport.MatrixToFloat32(logits),
+				ProtoClasses: pc, ProtoCounts: cnt, ProtoDim: dim, ProtoValues: vals,
+			})
+			if err != nil {
+				return err
+			}
+			if err := conn.Send(&transport.Envelope{Kind: transport.KindClientKnowledge, From: id, To: -1, Round: t, Payload: payload}); err != nil {
+				return err
+			}
+
+			// Server knowledge download.
+			e, err := conn.Recv()
+			if err != nil {
+				return fmt.Errorf("client %d recv: %w", id, err)
+			}
+			if e.Kind != transport.KindServerKnowledge {
+				return fmt.Errorf("client %d: unexpected message kind %v", id, e.Kind)
+			}
+			var sk transport.ServerKnowledge
+			if err := transport.Decode(e.Payload, &sk); err != nil {
+				return err
+			}
+			serverLogits, err := transport.Float32ToMatrix(sk.Samples, sk.Classes, sk.Logits)
+			if err != nil {
+				return err
+			}
+			globalProtos, err = transport.ProtoFromWire(env.Classes(), sk.ProtoClasses, sk.ProtoCounts, sk.ProtoDim, sk.ProtoValues)
+			if err != nil {
+				return err
+			}
+			selected := make([]int, len(sk.SelectedIndices))
+			for i, v := range sk.SelectedIndices {
+				selected[i] = int(v)
+			}
+			subsetX := dataset.GatherRows(publicX, selected)
+			pseudo := kd.PseudoLabels(serverLogits)
+
+			// Public training (Eq. 15).
+			rng2 := stats.Split(cfg.Seed, uint64(t)*1000+500+uint64(id))
+			fl.TrainDistill(net, opt, subsetX, serverLogits, pseudo, rng2, cfg.ClientPublicEpochs, cfg.BatchSize, cfg.Gamma, cfg.Temperature)
+			return nil
+		}()
+	}
+}
+
+// serverWorker runs the server side of the protocol for the given number of
+// rounds.
+func serverWorker(cfg core.Config, env *fl.Env, server *nn.Network, opt nn.Optimizer, conn transport.Conn, ledger *comm.Ledger, rounds int) error {
+	numClients := env.Cfg.NumClients
+	publicX := env.Splits.Public.X
+	for t := 0; t < rounds; t++ {
+		clientLogits := make([]*tensor.Matrix, numClients)
+		clientProtos := make([]*proto.Set, numClients)
+		for i := 0; i < numClients; i++ {
+			e, err := conn.Recv()
+			if err != nil {
+				return fmt.Errorf("server recv: %w", err)
+			}
+			ledger.AddUpload(e.WireSize())
+			var ck transport.ClientKnowledge
+			if err := transport.Decode(e.Payload, &ck); err != nil {
+				return err
+			}
+			logits, err := transport.Float32ToMatrix(ck.Samples, ck.Classes, ck.Logits)
+			if err != nil {
+				return err
+			}
+			protos, err := transport.ProtoFromWire(env.Classes(), ck.ProtoClasses, ck.ProtoCounts, ck.ProtoDim, ck.ProtoValues)
+			if err != nil {
+				return err
+			}
+			clientLogits[ck.ClientID] = logits
+			clientProtos[ck.ClientID] = protos
+		}
+
+		aggregated := kd.AggregateVarianceWeighted(clientLogits)
+		globalProtos, err := proto.Aggregate(clientProtos)
+		if err != nil {
+			return err
+		}
+		pseudo := kd.PseudoLabels(aggregated)
+
+		var selected []int
+		if cfg.DisableFiltering {
+			selected = make([]int, publicX.Rows)
+			for i := range selected {
+				selected[i] = i
+			}
+		} else {
+			selected = filter.Select(server.Features(publicX), pseudo, globalProtos, cfg.SelectRatio)
+		}
+		subsetX := dataset.GatherRows(publicX, selected)
+		subsetTeacher := dataset.GatherRows(aggregated, selected)
+		subsetPseudo := make([]int, len(selected))
+		for i, j := range selected {
+			subsetPseudo[i] = pseudo[j]
+		}
+
+		serverProtos := globalProtos
+		if cfg.DisablePrototypes {
+			serverProtos = nil
+		}
+		rng := stats.Split(cfg.Seed, uint64(t)*1000+999)
+		fl.TrainServerPKD(server, opt, subsetX, subsetTeacher, subsetPseudo, serverProtos, rng, cfg.ServerEpochs, cfg.BatchSize, cfg.Delta, cfg.Temperature)
+
+		serverLogits := server.Logits(subsetX)
+		idx := make([]int32, len(selected))
+		for i, v := range selected {
+			idx[i] = int32(v)
+		}
+		pc, cnt, dim, vals := transport.ProtoToWire(globalProtos)
+		payload, err := transport.Encode(transport.ServerKnowledge{
+			Round:           t,
+			SelectedIndices: idx,
+			Samples:         serverLogits.Rows, Classes: serverLogits.Cols,
+			Logits:       transport.MatrixToFloat32(serverLogits),
+			ProtoClasses: pc, ProtoCounts: cnt, ProtoDim: dim, ProtoValues: vals,
+		})
+		if err != nil {
+			return err
+		}
+		for c := 0; c < numClients; c++ {
+			e := &transport.Envelope{Kind: transport.KindServerKnowledge, From: -1, To: c, Round: t, Payload: payload}
+			if err := conn.Send(e); err != nil {
+				return err
+			}
+			ledger.AddDownload(e.WireSize())
+		}
+	}
+	return nil
+}
+
+// muxConn fans a set of per-client server connections into one Conn: Recv
+// pulls from all peers, Send routes by Envelope.To.
+type muxConn struct {
+	conns []transport.Conn
+	inbox chan recvResult
+}
+
+type recvResult struct {
+	e   *transport.Envelope
+	err error
+}
+
+func newMuxConn(conns []transport.Conn) *muxConn {
+	m := &muxConn{conns: conns, inbox: make(chan recvResult, len(conns))}
+	for _, c := range conns {
+		c := c
+		go func() {
+			for {
+				e, err := c.Recv()
+				m.inbox <- recvResult{e, err}
+				if err != nil {
+					return
+				}
+			}
+		}()
+	}
+	return m
+}
+
+var _ transport.Conn = (*muxConn)(nil)
+
+func (m *muxConn) Send(e *transport.Envelope) error {
+	if e.To < 0 || e.To >= len(m.conns) {
+		return fmt.Errorf("distrib: mux send to unknown client %d", e.To)
+	}
+	return m.conns[e.To].Send(e)
+}
+
+func (m *muxConn) Recv() (*transport.Envelope, error) {
+	r := <-m.inbox
+	return r.e, r.err
+}
+
+func (m *muxConn) Close() error {
+	var firstErr error
+	for _, c := range m.conns {
+		if err := c.Close(); err != nil && firstErr == nil && err != io.EOF {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

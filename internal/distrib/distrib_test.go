@@ -1,0 +1,101 @@
+package distrib
+
+import (
+	"testing"
+
+	"fedpkd/internal/core"
+	"fedpkd/internal/dataset"
+	"fedpkd/internal/fl"
+)
+
+func distribEnv(t *testing.T) *fl.Env {
+	t.Helper()
+	spec := dataset.SynthC10(17)
+	spec.Noise = 0.6
+	env, err := fl.NewEnv(fl.EnvConfig{
+		Spec:       spec,
+		NumClients: 3,
+		TrainSize:  300, TestSize: 200, PublicSize: 100, LocalTestSize: 40,
+		Partition: fl.PartitionConfig{Kind: fl.PartitionDirichlet, Alpha: 0.5},
+		Seed:      17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func distribConfig(env *fl.Env) core.Config {
+	return core.Config{
+		Env:                 env,
+		ClientPrivateEpochs: 2,
+		ClientPublicEpochs:  1,
+		ServerEpochs:        3,
+		Seed:                9,
+	}
+}
+
+func TestRunOverBus(t *testing.T) {
+	env := distribEnv(t)
+	hist, err := Run(Config{Core: distribConfig(env), Mode: ModeBus}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.Len() != 2 {
+		t.Fatalf("history rounds = %d", hist.Len())
+	}
+	if hist.FinalServerAcc() <= 0.1 {
+		t.Errorf("server accuracy %v no better than chance", hist.FinalServerAcc())
+	}
+	if hist.TotalMB() <= 0 {
+		t.Error("wire traffic not recorded")
+	}
+}
+
+func TestRunOverTCP(t *testing.T) {
+	env := distribEnv(t)
+	hist, err := Run(Config{Core: distribConfig(env), Mode: ModeTCP}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.Len() != 1 {
+		t.Fatalf("history rounds = %d", hist.Len())
+	}
+	if hist.FinalClientAcc() <= 0 {
+		t.Errorf("client accuracy %v", hist.FinalClientAcc())
+	}
+}
+
+func TestRunMatchesInProcessFedPKD(t *testing.T) {
+	// The distributed run must compute the same protocol as the in-process
+	// core loop; float32 wire quantization perturbs results slightly, so
+	// compare within a tolerance.
+	env := distribEnv(t)
+	d, err := Run(Config{Core: distribConfig(env), Mode: ModeBus}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := core.New(distribConfig(env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inproc, err := f.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := d.FinalServerAcc() - inproc.FinalServerAcc()
+	if diff < -0.15 || diff > 0.15 {
+		t.Errorf("distributed S_acc %v vs in-process %v: divergence too large",
+			d.FinalServerAcc(), inproc.FinalServerAcc())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}, 1); err == nil {
+		t.Error("missing env should error")
+	}
+	env := distribEnv(t)
+	if _, err := Run(Config{Core: distribConfig(env), Mode: "carrier-pigeon"}, 1); err == nil {
+		t.Error("unknown mode should error")
+	}
+}

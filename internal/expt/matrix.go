@@ -1,0 +1,105 @@
+package expt
+
+import (
+	"fmt"
+
+	"fedpkd/internal/baselines"
+	"fedpkd/internal/core"
+	"fedpkd/internal/fl"
+	"fedpkd/internal/models"
+)
+
+// Algorithm names used throughout the harness.
+const (
+	AlgoFedPKD  = "FedPKD"
+	AlgoFedMD   = "FedMD"
+	AlgoDSFL    = "DS-FL"
+	AlgoFedET   = "FedET"
+	AlgoFedDF   = "FedDF"
+	AlgoFedAvg  = "FedAvg"
+	AlgoFedProx = "FedProx"
+	AlgoKD      = "KD"
+)
+
+// AllAlgos is the Fig. 5 / Table I comparison set.
+var AllAlgos = []string{AlgoFedPKD, AlgoFedMD, AlgoDSFL, AlgoFedET, AlgoFedDF, AlgoFedAvg, AlgoFedProx}
+
+// HeteroAlgos is the Fig. 7 comparison set: methods that support
+// heterogeneous client models.
+var HeteroAlgos = []string{AlgoFedPKD, AlgoFedMD, AlgoDSFL, AlgoFedET}
+
+// BuildAlgorithm constructs a named algorithm on an environment with the
+// scale's schedule. hetero selects the heterogeneous ResNet11/20/29 fleet
+// for the methods that support it.
+func BuildAlgorithm(name string, env *fl.Env, sc Scale, seed uint64, hetero bool) (fl.Algorithm, error) {
+	common := baselines.CommonConfig{Env: env, Seed: seed}
+	n := env.Cfg.NumClients
+	clientArchs := models.HomogeneousFleet(n)
+	if hetero {
+		clientArchs = models.HeterogeneousFleet(n)
+	}
+	switch name {
+	case AlgoFedPKD:
+		return core.New(core.Config{
+			Env:                 env,
+			ClientArchs:         clientArchs,
+			ClientPrivateEpochs: sc.PKDPrivateEpochs,
+			ClientPublicEpochs:  sc.PKDPublicEpochs,
+			ServerEpochs:        sc.PKDServerEpochs,
+			Seed:                seed,
+		})
+	case AlgoFedMD:
+		return baselines.NewFedMD(baselines.FedMDConfig{
+			Common: common, LocalEpochs: sc.LocalEpochs, DistillEpochs: sc.DistillEpochs, Archs: clientArchs,
+		})
+	case AlgoDSFL:
+		return baselines.NewDSFL(baselines.FedMDConfig{
+			Common: common, LocalEpochs: sc.LocalEpochs, DistillEpochs: sc.DistillEpochs, Archs: clientArchs,
+		})
+	case AlgoFedET:
+		return baselines.NewFedET(baselines.FedETConfig{
+			Common: common, LocalEpochs: sc.LocalEpochs, ServerEpochs: sc.FedETServerEpochs, ClientArchs: clientArchs,
+		})
+	case AlgoFedDF:
+		if hetero {
+			return nil, fmt.Errorf("expt: FedDF does not support heterogeneous models")
+		}
+		return baselines.NewFedDF(baselines.FedDFConfig{
+			Common: common, LocalEpochs: sc.FedDFLocalEpochs, ServerEpochs: sc.FedDFServerEpochs,
+		})
+	case AlgoFedAvg:
+		if hetero {
+			return nil, fmt.Errorf("expt: FedAvg does not support heterogeneous models")
+		}
+		return baselines.NewFedAvg(baselines.FedAvgConfig{Common: common, LocalEpochs: sc.LocalEpochs})
+	case AlgoFedProx:
+		if hetero {
+			return nil, fmt.Errorf("expt: FedProx does not support heterogeneous models")
+		}
+		return baselines.NewFedProx(baselines.FedAvgConfig{Common: common, LocalEpochs: sc.LocalEpochs})
+	case AlgoKD:
+		return baselines.NewVanillaKD(baselines.VanillaKDConfig{
+			Common: common, LocalEpochs: sc.LocalEpochs, ServerEpochs: sc.VanillaServerEpoch,
+		})
+	default:
+		return nil, fmt.Errorf("expt: unknown algorithm %q", name)
+	}
+}
+
+// RunOne materializes an environment and runs one algorithm over the
+// scale's round budget.
+func RunOne(name string, task Task, setting Setting, sc Scale, seed uint64, hetero bool) (*fl.History, error) {
+	env, err := NewEnv(task, setting, sc, seed)
+	if err != nil {
+		return nil, fmt.Errorf("expt: env for %s/%s: %w", task, setting.Label, err)
+	}
+	algo, err := BuildAlgorithm(name, env, sc, seed, hetero)
+	if err != nil {
+		return nil, err
+	}
+	hist, err := algo.Run(sc.Rounds)
+	if err != nil {
+		return nil, fmt.Errorf("expt: run %s on %s/%s: %w", name, task, setting.Label, err)
+	}
+	return hist, nil
+}

@@ -1,0 +1,146 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Result is the output of one experiment runner: a table (the paper's
+// reported rows) plus optional per-round series (the paper's curves).
+type Result struct {
+	// ID is the experiment id ("fig5", "table1", ...).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Header names the table columns.
+	Header []string
+	// Rows are the table cells, row-major.
+	Rows [][]string
+	// Series holds named per-round traces (used by the curve figures).
+	Series map[string][]float64
+}
+
+// AddRow appends one table row.
+func (r *Result) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// AddSeries records a named per-round trace.
+func (r *Result) AddSeries(name string, values []float64) {
+	if r.Series == nil {
+		r.Series = make(map[string][]float64)
+	}
+	r.Series[name] = values
+}
+
+// Table renders the result as an aligned text table.
+func (r *Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table.
+func (r *Result) Markdown() string {
+	var b strings.Builder
+	b.WriteString("| " + strings.Join(r.Header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(r.Header)) + "\n")
+	for _, row := range r.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (r *Result) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(r.Header, ","))
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SeriesCSV renders the per-round series as CSV with one column per series.
+func (r *Result) SeriesCSV() string {
+	if len(r.Series) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(r.Series))
+	maxLen := 0
+	for name, vals := range r.Series {
+		names = append(names, name)
+		if len(vals) > maxLen {
+			maxLen = len(vals)
+		}
+	}
+	// Deterministic column order.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString("round," + strings.Join(names, ",") + "\n")
+	for row := 0; row < maxLen; row++ {
+		fmt.Fprintf(&b, "%d", row)
+		for _, name := range names {
+			vals := r.Series[name]
+			if row < len(vals) {
+				fmt.Fprintf(&b, ",%.4f", vals[row])
+			} else {
+				b.WriteString(",")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// pct formats a [0,1] accuracy as a percentage cell, or "N/A" for -1.
+func pct(v float64) string {
+	if v < 0 {
+		return "N/A"
+	}
+	return fmt.Sprintf("%.2f%%", v*100)
+}
+
+// mb formats a megabyte quantity.
+func mb(v float64) string {
+	return fmt.Sprintf("%.2f", v)
+}

@@ -1,0 +1,132 @@
+package fl
+
+import (
+	"testing"
+
+	"fedpkd/internal/dataset"
+)
+
+func testEnvConfig() EnvConfig {
+	return EnvConfig{
+		Spec:          dataset.SynthC10(1),
+		NumClients:    4,
+		TrainSize:     400,
+		TestSize:      200,
+		PublicSize:    100,
+		LocalTestSize: 40,
+		Partition:     PartitionConfig{Kind: PartitionDirichlet, Alpha: 0.5},
+		Seed:          7,
+	}
+}
+
+func TestNewEnvDirichlet(t *testing.T) {
+	env, err := NewEnv(testEnvConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(env.ClientData) != 4 || len(env.LocalTests) != 4 {
+		t.Fatalf("client splits: %d data, %d tests", len(env.ClientData), len(env.LocalTests))
+	}
+	total := 0
+	for c, d := range env.ClientData {
+		if d.Len() == 0 {
+			t.Errorf("client %d has no data", c)
+		}
+		total += d.Len()
+	}
+	if total != 400 {
+		t.Errorf("client data totals %d, want 400", total)
+	}
+	if env.Splits.Public.Labeled() {
+		t.Error("public set must be unlabeled")
+	}
+	if env.Classes() != 10 || env.InputDim() != 32 {
+		t.Errorf("Classes=%d InputDim=%d", env.Classes(), env.InputDim())
+	}
+}
+
+func TestNewEnvShards(t *testing.T) {
+	cfg := testEnvConfig()
+	cfg.Partition = PartitionConfig{
+		Kind:   PartitionShards,
+		Shards: dataset.ShardConfig{ShardSize: 10, ShardsPerClient: 8, ClassesPerClient: 3},
+	}
+	env, err := NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, d := range env.ClientData {
+		if d.Len() != 80 {
+			t.Errorf("client %d has %d samples, want 80", c, d.Len())
+		}
+	}
+}
+
+func TestNewEnvIID(t *testing.T) {
+	cfg := testEnvConfig()
+	cfg.Partition = PartitionConfig{Kind: PartitionIID}
+	env, err := NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range env.ClientData {
+		if d.Len() != 100 {
+			t.Errorf("IID client has %d samples, want 100", d.Len())
+		}
+	}
+}
+
+func TestNewEnvErrors(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*EnvConfig)
+	}{
+		{"no clients", func(c *EnvConfig) { c.NumClients = 0 }},
+		{"bad sizes", func(c *EnvConfig) { c.TrainSize = 0 }},
+		{"bad alpha", func(c *EnvConfig) { c.Partition.Alpha = 0 }},
+		{"unknown kind", func(c *EnvConfig) { c.Partition.Kind = "bogus" }},
+		{"shards too big", func(c *EnvConfig) {
+			c.Partition = PartitionConfig{Kind: PartitionShards,
+				Shards: dataset.ShardConfig{ShardSize: 100, ShardsPerClient: 100, ClassesPerClient: 3}}
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := testEnvConfig()
+			tt.mutate(&cfg)
+			if _, err := NewEnv(cfg); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestEnvDeterministic(t *testing.T) {
+	a, err := NewEnv(testEnvConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewEnv(testEnvConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range a.ClientData {
+		if a.ClientData[c].Len() != b.ClientData[c].Len() {
+			t.Fatal("same config must produce identical partitions")
+		}
+	}
+}
+
+func TestPartitionConfigString(t *testing.T) {
+	p := PartitionConfig{Kind: PartitionDirichlet, Alpha: 0.1}
+	if p.String() != "dirichlet(α=0.1)" {
+		t.Errorf("String = %q", p.String())
+	}
+	s := PartitionConfig{Kind: PartitionShards, Shards: dataset.ShardConfig{ClassesPerClient: 3}}
+	if s.String() != "shards(k=3)" {
+		t.Errorf("String = %q", s.String())
+	}
+	if (PartitionConfig{Kind: PartitionIID}).String() != "iid" {
+		t.Error("iid String wrong")
+	}
+}

@@ -1,0 +1,132 @@
+package fl
+
+import "fmt"
+
+// RoundMetrics is the measured state after one communication round.
+type RoundMetrics struct {
+	Round int
+	// ServerAcc is S_acc: server-model accuracy on the global test set.
+	// NaN-free: algorithms without a server model record -1.
+	ServerAcc float64
+	// ClientAcc is C_acc: mean client-model accuracy on the personalized
+	// local test sets. Algorithms that do not track client models record -1.
+	ClientAcc float64
+	// CumulativeMB is the total traffic (up + down, all clients) through the
+	// end of this round.
+	CumulativeMB float64
+}
+
+// History is the per-round trace of one algorithm run.
+type History struct {
+	// Algo names the algorithm ("FedPKD", "FedAvg", ...).
+	Algo string
+	// Dataset names the task ("SynthC10", ...).
+	Dataset string
+	// Setting describes the partition ("dirichlet(α=0.1)", ...).
+	Setting string
+	Rounds  []RoundMetrics
+}
+
+// Add appends one round's metrics.
+func (h *History) Add(m RoundMetrics) {
+	h.Rounds = append(h.Rounds, m)
+}
+
+// Len returns the number of recorded rounds.
+func (h *History) Len() int { return len(h.Rounds) }
+
+// FinalServerAcc returns the last round's server accuracy (-1 when absent).
+func (h *History) FinalServerAcc() float64 {
+	if len(h.Rounds) == 0 {
+		return -1
+	}
+	return h.Rounds[len(h.Rounds)-1].ServerAcc
+}
+
+// FinalClientAcc returns the last round's mean client accuracy (-1 when
+// absent).
+func (h *History) FinalClientAcc() float64 {
+	if len(h.Rounds) == 0 {
+		return -1
+	}
+	return h.Rounds[len(h.Rounds)-1].ClientAcc
+}
+
+// BestServerAcc returns the maximum server accuracy across rounds.
+func (h *History) BestServerAcc() float64 {
+	best := -1.0
+	for _, r := range h.Rounds {
+		if r.ServerAcc > best {
+			best = r.ServerAcc
+		}
+	}
+	return best
+}
+
+// BestClientAcc returns the maximum mean client accuracy across rounds.
+func (h *History) BestClientAcc() float64 {
+	best := -1.0
+	for _, r := range h.Rounds {
+		if r.ClientAcc > best {
+			best = r.ClientAcc
+		}
+	}
+	return best
+}
+
+// MBToServerAcc returns the cumulative traffic at the first round whose
+// server accuracy reaches target, and whether the target was ever reached —
+// the Table I communication-efficiency metric.
+func (h *History) MBToServerAcc(target float64) (float64, bool) {
+	for _, r := range h.Rounds {
+		if r.ServerAcc >= target {
+			return r.CumulativeMB, true
+		}
+	}
+	return 0, false
+}
+
+// RoundsToServerAcc returns the first round index whose server accuracy
+// reaches target, and whether it was ever reached.
+func (h *History) RoundsToServerAcc(target float64) (int, bool) {
+	for _, r := range h.Rounds {
+		if r.ServerAcc >= target {
+			return r.Round, true
+		}
+	}
+	return 0, false
+}
+
+// MBToClientAcc is MBToServerAcc for the client-accuracy metric.
+func (h *History) MBToClientAcc(target float64) (float64, bool) {
+	for _, r := range h.Rounds {
+		if r.ClientAcc >= target {
+			return r.CumulativeMB, true
+		}
+	}
+	return 0, false
+}
+
+// TotalMB returns the cumulative traffic after the final round.
+func (h *History) TotalMB() float64 {
+	if len(h.Rounds) == 0 {
+		return 0
+	}
+	return h.Rounds[len(h.Rounds)-1].CumulativeMB
+}
+
+// String summarizes the run for logs.
+func (h *History) String() string {
+	return fmt.Sprintf("%s on %s [%s]: %d rounds, S_acc=%.4f C_acc=%.4f, %.2f MB",
+		h.Algo, h.Dataset, h.Setting, h.Len(), h.FinalServerAcc(), h.FinalClientAcc(), h.TotalMB())
+}
+
+// Algorithm is one federated-learning method run end to end. Implementations
+// live in internal/core (FedPKD) and internal/baselines.
+type Algorithm interface {
+	// Name returns the algorithm's display name.
+	Name() string
+	// Run executes the given number of communication rounds and returns the
+	// per-round history.
+	Run(rounds int) (*History, error)
+}

@@ -1,0 +1,17 @@
+package fl
+
+import "testing"
+
+func TestRoundsToServerAcc(t *testing.T) {
+	h := sampleHistory()
+	round, ok := h.RoundsToServerAcc(0.6)
+	if !ok || round != 1 {
+		t.Errorf("RoundsToServerAcc(0.6) = %d, %v; want 1, true", round, ok)
+	}
+	if _, ok := h.RoundsToServerAcc(0.99); ok {
+		t.Error("unreached target must report false")
+	}
+	if _, ok := (&History{}).RoundsToServerAcc(0); ok {
+		t.Error("empty history can reach no target")
+	}
+}

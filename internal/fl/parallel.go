@@ -1,0 +1,44 @@
+package fl
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEachClient runs fn(c) for every client 0..n-1 concurrently, bounded by
+// the number of CPUs, and waits for all to finish. The first non-nil error
+// is returned. Each client owns its model and RNG stream, so client bodies
+// need no shared-state locking.
+func ForEachClient(n int, fn func(c int) error) error {
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range jobs {
+				if err := fn(c); err != nil {
+					errOnce.Do(func() { firstErr = err })
+				}
+			}
+		}()
+	}
+	for c := 0; c < n; c++ {
+		jobs <- c
+	}
+	close(jobs)
+	wg.Wait()
+	return firstErr
+}

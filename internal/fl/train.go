@@ -1,0 +1,150 @@
+package fl
+
+import (
+	"fedpkd/internal/dataset"
+	"fedpkd/internal/nn"
+	"fedpkd/internal/proto"
+	"fedpkd/internal/stats"
+	"fedpkd/internal/tensor"
+)
+
+// TrainCE runs plain minibatch cross-entropy training (Eq. 4).
+func TrainCE(net *nn.Network, opt nn.Optimizer, d *dataset.Dataset, rng *stats.RNG, epochs, batchSize int) {
+	params := net.Params()
+	for e := 0; e < epochs; e++ {
+		for _, idx := range dataset.Batches(rng, d.Len(), batchSize) {
+			x, labels := dataset.Gather(d, idx)
+			logits := net.Forward(x, true)
+			_, grad := nn.SoftmaxCrossEntropy(logits, labels)
+			nn.ZeroGrads(params)
+			net.Backward(grad, nil)
+			opt.Step(params)
+		}
+	}
+}
+
+// TrainCEProx runs FedProx local training: cross-entropy plus the proximal
+// term (mu/2)·‖w − w_global‖². ref is the flattened global weights.
+func TrainCEProx(net *nn.Network, opt nn.Optimizer, d *dataset.Dataset, rng *stats.RNG, epochs, batchSize int, mu float64, ref []float64) {
+	params := net.Params()
+	for e := 0; e < epochs; e++ {
+		for _, idx := range dataset.Batches(rng, d.Len(), batchSize) {
+			x, labels := dataset.Gather(d, idx)
+			logits := net.Forward(x, true)
+			_, grad := nn.SoftmaxCrossEntropy(logits, labels)
+			nn.ZeroGrads(params)
+			net.Backward(grad, nil)
+			// Proximal gradient: mu * (w - w_ref).
+			off := 0
+			for _, p := range params {
+				for i := range p.Value.Data {
+					p.Grad.Data[i] += mu * (p.Value.Data[i] - ref[off+i])
+				}
+				off += len(p.Value.Data)
+			}
+			opt.Step(params)
+		}
+	}
+}
+
+// TrainCEWithProto runs FedPKD client private training for rounds t >= 1
+// (Eq. 16): cross-entropy on local data plus ε·MSE between the sample's
+// features and the global prototype of its true class.
+func TrainCEWithProto(net *nn.Network, opt nn.Optimizer, d *dataset.Dataset, rng *stats.RNG, epochs, batchSize int, protos *proto.Set, eps float64) {
+	if protos == nil || protos.Len() == 0 || eps == 0 {
+		TrainCE(net, opt, d, rng, epochs, batchSize)
+		return
+	}
+	params := net.Params()
+	for e := 0; e < epochs; e++ {
+		for _, idx := range dataset.Batches(rng, d.Len(), batchSize) {
+			x, labels := dataset.Gather(d, idx)
+			feats, logits := net.ForwardSplit(x)
+			_, gradLogits := nn.SoftmaxCrossEntropy(logits, labels)
+			target := protos.TargetMatrix(labels, feats)
+			_, gradFeat := nn.MSE(feats, target)
+			gradFeat.Scale(eps)
+			nn.ZeroGrads(params)
+			net.Backward(gradLogits, gradFeat)
+			opt.Step(params)
+		}
+	}
+}
+
+// TrainDistill runs distillation training on (a subset of) the public set
+// (Eq. 15 for clients; also the δ=1 special case of the server objective):
+// gamma·KL(student ‖ teacher logits) + (1−gamma)·CE(student, pseudo-labels).
+// X holds the public samples, teacher the row-aligned teacher logits, and
+// pseudo the row-aligned pseudo-labels.
+func TrainDistill(net *nn.Network, opt nn.Optimizer, x, teacher *tensor.Matrix, pseudo []int, rng *stats.RNG, epochs, batchSize int, gamma, temp float64) {
+	params := net.Params()
+	for e := 0; e < epochs; e++ {
+		for _, idx := range dataset.Batches(rng, x.Rows, batchSize) {
+			xb := dataset.GatherRows(x, idx)
+			tb := dataset.GatherRows(teacher, idx)
+			yb := make([]int, len(idx))
+			for i, j := range idx {
+				yb[i] = pseudo[j]
+			}
+			logits := net.Forward(xb, true)
+			_, gradKL := nn.KLDistill(logits, tb, temp)
+			_, gradCE := nn.SoftmaxCrossEntropy(logits, yb)
+			grad := gradKL.Scale(gamma).AddScaled(1-gamma, gradCE)
+			nn.ZeroGrads(params)
+			net.Backward(grad, nil)
+			opt.Step(params)
+		}
+	}
+}
+
+// TrainServerPKD runs the FedPKD server update (Eqs. 11-13) on the filtered
+// public subset: δ·(KL + CE) + (1−δ)·MSE(features, prototype of the
+// pseudo-label).
+func TrainServerPKD(net *nn.Network, opt nn.Optimizer, x, teacher *tensor.Matrix, pseudo []int, protos *proto.Set, rng *stats.RNG, epochs, batchSize int, delta, temp float64) {
+	params := net.Params()
+	for e := 0; e < epochs; e++ {
+		for _, idx := range dataset.Batches(rng, x.Rows, batchSize) {
+			xb := dataset.GatherRows(x, idx)
+			tb := dataset.GatherRows(teacher, idx)
+			yb := make([]int, len(idx))
+			for i, j := range idx {
+				yb[i] = pseudo[j]
+			}
+			feats, logits := net.ForwardSplit(xb)
+			_, gradKL := nn.KLDistill(logits, tb, temp)
+			_, gradCE := nn.SoftmaxCrossEntropy(logits, yb)
+			gradLogits := gradKL.Scale(delta).AddScaled(delta, gradCE)
+
+			var gradFeat *tensor.Matrix
+			if protos != nil && protos.Len() > 0 && delta < 1 {
+				target := protos.TargetMatrix(yb, feats)
+				_, g := nn.MSE(feats, target)
+				gradFeat = g.Scale(1 - delta)
+			}
+			nn.ZeroGrads(params)
+			net.Backward(gradLogits, gradFeat)
+			opt.Step(params)
+		}
+	}
+}
+
+// Accuracy evaluates a network on a labeled dataset.
+func Accuracy(net *nn.Network, d *dataset.Dataset) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	return stats.Accuracy(net.Predict(d.X), d.Labels)
+}
+
+// MeanClientAccuracy evaluates each client model on its own local test set
+// and returns the mean — the paper's C_acc.
+func MeanClientAccuracy(nets []*nn.Network, localTests []*dataset.Dataset) float64 {
+	if len(nets) == 0 {
+		return 0
+	}
+	var sum float64
+	for c, net := range nets {
+		sum += Accuracy(net, localTests[c])
+	}
+	return sum / float64(len(nets))
+}

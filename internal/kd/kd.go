@@ -1,0 +1,186 @@
+// Package kd implements the knowledge-distillation aggregation mechanisms:
+// the paper's variance-weighted logit ensemble (Eqs. 6-7), the plain
+// average used by FedMD/FedDF (Eq. 3), DS-FL's entropy-reduction
+// aggregation, FedET's confidence weighting, and pseudo-labeling
+// (Eqs. 9, 14).
+package kd
+
+import (
+	"fmt"
+	"math"
+
+	"fedpkd/internal/stats"
+	"fedpkd/internal/tensor"
+)
+
+// mustSameShapes panics unless all client logit matrices share one shape.
+func mustSameShapes(clientLogits []*tensor.Matrix) (rows, cols int) {
+	if len(clientLogits) == 0 {
+		panic("kd: no client logits to aggregate")
+	}
+	rows, cols = clientLogits[0].Rows, clientLogits[0].Cols
+	for i, m := range clientLogits {
+		if m.Rows != rows || m.Cols != cols {
+			panic(fmt.Sprintf("kd: client %d logits %dx%d, want %dx%d", i, m.Rows, m.Cols, rows, cols))
+		}
+	}
+	return rows, cols
+}
+
+// AggregateMean returns the per-sample arithmetic mean of client logits
+// (Eq. 3) — the aggregation used by FedMD and FedDF.
+func AggregateMean(clientLogits []*tensor.Matrix) *tensor.Matrix {
+	rows, cols := mustSameShapes(clientLogits)
+	out := tensor.New(rows, cols)
+	for _, m := range clientLogits {
+		out.Add(m)
+	}
+	return out.Scale(1 / float64(len(clientLogits)))
+}
+
+// AggregateVarianceWeighted implements the paper's Eqs. (6)-(7): each
+// client's logits for a sample are weighted by the variance of that logit
+// vector, normalized across clients. High-variance (confident) predictions
+// dominate the ensemble, which is what rescues aggregation quality under
+// non-IID data (Fig. 2).
+func AggregateVarianceWeighted(clientLogits []*tensor.Matrix) *tensor.Matrix {
+	rows, cols := mustSameShapes(clientLogits)
+	out := tensor.New(rows, cols)
+	weights := make([]float64, len(clientLogits))
+	for i := 0; i < rows; i++ {
+		var total float64
+		for c, m := range clientLogits {
+			w := stats.Variance(m.Row(i))
+			weights[c] = w
+			total += w
+		}
+		orow := out.Row(i)
+		if total <= 0 {
+			// All clients are exactly uniform on this sample: fall back to
+			// the mean.
+			inv := 1 / float64(len(clientLogits))
+			for _, m := range clientLogits {
+				for j, v := range m.Row(i) {
+					orow[j] += inv * v
+				}
+			}
+			continue
+		}
+		for c, m := range clientLogits {
+			w := weights[c] / total
+			if w == 0 {
+				continue
+			}
+			for j, v := range m.Row(i) {
+				orow[j] += w * v
+			}
+		}
+	}
+	return out
+}
+
+// AggregateERA implements DS-FL's entropy-reduction aggregation: the mean of
+// the clients' softmax outputs, sharpened with temperature temp < 1, and
+// returned in logit space (log of the sharpened distribution) so it can be
+// consumed by the same distillation losses as the other aggregators.
+func AggregateERA(clientLogits []*tensor.Matrix, temp float64) *tensor.Matrix {
+	rows, cols := mustSameShapes(clientLogits)
+	if temp <= 0 {
+		panic(fmt.Sprintf("kd: ERA temperature must be positive, got %v", temp))
+	}
+	out := tensor.New(rows, cols)
+	probs := make([]float64, cols)
+	mean := make([]float64, cols)
+	for i := 0; i < rows; i++ {
+		for j := range mean {
+			mean[j] = 0
+		}
+		for _, m := range clientLogits {
+			stats.Softmax(m.Row(i), probs)
+			for j, p := range probs {
+				mean[j] += p
+			}
+		}
+		inv := 1 / float64(len(clientLogits))
+		var norm float64
+		for j := range mean {
+			mean[j] = math.Pow(mean[j]*inv, 1/temp)
+			norm += mean[j]
+		}
+		orow := out.Row(i)
+		for j := range mean {
+			p := mean[j] / norm
+			if p < 1e-12 {
+				p = 1e-12
+			}
+			orow[j] = math.Log(p)
+		}
+	}
+	return out
+}
+
+// AggregateConfidenceWeighted weights each client's logits by the max
+// softmax probability of that logit vector (the ensemble-confidence signal
+// FedET uses), normalized across clients per sample.
+func AggregateConfidenceWeighted(clientLogits []*tensor.Matrix) *tensor.Matrix {
+	rows, cols := mustSameShapes(clientLogits)
+	out := tensor.New(rows, cols)
+	probs := make([]float64, cols)
+	weights := make([]float64, len(clientLogits))
+	for i := 0; i < rows; i++ {
+		var total float64
+		for c, m := range clientLogits {
+			stats.Softmax(m.Row(i), probs)
+			w := stats.Max(probs)
+			weights[c] = w
+			total += w
+		}
+		orow := out.Row(i)
+		for c, m := range clientLogits {
+			w := weights[c] / total
+			for j, v := range m.Row(i) {
+				orow[j] += w * v
+			}
+		}
+	}
+	return out
+}
+
+// PseudoLabels returns the per-row argmax of a logits matrix (Eqs. 9, 14).
+func PseudoLabels(logits *tensor.Matrix) []int {
+	labels := make([]int, logits.Rows)
+	for i := range labels {
+		labels[i] = stats.Argmax(logits.Row(i))
+	}
+	return labels
+}
+
+// PerLabelAccuracy returns, for each true class, the accuracy of the logits'
+// argmax predictions on the samples of that class — the measurement behind
+// Fig. 2. Classes with no samples report 0.
+func PerLabelAccuracy(logits *tensor.Matrix, trueLabels []int, classes int) []float64 {
+	if logits.Rows != len(trueLabels) {
+		panic(fmt.Sprintf("kd: PerLabelAccuracy got %d rows for %d labels", logits.Rows, len(trueLabels)))
+	}
+	correct := make([]int, classes)
+	total := make([]int, classes)
+	for i, y := range trueLabels {
+		total[y]++
+		if stats.Argmax(logits.Row(i)) == y {
+			correct[y]++
+		}
+	}
+	acc := make([]float64, classes)
+	for c := range acc {
+		if total[c] > 0 {
+			acc[c] = float64(correct[c]) / float64(total[c])
+		}
+	}
+	return acc
+}
+
+// LogitsAccuracy returns the overall argmax accuracy of logits against true
+// labels — the aggregated-logits quality measurement in Figs. 2(b) and 3.
+func LogitsAccuracy(logits *tensor.Matrix, trueLabels []int) float64 {
+	return stats.Accuracy(PseudoLabels(logits), trueLabels)
+}

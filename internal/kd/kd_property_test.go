@@ -1,0 +1,116 @@
+package kd
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fedpkd/internal/stats"
+	"fedpkd/internal/tensor"
+)
+
+// randomLogitSet builds a deterministic random set of client logit
+// matrices.
+func randomLogitSet(seed uint64, clients, rows, cols int) []*tensor.Matrix {
+	rng := stats.NewRNG(seed)
+	out := make([]*tensor.Matrix, clients)
+	for c := range out {
+		out[c] = tensor.Randn(rng, rows, cols, 2)
+	}
+	return out
+}
+
+// Property: every aggregator is invariant to client order.
+func TestAggregatorsPermutationInvariant(t *testing.T) {
+	aggs := map[string]func([]*tensor.Matrix) *tensor.Matrix{
+		"mean":       AggregateMean,
+		"variance":   AggregateVarianceWeighted,
+		"confidence": AggregateConfidenceWeighted,
+		"era":        func(ls []*tensor.Matrix) *tensor.Matrix { return AggregateERA(ls, 0.5) },
+	}
+	f := func(seed uint16) bool {
+		logits := randomLogitSet(uint64(seed), 4, 6, 5)
+		reversed := make([]*tensor.Matrix, len(logits))
+		for i, m := range logits {
+			reversed[len(logits)-1-i] = m
+		}
+		for _, agg := range aggs {
+			if !agg(logits).Equal(agg(reversed), 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: aggregating identical clients returns (the equivalent of) the
+// single client's prediction.
+func TestAggregatorsIdempotentOnIdenticalClients(t *testing.T) {
+	f := func(seed uint16) bool {
+		rng := stats.NewRNG(uint64(seed))
+		base := tensor.Randn(rng, 5, 4, 2)
+		logits := []*tensor.Matrix{base, base.Clone(), base.Clone()}
+		if !AggregateMean(logits).Equal(base, 1e-9) {
+			return false
+		}
+		if !AggregateVarianceWeighted(logits).Equal(base, 1e-9) {
+			return false
+		}
+		if !AggregateConfidenceWeighted(logits).Equal(base, 1e-9) {
+			return false
+		}
+		// ERA returns log-probabilities, so compare argmax structure.
+		era := AggregateERA(logits, 0.5)
+		for i := 0; i < base.Rows; i++ {
+			if stats.Argmax(era.Row(i)) != stats.Argmax(base.Row(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ERA output rows are valid log-distributions.
+func TestERAOutputsLogDistribution(t *testing.T) {
+	f := func(seed uint16) bool {
+		logits := randomLogitSet(uint64(seed), 3, 4, 6)
+		era := AggregateERA(logits, 0.3)
+		for i := 0; i < era.Rows; i++ {
+			var sum float64
+			for _, lp := range era.Row(i) {
+				sum += math.Exp(lp)
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: pseudo-labels are always within the class range.
+func TestPseudoLabelsInRange(t *testing.T) {
+	f := func(seed uint16) bool {
+		rng := stats.NewRNG(uint64(seed))
+		rows, cols := 1+rng.IntN(10), 2+rng.IntN(8)
+		logits := tensor.Randn(rng, rows, cols, 3)
+		for _, y := range PseudoLabels(logits) {
+			if y < 0 || y >= cols {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

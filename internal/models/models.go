@@ -1,0 +1,148 @@
+// Package models is the model zoo: residual-MLP analogues of the ResNet
+// family the paper trains (ResNet11/20/29 on clients, ResNet56 on the
+// server). The paper uses the ResNet family purely as a capacity hierarchy;
+// these builders reproduce that hierarchy — same ordering of depth and
+// parameter count, a real feature-extractor/classifier split — on top of the
+// pure-Go engine in internal/nn. See DESIGN.md §1.
+package models
+
+import (
+	"fmt"
+	"sort"
+
+	"fedpkd/internal/nn"
+	"fedpkd/internal/stats"
+)
+
+// Norm selects the normalization layer of an architecture.
+type Norm string
+
+// Supported normalizations. BatchNorm is the default (CIFAR ResNets carry
+// it); LayerNorm exists for the normalization ablation — it keeps no
+// running statistics, so weight averaging is statistics-free.
+const (
+	NormBatch Norm = "batch"
+	NormLayer Norm = "layer"
+	NormNone  Norm = "none"
+)
+
+// Spec describes one architecture in the zoo.
+type Spec struct {
+	// Name is the paper-facing architecture name, e.g. "ResNet20".
+	Name string
+	// Blocks is the number of residual blocks in the feature extractor.
+	Blocks int
+	// Hidden is the width of the feature space.
+	Hidden int
+	// Norm selects the normalization layer ("" means NormBatch).
+	Norm Norm
+}
+
+// FeatureWidth is the shared feature-space dimension of every architecture
+// in the zoo. CIFAR ResNets all end in a 64-channel global average pool, so
+// the paper's heterogeneous fleets share one prototype space; we mirror that
+// by varying depth only. Prototype aggregation (Eq. 8) depends on this.
+const FeatureWidth = 48
+
+// Registry of the architectures used in the paper's experiments. Depth
+// ordering matches the paper: ResNet11 < ResNet20 < ResNet29 < ResNet56.
+var registry = map[string]Spec{
+	"ResNet11": {Name: "ResNet11", Blocks: 2, Hidden: FeatureWidth},
+	"ResNet20": {Name: "ResNet20", Blocks: 3, Hidden: FeatureWidth},
+	"ResNet29": {Name: "ResNet29", Blocks: 5, Hidden: FeatureWidth},
+	"ResNet56": {Name: "ResNet56", Blocks: 9, Hidden: FeatureWidth},
+	// LayerNorm variants for the normalization ablation.
+	"ResNet20-LN": {Name: "ResNet20-LN", Blocks: 3, Hidden: FeatureWidth, Norm: NormLayer},
+	"ResNet56-LN": {Name: "ResNet56-LN", Blocks: 9, Hidden: FeatureWidth, Norm: NormLayer},
+}
+
+// Names returns the registered architecture names in deterministic order.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lookup returns the spec for a registered architecture name.
+func Lookup(name string) (Spec, error) {
+	s, ok := registry[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("models: unknown architecture %q (have %v)", name, Names())
+	}
+	return s, nil
+}
+
+// Build constructs a network for the given spec, input dimension, and class
+// count. The feature extractor is a dense stem followed by Blocks residual
+// blocks; the classifier head is a single linear layer, matching the paper's
+// description of logits as "the output of the last fully connected layer".
+func Build(rng *stats.RNG, spec Spec, inputDim, classes int) *nn.Network {
+	if inputDim <= 0 || classes <= 0 {
+		panic(fmt.Sprintf("models: invalid dims input=%d classes=%d", inputDim, classes))
+	}
+	// Dense→Norm→ReLU stem, then pre-activation-style residual blocks with
+	// a normalization after each dense layer — mirroring the structure (and
+	// the BatchNorm-under-averaging behaviour) of the CIFAR ResNets the
+	// paper trains.
+	norm := func() nn.Layer {
+		switch spec.Norm {
+		case NormLayer:
+			return nn.NewLayerNorm(spec.Hidden)
+		case NormNone:
+			return nil
+		default:
+			return nn.NewBatchNorm(spec.Hidden)
+		}
+	}
+	appendNorm := func(layers []nn.Layer) []nn.Layer {
+		if l := norm(); l != nil {
+			return append(layers, l)
+		}
+		return layers
+	}
+	layers := appendNorm([]nn.Layer{nn.NewDense(rng, inputDim, spec.Hidden)})
+	layers = append(layers, nn.NewReLU())
+	for i := 0; i < spec.Blocks; i++ {
+		inner := appendNorm([]nn.Layer{nn.NewDense(rng, spec.Hidden, spec.Hidden)})
+		inner = append(inner, nn.NewReLU())
+		inner = appendNorm(append(inner, nn.NewDense(rng, spec.Hidden, spec.Hidden)))
+		layers = append(layers, nn.NewResidual(nn.NewSequential(inner...)), nn.NewReLU())
+	}
+	body := nn.NewSequential(layers...)
+	head := nn.NewSequential(nn.NewDense(rng, spec.Hidden, classes))
+	return nn.NewNetwork(spec.Name, body, head)
+}
+
+// BuildNamed is Build with a registry lookup.
+func BuildNamed(rng *stats.RNG, name string, inputDim, classes int) (*nn.Network, error) {
+	spec, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return Build(rng, spec, inputDim, classes), nil
+}
+
+// HeterogeneousFleet returns the client architecture names for a fleet of n
+// clients in the paper's heterogeneous-model setting: clients cycle through
+// ResNet11, ResNet20, and ResNet29.
+func HeterogeneousFleet(n int) []string {
+	cycle := []string{"ResNet11", "ResNet20", "ResNet29"}
+	names := make([]string, n)
+	for i := range names {
+		names[i] = cycle[i%len(cycle)]
+	}
+	return names
+}
+
+// HomogeneousFleet returns n copies of the paper's homogeneous client
+// architecture, ResNet20.
+func HomogeneousFleet(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = "ResNet20"
+	}
+	return names
+}

@@ -1,0 +1,147 @@
+package nn
+
+import (
+	"math"
+
+	"fedpkd/internal/tensor"
+)
+
+// ReLU is the rectified linear activation max(0, x).
+type ReLU struct {
+	mask []bool // cached activation mask from the last train-mode forward
+}
+
+var _ Layer = (*ReLU)(nil)
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward applies max(0, x) elementwise.
+func (r *ReLU) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	out := x.Clone()
+	if train {
+		if cap(r.mask) < len(out.Data) {
+			r.mask = make([]bool, len(out.Data))
+		}
+		r.mask = r.mask[:len(out.Data)]
+	}
+	for i, v := range out.Data {
+		active := v > 0
+		if !active {
+			out.Data[i] = 0
+		}
+		if train {
+			r.mask[i] = active
+		}
+	}
+	if !train {
+		r.mask = nil
+	}
+	return out
+}
+
+// Backward zeroes gradients where the forward input was non-positive.
+func (r *ReLU) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	if r.mask == nil {
+		panic("nn: ReLU.Backward called without a train-mode Forward")
+	}
+	dx := dout.Clone()
+	for i := range dx.Data {
+		if !r.mask[i] {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// Params returns nil: ReLU has no trainable parameters.
+func (r *ReLU) Params() []*Param { return nil }
+
+// LeakyReLU is max(alpha*x, x) with a small negative-side slope.
+type LeakyReLU struct {
+	Alpha float64
+	mask  []bool
+}
+
+var _ Layer = (*LeakyReLU)(nil)
+
+// NewLeakyReLU returns a leaky ReLU with the given negative slope.
+func NewLeakyReLU(alpha float64) *LeakyReLU { return &LeakyReLU{Alpha: alpha} }
+
+// Forward applies the leaky rectifier elementwise.
+func (l *LeakyReLU) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	out := x.Clone()
+	if train {
+		if cap(l.mask) < len(out.Data) {
+			l.mask = make([]bool, len(out.Data))
+		}
+		l.mask = l.mask[:len(out.Data)]
+	}
+	for i, v := range out.Data {
+		active := v > 0
+		if !active {
+			out.Data[i] = l.Alpha * v
+		}
+		if train {
+			l.mask[i] = active
+		}
+	}
+	if !train {
+		l.mask = nil
+	}
+	return out
+}
+
+// Backward scales gradients by Alpha where the forward input was
+// non-positive.
+func (l *LeakyReLU) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	if l.mask == nil {
+		panic("nn: LeakyReLU.Backward called without a train-mode Forward")
+	}
+	dx := dout.Clone()
+	for i := range dx.Data {
+		if !l.mask[i] {
+			dx.Data[i] *= l.Alpha
+		}
+	}
+	return dx
+}
+
+// Params returns nil: LeakyReLU has no trainable parameters.
+func (l *LeakyReLU) Params() []*Param { return nil }
+
+// Tanh is the hyperbolic-tangent activation.
+type Tanh struct {
+	out *tensor.Matrix // cached output from the last train-mode forward
+}
+
+var _ Layer = (*Tanh)(nil)
+
+// NewTanh returns a tanh activation layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward applies tanh elementwise.
+func (t *Tanh) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	out := x.Clone().Apply(math.Tanh)
+	if train {
+		t.out = out
+	} else {
+		t.out = nil
+	}
+	return out
+}
+
+// Backward multiplies by 1 - tanh(x)^2 using the cached output.
+func (t *Tanh) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	if t.out == nil {
+		panic("nn: Tanh.Backward called without a train-mode Forward")
+	}
+	dx := dout.Clone()
+	for i, y := range t.out.Data {
+		dx.Data[i] *= 1 - y*y
+	}
+	return dx
+}
+
+// Params returns nil: Tanh has no trainable parameters.
+func (t *Tanh) Params() []*Param { return nil }

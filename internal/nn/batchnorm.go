@@ -1,0 +1,202 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"fedpkd/internal/tensor"
+)
+
+// BatchNorm is 1-D batch normalization over features: training batches are
+// normalized with their own statistics while exponential running statistics
+// accumulate for eval-mode forwards — exactly the component whose behaviour
+// under non-IID federated averaging degrades weight-transfer methods
+// (clients' running statistics diverge with their label skew, and the
+// averaged statistics fit nobody). The CIFAR ResNets the paper trains have
+// BatchNorm throughout, so the model zoo includes it.
+//
+// The running statistics are exposed as zero-gradient Params named
+// "running_mean"/"running_var": optimizers never move them (their gradients
+// stay zero), but FedAvg-family weight transfer averages and ships them,
+// matching how real deployments serialize BN buffers with the model.
+type BatchNorm struct {
+	Dim      int
+	Momentum float64 // running-stat update rate (default 0.1)
+	Eps      float64
+
+	gamma, beta             *Param
+	runningMean, runningVar *Param
+
+	// Cached train-mode state for backward.
+	xhat    *tensor.Matrix
+	std     []float64 // per-feature sqrt(var+eps) of the last train batch
+	centred *tensor.Matrix
+	// usedRunning marks a train-mode forward that had to fall back to the
+	// running statistics (single-sample batch); its backward has no
+	// batch-coupling terms.
+	usedRunning bool
+}
+
+var _ Layer = (*BatchNorm)(nil)
+
+// NewBatchNorm returns a batch-normalization layer over dim features.
+func NewBatchNorm(dim int) *BatchNorm {
+	if dim <= 0 {
+		panic(fmt.Sprintf("nn: BatchNorm dim must be positive, got %d", dim))
+	}
+	gamma := newParam("gamma", tensor.New(1, dim))
+	gamma.Value.Fill(1)
+	runningVar := newParam("running_var", tensor.New(1, dim))
+	runningVar.Value.Fill(1)
+	return &BatchNorm{
+		Dim:         dim,
+		Momentum:    0.1,
+		Eps:         1e-5,
+		gamma:       gamma,
+		beta:        newParam("beta", tensor.New(1, dim)),
+		runningMean: newParam("running_mean", tensor.New(1, dim)),
+		runningVar:  runningVar,
+	}
+}
+
+// Forward normalizes the batch. In train mode it uses batch statistics and
+// updates the running statistics; in eval mode it uses the running
+// statistics.
+func (b *BatchNorm) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if x.Cols != b.Dim {
+		panic(fmt.Sprintf("nn: BatchNorm got %d features, want %d", x.Cols, b.Dim))
+	}
+	out := tensor.New(x.Rows, x.Cols)
+	if !train || x.Rows == 1 {
+		// Eval — or a degenerate single-sample train batch, which has no
+		// usable batch statistics: normalize with the running statistics.
+		b.xhat = nil
+		b.usedRunning = train
+		if train {
+			b.xhat = tensor.New(x.Rows, x.Cols)
+			if b.std == nil || len(b.std) != b.Dim {
+				b.std = make([]float64, b.Dim)
+			}
+			for j := 0; j < b.Dim; j++ {
+				b.std[j] = math.Sqrt(b.runningVar.Value.Data[j] + b.Eps)
+			}
+		}
+		for i := 0; i < x.Rows; i++ {
+			row := x.Row(i)
+			orow := out.Row(i)
+			for j := 0; j < b.Dim; j++ {
+				xhat := (row[j] - b.runningMean.Value.Data[j]) / math.Sqrt(b.runningVar.Value.Data[j]+b.Eps)
+				if b.xhat != nil {
+					b.xhat.Set(i, j, xhat)
+				}
+				orow[j] = b.gamma.Value.Data[j]*xhat + b.beta.Value.Data[j]
+			}
+		}
+		return out
+	}
+	b.usedRunning = false
+
+	m := float64(x.Rows)
+	mean := make([]float64, b.Dim)
+	variance := make([]float64, b.Dim)
+	for i := 0; i < x.Rows; i++ {
+		for j, v := range x.Row(i) {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= m
+	}
+	for i := 0; i < x.Rows; i++ {
+		for j, v := range x.Row(i) {
+			d := v - mean[j]
+			variance[j] += d * d
+		}
+	}
+	for j := range variance {
+		variance[j] /= m
+	}
+
+	b.centred = tensor.New(x.Rows, x.Cols)
+	b.xhat = tensor.New(x.Rows, x.Cols)
+	if b.std == nil || len(b.std) != b.Dim {
+		b.std = make([]float64, b.Dim)
+	}
+	for j := 0; j < b.Dim; j++ {
+		b.std[j] = math.Sqrt(variance[j] + b.Eps)
+	}
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		crow := b.centred.Row(i)
+		xrow := b.xhat.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Dim; j++ {
+			crow[j] = row[j] - mean[j]
+			xrow[j] = crow[j] / b.std[j]
+			orow[j] = b.gamma.Value.Data[j]*xrow[j] + b.beta.Value.Data[j]
+		}
+	}
+	// Exponential running statistics.
+	for j := 0; j < b.Dim; j++ {
+		b.runningMean.Value.Data[j] = (1-b.Momentum)*b.runningMean.Value.Data[j] + b.Momentum*mean[j]
+		b.runningVar.Value.Data[j] = (1-b.Momentum)*b.runningVar.Value.Data[j] + b.Momentum*variance[j]
+	}
+	return out
+}
+
+// Backward backpropagates through the batch normalization.
+func (b *BatchNorm) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	if b.xhat == nil {
+		panic("nn: BatchNorm.Backward called without a train-mode Forward")
+	}
+	m := float64(dout.Rows)
+	dx := tensor.New(dout.Rows, dout.Cols)
+
+	if b.usedRunning {
+		// Running-statistics normalization has no batch coupling: the
+		// statistics are constants with respect to this input.
+		for i := 0; i < dout.Rows; i++ {
+			drow := dout.Row(i)
+			xrow := b.xhat.Row(i)
+			dxrow := dx.Row(i)
+			for j := 0; j < b.Dim; j++ {
+				b.gamma.Grad.Data[j] += drow[j] * xrow[j]
+				b.beta.Grad.Data[j] += drow[j]
+				dxrow[j] = drow[j] * b.gamma.Value.Data[j] / b.std[j]
+			}
+		}
+		return dx
+	}
+
+	// Accumulate parameter gradients and the per-feature reduction terms.
+	sumDxhat := make([]float64, b.Dim)
+	sumDxhatXhat := make([]float64, b.Dim)
+	for i := 0; i < dout.Rows; i++ {
+		drow := dout.Row(i)
+		xrow := b.xhat.Row(i)
+		for j := 0; j < b.Dim; j++ {
+			dxhat := drow[j] * b.gamma.Value.Data[j]
+			sumDxhat[j] += dxhat
+			sumDxhatXhat[j] += dxhat * xrow[j]
+			b.gamma.Grad.Data[j] += drow[j] * xrow[j]
+			b.beta.Grad.Data[j] += drow[j]
+		}
+	}
+	// dx = (1/m) * gamma/std * (m*dxhat - sum(dxhat) - xhat*sum(dxhat*xhat)).
+	for i := 0; i < dout.Rows; i++ {
+		drow := dout.Row(i)
+		xrow := b.xhat.Row(i)
+		dxrow := dx.Row(i)
+		for j := 0; j < b.Dim; j++ {
+			dxhat := drow[j] * b.gamma.Value.Data[j]
+			dxrow[j] = (dxhat*m - sumDxhat[j] - xrow[j]*sumDxhatXhat[j]) / (m * b.std[j])
+		}
+	}
+	return dx
+}
+
+// Params returns gamma, beta, and the running statistics (the latter with
+// permanently zero gradients; see the type comment).
+func (b *BatchNorm) Params() []*Param {
+	return []*Param{b.gamma, b.beta, b.runningMean, b.runningVar}
+}

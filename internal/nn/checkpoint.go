@@ -1,0 +1,195 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+)
+
+// Checkpoint I/O: a small self-describing binary format for model
+// parameters, so trained models survive process restarts and can be shipped
+// between the simulation and the distributed runner.
+//
+// Layout (little-endian):
+//
+//	magic "FPKD" | version u32 | numParams u32
+//	per param: nameLen u32 | name | rows u32 | cols u32 | float64 values
+//	crc32 (IEEE) of everything above
+const (
+	checkpointMagic   = "FPKD"
+	checkpointVersion = 1
+)
+
+// SaveParams writes the parameter values to w.
+func SaveParams(w io.Writer, params []*Param) error {
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(w, crc)
+
+	if _, err := mw.Write([]byte(checkpointMagic)); err != nil {
+		return fmt.Errorf("nn: write checkpoint magic: %w", err)
+	}
+	if err := writeU32(mw, checkpointVersion); err != nil {
+		return err
+	}
+	if err := writeU32(mw, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if err := writeU32(mw, uint32(len(p.Name))); err != nil {
+			return err
+		}
+		if _, err := mw.Write([]byte(p.Name)); err != nil {
+			return fmt.Errorf("nn: write param name: %w", err)
+		}
+		if err := writeU32(mw, uint32(p.Value.Rows)); err != nil {
+			return err
+		}
+		if err := writeU32(mw, uint32(p.Value.Cols)); err != nil {
+			return err
+		}
+		buf := make([]byte, 8*len(p.Value.Data))
+		for i, v := range p.Value.Data {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+		}
+		if _, err := mw.Write(buf); err != nil {
+			return fmt.Errorf("nn: write param values: %w", err)
+		}
+	}
+	sum := crc.Sum32()
+	return writeU32(w, sum)
+}
+
+// LoadParams reads a checkpoint from r into params, which must match the
+// saved structure (same order, names, and shapes).
+func LoadParams(r io.Reader, params []*Param) error {
+	crc := crc32.NewIEEE()
+	tr := io.TeeReader(r, crc)
+
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(tr, magic); err != nil {
+		return fmt.Errorf("nn: read checkpoint magic: %w", err)
+	}
+	if string(magic) != checkpointMagic {
+		return fmt.Errorf("nn: bad checkpoint magic %q", magic)
+	}
+	version, err := readU32(tr)
+	if err != nil {
+		return err
+	}
+	if version != checkpointVersion {
+		return fmt.Errorf("nn: unsupported checkpoint version %d", version)
+	}
+	n, err := readU32(tr)
+	if err != nil {
+		return err
+	}
+	if int(n) != len(params) {
+		return fmt.Errorf("nn: checkpoint has %d params, model has %d", n, len(params))
+	}
+	for _, p := range params {
+		nameLen, err := readU32(tr)
+		if err != nil {
+			return err
+		}
+		if nameLen > 4096 {
+			return fmt.Errorf("nn: implausible param name length %d", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(tr, name); err != nil {
+			return fmt.Errorf("nn: read param name: %w", err)
+		}
+		if string(name) != p.Name {
+			return fmt.Errorf("nn: checkpoint param %q, model expects %q", name, p.Name)
+		}
+		rows, err := readU32(tr)
+		if err != nil {
+			return err
+		}
+		cols, err := readU32(tr)
+		if err != nil {
+			return err
+		}
+		if int(rows) != p.Value.Rows || int(cols) != p.Value.Cols {
+			return fmt.Errorf("nn: checkpoint param %q is %dx%d, model expects %dx%d",
+				p.Name, rows, cols, p.Value.Rows, p.Value.Cols)
+		}
+		buf := make([]byte, 8*rows*cols)
+		if _, err := io.ReadFull(tr, buf); err != nil {
+			return fmt.Errorf("nn: read param values: %w", err)
+		}
+		for i := range p.Value.Data {
+			p.Value.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+		}
+	}
+	want := crc.Sum32()
+	got, err := readU32(r)
+	if err != nil {
+		return err
+	}
+	if got != want {
+		return fmt.Errorf("nn: checkpoint CRC mismatch: stored %08x, computed %08x", got, want)
+	}
+	return nil
+}
+
+// SaveParamsFile writes a checkpoint to path atomically (temp file +
+// rename).
+func SaveParamsFile(path string, params []*Param) (err error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("nn: create checkpoint: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			os.Remove(tmp)
+		}
+	}()
+	bw := bufio.NewWriter(f)
+	if err = SaveParams(bw, params); err != nil {
+		f.Close()
+		return err
+	}
+	if err = bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("nn: flush checkpoint: %w", err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("nn: close checkpoint: %w", err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("nn: rename checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadParamsFile reads a checkpoint from path into params.
+func LoadParamsFile(path string, params []*Param) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("nn: open checkpoint: %w", err)
+	}
+	defer f.Close()
+	return LoadParams(bufio.NewReader(f), params)
+}
+
+func writeU32(w io.Writer, v uint32) error {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	if _, err := w.Write(buf[:]); err != nil {
+		return fmt.Errorf("nn: write u32: %w", err)
+	}
+	return nil
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("nn: read u32: %w", err)
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}

@@ -1,0 +1,105 @@
+package nn
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"fedpkd/internal/stats"
+	"fedpkd/internal/tensor"
+)
+
+func checkpointNet(seed uint64) *Network {
+	rng := stats.NewRNG(seed)
+	body := NewSequential(NewDense(rng, 4, 8), NewBatchNorm(8), NewReLU())
+	head := NewSequential(NewDense(rng, 8, 3))
+	return NewNetwork("ckpt", body, head)
+}
+
+func TestCheckpointRoundtrip(t *testing.T) {
+	src := checkpointNet(1)
+	dst := checkpointNet(2)
+	rng := stats.NewRNG(3)
+	x := tensor.Randn(rng, 5, 4, 1)
+
+	if src.Logits(x).Equal(dst.Logits(x), 1e-9) {
+		t.Fatal("differently seeded nets should differ")
+	}
+
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParams(&buf, dst.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if !src.Logits(x).Equal(dst.Logits(x), 0) {
+		t.Error("checkpoint roundtrip changed outputs")
+	}
+}
+
+func TestCheckpointFileRoundtrip(t *testing.T) {
+	src := checkpointNet(4)
+	dst := checkpointNet(5)
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	if err := SaveParamsFile(path, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParamsFile(path, dst.Params()); err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(6)
+	x := tensor.Randn(rng, 3, 4, 1)
+	if !src.Logits(x).Equal(dst.Logits(x), 0) {
+		t.Error("file roundtrip changed outputs")
+	}
+}
+
+func TestCheckpointDetectsCorruption(t *testing.T) {
+	src := checkpointNet(7)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)/2] ^= 0xFF // flip a payload byte
+	if err := LoadParams(bytes.NewReader(data), checkpointNet(8).Params()); err == nil {
+		t.Error("corrupted checkpoint must fail the CRC check")
+	}
+}
+
+func TestCheckpointShapeMismatch(t *testing.T) {
+	src := checkpointNet(9)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(10)
+	other := NewSequential(NewDense(rng, 4, 9)) // wrong width
+	if err := LoadParams(&buf, other.Params()); err == nil {
+		t.Error("mismatched model must be rejected")
+	}
+}
+
+func TestCheckpointBadMagic(t *testing.T) {
+	if err := LoadParams(bytes.NewReader([]byte("NOPE....")), nil); err == nil {
+		t.Error("bad magic must be rejected")
+	}
+}
+
+func TestCheckpointParamCountMismatch(t *testing.T) {
+	src := checkpointNet(11)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParams(&buf, src.Params()[:1]); err == nil {
+		t.Error("param-count mismatch must be rejected")
+	}
+}
+
+func TestLoadParamsFileMissing(t *testing.T) {
+	if err := LoadParamsFile(filepath.Join(t.TempDir(), "nope.ckpt"), nil); err == nil {
+		t.Error("missing file must error")
+	}
+}

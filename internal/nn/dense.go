@@ -1,0 +1,69 @@
+package nn
+
+import (
+	"math"
+
+	"fedpkd/internal/stats"
+	"fedpkd/internal/tensor"
+)
+
+// Dense is a fully connected layer: y = xW + b.
+type Dense struct {
+	In, Out int
+
+	w *Param // In x Out
+	b *Param // 1 x Out
+
+	x *tensor.Matrix // cached input from the last train-mode forward
+}
+
+var _ Layer = (*Dense)(nil)
+
+// NewDense returns a dense layer with He-initialized weights, appropriate
+// for the ReLU-family activations used throughout the model zoo.
+func NewDense(rng *stats.RNG, in, out int) *Dense {
+	std := math.Sqrt(2 / float64(in))
+	return &Dense{
+		In:  in,
+		Out: out,
+		w:   newParam("W", tensor.Randn(rng, in, out, std)),
+		b:   newParam("b", tensor.New(1, out)),
+	}
+}
+
+// NewDenseXavier returns a dense layer with Xavier/Glorot initialization,
+// appropriate for tanh-activated or linear output layers.
+func NewDenseXavier(rng *stats.RNG, in, out int) *Dense {
+	std := math.Sqrt(2 / float64(in+out))
+	d := NewDense(rng, in, out)
+	d.w.Value = tensor.Randn(rng, in, out, std)
+	return d
+}
+
+// Forward computes xW + b.
+func (d *Dense) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if train {
+		d.x = x
+	} else {
+		d.x = nil
+	}
+	out := tensor.MatMul(x, d.w.Value)
+	out.AddRowVector(d.b.Value.Data)
+	return out
+}
+
+// Backward accumulates dW = xᵀ·dout and db = Σrows(dout), and returns
+// dx = dout·Wᵀ.
+func (d *Dense) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	if d.x == nil {
+		panic("nn: Dense.Backward called without a train-mode Forward")
+	}
+	d.w.Grad.Add(tensor.MatMulTN(d.x, dout))
+	for j, v := range dout.ColSums() {
+		d.b.Grad.Data[j] += v
+	}
+	return tensor.MatMulNT(dout, d.w.Value)
+}
+
+// Params returns the weight and bias parameters.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }

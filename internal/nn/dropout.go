@@ -1,0 +1,73 @@
+package nn
+
+import (
+	"fmt"
+	"sync"
+
+	"fedpkd/internal/stats"
+	"fedpkd/internal/tensor"
+)
+
+// Dropout randomly zeroes activations during training with probability Rate
+// and rescales the survivors by 1/(1-Rate) (inverted dropout), so eval-mode
+// forwards need no adjustment.
+type Dropout struct {
+	Rate float64
+
+	mu   sync.Mutex // guards rng: layers are per-model but rng draws must not tear
+	rng  *stats.RNG
+	keep []float64 // cached keep-scale per element from the last train forward
+}
+
+var _ Layer = (*Dropout)(nil)
+
+// NewDropout returns a dropout layer with the given drop rate in [0, 1).
+func NewDropout(rng *stats.RNG, rate float64) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("nn: dropout rate must be in [0,1), got %v", rate))
+	}
+	return &Dropout{Rate: rate, rng: rng}
+}
+
+// Forward applies inverted dropout in train mode and is the identity in eval
+// mode.
+func (d *Dropout) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if !train || d.Rate == 0 {
+		d.keep = nil
+		return x.Clone()
+	}
+	out := x.Clone()
+	if cap(d.keep) < len(out.Data) {
+		d.keep = make([]float64, len(out.Data))
+	}
+	d.keep = d.keep[:len(out.Data)]
+	scale := 1 / (1 - d.Rate)
+	d.mu.Lock()
+	for i := range out.Data {
+		if d.rng.Float64() < d.Rate {
+			d.keep[i] = 0
+		} else {
+			d.keep[i] = scale
+		}
+	}
+	d.mu.Unlock()
+	for i := range out.Data {
+		out.Data[i] *= d.keep[i]
+	}
+	return out
+}
+
+// Backward applies the same keep mask to the gradient.
+func (d *Dropout) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	if d.keep == nil {
+		panic("nn: Dropout.Backward called without a train-mode Forward")
+	}
+	dx := dout.Clone()
+	for i := range dx.Data {
+		dx.Data[i] *= d.keep[i]
+	}
+	return dx
+}
+
+// Params returns nil: dropout has no trainable parameters.
+func (d *Dropout) Params() []*Param { return nil }

@@ -1,0 +1,91 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"fedpkd/internal/stats"
+	"fedpkd/internal/tensor"
+)
+
+// SoftmaxCrossEntropy returns the mean cross-entropy between softmax(logits)
+// and integer labels, plus dL/dlogits (already divided by the batch size).
+func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int) (float64, *tensor.Matrix) {
+	if logits.Rows != len(labels) {
+		panic(fmt.Sprintf("nn: SoftmaxCrossEntropy got %d logit rows for %d labels", logits.Rows, len(labels)))
+	}
+	grad := tensor.New(logits.Rows, logits.Cols)
+	var loss float64
+	inv := 1 / float64(logits.Rows)
+	probs := make([]float64, logits.Cols)
+	for i := 0; i < logits.Rows; i++ {
+		stats.Softmax(logits.Row(i), probs)
+		y := labels[i]
+		p := probs[y]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+		grow := grad.Row(i)
+		copy(grow, probs)
+		grow[y] -= 1
+		for j := range grow {
+			grow[j] *= inv
+		}
+	}
+	return loss * inv, grad
+}
+
+// KLDistill returns the temperature-scaled distillation loss
+// T² · mean_i KL(softmax(teacher_i/T) ‖ softmax(student_i/T)) and
+// dL/d(studentLogits). The T² factor keeps gradient magnitudes comparable
+// across temperatures (Hinton et al., 2015). The paper's Eqs. (11) and (15)
+// use T = 1.
+func KLDistill(studentLogits, teacherLogits *tensor.Matrix, temp float64) (float64, *tensor.Matrix) {
+	if studentLogits.Rows != teacherLogits.Rows || studentLogits.Cols != teacherLogits.Cols {
+		panic(fmt.Sprintf("nn: KLDistill shape mismatch %dx%d vs %dx%d",
+			studentLogits.Rows, studentLogits.Cols, teacherLogits.Rows, teacherLogits.Cols))
+	}
+	if temp <= 0 {
+		panic(fmt.Sprintf("nn: KLDistill temperature must be positive, got %v", temp))
+	}
+	grad := tensor.New(studentLogits.Rows, studentLogits.Cols)
+	var loss float64
+	inv := 1 / float64(studentLogits.Rows)
+	t := make([]float64, studentLogits.Cols)
+	s := make([]float64, studentLogits.Cols)
+	for i := 0; i < studentLogits.Rows; i++ {
+		stats.SoftmaxTemp(teacherLogits.Row(i), temp, t)
+		stats.SoftmaxTemp(studentLogits.Row(i), temp, s)
+		grow := grad.Row(i)
+		for j := range t {
+			if t[j] > 0 {
+				sj := s[j]
+				if sj < 1e-12 {
+					sj = 1e-12
+				}
+				loss += t[j] * math.Log(t[j]/sj)
+			}
+			// d(T²·KL)/dz_s = T (s - t); mean over batch.
+			grow[j] = temp * (s[j] - t[j]) * inv
+		}
+	}
+	return loss * temp * temp * inv, grad
+}
+
+// MSE returns the mean-squared error between pred and target (mean over all
+// elements) plus dL/dpred.
+func MSE(pred, target *tensor.Matrix) (float64, *tensor.Matrix) {
+	if pred.Rows != target.Rows || pred.Cols != target.Cols {
+		panic(fmt.Sprintf("nn: MSE shape mismatch %dx%d vs %dx%d", pred.Rows, pred.Cols, target.Rows, target.Cols))
+	}
+	grad := tensor.New(pred.Rows, pred.Cols)
+	var loss float64
+	n := float64(len(pred.Data))
+	for i, p := range pred.Data {
+		d := p - target.Data[i]
+		loss += d * d
+		grad.Data[i] = 2 * d / n
+	}
+	return loss / n, grad
+}

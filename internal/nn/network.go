@@ -1,0 +1,80 @@
+package nn
+
+import (
+	"fedpkd/internal/stats"
+	"fedpkd/internal/tensor"
+)
+
+// Network is a classifier split into a feature extractor (Body, the paper's
+// middle layer R_ω) and a classifier head. The split is load-bearing:
+// prototypes (Eq. 5) are averages of Body outputs, and the prototype losses
+// (Eqs. 12, 16) inject gradients at the Body/Head boundary.
+type Network struct {
+	Name string
+	Body *Sequential
+	Head *Sequential
+}
+
+// NewNetwork returns a network with the given body and head.
+func NewNetwork(name string, body, head *Sequential) *Network {
+	return &Network{Name: name, Body: body, Head: head}
+}
+
+// Forward returns the logits for a batch. Use train=true only inside a
+// training step that will call Backward.
+func (n *Network) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	return n.Head.Forward(n.Body.Forward(x, train), train)
+}
+
+// ForwardSplit runs a train-mode forward and returns both the feature batch
+// and the logits, for losses that touch the feature space.
+func (n *Network) ForwardSplit(x *tensor.Matrix) (features, logits *tensor.Matrix) {
+	features = n.Body.Forward(x, true)
+	logits = n.Head.Forward(features, true)
+	return features, logits
+}
+
+// Backward backpropagates dL/dlogits through head and body. dfeatExtra, if
+// non-nil, is an additional gradient injected at the feature boundary (the
+// prototype-loss gradient); it must match the body output shape.
+func (n *Network) Backward(dlogits, dfeatExtra *tensor.Matrix) {
+	dfeat := n.Head.Backward(dlogits)
+	if dfeatExtra != nil {
+		dfeat = dfeat.Clone().Add(dfeatExtra)
+	}
+	n.Body.Backward(dfeat)
+}
+
+// Features returns the eval-mode feature representation of a batch.
+func (n *Network) Features(x *tensor.Matrix) *tensor.Matrix {
+	return n.Body.Forward(x, false)
+}
+
+// Logits returns the eval-mode logits of a batch.
+func (n *Network) Logits(x *tensor.Matrix) *tensor.Matrix {
+	return n.Forward(x, false)
+}
+
+// Predict returns the argmax class per row of a batch.
+func (n *Network) Predict(x *tensor.Matrix) []int {
+	logits := n.Logits(x)
+	pred := make([]int, logits.Rows)
+	for i := range pred {
+		pred[i] = stats.Argmax(logits.Row(i))
+	}
+	return pred
+}
+
+// Params returns all trainable parameters, body first.
+func (n *Network) Params() []*Param {
+	return append(n.Body.Params(), n.Head.Params()...)
+}
+
+// ParamCount returns the number of scalar parameters in the network.
+func (n *Network) ParamCount() int { return ParamCount(n.Params()) }
+
+// FeatureDim returns the width of the feature space by probing the body with
+// a single zero sample of the given input dimension.
+func (n *Network) FeatureDim(inputDim int) int {
+	return n.Body.Forward(tensor.New(1, inputDim), false).Cols
+}

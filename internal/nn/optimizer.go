@@ -1,0 +1,109 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"fedpkd/internal/tensor"
+)
+
+// Optimizer applies one update step to a parameter list using the gradients
+// accumulated in each Param.Grad. Implementations keep per-parameter state
+// keyed by the *Param pointer, so an optimizer instance must be used with a
+// single model.
+type Optimizer interface {
+	Step(params []*Param)
+}
+
+// SGD is stochastic gradient descent with optional momentum and weight
+// decay.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	velocity map[*Param]*tensor.Matrix
+}
+
+var _ Optimizer = (*SGD)(nil)
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	if lr <= 0 {
+		panic(fmt.Sprintf("nn: SGD learning rate must be positive, got %v", lr))
+	}
+	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[*Param]*tensor.Matrix)}
+}
+
+// Step applies one SGD update.
+func (o *SGD) Step(params []*Param) {
+	for _, p := range params {
+		g := p.Grad
+		if o.WeightDecay > 0 {
+			g = g.Clone().AddScaled(o.WeightDecay, p.Value)
+		}
+		if o.Momentum > 0 {
+			v, ok := o.velocity[p]
+			if !ok {
+				v = tensor.New(g.Rows, g.Cols)
+				o.velocity[p] = v
+			}
+			v.Scale(o.Momentum).Add(g)
+			g = v
+		}
+		p.Value.AddScaled(-o.LR, g)
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba, 2015) — the optimizer the paper
+// uses for all client and server training (η = 0.001).
+type Adam struct {
+	LR    float64
+	Beta1 float64
+	Beta2 float64
+	Eps   float64
+
+	t int
+	m map[*Param]*tensor.Matrix
+	v map[*Param]*tensor.Matrix
+}
+
+var _ Optimizer = (*Adam)(nil)
+
+// NewAdam returns an Adam optimizer with standard β₁=0.9, β₂=0.999, ε=1e-8.
+func NewAdam(lr float64) *Adam {
+	if lr <= 0 {
+		panic(fmt.Sprintf("nn: Adam learning rate must be positive, got %v", lr))
+	}
+	return &Adam{
+		LR:    lr,
+		Beta1: 0.9,
+		Beta2: 0.999,
+		Eps:   1e-8,
+		m:     make(map[*Param]*tensor.Matrix),
+		v:     make(map[*Param]*tensor.Matrix),
+	}
+}
+
+// Step applies one Adam update with bias correction.
+func (o *Adam) Step(params []*Param) {
+	o.t++
+	c1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	c2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, p := range params {
+		m, ok := o.m[p]
+		if !ok {
+			m = tensor.New(p.Grad.Rows, p.Grad.Cols)
+			o.m[p] = m
+			o.v[p] = tensor.New(p.Grad.Rows, p.Grad.Cols)
+		}
+		v := o.v[p]
+		for i, g := range p.Grad.Data {
+			m.Data[i] = o.Beta1*m.Data[i] + (1-o.Beta1)*g
+			v.Data[i] = o.Beta2*v.Data[i] + (1-o.Beta2)*g*g
+			mHat := m.Data[i] / c1
+			vHat := v.Data[i] / c2
+			p.Value.Data[i] -= o.LR * mHat / (math.Sqrt(vHat) + o.Eps)
+		}
+	}
+}

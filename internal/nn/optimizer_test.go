@@ -1,0 +1,126 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"fedpkd/internal/tensor"
+)
+
+// quadParam builds a single scalar parameter for minimizing f(w) = (w-3)².
+func quadParam(start float64) *Param {
+	p := newParam("w", tensor.FromSlice(1, 1, []float64{start}))
+	return p
+}
+
+func quadGrad(p *Param) {
+	p.Grad.Data[0] = 2 * (p.Value.Data[0] - 3)
+}
+
+func TestSGDConvergesOnQuadratic(t *testing.T) {
+	p := quadParam(0)
+	opt := NewSGD(0.1, 0)
+	for i := 0; i < 200; i++ {
+		quadGrad(p)
+		opt.Step([]*Param{p})
+	}
+	if math.Abs(p.Value.Data[0]-3) > 1e-6 {
+		t.Errorf("SGD converged to %v, want 3", p.Value.Data[0])
+	}
+}
+
+func TestSGDMomentumConverges(t *testing.T) {
+	p := quadParam(10)
+	opt := NewSGD(0.05, 0.9)
+	for i := 0; i < 500; i++ {
+		quadGrad(p)
+		opt.Step([]*Param{p})
+	}
+	if math.Abs(p.Value.Data[0]-3) > 1e-4 {
+		t.Errorf("SGD+momentum converged to %v, want 3", p.Value.Data[0])
+	}
+}
+
+func TestSGDWeightDecayShrinks(t *testing.T) {
+	p := quadParam(3) // gradient of the quadratic is 0 here
+	opt := NewSGD(0.1, 0)
+	opt.WeightDecay = 0.5
+	p.Grad.Zero()
+	opt.Step([]*Param{p})
+	if p.Value.Data[0] >= 3 {
+		t.Errorf("weight decay should shrink the weight, got %v", p.Value.Data[0])
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	p := quadParam(-5)
+	opt := NewAdam(0.1)
+	for i := 0; i < 2000; i++ {
+		quadGrad(p)
+		opt.Step([]*Param{p})
+	}
+	if math.Abs(p.Value.Data[0]-3) > 1e-3 {
+		t.Errorf("Adam converged to %v, want 3", p.Value.Data[0])
+	}
+}
+
+func TestAdamFirstStepIsLRSized(t *testing.T) {
+	// With bias correction, the first Adam step size is ≈ LR regardless of
+	// gradient magnitude.
+	p := quadParam(100)
+	opt := NewAdam(0.01)
+	quadGrad(p)
+	before := p.Value.Data[0]
+	opt.Step([]*Param{p})
+	step := math.Abs(p.Value.Data[0] - before)
+	if math.Abs(step-0.01) > 1e-6 {
+		t.Errorf("first Adam step = %v, want ~0.01", step)
+	}
+}
+
+func TestOptimizerBadLRPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"sgd":  func() { NewSGD(0, 0) },
+		"adam": func() { NewAdam(-1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		})
+	}
+}
+
+func TestZeroGrads(t *testing.T) {
+	p := quadParam(0)
+	p.Grad.Fill(5)
+	ZeroGrads([]*Param{p})
+	if p.Grad.Data[0] != 0 {
+		t.Error("ZeroGrads failed")
+	}
+}
+
+func TestFlattenSetRoundtrip(t *testing.T) {
+	a := newParam("a", tensor.FromRows([][]float64{{1, 2}, {3, 4}}))
+	b := newParam("b", tensor.FromRows([][]float64{{5, 6, 7}}))
+	params := []*Param{a, b}
+	if got := ParamCount(params); got != 7 {
+		t.Fatalf("ParamCount = %d, want 7", got)
+	}
+	flat := FlattenParams(params)
+	for i := range flat {
+		flat[i] += 10
+	}
+	if err := SetFlatParams(params, flat); err != nil {
+		t.Fatal(err)
+	}
+	if a.Value.At(0, 0) != 11 || b.Value.At(0, 2) != 17 {
+		t.Error("SetFlatParams wrote wrong values")
+	}
+	if err := SetFlatParams(params, flat[:3]); err == nil {
+		t.Error("SetFlatParams with short vector should error")
+	}
+}

@@ -1,0 +1,115 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Schedule maps a step index to a learning rate.
+type Schedule interface {
+	// LR returns the learning rate for step (0-indexed).
+	LR(step int) float64
+}
+
+// ConstantSchedule always returns Base.
+type ConstantSchedule struct {
+	Base float64
+}
+
+var _ Schedule = ConstantSchedule{}
+
+// LR implements Schedule.
+func (s ConstantSchedule) LR(int) float64 { return s.Base }
+
+// StepSchedule multiplies Base by Gamma every Every steps (the classic
+// ResNet step decay).
+type StepSchedule struct {
+	Base  float64
+	Gamma float64
+	Every int
+}
+
+var _ Schedule = StepSchedule{}
+
+// LR implements Schedule.
+func (s StepSchedule) LR(step int) float64 {
+	if s.Every <= 0 {
+		return s.Base
+	}
+	return s.Base * math.Pow(s.Gamma, float64(step/s.Every))
+}
+
+// CosineSchedule anneals from Base to Floor over Period steps, then stays
+// at Floor.
+type CosineSchedule struct {
+	Base   float64
+	Floor  float64
+	Period int
+}
+
+var _ Schedule = CosineSchedule{}
+
+// LR implements Schedule.
+func (s CosineSchedule) LR(step int) float64 {
+	if s.Period <= 0 || step >= s.Period {
+		return s.Floor
+	}
+	frac := float64(step) / float64(s.Period)
+	return s.Floor + 0.5*(s.Base-s.Floor)*(1+math.Cos(math.Pi*frac))
+}
+
+// Scheduled wraps an optimizer so its learning rate follows a schedule,
+// advancing one step per Step call.
+type Scheduled struct {
+	inner    Optimizer
+	schedule Schedule
+	step     int
+	setLR    func(float64)
+}
+
+var _ Optimizer = (*Scheduled)(nil)
+
+// NewScheduled wraps opt (an *SGD or *Adam) with a learning-rate schedule.
+func NewScheduled(opt Optimizer, schedule Schedule) (*Scheduled, error) {
+	var set func(float64)
+	switch o := opt.(type) {
+	case *SGD:
+		set = func(lr float64) { o.LR = lr }
+	case *Adam:
+		set = func(lr float64) { o.LR = lr }
+	default:
+		return nil, fmt.Errorf("nn: NewScheduled supports *SGD and *Adam, got %T", opt)
+	}
+	return &Scheduled{inner: opt, schedule: schedule, setLR: set}, nil
+}
+
+// Step sets the scheduled learning rate, applies the inner optimizer, and
+// advances the step counter.
+func (s *Scheduled) Step(params []*Param) {
+	s.setLR(s.schedule.LR(s.step))
+	s.step++
+	s.inner.Step(params)
+}
+
+// ClipGradNorm rescales all gradients in place so their combined L2 norm is
+// at most maxNorm, and returns the pre-clip norm. A non-positive maxNorm is
+// a programmer error.
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	if maxNorm <= 0 {
+		panic(fmt.Sprintf("nn: ClipGradNorm maxNorm must be positive, got %v", maxNorm))
+	}
+	var sq float64
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			sq += g * g
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm > maxNorm {
+		scale := maxNorm / norm
+		for _, p := range params {
+			p.Grad.Scale(scale)
+		}
+	}
+	return norm
+}

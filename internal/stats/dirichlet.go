@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Gamma draws one sample from a Gamma(shape, 1) distribution using the
+// Marsaglia-Tsang squeeze method. shape must be positive.
+func Gamma(rng *RNG, shape float64) float64 {
+	if shape <= 0 {
+		panic(fmt.Sprintf("stats: Gamma shape must be positive, got %v", shape))
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return Gamma(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = rng.NormFloat64()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Dirichlet draws one sample from a symmetric Dirichlet distribution with
+// concentration alpha over dim categories. The result sums to 1. Smaller
+// alpha yields more skewed draws, which is how the paper's non-IID data
+// partitions are produced (Hsu et al., 2019).
+func Dirichlet(rng *RNG, alpha float64, dim int) []float64 {
+	if dim <= 0 {
+		panic(fmt.Sprintf("stats: Dirichlet dim must be positive, got %d", dim))
+	}
+	if alpha <= 0 {
+		panic(fmt.Sprintf("stats: Dirichlet alpha must be positive, got %v", alpha))
+	}
+	p := make([]float64, dim)
+	var sum float64
+	for i := range p {
+		p[i] = Gamma(rng, alpha)
+		sum += p[i]
+	}
+	if sum == 0 {
+		// Vanishingly unlikely, but keep the contract: return uniform.
+		for i := range p {
+			p[i] = 1 / float64(dim)
+		}
+		return p
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+	return p
+}

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGammaMeanApproximatesShape(t *testing.T) {
+	rng := NewRNG(7)
+	for _, shape := range []float64{0.1, 0.5, 1, 2.5, 10} {
+		const n = 20000
+		var sum float64
+		for i := 0; i < n; i++ {
+			x := Gamma(rng, shape)
+			if x < 0 {
+				t.Fatalf("Gamma(%v) produced negative sample %v", shape, x)
+			}
+			sum += x
+		}
+		mean := sum / n
+		// Gamma(shape, 1) has mean == shape.
+		if math.Abs(mean-shape) > 0.15*shape+0.05 {
+			t.Errorf("Gamma(%v) sample mean %v too far from shape", shape, mean)
+		}
+	}
+}
+
+func TestGammaPanicsOnNonPositiveShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Gamma(0) should panic")
+		}
+	}()
+	Gamma(NewRNG(1), 0)
+}
+
+func TestDirichletSumsToOne(t *testing.T) {
+	rng := NewRNG(42)
+	for _, alpha := range []float64{0.1, 0.5, 1, 10} {
+		for _, dim := range []int{1, 2, 10, 100} {
+			p := Dirichlet(rng, alpha, dim)
+			if len(p) != dim {
+				t.Fatalf("Dirichlet dim %d returned %d entries", dim, len(p))
+			}
+			var sum float64
+			for _, v := range p {
+				if v < 0 {
+					t.Errorf("Dirichlet produced negative probability %v", v)
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Errorf("Dirichlet(alpha=%v, dim=%d) sums to %v", alpha, dim, sum)
+			}
+		}
+	}
+}
+
+func TestDirichletSkewIncreasesAsAlphaDecreases(t *testing.T) {
+	// Smaller alpha should concentrate mass: the expected max component is
+	// larger. This is the knob that controls the non-IID degree.
+	rng := NewRNG(3)
+	avgMax := func(alpha float64) float64 {
+		const trials = 500
+		var sum float64
+		for i := 0; i < trials; i++ {
+			sum += Max(Dirichlet(rng, alpha, 10))
+		}
+		return sum / trials
+	}
+	low := avgMax(0.1)
+	high := avgMax(10)
+	if low <= high {
+		t.Errorf("alpha=0.1 avg max %v should exceed alpha=10 avg max %v", low, high)
+	}
+}
+
+func TestDirichletDeterministic(t *testing.T) {
+	a := Dirichlet(NewRNG(9), 0.5, 5)
+	b := Dirichlet(NewRNG(9), 0.5, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Dirichlet with equal seeds must be deterministic")
+		}
+	}
+}

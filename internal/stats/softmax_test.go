@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func TestSoftmaxSumsToOne(t *testing.T) {
+	cases := [][]float64{
+		{0, 0, 0},
+		{1, 2, 3},
+		{-100, 0, 100},
+		{1000, 1000.5, 999},
+		{5},
+	}
+	for _, logits := range cases {
+		p := Softmax(logits, nil)
+		var sum float64
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				t.Errorf("Softmax(%v) produced out-of-range prob %v", logits, v)
+			}
+			sum += v
+		}
+		if !almostEqual(sum, 1, 1e-9) {
+			t.Errorf("Softmax(%v) sums to %v, want 1", logits, sum)
+		}
+	}
+}
+
+func TestSoftmaxStability(t *testing.T) {
+	// Huge logits must not produce NaN/Inf.
+	p := Softmax([]float64{1e308 / 2, 1e308 / 2, 0}, nil)
+	for i, v := range p {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("Softmax unstable at index %d: %v", i, v)
+		}
+	}
+}
+
+func TestSoftmaxShiftInvariance(t *testing.T) {
+	f := func(a, b, c float64, shift float64) bool {
+		// Keep values in a sane range.
+		clamp := func(x float64) float64 {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return 0
+			}
+			return math.Mod(x, 50)
+		}
+		logits := []float64{clamp(a), clamp(b), clamp(c)}
+		s := clamp(shift)
+		shifted := []float64{logits[0] + s, logits[1] + s, logits[2] + s}
+		p1 := Softmax(logits, nil)
+		p2 := Softmax(shifted, nil)
+		for i := range p1 {
+			if !almostEqual(p1[i], p2[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSoftmaxTempSharpens(t *testing.T) {
+	logits := []float64{1, 2, 3}
+	soft := SoftmaxTemp(logits, 1, nil)
+	sharp := SoftmaxTemp(logits, 0.25, nil)
+	if Entropy(sharp) >= Entropy(soft) {
+		t.Errorf("temperature 0.25 should sharpen: H(sharp)=%v H(soft)=%v", Entropy(sharp), Entropy(soft))
+	}
+	if Argmax(sharp) != Argmax(soft) {
+		t.Error("temperature scaling must not change the argmax")
+	}
+}
+
+func TestLogSoftmaxMatchesSoftmax(t *testing.T) {
+	logits := []float64{0.3, -1.2, 4.5, 2.2}
+	p := Softmax(logits, nil)
+	lp := LogSoftmax(logits, nil)
+	for i := range p {
+		if !almostEqual(math.Exp(lp[i]), p[i], 1e-9) {
+			t.Errorf("exp(LogSoftmax)[%d]=%v, Softmax=%v", i, math.Exp(lp[i]), p[i])
+		}
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	got := LogSumExp([]float64{math.Log(1), math.Log(2), math.Log(3)})
+	if !almostEqual(got, math.Log(6), 1e-9) {
+		t.Errorf("LogSumExp = %v, want log(6)=%v", got, math.Log(6))
+	}
+	if got := LogSumExp(nil); !math.IsInf(got, -1) {
+		t.Errorf("LogSumExp(nil) = %v, want -Inf", got)
+	}
+}
+
+func TestEntropyUniformIsMax(t *testing.T) {
+	uniform := []float64{0.25, 0.25, 0.25, 0.25}
+	peaked := []float64{0.97, 0.01, 0.01, 0.01}
+	if Entropy(uniform) <= Entropy(peaked) {
+		t.Error("uniform distribution should have higher entropy than a peaked one")
+	}
+	if !almostEqual(Entropy(uniform), math.Log(4), 1e-9) {
+		t.Errorf("Entropy(uniform over 4) = %v, want log 4", Entropy(uniform))
+	}
+	if Entropy([]float64{1, 0, 0}) != 0 {
+		t.Error("Entropy of a point mass must be 0")
+	}
+}
+
+func TestArgmaxAndMax(t *testing.T) {
+	xs := []float64{1, 5, 3, 5}
+	if got := Argmax(xs); got != 1 {
+		t.Errorf("Argmax ties should pick first: got %d, want 1", got)
+	}
+	if got := Max(xs); got != 5 {
+		t.Errorf("Max = %v, want 5", got)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if Variance([]float64{3}) != 0 {
+		t.Error("Variance of a singleton must be 0")
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) must be 0")
+	}
+}
+
+func TestVarianceConfidenceSignal(t *testing.T) {
+	// A confident (peaked) logit vector has higher variance than a flat one —
+	// the property Eq. (7) of the paper relies on.
+	confident := []float64{10, -2, -2, -2}
+	unsure := []float64{0.1, 0.0, -0.1, 0.05}
+	if Variance(confident) <= Variance(unsure) {
+		t.Error("confident logits should have higher variance than flat logits")
+	}
+}

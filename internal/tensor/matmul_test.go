@@ -1,0 +1,115 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fedpkd/internal/stats"
+)
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	b := FromRows([][]float64{{7, 8}, {9, 10}, {11, 12}})
+	got := MatMul(a, b)
+	want := FromRows([][]float64{{58, 64}, {139, 154}})
+	if !got.Equal(want, 1e-12) {
+		t.Errorf("MatMul = %v, want %v", got.Data, want.Data)
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	eye := FromRows([][]float64{{1, 0}, {0, 1}})
+	if !MatMul(a, eye).Equal(a, 0) {
+		t.Error("A*I != A")
+	}
+	if !MatMul(eye, a).Equal(a, 0) {
+		t.Error("I*A != A")
+	}
+}
+
+func TestMatMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MatMul with inner-dim mismatch should panic")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got := Transpose(m)
+	want := FromRows([][]float64{{1, 4}, {2, 5}, {3, 6}})
+	if !got.Equal(want, 0) {
+		t.Errorf("Transpose = %v", got.Data)
+	}
+}
+
+// Property: MatMulTN(a, b) == MatMul(Transpose(a), b).
+func TestMatMulTNMatchesExplicitTranspose(t *testing.T) {
+	f := func(seed uint32) bool {
+		r := stats.NewRNG(uint64(seed))
+		k, m, n := 1+r.IntN(5), 1+r.IntN(5), 1+r.IntN(5)
+		a := Randn(r, k, m, 1)
+		b := Randn(r, k, n, 1)
+		return MatMulTN(a, b).Equal(MatMul(Transpose(a), b), 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MatMulNT(a, b) == MatMul(a, Transpose(b)).
+func TestMatMulNTMatchesExplicitTranspose(t *testing.T) {
+	f := func(seed uint32) bool {
+		r := stats.NewRNG(uint64(seed))
+		m, k, n := 1+r.IntN(5), 1+r.IntN(5), 1+r.IntN(5)
+		a := Randn(r, m, k, 1)
+		b := Randn(r, n, k, 1)
+		return MatMulNT(a, b).Equal(MatMul(a, Transpose(b)), 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: (AB)C == A(BC) (associativity within tolerance).
+func TestMatMulAssociativity(t *testing.T) {
+	f := func(seed uint32) bool {
+		r := stats.NewRNG(uint64(seed))
+		d1, d2, d3, d4 := 1+r.IntN(4), 1+r.IntN(4), 1+r.IntN(4), 1+r.IntN(4)
+		a := Randn(r, d1, d2, 1)
+		b := Randn(r, d2, d3, 1)
+		c := Randn(r, d3, d4, 1)
+		left := MatMul(MatMul(a, b), c)
+		right := MatMul(a, MatMul(b, c))
+		return left.Equal(right, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatMulInto(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	out := New(2, 2)
+	out.Fill(99) // Stale contents must be overwritten.
+	MatMulInto(out, a, b)
+	want := MatMul(a, b)
+	if !out.Equal(want, 0) {
+		t.Errorf("MatMulInto = %v, want %v", out.Data, want.Data)
+	}
+}
+
+func BenchmarkMatMul64(b *testing.B) {
+	rng := stats.NewRNG(1)
+	x := Randn(rng, 64, 64, 1)
+	y := Randn(rng, 64, 64, 1)
+	out := New(64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(out, x, y)
+	}
+}

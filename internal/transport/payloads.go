@@ -1,0 +1,105 @@
+package transport
+
+import (
+	"fmt"
+
+	"fedpkd/internal/proto"
+	"fedpkd/internal/tensor"
+)
+
+// ClientKnowledge is the dual-knowledge upload of FedPKD: public-set logits
+// plus local prototypes. Values travel as float32, matching the comm
+// package's 4-bytes-per-value accounting.
+type ClientKnowledge struct {
+	ClientID int
+	Round    int
+	// Logits is row-major: Samples x Classes.
+	Samples, Classes int
+	Logits           []float32
+	// Prototypes: one entry per class the client holds.
+	ProtoClasses []int32
+	ProtoCounts  []int32
+	ProtoDim     int
+	ProtoValues  []float32 // len(ProtoClasses) * ProtoDim, row-major
+}
+
+// ServerKnowledge is the downstream message: server logits on the filtered
+// public subset, the subset's indices, and the global prototypes.
+type ServerKnowledge struct {
+	Round int
+	// SelectedIndices are the filtered public-set sample indices the logits
+	// refer to.
+	SelectedIndices  []int32
+	Samples, Classes int
+	Logits           []float32
+	ProtoClasses     []int32
+	ProtoCounts      []int32
+	ProtoDim         int
+	ProtoValues      []float32
+}
+
+// ModelUpdate carries flattened model parameters (FedAvg family).
+type ModelUpdate struct {
+	ClientID   int
+	Round      int
+	NumSamples int // aggregation weight
+	Params     []float32
+}
+
+// MatrixToFloat32 flattens a matrix to the float32 wire format.
+func MatrixToFloat32(m *tensor.Matrix) []float32 {
+	out := make([]float32, len(m.Data))
+	for i, v := range m.Data {
+		out[i] = float32(v)
+	}
+	return out
+}
+
+// Float32ToMatrix reshapes wire values into a matrix.
+func Float32ToMatrix(rows, cols int, vals []float32) (*tensor.Matrix, error) {
+	if len(vals) != rows*cols {
+		return nil, fmt.Errorf("transport: got %d values for %dx%d matrix", len(vals), rows, cols)
+	}
+	m := tensor.New(rows, cols)
+	for i, v := range vals {
+		m.Data[i] = float64(v)
+	}
+	return m, nil
+}
+
+// ProtoToWire converts a prototype set to the wire representation.
+func ProtoToWire(s *proto.Set) (classes, counts []int32, dim int, values []float32) {
+	dim = s.Dim
+	for class := 0; class < s.Classes; class++ {
+		vec, ok := s.Vectors[class]
+		if !ok {
+			continue
+		}
+		classes = append(classes, int32(class))
+		counts = append(counts, int32(s.Counts[class]))
+		for _, v := range vec {
+			values = append(values, float32(v))
+		}
+	}
+	return classes, counts, dim, values
+}
+
+// ProtoFromWire reconstructs a prototype set from the wire representation.
+func ProtoFromWire(numClasses int, classes, counts []int32, dim int, values []float32) (*proto.Set, error) {
+	if len(classes) != len(counts) {
+		return nil, fmt.Errorf("transport: %d proto classes but %d counts", len(classes), len(counts))
+	}
+	if len(values) != len(classes)*dim {
+		return nil, fmt.Errorf("transport: %d proto values for %d classes of dim %d", len(values), len(classes), dim)
+	}
+	s := proto.NewSet(numClasses, dim)
+	for i, class := range classes {
+		vec := make([]float64, dim)
+		for j := 0; j < dim; j++ {
+			vec[j] = float64(values[i*dim+j])
+		}
+		s.Vectors[int(class)] = vec
+		s.Counts[int(class)] = int(counts[i])
+	}
+	return s, nil
+}

@@ -1,0 +1,89 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// tcpConn adapts a net.Conn to the envelope protocol with buffered writes.
+type tcpConn struct {
+	conn net.Conn
+	r    *bufio.Reader
+
+	wmu sync.Mutex
+	w   *bufio.Writer
+}
+
+var _ Conn = (*tcpConn)(nil)
+
+// NewTCPConn wraps an established net.Conn as an envelope Conn.
+func NewTCPConn(conn net.Conn) Conn {
+	return &tcpConn{
+		conn: conn,
+		r:    bufio.NewReader(conn),
+		w:    bufio.NewWriter(conn),
+	}
+}
+
+// Dial connects to a listening peer at addr.
+func Dial(addr string) (Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return NewTCPConn(conn), nil
+}
+
+func (c *tcpConn) Send(e *Envelope) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := writeEnvelope(c.w, e); err != nil {
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		return fmt.Errorf("transport: flush: %w", err)
+	}
+	return nil
+}
+
+func (c *tcpConn) Recv() (*Envelope, error) {
+	return readEnvelope(c.r)
+}
+
+func (c *tcpConn) Close() error {
+	return c.conn.Close()
+}
+
+// Server accepts envelope connections on a TCP listener.
+type Server struct {
+	ln net.Listener
+}
+
+// Listen starts an envelope server on addr (use "127.0.0.1:0" for an
+// ephemeral test port).
+func Listen(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &Server{ln: ln}, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Accept waits for the next peer connection.
+func (s *Server) Accept() (Conn, error) {
+	conn, err := s.ln.Accept()
+	if err != nil {
+		return nil, fmt.Errorf("transport: accept: %w", err)
+	}
+	return NewTCPConn(conn), nil
+}
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	return s.ln.Close()
+}

@@ -1,0 +1,239 @@
+package transport
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"fedpkd/internal/proto"
+	"fedpkd/internal/stats"
+	"fedpkd/internal/tensor"
+)
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	in := ClientKnowledge{
+		ClientID: 3,
+		Round:    7,
+		Samples:  2,
+		Classes:  3,
+		Logits:   []float32{1, 2, 3, 4, 5, 6},
+	}
+	payload, err := Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out ClientKnowledge
+	if err := Decode(payload, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ClientID != 3 || out.Round != 7 || len(out.Logits) != 6 || out.Logits[5] != 6 {
+		t.Errorf("roundtrip = %+v", out)
+	}
+}
+
+func TestBusDelivery(t *testing.T) {
+	bus := NewBus(2, 4)
+	defer bus.Close()
+	server := bus.ServerConn()
+	c0 := bus.ClientConn(0)
+	c1 := bus.ClientConn(1)
+
+	if err := c0.Send(&Envelope{Kind: KindClientKnowledge, From: 0, To: -1, Round: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Send(&Envelope{Kind: KindClientKnowledge, From: 1, To: -1, Round: 1}); err != nil {
+		t.Fatal(err)
+	}
+	got := map[int]bool{}
+	for i := 0; i < 2; i++ {
+		e, err := server.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[e.From] = true
+	}
+	if !got[0] || !got[1] {
+		t.Errorf("server received from %v", got)
+	}
+
+	if err := server.Send(&Envelope{Kind: KindServerKnowledge, From: -1, To: 1, Round: 1}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := c1.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Kind != KindServerKnowledge {
+		t.Errorf("client received kind %v", e.Kind)
+	}
+}
+
+func TestBusCloseUnblocksRecv(t *testing.T) {
+	bus := NewBus(1, 0)
+	c := bus.ClientConn(0)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Recv()
+		done <- err
+	}()
+	bus.Close()
+	if err := <-done; err != io.EOF {
+		t.Errorf("Recv after close = %v, want EOF", err)
+	}
+	if err := c.Send(&Envelope{}); err == nil {
+		t.Error("Send on closed bus should fail")
+	}
+}
+
+func TestBusBadClientPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ClientConn out of range should panic")
+		}
+	}()
+	NewBus(1, 0).ClientConn(5)
+}
+
+func TestServerSendToUnknownClientErrors(t *testing.T) {
+	bus := NewBus(1, 0)
+	defer bus.Close()
+	if err := bus.ServerConn().Send(&Envelope{To: 9}); err == nil {
+		t.Error("server send to unknown client should error")
+	}
+}
+
+func TestTCPRoundtrip(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var serverErr error
+	go func() {
+		defer wg.Done()
+		conn, err := srv.Accept()
+		if err != nil {
+			serverErr = err
+			return
+		}
+		defer conn.Close()
+		e, err := conn.Recv()
+		if err != nil {
+			serverErr = err
+			return
+		}
+		e.To, e.From = e.From, e.To // echo back
+		serverErr = conn.Send(e)
+	}()
+
+	client, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	payload, err := Encode(ModelUpdate{ClientID: 1, Params: []float32{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := &Envelope{Kind: KindModelUpdate, From: 1, To: -1, Round: 5, Payload: payload}
+	if err := client.Send(out); err != nil {
+		t.Fatal(err)
+	}
+	in, err := client.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if serverErr != nil {
+		t.Fatal(serverErr)
+	}
+	if in.Kind != KindModelUpdate || in.From != -1 || in.To != 1 || in.Round != 5 {
+		t.Errorf("echoed envelope = %+v", in)
+	}
+	var mu ModelUpdate
+	if err := Decode(in.Payload, &mu); err != nil {
+		t.Fatal(err)
+	}
+	if mu.ClientID != 1 || len(mu.Params) != 3 {
+		t.Errorf("decoded = %+v", mu)
+	}
+}
+
+func TestTCPEOFOnClose(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	go func() {
+		conn, err := srv.Accept()
+		if err != nil {
+			return
+		}
+		conn.Close()
+	}()
+	client, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Recv(); err != io.EOF {
+		t.Errorf("Recv after peer close = %v, want EOF", err)
+	}
+}
+
+func TestWireSizeMatchesHeader(t *testing.T) {
+	e := &Envelope{Payload: make([]byte, 100)}
+	if got := e.WireSize(); got != 117 {
+		t.Errorf("WireSize = %d, want 117", got)
+	}
+}
+
+func TestMatrixWireRoundtrip(t *testing.T) {
+	rng := stats.NewRNG(1)
+	m := tensor.Randn(rng, 3, 4, 1)
+	vals := MatrixToFloat32(m)
+	back, err := Float32ToMatrix(3, 4, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(back, 1e-6) {
+		t.Error("matrix wire roundtrip lost precision beyond float32")
+	}
+	if _, err := Float32ToMatrix(2, 2, vals); err == nil {
+		t.Error("wrong shape should error")
+	}
+}
+
+func TestProtoWireRoundtrip(t *testing.T) {
+	s := proto.NewSet(5, 3)
+	s.Vectors[1] = []float64{1, 2, 3}
+	s.Counts[1] = 4
+	s.Vectors[4] = []float64{-1, 0, 1}
+	s.Counts[4] = 9
+
+	classes, counts, dim, values := ProtoToWire(s)
+	back, err := ProtoFromWire(5, classes, counts, dim, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 || !back.Has(1) || !back.Has(4) {
+		t.Fatalf("roundtrip set = %+v", back)
+	}
+	if back.Counts[4] != 9 || back.Vectors[1][2] != 3 {
+		t.Errorf("roundtrip values wrong: %+v", back)
+	}
+	if _, err := ProtoFromWire(5, classes, counts[:1], dim, values); err == nil {
+		t.Error("mismatched counts should error")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindClientKnowledge.String() != "client-knowledge" || Kind(99).String() == "" {
+		t.Error("Kind.String broken")
+	}
+}

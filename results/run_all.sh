@@ -1,0 +1,9 @@
+#!/bin/sh
+# Sequential std-scale regeneration of every experiment, critical first.
+BIN=/root/repo/bin/fedbench
+OUT=/root/repo/results
+for exp in fig5 table1 fig8 fig7 fig9 fig10 fig1 fig2 fig3 fig6 ablation-aggregation ablation-filter-signal; do
+  echo "=== START $exp $(date +%H:%M:%S) ==="
+  $BIN -exp "$exp" -scale std -seed 42 -out "$OUT" || echo "FAILED: $exp"
+done
+echo "PIPELINE-COMPLETE"

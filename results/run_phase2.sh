@@ -1,0 +1,15 @@
+#!/bin/sh
+# Phase 2: remaining experiments, cheapest-and-highest-value first.
+BIN=/root/repo/bin/fedbench
+OUT=/root/repo/results
+for exp in fig1 fig2 fig3 fig9; do
+  echo "=== START $exp $(date +%H:%M:%S) ==="
+  $BIN -exp "$exp" -scale std -seed 42 -out "$OUT" || echo "FAILED: $exp"
+done
+for exp in fig7 fig6 ablation-aggregation ablation-filter-signal ablation-normalization extra-fedproto; do
+  echo "=== START $exp (quick) $(date +%H:%M:%S) ==="
+  $BIN -exp "$exp" -scale quick -seed 42 -out "$OUT" || echo "FAILED: $exp"
+done
+echo "=== START fig10 $(date +%H:%M:%S) ==="
+$BIN -exp fig10 -scale std -seed 42 -out "$OUT" || echo "FAILED: fig10"
+echo "PHASE2-COMPLETE"

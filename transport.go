@@ -1,0 +1,50 @@
+package fedpkd
+
+import (
+	"fedpkd/internal/transport"
+)
+
+// Networking types for running the protocols as real communicating
+// processes (see examples/distributed), aliased for the public surface.
+type (
+	// Envelope is the unit of transfer between federated peers.
+	Envelope = transport.Envelope
+	// MessageKind labels an envelope's payload type.
+	MessageKind = transport.Kind
+	// Conn is a bidirectional, ordered envelope stream.
+	Conn = transport.Conn
+	// TransportServer accepts envelope connections over TCP.
+	TransportServer = transport.Server
+	// Bus is the in-memory transport with the same semantics as TCP.
+	Bus = transport.Bus
+
+	// ClientKnowledge is FedPKD's dual-knowledge upload payload.
+	ClientKnowledge = transport.ClientKnowledge
+	// ServerKnowledge is FedPKD's downstream knowledge payload.
+	ServerKnowledge = transport.ServerKnowledge
+	// ModelUpdate carries flattened model parameters.
+	ModelUpdate = transport.ModelUpdate
+)
+
+// Message kinds.
+const (
+	KindClientKnowledge = transport.KindClientKnowledge
+	KindServerKnowledge = transport.KindServerKnowledge
+	KindModelUpdate     = transport.KindModelUpdate
+	KindControl         = transport.KindControl
+)
+
+// Listen starts an envelope server on a TCP address.
+func Listen(addr string) (*TransportServer, error) { return transport.Listen(addr) }
+
+// Dial connects to a listening envelope server.
+func Dial(addr string) (Conn, error) { return transport.Dial(addr) }
+
+// NewBus returns an in-memory transport for n clients.
+func NewBus(n, buffer int) *Bus { return transport.NewBus(n, buffer) }
+
+// EncodePayload gob-encodes an envelope payload.
+func EncodePayload(v any) ([]byte, error) { return transport.Encode(v) }
+
+// DecodePayload gob-decodes an envelope payload into v (a pointer).
+func DecodePayload(payload []byte, v any) error { return transport.Decode(payload, v) }
