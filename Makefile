@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test race check bench fuzz
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the full verification gate: build + vet + test + race.
+check:
+	sh scripts/check.sh
+
+bench:
+	$(GO) test -bench=. -benchmem ./internal/tensor/
+	$(GO) test -run=XXX -bench='BenchmarkFedPKDRound' -benchtime=2x .
+
+# fuzz runs the transport decode fuzzer for a short budget; raise FUZZTIME
+# for deeper exploration.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/transport/ -run=XXX -fuzz=FuzzDecode -fuzztime=$(FUZZTIME)

@@ -108,6 +108,43 @@ func BenchmarkFedPKDRound(b *testing.B) {
 	}
 }
 
+// BenchmarkFedPKDRoundInstrumented is BenchmarkFedPKDRound with a Recorder
+// attached; comparing the two quantifies the observability overhead.
+func BenchmarkFedPKDRoundInstrumented(b *testing.B) {
+	env, err := NewEnvironment(EnvConfig{
+		Spec:       SynthC10(42),
+		NumClients: 3,
+		TrainSize:  600, TestSize: 300, PublicSize: 200, LocalTestSize: 50,
+		Partition: PartitionConfig{Kind: PartitionDirichlet, Alpha: 0.3},
+		Seed:      42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	algo, err := NewFedPKD(Config{
+		Env:                 env,
+		ClientPrivateEpochs: 2,
+		ClientPublicEpochs:  1,
+		ServerEpochs:        3,
+		Seed:                42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := NewRecorder("FedPKD")
+	algo.SetRecorder(rec)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := algo.Round(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if len(rec.Traces()) == 0 && b.N > 1 {
+		b.Fatal("recorder collected no traces")
+	}
+}
+
 // BenchmarkDistributedRoundTCP measures one FedPKD round over real loopback
 // TCP (wire encoding + transport included).
 func BenchmarkDistributedRoundTCP(b *testing.B) {

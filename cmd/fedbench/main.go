@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"fedpkd/internal/expt"
+	"fedpkd/internal/obs"
 )
 
 func main() {
@@ -37,8 +38,18 @@ func run() error {
 		list      = flag.Bool("list", false, "list experiment ids and exit")
 		targetC10 = flag.Float64("target-c10", expt.DefaultTargetC10, "table1 accuracy target for SynthC10")
 		targetC1h = flag.Float64("target-c100", expt.DefaultTargetC100, "table1 accuracy target for SynthC100")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		dbg, err := obs.StartDebugServer(*debugAddr)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/\n", dbg.Addr())
+	}
 
 	if *list {
 		fmt.Println("experiments:", strings.Join(expt.ExperimentIDs(), " "))

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"fedpkd"
 )
@@ -43,8 +44,20 @@ func run() error {
 		distMode  = flag.String("distributed", "", "run FedPKD over a transport: bus or tcp (FedPKD only)")
 		localEp   = flag.Int("local-epochs", 5, "baseline local epochs / FedPKD private epochs")
 		serverEp  = flag.Int("server-epochs", 8, "server / distill epochs")
+		traceDir  = flag.String("trace-dir", "results", "directory for round-trace JSONL/CSV output (empty disables tracing)")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
+		progress  = flag.Bool("progress", true, "print a per-round progress line to stderr (requires tracing)")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		dbg, err := fedpkd.StartDebugServer(*debugAddr)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/\n", dbg.Addr())
+	}
 
 	spec := fedpkd.SynthC10(*seed)
 	if *task == "c100" {
@@ -92,13 +105,23 @@ func run() error {
 		Seed: *seed,
 	}
 
+	var rec *fedpkd.Recorder
+	if *traceDir != "" {
+		rec = fedpkd.NewRecorder(*algoName)
+		if *progress {
+			rec.OnRoundEnd(func(tr fedpkd.RoundTrace) {
+				fmt.Fprintln(os.Stderr, tr.ProgressLine())
+			})
+		}
+	}
+
 	var history *fedpkd.History
 	if *distMode != "" {
 		if *algoName != "FedPKD" {
 			return fmt.Errorf("-distributed supports only FedPKD")
 		}
 		history, err = fedpkd.RunDistributed(fedpkd.DistributedConfig{
-			Core: pkdConfig, Mode: fedpkd.DistributedMode(*distMode),
+			Core: pkdConfig, Mode: fedpkd.DistributedMode(*distMode), Recorder: rec,
 		}, *rounds)
 		if err != nil {
 			return err
@@ -128,10 +151,22 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		if ins, ok := algo.(fedpkd.Instrumented); ok {
+			ins.SetRecorder(rec)
+		}
 		history, err = algo.Run(*rounds)
 		if err != nil {
 			return err
 		}
+	}
+
+	if rec != nil {
+		prefix := strings.ToLower(strings.ReplaceAll(*algoName, "-", ""))
+		jsonlPath, csvPath, err := rec.DumpFiles(*traceDir, prefix)
+		if err != nil {
+			return fmt.Errorf("write traces: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "round traces written to %s and %s\n", jsonlPath, csvPath)
 	}
 
 	fmt.Printf("%s on %s [%s], %d clients\n\n", history.Algo, history.Dataset, history.Setting, *clients)

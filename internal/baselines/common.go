@@ -12,6 +12,7 @@ import (
 	"fedpkd/internal/fl"
 	"fedpkd/internal/models"
 	"fedpkd/internal/nn"
+	"fedpkd/internal/obs"
 	"fedpkd/internal/stats"
 )
 
@@ -77,4 +78,21 @@ func record(h *fl.History, round int, serverAcc, clientAcc float64, ledger *comm
 		ClientAcc:    clientAcc,
 		CumulativeMB: ledger.TotalMB(),
 	})
+}
+
+// recorderHolder embeds observability support into every baseline: a
+// nil-safe recorder plus the attach plumbing that mirrors the ledger into
+// it. Each baseline exposes it via its own SetRecorder method.
+type recorderHolder struct {
+	rec *obs.Recorder
+}
+
+// attach wires the recorder (nil detaches) and the ledger observer.
+func (h *recorderHolder) attach(r *obs.Recorder, l *comm.Ledger) {
+	h.rec = r
+	if r == nil {
+		l.SetObserver(nil)
+		return
+	}
+	l.SetObserver(r)
 }

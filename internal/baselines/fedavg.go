@@ -7,6 +7,7 @@ import (
 	"fedpkd/internal/fl"
 	"fedpkd/internal/models"
 	"fedpkd/internal/nn"
+	"fedpkd/internal/obs"
 	"fedpkd/internal/stats"
 )
 
@@ -28,6 +29,7 @@ type FedAvgConfig struct {
 // upload their weights; the server computes the sample-weighted average
 // (Eq. 1) and broadcasts it.
 type FedAvg struct {
+	recorderHolder
 	cfg     FedAvgConfig
 	name    string
 	clients []*nn.Network
@@ -87,6 +89,9 @@ func (f *FedAvg) Name() string { return f.name }
 // Ledger returns the traffic ledger.
 func (f *FedAvg) Ledger() *comm.Ledger { return f.ledger }
 
+// SetRecorder attaches an observability recorder (nil detaches).
+func (f *FedAvg) SetRecorder(r *obs.Recorder) { f.attach(r, f.ledger) }
+
 // GlobalModel returns a network holding the current global weights.
 func (f *FedAvg) GlobalModel() *nn.Network { return f.evalNet }
 
@@ -98,11 +103,14 @@ func (f *FedAvg) Run(rounds int) (*fl.History, error) {
 		if err := f.Round(); err != nil {
 			return hist, fmt.Errorf("%s round %d: %w", f.name, f.round-1, err)
 		}
+		stopEval := f.rec.Span(obs.PhaseEval)
 		record(hist, f.round-1,
 			fl.Accuracy(f.evalNet, env.Splits.Test),
 			fl.MeanClientAccuracy(f.clients, env.LocalTests),
 			f.ledger)
+		stopEval()
 	}
+	f.rec.Finish()
 	return hist, nil
 }
 
@@ -114,6 +122,7 @@ func (f *FedAvg) Round() error {
 	f.ledger.StartRound(t)
 
 	modelBytes := comm.ModelBytes(len(f.global))
+	f.rec.SetWorkers(fl.Workers(len(f.clients)))
 	err := fl.ForEachClient(len(f.clients), func(c int) error {
 		// Download global weights.
 		f.ledger.AddDownload(modelBytes)
@@ -121,6 +130,7 @@ func (f *FedAvg) Round() error {
 			return err
 		}
 		rng := stats.Split(f.cfg.Common.Seed, uint64(t)*1000+uint64(c))
+		stopTrain := f.rec.ClientSpan(c)
 		if f.cfg.Mu > 0 {
 			fl.TrainCEProx(f.clients[c], f.opts[c], env.ClientData[c], rng,
 				f.cfg.LocalEpochs, f.cfg.Common.BatchSize, f.cfg.Mu, f.global)
@@ -128,6 +138,7 @@ func (f *FedAvg) Round() error {
 			fl.TrainCE(f.clients[c], f.opts[c], env.ClientData[c], rng,
 				f.cfg.LocalEpochs, f.cfg.Common.BatchSize)
 		}
+		stopTrain()
 		// Upload updated weights.
 		f.ledger.AddUpload(modelBytes)
 		return nil
@@ -137,6 +148,7 @@ func (f *FedAvg) Round() error {
 	}
 
 	// Sample-weighted average (Eq. 1).
+	defer f.rec.Span(obs.PhaseAggregate)()
 	next := make([]float64, len(f.global))
 	var totalSamples float64
 	for c, net := range f.clients {

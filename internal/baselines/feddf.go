@@ -8,6 +8,7 @@ import (
 	"fedpkd/internal/kd"
 	"fedpkd/internal/models"
 	"fedpkd/internal/nn"
+	"fedpkd/internal/obs"
 	"fedpkd/internal/stats"
 	"fedpkd/internal/tensor"
 )
@@ -31,6 +32,7 @@ type FedDFConfig struct {
 // models, the server can compute their public-set logits locally — no logit
 // traffic.
 type FedDF struct {
+	recorderHolder
 	cfg     FedDFConfig
 	clients []*nn.Network
 	opts    []nn.Optimizer
@@ -90,6 +92,9 @@ func (f *FedDF) Name() string { return "FedDF" }
 // Ledger returns the traffic ledger.
 func (f *FedDF) Ledger() *comm.Ledger { return f.ledger }
 
+// SetRecorder attaches an observability recorder (nil detaches).
+func (f *FedDF) SetRecorder(r *obs.Recorder) { f.attach(r, f.ledger) }
+
 // Server returns the fused server model.
 func (f *FedDF) Server() *nn.Network { return f.server }
 
@@ -102,8 +107,11 @@ func (f *FedDF) Run(rounds int) (*fl.History, error) {
 		if err := f.Round(); err != nil {
 			return hist, fmt.Errorf("FedDF round %d: %w", f.round-1, err)
 		}
+		stopEval := f.rec.Span(obs.PhaseEval)
 		record(hist, f.round-1, fl.Accuracy(f.server, env.Splits.Test), -1, f.ledger)
+		stopEval()
 	}
+	f.rec.Finish()
 	return hist, nil
 }
 
@@ -118,13 +126,16 @@ func (f *FedDF) Round() error {
 	publicX := env.Splits.Public.X
 
 	clientLogits := make([]*tensor.Matrix, len(f.clients))
+	f.rec.SetWorkers(fl.Workers(len(f.clients)))
 	err := fl.ForEachClient(len(f.clients), func(c int) error {
 		f.ledger.AddDownload(modelBytes)
 		if err := nn.SetFlatParams(f.clients[c].Params(), f.global); err != nil {
 			return err
 		}
 		rng := stats.Split(f.cfg.Common.Seed, uint64(t)*1000+uint64(c))
+		stopTrain := f.rec.ClientSpan(c)
 		fl.TrainCE(f.clients[c], f.opts[c], env.ClientData[c], rng, f.cfg.LocalEpochs, f.cfg.Common.BatchSize)
+		stopTrain()
 		f.ledger.AddUpload(modelBytes)
 		// The server holds the uploaded model, so it computes these logits
 		// locally — no wire cost.
@@ -136,6 +147,7 @@ func (f *FedDF) Round() error {
 	}
 
 	// Initialize fusion from the FedAvg average (Eq. 1).
+	stopAgg := f.rec.Span(obs.PhaseAggregate)
 	next := make([]float64, len(f.global))
 	var totalSamples float64
 	for c, net := range f.clients {
@@ -150,6 +162,7 @@ func (f *FedDF) Round() error {
 		next[i] /= totalSamples
 	}
 	if err := nn.SetFlatParams(f.server.Params(), next); err != nil {
+		stopAgg()
 		return err
 	}
 
@@ -157,9 +170,12 @@ func (f *FedDF) Round() error {
 	// client logits (pure KL).
 	ensemble := kd.AggregateMean(clientLogits)
 	pseudo := kd.PseudoLabels(ensemble)
+	stopAgg()
 	rng := stats.Split(f.cfg.Common.Seed, uint64(t)*1000+999)
+	stopServer := f.rec.Span(obs.PhaseServerTrain)
 	fl.TrainDistill(f.server, nn.NewAdam(f.cfg.Common.LR), publicX, ensemble, pseudo,
 		rng, f.cfg.ServerEpochs, f.cfg.Common.BatchSize, 1, 1)
+	stopServer()
 
 	f.global = nn.FlattenParams(f.server.Params())
 	return nil

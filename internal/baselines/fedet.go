@@ -8,6 +8,7 @@ import (
 	"fedpkd/internal/kd"
 	"fedpkd/internal/models"
 	"fedpkd/internal/nn"
+	"fedpkd/internal/obs"
 	"fedpkd/internal/stats"
 	"fedpkd/internal/tensor"
 )
@@ -33,6 +34,7 @@ type FedETConfig struct {
 // and a larger server model is trained by ensemble distillation; clients
 // then distill from the server's logits.
 type FedET struct {
+	recorderHolder
 	cfg       FedETConfig
 	clients   []*nn.Network
 	opts      []nn.Optimizer
@@ -89,6 +91,9 @@ func (f *FedET) Name() string { return "FedET" }
 // Ledger returns the traffic ledger.
 func (f *FedET) Ledger() *comm.Ledger { return f.ledger }
 
+// SetRecorder attaches an observability recorder (nil detaches).
+func (f *FedET) SetRecorder(r *obs.Recorder) { f.attach(r, f.ledger) }
+
 // Server returns the large server model.
 func (f *FedET) Server() *nn.Network { return f.server }
 
@@ -100,11 +105,14 @@ func (f *FedET) Run(rounds int) (*fl.History, error) {
 		if err := f.Round(); err != nil {
 			return hist, fmt.Errorf("FedET round %d: %w", f.round-1, err)
 		}
+		stopEval := f.rec.Span(obs.PhaseEval)
 		record(hist, f.round-1,
 			fl.Accuracy(f.server, env.Splits.Test),
 			fl.MeanClientAccuracy(f.clients, env.LocalTests),
 			f.ledger)
+		stopEval()
 	}
+	f.rec.Finish()
 	return hist, nil
 }
 
@@ -120,9 +128,12 @@ func (f *FedET) Round() error {
 	logitBytes := comm.LogitsBytes(publicX.Rows, classes)
 
 	clientLogits := make([]*tensor.Matrix, len(f.clients))
+	f.rec.SetWorkers(fl.Workers(len(f.clients)))
 	err := fl.ForEachClient(len(f.clients), func(c int) error {
 		rng := stats.Split(f.cfg.Common.Seed, uint64(t)*1000+uint64(c))
+		stopTrain := f.rec.ClientSpan(c)
 		fl.TrainCE(f.clients[c], f.opts[c], env.ClientData[c], rng, f.cfg.LocalEpochs, f.cfg.Common.BatchSize)
+		stopTrain()
 		clientLogits[c] = f.clients[c].Logits(publicX)
 		// Dual upload: logits plus the client's model parameters (FedET's
 		// representation-layer synchronization).
@@ -135,11 +146,15 @@ func (f *FedET) Round() error {
 	}
 
 	// Confidence-weighted ensemble distillation into the large server model.
+	stopAgg := f.rec.Span(obs.PhaseAggregate)
 	ensemble := kd.AggregateConfidenceWeighted(clientLogits)
 	pseudo := kd.PseudoLabels(ensemble)
+	stopAgg()
 	rng := stats.Split(f.cfg.Common.Seed, uint64(t)*1000+999)
+	stopServer := f.rec.Span(obs.PhaseServerTrain)
 	fl.TrainDistill(f.server, f.serverOpt, publicX, ensemble, pseudo,
 		rng, f.cfg.ServerEpochs, f.cfg.Common.BatchSize, 0.5, 1)
+	stopServer()
 
 	// Clients distill from the server's logits.
 	serverLogits := f.server.Logits(publicX)
@@ -147,8 +162,10 @@ func (f *FedET) Round() error {
 	return fl.ForEachClient(len(f.clients), func(c int) error {
 		f.ledger.AddDownload(logitBytes)
 		rng := stats.Split(f.cfg.Common.Seed, uint64(t)*1000+500+uint64(c))
+		stopPublic := f.rec.Span(obs.PhaseClientPublic)
 		fl.TrainDistill(f.clients[c], f.opts[c], publicX, serverLogits, serverPseudo,
 			rng, 5, f.cfg.Common.BatchSize, 0.5, 1)
+		stopPublic()
 		return nil
 	})
 }

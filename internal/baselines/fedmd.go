@@ -8,6 +8,7 @@ import (
 	"fedpkd/internal/kd"
 	"fedpkd/internal/models"
 	"fedpkd/internal/nn"
+	"fedpkd/internal/obs"
 	"fedpkd/internal/stats"
 	"fedpkd/internal/tensor"
 )
@@ -34,6 +35,7 @@ type FedMDConfig struct {
 // consensus; clients digest the consensus via KL distillation. There is no
 // server model.
 type FedMD struct {
+	recorderHolder
 	cfg     FedMDConfig
 	name    string
 	clients []*nn.Network
@@ -87,6 +89,9 @@ func (f *FedMD) Name() string { return f.name }
 // Ledger returns the traffic ledger.
 func (f *FedMD) Ledger() *comm.Ledger { return f.ledger }
 
+// SetRecorder attaches an observability recorder (nil detaches).
+func (f *FedMD) SetRecorder(r *obs.Recorder) { f.attach(r, f.ledger) }
+
 // Clients returns the client models.
 func (f *FedMD) Clients() []*nn.Network { return f.clients }
 
@@ -99,8 +104,11 @@ func (f *FedMD) Run(rounds int) (*fl.History, error) {
 		if err := f.Round(); err != nil {
 			return hist, fmt.Errorf("%s round %d: %w", f.name, f.round-1, err)
 		}
+		stopEval := f.rec.Span(obs.PhaseEval)
 		record(hist, f.round-1, -1, fl.MeanClientAccuracy(f.clients, env.LocalTests), f.ledger)
+		stopEval()
 	}
+	f.rec.Finish()
 	return hist, nil
 }
 
@@ -116,9 +124,12 @@ func (f *FedMD) Round() error {
 	logitBytes := comm.LogitsBytes(publicX.Rows, classes)
 
 	clientLogits := make([]*tensor.Matrix, len(f.clients))
+	f.rec.SetWorkers(fl.Workers(len(f.clients)))
 	err := fl.ForEachClient(len(f.clients), func(c int) error {
 		rng := stats.Split(f.cfg.Common.Seed, uint64(t)*1000+uint64(c))
+		stopTrain := f.rec.ClientSpan(c)
 		fl.TrainCE(f.clients[c], f.opts[c], env.ClientData[c], rng, f.cfg.LocalEpochs, f.cfg.Common.BatchSize)
+		stopTrain()
 		clientLogits[c] = f.clients[c].Logits(publicX)
 		f.ledger.AddUpload(logitBytes)
 		return nil
@@ -127,6 +138,7 @@ func (f *FedMD) Round() error {
 		return err
 	}
 
+	stopAgg := f.rec.Span(obs.PhaseAggregate)
 	var consensus *tensor.Matrix
 	if f.cfg.ERATemperature > 0 {
 		consensus = kd.AggregateERA(clientLogits, f.cfg.ERATemperature)
@@ -134,13 +146,16 @@ func (f *FedMD) Round() error {
 		consensus = kd.AggregateMean(clientLogits)
 	}
 	pseudo := kd.PseudoLabels(consensus)
+	stopAgg()
 
 	// Digest: clients approach the consensus via pure KL (gamma = 1).
 	return fl.ForEachClient(len(f.clients), func(c int) error {
 		f.ledger.AddDownload(logitBytes)
 		rng := stats.Split(f.cfg.Common.Seed, uint64(t)*1000+500+uint64(c))
+		stopPublic := f.rec.Span(obs.PhaseClientPublic)
 		fl.TrainDistill(f.clients[c], f.opts[c], publicX, consensus, pseudo,
 			rng, f.cfg.DistillEpochs, f.cfg.Common.BatchSize, 1, 1)
+		stopPublic()
 		return nil
 	})
 }

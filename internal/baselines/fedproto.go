@@ -5,6 +5,7 @@ import (
 	"fedpkd/internal/fl"
 	"fedpkd/internal/models"
 	"fedpkd/internal/nn"
+	"fedpkd/internal/obs"
 	"fedpkd/internal/proto"
 	"fedpkd/internal/stats"
 )
@@ -28,6 +29,7 @@ type FedProtoConfig struct {
 
 // FedProto runs prototype-aggregation federated learning.
 type FedProto struct {
+	recorderHolder
 	cfg     FedProtoConfig
 	clients []*nn.Network
 	opts    []nn.Optimizer
@@ -65,6 +67,9 @@ func (f *FedProto) Name() string { return "FedProto" }
 // Ledger returns the traffic ledger.
 func (f *FedProto) Ledger() *comm.Ledger { return f.ledger }
 
+// SetRecorder attaches an observability recorder (nil detaches).
+func (f *FedProto) SetRecorder(r *obs.Recorder) { f.attach(r, f.ledger) }
+
 // GlobalPrototypes returns the latest aggregated prototypes (nil before the
 // first round).
 func (f *FedProto) GlobalPrototypes() *proto.Set { return f.global }
@@ -78,8 +83,11 @@ func (f *FedProto) Run(rounds int) (*fl.History, error) {
 		if err := f.Round(); err != nil {
 			return hist, err
 		}
+		stopEval := f.rec.Span(obs.PhaseEval)
 		record(hist, f.round-1, -1, fl.MeanClientAccuracy(f.clients, env.LocalTests), f.ledger)
+		stopEval()
 	}
+	f.rec.Finish()
 	return hist, nil
 }
 
@@ -91,14 +99,17 @@ func (f *FedProto) Round() error {
 	f.ledger.StartRound(t)
 
 	clientProtos := make([]*proto.Set, len(f.clients))
+	f.rec.SetWorkers(fl.Workers(len(f.clients)))
 	err := fl.ForEachClient(len(f.clients), func(c int) error {
 		rng := stats.Split(f.cfg.Common.Seed, uint64(t)*1000+uint64(c))
+		stopTrain := f.rec.ClientSpan(c)
 		if t == 0 || f.global == nil {
 			fl.TrainCE(f.clients[c], f.opts[c], env.ClientData[c], rng, f.cfg.LocalEpochs, f.cfg.Common.BatchSize)
 		} else {
 			fl.TrainCEWithProto(f.clients[c], f.opts[c], env.ClientData[c], rng,
 				f.cfg.LocalEpochs, f.cfg.Common.BatchSize, f.global, f.cfg.Epsilon)
 		}
+		stopTrain()
 		clientProtos[c] = proto.Compute(f.clients[c].Features, env.ClientData[c])
 		f.ledger.AddUpload(comm.PrototypeBytes(clientProtos[c].Len(), clientProtos[c].Dim))
 		return nil
@@ -107,7 +118,9 @@ func (f *FedProto) Round() error {
 		return err
 	}
 
+	stopAgg := f.rec.Span(obs.PhaseAggregate)
 	global, err := proto.Aggregate(clientProtos)
+	stopAgg()
 	if err != nil {
 		return err
 	}

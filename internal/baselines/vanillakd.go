@@ -8,6 +8,7 @@ import (
 	"fedpkd/internal/kd"
 	"fedpkd/internal/models"
 	"fedpkd/internal/nn"
+	"fedpkd/internal/obs"
 	"fedpkd/internal/stats"
 	"fedpkd/internal/tensor"
 )
@@ -28,6 +29,7 @@ type VanillaKDConfig struct {
 
 // VanillaKD is the strawman FedPKD improves on.
 type VanillaKD struct {
+	recorderHolder
 	cfg       VanillaKDConfig
 	clients   []*nn.Network
 	opts      []nn.Optimizer
@@ -88,6 +90,9 @@ func (f *VanillaKD) Name() string { return "KD" }
 // Ledger returns the traffic ledger.
 func (f *VanillaKD) Ledger() *comm.Ledger { return f.ledger }
 
+// SetRecorder attaches an observability recorder (nil detaches).
+func (f *VanillaKD) SetRecorder(r *obs.Recorder) { f.attach(r, f.ledger) }
+
 // Server returns the server model.
 func (f *VanillaKD) Server() *nn.Network { return f.server }
 
@@ -110,11 +115,14 @@ func (f *VanillaKD) Run(rounds int) (*fl.History, error) {
 		if err := f.Round(); err != nil {
 			return hist, fmt.Errorf("KD round %d: %w", f.round-1, err)
 		}
+		stopEval := f.rec.Span(obs.PhaseEval)
 		record(hist, f.round-1,
 			fl.Accuracy(f.server, env.Splits.Test),
 			fl.MeanClientAccuracy(f.clients, env.LocalTests),
 			f.ledger)
+		stopEval()
 	}
+	f.rec.Finish()
 	return hist, nil
 }
 
@@ -129,9 +137,12 @@ func (f *VanillaKD) Round() error {
 	logitBytes := comm.LogitsBytes(publicX.Rows, env.Classes())
 
 	clientLogits := make([]*tensor.Matrix, len(f.clients))
+	f.rec.SetWorkers(fl.Workers(len(f.clients)))
 	err := fl.ForEachClient(len(f.clients), func(c int) error {
 		rng := stats.Split(f.cfg.Common.Seed, uint64(t)*1000+uint64(c))
+		stopTrain := f.rec.ClientSpan(c)
 		fl.TrainCE(f.clients[c], f.opts[c], env.ClientData[c], rng, f.cfg.LocalEpochs, f.cfg.Common.BatchSize)
+		stopTrain()
 		clientLogits[c] = f.clients[c].Logits(publicX)
 		f.ledger.AddUpload(logitBytes)
 		return nil
@@ -140,10 +151,14 @@ func (f *VanillaKD) Round() error {
 		return err
 	}
 
+	stopAgg := f.rec.Span(obs.PhaseAggregate)
 	ensemble := kd.AggregateMean(clientLogits)
 	pseudo := kd.PseudoLabels(ensemble)
+	stopAgg()
 	rng := stats.Split(f.cfg.Common.Seed, uint64(t)*1000+999)
+	stopServer := f.rec.Span(obs.PhaseServerTrain)
 	fl.TrainDistill(f.server, f.serverOpt, publicX, ensemble, pseudo,
 		rng, f.cfg.ServerEpochs, f.cfg.Common.BatchSize, 0.5, 1)
+	stopServer()
 	return nil
 }

@@ -54,12 +54,26 @@ type RoundTraffic struct {
 // Total returns upload + download.
 func (r RoundTraffic) Total() int64 { return r.Upload + r.Download }
 
+// Observer receives ledger events as they are recorded — the hook the
+// observability layer (internal/obs) uses to mirror byte accounting into
+// round traces without the ledger depending on it. Implementations must be
+// safe for concurrent use; callbacks run outside the ledger's lock.
+type Observer interface {
+	// RoundStarted fires when a new round's accounting begins.
+	RoundStarted(round int)
+	// UploadedBytes fires for every client→server recording.
+	UploadedBytes(bytes int)
+	// DownloadedBytes fires for every server→client recording.
+	DownloadedBytes(bytes int)
+}
+
 // Ledger accumulates traffic measurements across rounds. It is safe for
 // concurrent use: parallel clients record their uploads simultaneously.
 // The zero value is NOT ready to use; call NewLedger.
 type Ledger struct {
 	mu     sync.Mutex
 	rounds []RoundTraffic
+	obs    Observer
 }
 
 // NewLedger returns an empty ledger.
@@ -67,25 +81,51 @@ func NewLedger() *Ledger {
 	return &Ledger{}
 }
 
+// SetObserver attaches an observer notified of every subsequent recording
+// (nil detaches). Attach before StartRound so the observer sees whole
+// rounds.
+func (l *Ledger) SetObserver(o Observer) {
+	l.mu.Lock()
+	l.obs = o
+	l.mu.Unlock()
+}
+
 // StartRound begins accounting for the given round number.
 func (l *Ledger) StartRound(round int) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	l.rounds = append(l.rounds, RoundTraffic{Round: round})
+	o := l.obs
+	l.mu.Unlock()
+	if o != nil {
+		o.RoundStarted(round)
+	}
 }
 
 // AddUpload records client→server traffic in the current round.
 func (l *Ledger) AddUpload(bytes int) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.mustCurrent().Upload += int64(bytes)
+	if o := l.add(bytes, true); o != nil {
+		o.UploadedBytes(bytes)
+	}
 }
 
 // AddDownload records server→client traffic in the current round.
 func (l *Ledger) AddDownload(bytes int) {
+	if o := l.add(bytes, false); o != nil {
+		o.DownloadedBytes(bytes)
+	}
+}
+
+// add records the bytes under the lock and returns the observer to notify
+// (deferred unlock keeps the ledger usable if mustCurrent panics).
+func (l *Ledger) add(bytes int, upload bool) Observer {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.mustCurrent().Download += int64(bytes)
+	if upload {
+		l.mustCurrent().Upload += int64(bytes)
+	} else {
+		l.mustCurrent().Download += int64(bytes)
+	}
+	return l.obs
 }
 
 func (l *Ledger) mustCurrent() *RoundTraffic {

@@ -48,6 +48,60 @@ func TestLedgerAccumulates(t *testing.T) {
 	}
 }
 
+// recordingObserver captures ledger notifications for assertions.
+type recordingObserver struct {
+	mu             sync.Mutex
+	rounds         []int
+	uploads, downs int64
+}
+
+func (o *recordingObserver) RoundStarted(round int) {
+	o.mu.Lock()
+	o.rounds = append(o.rounds, round)
+	o.mu.Unlock()
+}
+
+func (o *recordingObserver) UploadedBytes(b int) {
+	o.mu.Lock()
+	o.uploads += int64(b)
+	o.mu.Unlock()
+}
+
+func (o *recordingObserver) DownloadedBytes(b int) {
+	o.mu.Lock()
+	o.downs += int64(b)
+	o.mu.Unlock()
+}
+
+func TestLedgerObserverMirrorsTraffic(t *testing.T) {
+	l := NewLedger()
+	obs := &recordingObserver{}
+	l.SetObserver(obs)
+	l.StartRound(0)
+	l.AddUpload(100)
+	l.AddDownload(40)
+	l.StartRound(1)
+	l.AddUpload(60)
+
+	if want := []int{0, 1}; len(obs.rounds) != 2 || obs.rounds[0] != want[0] || obs.rounds[1] != want[1] {
+		t.Errorf("observed rounds = %v, want %v", obs.rounds, want)
+	}
+	if obs.uploads != 160 || obs.downs != 40 {
+		t.Errorf("observed bytes = %d/%d, want 160/40", obs.uploads, obs.downs)
+	}
+	// Observer totals must match the ledger's own accounting.
+	if obs.uploads+obs.downs != l.TotalBytes() {
+		t.Errorf("observer total %d != ledger total %d", obs.uploads+obs.downs, l.TotalBytes())
+	}
+
+	// Detach: further traffic must not notify.
+	l.SetObserver(nil)
+	l.AddUpload(999)
+	if obs.uploads != 160 {
+		t.Errorf("detached observer still notified: %d", obs.uploads)
+	}
+}
+
 func TestLedgerBeforeStartPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

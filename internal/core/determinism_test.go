@@ -1,0 +1,123 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"fedpkd/internal/fl"
+	"fedpkd/internal/obs"
+)
+
+// runOnce executes a fresh fixed-seed FedPKD run and returns its history
+// serialized to bytes, so runs can be compared byte-for-byte.
+func runOnce(t *testing.T, env *fl.Env, rounds int, rec *obs.Recorder) ([]byte, *FedPKD) {
+	t.Helper()
+	f, err := New(tinyConfig(env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetRecorder(rec)
+	hist, err := f.Run(rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, f
+}
+
+// TestFedPKDDeterministic asserts that two fixed-seed runs produce
+// byte-identical round histories even though clients train concurrently:
+// every client owns its own RNG stream, so scheduling order must not leak
+// into the results.
+func TestFedPKDDeterministic(t *testing.T) {
+	env := tinyEnv(t, 0.5)
+	a, _ := runOnce(t, env, 2, nil)
+	b, _ := runOnce(t, env, 2, nil)
+	if string(a) != string(b) {
+		t.Errorf("two fixed-seed runs diverged:\n run1: %s\n run2: %s", a, b)
+	}
+}
+
+// TestRecorderDoesNotPerturbRun asserts that attaching an observability
+// recorder leaves the numeric results untouched: observation must be free of
+// side effects on the simulation.
+func TestRecorderDoesNotPerturbRun(t *testing.T) {
+	env := tinyEnv(t, 0.5)
+	plain, _ := runOnce(t, env, 2, nil)
+	observed, _ := runOnce(t, env, 2, obs.NewRecorder("FedPKD"))
+	if string(plain) != string(observed) {
+		t.Errorf("recorder changed results:\n bare:     %s\n observed: %s", plain, observed)
+	}
+}
+
+// TestRecorderMatchesLedger asserts the acceptance criterion of the obs
+// layer: the per-round byte counters in the trace must equal the ledger's
+// per-round accounting, and their sums must equal the ledger totals.
+func TestRecorderMatchesLedger(t *testing.T) {
+	env := tinyEnv(t, 0.5)
+	rec := obs.NewRecorder("FedPKD")
+	const rounds = 3
+	_, f := runOnce(t, env, rounds, rec)
+
+	traces := rec.Traces()
+	if len(traces) != rounds {
+		t.Fatalf("got %d traces for %d rounds", len(traces), rounds)
+	}
+	ledgerRounds := f.Ledger().Rounds()
+	if len(ledgerRounds) != rounds {
+		t.Fatalf("ledger recorded %d rounds, want %d", len(ledgerRounds), rounds)
+	}
+	var sumUp, sumDown int64
+	for i, tr := range traces {
+		lr := ledgerRounds[i]
+		if tr.Round != lr.Round {
+			t.Errorf("trace %d: round %d, ledger says %d", i, tr.Round, lr.Round)
+		}
+		if tr.UploadBytes != lr.Upload {
+			t.Errorf("round %d: trace upload %d, ledger %d", tr.Round, tr.UploadBytes, lr.Upload)
+		}
+		if tr.DownloadBytes != lr.Download {
+			t.Errorf("round %d: trace download %d, ledger %d", tr.Round, tr.DownloadBytes, lr.Download)
+		}
+		sumUp += tr.UploadBytes
+		sumDown += tr.DownloadBytes
+	}
+	if total := f.Ledger().TotalBytes(); sumUp+sumDown != total {
+		t.Errorf("trace bytes sum to %d, ledger total is %d", sumUp+sumDown, total)
+	}
+}
+
+// TestRecorderCollectsPhases asserts every FedPKD phase shows up in the
+// trace with a positive duration and that each participating client has a
+// training span.
+func TestRecorderCollectsPhases(t *testing.T) {
+	env := tinyEnv(t, 0.5)
+	rec := obs.NewRecorder("FedPKD")
+	_, _ = runOnce(t, env, 1, rec)
+
+	traces := rec.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	for _, phase := range []string{
+		obs.PhaseClientTrain, obs.PhaseClientPublic, obs.PhaseAggregate,
+		obs.PhaseFilter, obs.PhaseServerTrain, obs.PhaseEval,
+	} {
+		if tr.PhaseNS[phase] <= 0 {
+			t.Errorf("phase %q missing from trace (got %d ns)", phase, tr.PhaseNS[phase])
+		}
+	}
+	if len(tr.ClientTrainNS) != env.Cfg.NumClients {
+		t.Errorf("client spans for %d clients, want %d", len(tr.ClientTrainNS), env.Cfg.NumClients)
+	}
+	if tr.Batches <= 0 {
+		t.Errorf("batches = %d, want > 0", tr.Batches)
+	}
+	if tr.Workers < 1 {
+		t.Errorf("workers = %d, want >= 1", tr.Workers)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"fedpkd/internal/kd"
 	"fedpkd/internal/models"
 	"fedpkd/internal/nn"
+	"fedpkd/internal/obs"
 	"fedpkd/internal/proto"
 	"fedpkd/internal/stats"
 	"fedpkd/internal/tensor"
@@ -169,6 +170,7 @@ type FedPKD struct {
 
 	globalProtos *proto.Set
 	ledger       *comm.Ledger
+	rec          *obs.Recorder
 	round        int
 }
 
@@ -245,6 +247,19 @@ func (f *FedPKD) GlobalPrototypes() *proto.Set { return f.globalProtos }
 // Ledger returns the traffic ledger.
 func (f *FedPKD) Ledger() *comm.Ledger { return f.ledger }
 
+// SetRecorder attaches an observability recorder: round phases and
+// per-client training times are spanned, and the ledger's byte accounting
+// is mirrored into the recorder's traces. Attach before the first Round;
+// nil detaches.
+func (f *FedPKD) SetRecorder(r *obs.Recorder) {
+	f.rec = r
+	if r == nil {
+		f.ledger.SetObserver(nil)
+		return
+	}
+	f.ledger.SetObserver(r)
+}
+
 // Run executes the given number of communication rounds (Algorithm 2).
 func (f *FedPKD) Run(rounds int) (*fl.History, error) {
 	env := f.cfg.Env
@@ -257,13 +272,16 @@ func (f *FedPKD) Run(rounds int) (*fl.History, error) {
 		if err := f.Round(); err != nil {
 			return hist, fmt.Errorf("core: round %d: %w", f.round-1, err)
 		}
+		stopEval := f.rec.Span(obs.PhaseEval)
 		hist.Add(fl.RoundMetrics{
 			Round:        f.round - 1,
 			ServerAcc:    fl.Accuracy(f.server, env.Splits.Test),
 			ClientAcc:    fl.MeanClientAccuracy(f.clients, env.LocalTests),
 			CumulativeMB: f.ledger.TotalMB(),
 		})
+		stopEval()
 	}
+	f.rec.Finish()
 	return hist, nil
 }
 
@@ -280,6 +298,7 @@ func (f *FedPKD) Round() error {
 	// Partial participation: sample this round's cohort and inject upload
 	// failures.
 	participants := f.sampleParticipants(t)
+	f.rec.SetWorkers(fl.Workers(len(participants)))
 
 	// Phase 1+2: client private training and dual knowledge extraction.
 	logitsByClient := make(map[int]*tensor.Matrix, len(participants))
@@ -290,12 +309,14 @@ func (f *FedPKD) Round() error {
 		c := participants[i]
 		rng := stats.Split(f.cfg.Seed, uint64(t)*1000+uint64(c))
 		net := f.clients[c]
+		stopTrain := f.rec.ClientSpan(c)
 		if t == 0 || f.globalProtos == nil || f.cfg.DisablePrototypes {
 			fl.TrainCE(net, f.clientOpts[c], env.ClientData[c], rng, f.cfg.ClientPrivateEpochs, f.cfg.BatchSize)
 		} else {
 			fl.TrainCEWithProto(net, f.clientOpts[c], env.ClientData[c], rng,
 				f.cfg.ClientPrivateEpochs, f.cfg.BatchSize, f.globalProtos, f.cfg.Epsilon)
 		}
+		stopTrain()
 		logits := net.Logits(publicX)
 		protos := proto.Compute(net.Features, env.ClientData[c])
 
@@ -328,6 +349,7 @@ func (f *FedPKD) Round() error {
 	}
 
 	// Phase 3a: aggregate the dual knowledge.
+	stopAgg := f.rec.Span(obs.PhaseAggregate)
 	var aggregated *tensor.Matrix
 	switch f.cfg.Aggregation {
 	case AggregationMean:
@@ -337,13 +359,17 @@ func (f *FedPKD) Round() error {
 	}
 	globalProtos, err := proto.Aggregate(clientProtos)
 	if err != nil {
+		stopAgg()
 		return fmt.Errorf("aggregate prototypes: %w", err)
 	}
 	f.globalProtos = globalProtos
 	pseudo := kd.PseudoLabels(aggregated)
+	stopAgg()
 
 	// Phase 3b: prototype-based data filtering (Algorithm 1).
+	stopFilter := f.rec.Span(obs.PhaseFilter)
 	selected := f.selectPublicSubset(publicX, pseudo, aggregated, globalProtos)
+	stopFilter()
 
 	subsetX := dataset.GatherRows(publicX, selected)
 	subsetTeacher := dataset.GatherRows(aggregated, selected)
@@ -358,8 +384,10 @@ func (f *FedPKD) Round() error {
 	if f.cfg.DisablePrototypes {
 		serverProtos = nil
 	}
+	stopServer := f.rec.Span(obs.PhaseServerTrain)
 	fl.TrainServerPKD(f.server, f.serverOpt, subsetX, subsetTeacher, subsetPseudo, serverProtos,
 		serverRng, f.cfg.ServerEpochs, f.cfg.BatchSize, f.cfg.Delta, f.cfg.Temperature)
+	stopServer()
 
 	// Phase 4: server knowledge transfer and client public training
 	// (Eqs. 14-15), to this round's participants.
@@ -372,8 +400,10 @@ func (f *FedPKD) Round() error {
 		c := participants[i]
 		f.ledger.AddDownload(downloadBytes)
 		rng := stats.Split(f.cfg.Seed, uint64(t)*1000+500+uint64(c))
+		stopPublic := f.rec.Span(obs.PhaseClientPublic)
 		fl.TrainDistill(f.clients[c], f.clientOpts[c], subsetX, serverLogits, serverPseudo,
 			rng, f.cfg.ClientPublicEpochs, f.cfg.BatchSize, f.cfg.Gamma, f.cfg.Temperature)
+		stopPublic()
 		return nil
 	})
 }

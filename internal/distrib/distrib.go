@@ -18,6 +18,7 @@ import (
 	"fedpkd/internal/kd"
 	"fedpkd/internal/models"
 	"fedpkd/internal/nn"
+	"fedpkd/internal/obs"
 	"fedpkd/internal/proto"
 	"fedpkd/internal/stats"
 	"fedpkd/internal/tensor"
@@ -40,6 +41,9 @@ const (
 type Config struct {
 	Core core.Config
 	Mode Mode
+	// Recorder, when non-nil, receives per-round spans and wire-byte
+	// counters; it is attached to the run's ledger as a comm.Observer.
+	Recorder *obs.Recorder
 }
 
 // Run executes rounds of FedPKD over the transport and returns the history.
@@ -86,6 +90,10 @@ func Run(cfg Config, rounds int) (*fl.History, error) {
 	serverOpt := nn.NewAdam(coreCfg.LR)
 
 	ledger := comm.NewLedger()
+	rec := cfg.Recorder
+	if rec != nil {
+		ledger.SetObserver(rec)
+	}
 	hist := &fl.History{Algo: "FedPKD(distributed)", Dataset: env.Cfg.Spec.Name, Setting: env.Cfg.Partition.String()}
 
 	// Round barriers: start signals fan out, done signals fan in.
@@ -96,17 +104,19 @@ func Run(cfg Config, rounds int) (*fl.History, error) {
 	done := make(chan error, numClients)
 
 	for c := 0; c < numClients; c++ {
-		go clientWorker(c, coreCfg, env, clients[c], clientOpts[c], clientConns[c], start[c], done)
+		go clientWorker(c, coreCfg, env, clients[c], clientOpts[c], clientConns[c], rec, start[c], done)
 	}
 
 	serverErr := make(chan error, 1)
 	go func() {
-		serverErr <- serverWorker(coreCfg, env, server, serverOpt, serverConn, ledger, rounds)
+		serverErr <- serverWorker(coreCfg, env, server, serverOpt, serverConn, ledger, rec, rounds)
 	}()
 
 	var firstErr error
 	for t := 0; t < rounds; t++ {
 		ledger.StartRound(t)
+		// Every client runs in its own goroutine: full fan-out.
+		rec.SetWorkers(numClients)
 		for c := range start {
 			start[c] <- t
 		}
@@ -119,12 +129,14 @@ func Run(cfg Config, rounds int) (*fl.History, error) {
 			break
 		}
 		// All workers parked: evaluate safely.
+		stopEval := rec.Span(obs.PhaseEval)
 		hist.Add(fl.RoundMetrics{
 			Round:        t,
 			ServerAcc:    fl.Accuracy(server, env.Splits.Test),
 			ClientAcc:    fl.MeanClientAccuracy(clients, env.LocalTests),
 			CumulativeMB: ledger.TotalMB(),
 		})
+		stopEval()
 	}
 	for c := range start {
 		close(start[c])
@@ -132,6 +144,7 @@ func Run(cfg Config, rounds int) (*fl.History, error) {
 	if err := <-serverErr; err != nil && firstErr == nil {
 		firstErr = err
 	}
+	rec.Finish()
 	return hist, firstErr
 }
 
@@ -196,18 +209,20 @@ func buildTransport(mode Mode, n int) (transport.Conn, []transport.Conn, func(),
 }
 
 // clientWorker runs one client's per-round protocol.
-func clientWorker(id int, cfg core.Config, env *fl.Env, net *nn.Network, opt nn.Optimizer, conn transport.Conn, start <-chan int, done chan<- error) {
+func clientWorker(id int, cfg core.Config, env *fl.Env, net *nn.Network, opt nn.Optimizer, conn transport.Conn, rec *obs.Recorder, start <-chan int, done chan<- error) {
 	var globalProtos *proto.Set
 	publicX := env.Splits.Public.X
 	for t := range start {
 		done <- func() error {
 			rng := stats.Split(cfg.Seed, uint64(t)*1000+uint64(id))
 			// Private training (Eq. 4 / Eq. 16).
+			stopTrain := rec.ClientSpan(id)
 			if t == 0 || globalProtos == nil || cfg.DisablePrototypes {
 				fl.TrainCE(net, opt, env.ClientData[id], rng, cfg.ClientPrivateEpochs, cfg.BatchSize)
 			} else {
 				fl.TrainCEWithProto(net, opt, env.ClientData[id], rng, cfg.ClientPrivateEpochs, cfg.BatchSize, globalProtos, cfg.Epsilon)
 			}
+			stopTrain()
 
 			// Dual knowledge upload.
 			logits := net.Logits(publicX)
@@ -238,6 +253,9 @@ func clientWorker(id int, cfg core.Config, env *fl.Env, net *nn.Network, opt nn.
 			if err := transport.Decode(e.Payload, &sk); err != nil {
 				return err
 			}
+			if err := sk.Validate(); err != nil {
+				return err
+			}
 			serverLogits, err := transport.Float32ToMatrix(sk.Samples, sk.Classes, sk.Logits)
 			if err != nil {
 				return err
@@ -255,7 +273,9 @@ func clientWorker(id int, cfg core.Config, env *fl.Env, net *nn.Network, opt nn.
 
 			// Public training (Eq. 15).
 			rng2 := stats.Split(cfg.Seed, uint64(t)*1000+500+uint64(id))
+			stopPublic := rec.Span(obs.PhaseClientPublic)
 			fl.TrainDistill(net, opt, subsetX, serverLogits, pseudo, rng2, cfg.ClientPublicEpochs, cfg.BatchSize, cfg.Gamma, cfg.Temperature)
+			stopPublic()
 			return nil
 		}()
 	}
@@ -263,7 +283,7 @@ func clientWorker(id int, cfg core.Config, env *fl.Env, net *nn.Network, opt nn.
 
 // serverWorker runs the server side of the protocol for the given number of
 // rounds.
-func serverWorker(cfg core.Config, env *fl.Env, server *nn.Network, opt nn.Optimizer, conn transport.Conn, ledger *comm.Ledger, rounds int) error {
+func serverWorker(cfg core.Config, env *fl.Env, server *nn.Network, opt nn.Optimizer, conn transport.Conn, ledger *comm.Ledger, rec *obs.Recorder, rounds int) error {
 	numClients := env.Cfg.NumClients
 	publicX := env.Splits.Public.X
 	for t := 0; t < rounds; t++ {
@@ -279,6 +299,12 @@ func serverWorker(cfg core.Config, env *fl.Env, server *nn.Network, opt nn.Optim
 			if err := transport.Decode(e.Payload, &ck); err != nil {
 				return err
 			}
+			if err := ck.Validate(); err != nil {
+				return err
+			}
+			if ck.ClientID >= numClients {
+				return fmt.Errorf("distrib: client id %d out of range (%d clients)", ck.ClientID, numClients)
+			}
 			logits, err := transport.Float32ToMatrix(ck.Samples, ck.Classes, ck.Logits)
 			if err != nil {
 				return err
@@ -291,13 +317,17 @@ func serverWorker(cfg core.Config, env *fl.Env, server *nn.Network, opt nn.Optim
 			clientProtos[ck.ClientID] = protos
 		}
 
+		stopAgg := rec.Span(obs.PhaseAggregate)
 		aggregated := kd.AggregateVarianceWeighted(clientLogits)
 		globalProtos, err := proto.Aggregate(clientProtos)
 		if err != nil {
+			stopAgg()
 			return err
 		}
 		pseudo := kd.PseudoLabels(aggregated)
+		stopAgg()
 
+		stopFilter := rec.Span(obs.PhaseFilter)
 		var selected []int
 		if cfg.DisableFiltering {
 			selected = make([]int, publicX.Rows)
@@ -307,6 +337,7 @@ func serverWorker(cfg core.Config, env *fl.Env, server *nn.Network, opt nn.Optim
 		} else {
 			selected = filter.Select(server.Features(publicX), pseudo, globalProtos, cfg.SelectRatio)
 		}
+		stopFilter()
 		subsetX := dataset.GatherRows(publicX, selected)
 		subsetTeacher := dataset.GatherRows(aggregated, selected)
 		subsetPseudo := make([]int, len(selected))
@@ -319,7 +350,9 @@ func serverWorker(cfg core.Config, env *fl.Env, server *nn.Network, opt nn.Optim
 			serverProtos = nil
 		}
 		rng := stats.Split(cfg.Seed, uint64(t)*1000+999)
+		stopServer := rec.Span(obs.PhaseServerTrain)
 		fl.TrainServerPKD(server, opt, subsetX, subsetTeacher, subsetPseudo, serverProtos, rng, cfg.ServerEpochs, cfg.BatchSize, cfg.Delta, cfg.Temperature)
+		stopServer()
 
 		serverLogits := server.Logits(subsetX)
 		idx := make([]int32, len(selected))

@@ -3,6 +3,7 @@ package fl
 import (
 	"fedpkd/internal/dataset"
 	"fedpkd/internal/nn"
+	"fedpkd/internal/obs"
 	"fedpkd/internal/proto"
 	"fedpkd/internal/stats"
 	"fedpkd/internal/tensor"
@@ -19,6 +20,7 @@ func TrainCE(net *nn.Network, opt nn.Optimizer, d *dataset.Dataset, rng *stats.R
 			nn.ZeroGrads(params)
 			net.Backward(grad, nil)
 			opt.Step(params)
+			obs.AddBatches(1)
 		}
 	}
 }
@@ -43,6 +45,7 @@ func TrainCEProx(net *nn.Network, opt nn.Optimizer, d *dataset.Dataset, rng *sta
 				off += len(p.Value.Data)
 			}
 			opt.Step(params)
+			obs.AddBatches(1)
 		}
 	}
 }
@@ -67,6 +70,7 @@ func TrainCEWithProto(net *nn.Network, opt nn.Optimizer, d *dataset.Dataset, rng
 			nn.ZeroGrads(params)
 			net.Backward(gradLogits, gradFeat)
 			opt.Step(params)
+			obs.AddBatches(1)
 		}
 	}
 }
@@ -93,6 +97,7 @@ func TrainDistill(net *nn.Network, opt nn.Optimizer, x, teacher *tensor.Matrix, 
 			nn.ZeroGrads(params)
 			net.Backward(grad, nil)
 			opt.Step(params)
+			obs.AddBatches(1)
 		}
 	}
 }
@@ -124,6 +129,7 @@ func TrainServerPKD(net *nn.Network, opt nn.Optimizer, x, teacher *tensor.Matrix
 			nn.ZeroGrads(params)
 			net.Backward(gradLogits, gradFeat)
 			opt.Step(params)
+			obs.AddBatches(1)
 		}
 	}
 }

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// WriteJSONL writes one JSON object per completed round, the trace schema
+// documented in README.md ("Observability").
+func WriteJSONL(w io.Writer, traces []RoundTrace) error {
+	enc := json.NewEncoder(w)
+	for _, t := range traces {
+		if err := enc.Encode(t); err != nil {
+			return fmt.Errorf("obs: encode trace round %d: %w", t.Round, err)
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes the traces as a flat table: the fixed counter columns
+// first, then one phase_<name>_ns column per phase observed anywhere in the
+// run (union, sorted for a stable header).
+func WriteCSV(w io.Writer, traces []RoundTrace) error {
+	phaseSet := map[string]bool{}
+	for _, t := range traces {
+		for p := range t.PhaseNS {
+			phaseSet[p] = true
+		}
+	}
+	phases := make([]string, 0, len(phaseSet))
+	for p := range phaseSet {
+		phases = append(phases, p)
+	}
+	sort.Strings(phases)
+
+	cw := csv.NewWriter(w)
+	header := []string{"algo", "round", "wall_ns", "upload_bytes", "download_bytes", "batches", "workers", "clients_trained"}
+	for _, p := range phases {
+		header = append(header, "phase_"+p+"_ns")
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("obs: write csv header: %w", err)
+	}
+	for _, t := range traces {
+		row := []string{
+			t.Algo,
+			strconv.Itoa(t.Round),
+			strconv.FormatInt(t.WallNS, 10),
+			strconv.FormatInt(t.UploadBytes, 10),
+			strconv.FormatInt(t.DownloadBytes, 10),
+			strconv.FormatInt(t.Batches, 10),
+			strconv.Itoa(t.Workers),
+			strconv.Itoa(len(t.ClientTrainNS)),
+		}
+		for _, p := range phases {
+			row = append(row, strconv.FormatInt(t.PhaseNS[p], 10))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("obs: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// DumpFiles finishes the recorder and writes <prefix>_trace.jsonl and
+// <prefix>_trace.csv under dir, creating it if needed. It returns the two
+// paths written.
+func (r *Recorder) DumpFiles(dir, prefix string) (jsonlPath, csvPath string, err error) {
+	r.Finish()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", "", fmt.Errorf("obs: create trace dir: %w", err)
+	}
+	traces := r.Traces()
+	jsonlPath = filepath.Join(dir, prefix+"_trace.jsonl")
+	csvPath = filepath.Join(dir, prefix+"_trace.csv")
+	jf, err := os.Create(jsonlPath)
+	if err != nil {
+		return "", "", fmt.Errorf("obs: %w", err)
+	}
+	defer jf.Close()
+	if err := WriteJSONL(jf, traces); err != nil {
+		return "", "", err
+	}
+	cf, err := os.Create(csvPath)
+	if err != nil {
+		return "", "", fmt.Errorf("obs: %w", err)
+	}
+	defer cf.Close()
+	if err := WriteCSV(cf, traces); err != nil {
+		return "", "", err
+	}
+	return jsonlPath, csvPath, nil
+}
+
+// ProgressLine renders the trace as the compact live line the simulators
+// print after each round.
+func (t RoundTrace) ProgressLine() string {
+	wall := time.Duration(t.WallNS).Round(time.Millisecond)
+	train := time.Duration(t.PhaseNS[PhaseClientTrain]).Round(time.Millisecond)
+	server := time.Duration(t.PhaseNS[PhaseServerTrain] + t.PhaseNS[PhaseAggregate] + t.PhaseNS[PhaseFilter]).Round(time.Millisecond)
+	eval := time.Duration(t.PhaseNS[PhaseEval]).Round(time.Millisecond)
+	return fmt.Sprintf("[obs] %s round %d: wall %s (train %s, server %s, eval %s) ↑%.2fMB ↓%.2fMB %d batches %d workers",
+		t.Algo, t.Round, wall, train, server, eval,
+		float64(t.UploadBytes)/1e6, float64(t.DownloadBytes)/1e6, t.Batches, t.Workers)
+}

@@ -1,0 +1,268 @@
+// Package obs is the round-level observability layer of the simulation
+// stack. It answers the questions the paper's accuracy-vs-round and
+// accuracy-vs-communication figures (Figs. 3-5) raise but the History alone
+// cannot: where a round spends its wall time (per-client local training,
+// server aggregation and distillation, evaluation) and where its bytes
+// accrue (fed by internal/comm's ledger observer hook).
+//
+// The package is dependency-light by design — stdlib only — so every layer
+// (internal/fl, internal/core, internal/baselines, internal/distrib) can
+// import it without cycles. All Recorder methods are safe on a nil receiver,
+// so instrumented call-sites cost one pointer test when observability is
+// disabled, and safe for concurrent use, so fl.ForEachClient workers can
+// record without coordination.
+package obs
+
+import (
+	"expvar"
+	"sync"
+	"time"
+)
+
+// Phase names used by the built-in instrumentation. Algorithms may record
+// additional phases; these are the ones every instrumented call-site shares.
+const (
+	// PhaseClientTrain is client-side private (local) training.
+	PhaseClientTrain = "client_train"
+	// PhaseClientPublic is client-side public/digest training (distilling
+	// server or consensus knowledge).
+	PhaseClientPublic = "client_public"
+	// PhaseAggregate is server-side knowledge aggregation (logit ensembling,
+	// prototype aggregation, weight averaging).
+	PhaseAggregate = "aggregate"
+	// PhaseFilter is server-side data filtering (Algorithm 1).
+	PhaseFilter = "filter"
+	// PhaseServerTrain is server-side model training / ensemble distillation.
+	PhaseServerTrain = "server_train"
+	// PhaseEval is end-of-round evaluation on the test sets.
+	PhaseEval = "eval"
+)
+
+// Process-wide counters, published via expvar so the -debug-addr endpoint
+// exposes them at /debug/vars. They aggregate across every run in the
+// process; per-round attribution lives in the Recorder.
+var (
+	batchesTotal  = expvar.NewInt("fedpkd_batches_total")
+	workerBusyNS  = expvar.NewInt("fedpkd_worker_busy_ns")
+	activeWorkers = expvar.NewInt("fedpkd_active_workers")
+	roundsTotal   = expvar.NewInt("fedpkd_rounds_total")
+)
+
+// AddBatches counts minibatches processed by the training loops.
+func AddBatches(n int) { batchesTotal.Add(int64(n)) }
+
+// BatchesTotal returns the process-wide minibatch count.
+func BatchesTotal() int64 { return batchesTotal.Value() }
+
+// WorkerStarted marks one fan-out worker goroutine as active.
+func WorkerStarted() { activeWorkers.Add(1) }
+
+// WorkerDone marks one fan-out worker goroutine as parked.
+func WorkerDone() { activeWorkers.Add(-1) }
+
+// AddWorkerBusy accumulates time a fan-out worker spent inside a client job.
+func AddWorkerBusy(d time.Duration) { workerBusyNS.Add(int64(d)) }
+
+// RoundTrace is the observed cost profile of one communication round.
+type RoundTrace struct {
+	// Algo names the recorded algorithm.
+	Algo string `json:"algo"`
+	// Round is the round index the algorithm reported via RoundStarted.
+	Round int `json:"round"`
+	// WallNS is the round's wall-clock span in nanoseconds.
+	WallNS int64 `json:"wall_ns"`
+	// UploadBytes and DownloadBytes mirror the comm ledger's accounting for
+	// this round (client→server and server→client respectively).
+	UploadBytes   int64 `json:"upload_bytes"`
+	DownloadBytes int64 `json:"download_bytes"`
+	// Batches is the number of minibatches processed during the round
+	// (process-wide counter delta; concurrent runs in one process share it).
+	Batches int64 `json:"batches"`
+	// Workers is the size of the parallel client fan-out this round.
+	Workers int `json:"workers"`
+	// ClientTrainNS maps client id to that client's local-training time.
+	ClientTrainNS map[int]int64 `json:"client_train_ns,omitempty"`
+	// PhaseNS maps phase name to cumulative time spent in that phase. For
+	// phases running concurrently across clients (client_train,
+	// client_public) this is summed CPU-side busy time, not wall time.
+	PhaseNS map[string]int64 `json:"phase_ns,omitempty"`
+}
+
+// TotalBytes returns upload + download bytes.
+func (t RoundTrace) TotalBytes() int64 { return t.UploadBytes + t.DownloadBytes }
+
+// Recorder collects RoundTraces for one algorithm run. It implements
+// internal/comm's Ledger observer contract (RoundStarted, UploadedBytes,
+// DownloadedBytes), so attaching it to a ledger wires byte accounting for
+// free. All methods are nil-receiver-safe no-ops and safe for concurrent
+// use from parallel client workers.
+type Recorder struct {
+	mu        sync.Mutex
+	algo      string
+	open      bool
+	cur       RoundTrace
+	start     time.Time
+	batchMark int64
+	done      []RoundTrace
+	onRound   func(RoundTrace)
+}
+
+// NewRecorder returns a Recorder labeling its traces with the algorithm
+// name.
+func NewRecorder(algo string) *Recorder {
+	return &Recorder{algo: algo}
+}
+
+// OnRoundEnd registers a callback invoked with each completed RoundTrace
+// (the live progress hook). The callback runs outside the Recorder's lock.
+func (r *Recorder) OnRoundEnd(fn func(RoundTrace)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.onRound = fn
+	r.mu.Unlock()
+}
+
+// RoundStarted closes any open round and begins a new trace. It is the
+// comm.Observer round hook: ledger.StartRound drives it.
+func (r *Recorder) RoundStarted(round int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	closed, cb, ok := r.closeLocked()
+	r.open = true
+	r.start = time.Now()
+	r.batchMark = BatchesTotal()
+	r.cur = RoundTrace{
+		Algo:          r.algo,
+		Round:         round,
+		ClientTrainNS: make(map[int]int64),
+		PhaseNS:       make(map[string]int64),
+	}
+	r.mu.Unlock()
+	roundsTotal.Add(1)
+	if ok && cb != nil {
+		cb(closed)
+	}
+}
+
+// Finish closes the open round, if any. Idempotent; call it after the last
+// round so the final trace is complete before emission.
+func (r *Recorder) Finish() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	closed, cb, ok := r.closeLocked()
+	r.mu.Unlock()
+	if ok && cb != nil {
+		cb(closed)
+	}
+}
+
+// closeLocked finalizes the open trace. Caller holds r.mu.
+func (r *Recorder) closeLocked() (RoundTrace, func(RoundTrace), bool) {
+	if !r.open {
+		return RoundTrace{}, nil, false
+	}
+	r.cur.WallNS = int64(time.Since(r.start))
+	r.cur.Batches = BatchesTotal() - r.batchMark
+	r.done = append(r.done, r.cur)
+	r.open = false
+	return r.cur, r.onRound, true
+}
+
+// UploadedBytes records client→server traffic (comm.Observer hook).
+func (r *Recorder) UploadedBytes(n int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.cur.UploadBytes += int64(n)
+	r.mu.Unlock()
+}
+
+// DownloadedBytes records server→client traffic (comm.Observer hook).
+func (r *Recorder) DownloadedBytes(n int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.cur.DownloadBytes += int64(n)
+	r.mu.Unlock()
+}
+
+// SetWorkers records the parallel fan-out width of the current round.
+func (r *Recorder) SetWorkers(n int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if n > r.cur.Workers {
+		r.cur.Workers = n
+	}
+	r.mu.Unlock()
+}
+
+// Span starts timing a named phase and returns the stop function.
+// Overlapping spans of the same phase accumulate. Typical use:
+//
+//	stop := rec.Span(obs.PhaseServerTrain)
+//	... work ...
+//	stop()
+func (r *Recorder) Span(phase string) func() {
+	if r == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		d := int64(time.Since(start))
+		r.mu.Lock()
+		if r.cur.PhaseNS != nil {
+			r.cur.PhaseNS[phase] += d
+		}
+		r.mu.Unlock()
+	}
+}
+
+// ClientSpan starts timing one client's local training and returns the stop
+// function. The time lands both in the per-client breakdown and in the
+// aggregate client_train phase.
+func (r *Recorder) ClientSpan(client int) func() {
+	if r == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		d := int64(time.Since(start))
+		r.mu.Lock()
+		if r.cur.ClientTrainNS != nil {
+			r.cur.ClientTrainNS[client] += d
+		}
+		if r.cur.PhaseNS != nil {
+			r.cur.PhaseNS[PhaseClientTrain] += d
+		}
+		r.mu.Unlock()
+	}
+}
+
+// Traces returns a copy of the completed round traces. Call Finish first if
+// the final round should be included.
+func (r *Recorder) Traces() []RoundTrace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]RoundTrace, len(r.done))
+	copy(out, r.done)
+	return out
+}
+
+// Instrumented is implemented by algorithms that can attach a Recorder
+// (core.FedPKD and every baseline).
+type Instrumented interface {
+	SetRecorder(*Recorder)
+}

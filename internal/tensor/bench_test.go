@@ -1,0 +1,58 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+
+	"fedpkd/internal/stats"
+)
+
+// benchSizes spans the shapes the training loops actually hit: batch-sized
+// activations (32), layer-sized weights (128), and a larger stress point.
+var benchSizes = []int{32, 128, 256}
+
+func BenchmarkMatMul(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("%dx%d", n, n), func(b *testing.B) {
+			rng := stats.NewRNG(1)
+			x := Randn(rng, n, n, 1)
+			y := Randn(rng, n, n, 1)
+			out := New(n, n)
+			b.SetBytes(int64(n * n * n * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulInto(out, x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkMatMulTN(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("%dx%d", n, n), func(b *testing.B) {
+			rng := stats.NewRNG(1)
+			x := Randn(rng, n, n, 1)
+			y := Randn(rng, n, n, 1)
+			b.SetBytes(int64(n * n * n * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = MatMulTN(x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkMatMulNT(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("%dx%d", n, n), func(b *testing.B) {
+			rng := stats.NewRNG(1)
+			x := Randn(rng, n, n, 1)
+			y := Randn(rng, n, n, 1)
+			b.SetBytes(int64(n * n * n * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = MatMulNT(x, y)
+			}
+		})
+	}
+}

@@ -46,6 +46,98 @@ type ModelUpdate struct {
 	Params     []float32
 }
 
+// maxWireDim bounds any single dimension decoded off the wire. Gob happily
+// decodes arbitrary ints, so dimension fields must be range-checked before
+// they are multiplied (overflow) or used to size allocations.
+const maxWireDim = 1 << 30
+
+// checkLogits validates a Samples x Classes logits block.
+func checkLogits(samples, classes, n int) error {
+	if samples < 0 || samples > maxWireDim {
+		return fmt.Errorf("transport: samples %d out of range", samples)
+	}
+	if classes < 0 || classes > maxWireDim {
+		return fmt.Errorf("transport: classes %d out of range", classes)
+	}
+	if int64(samples)*int64(classes) != int64(n) {
+		return fmt.Errorf("transport: %d logit values for %dx%d", n, samples, classes)
+	}
+	return nil
+}
+
+// checkProtos validates a wire-format prototype block.
+func checkProtos(classes, counts []int32, dim, nvals int) error {
+	if len(classes) != len(counts) {
+		return fmt.Errorf("transport: %d proto classes but %d counts", len(classes), len(counts))
+	}
+	if dim < 0 || dim > maxWireDim {
+		return fmt.Errorf("transport: proto dim %d out of range", dim)
+	}
+	if int64(len(classes))*int64(dim) != int64(nvals) {
+		return fmt.Errorf("transport: %d proto values for %d classes of dim %d", nvals, len(classes), dim)
+	}
+	for i, c := range classes {
+		if c < 0 {
+			return fmt.Errorf("transport: negative proto class %d", c)
+		}
+		if counts[i] < 0 {
+			return fmt.Errorf("transport: negative proto count %d for class %d", counts[i], c)
+		}
+	}
+	return nil
+}
+
+// Validate rejects structurally inconsistent client knowledge. Decode only
+// checks gob framing; every field a peer controls must pass here before it
+// sizes an allocation or indexes a slice.
+func (ck *ClientKnowledge) Validate() error {
+	if ck.ClientID < 0 {
+		return fmt.Errorf("transport: negative client id %d", ck.ClientID)
+	}
+	if ck.Round < 0 {
+		return fmt.Errorf("transport: negative round %d", ck.Round)
+	}
+	if err := checkLogits(ck.Samples, ck.Classes, len(ck.Logits)); err != nil {
+		return err
+	}
+	return checkProtos(ck.ProtoClasses, ck.ProtoCounts, ck.ProtoDim, len(ck.ProtoValues))
+}
+
+// Validate rejects structurally inconsistent server knowledge. The logits
+// rows must match the selected-subset size: the server computes logits on
+// exactly the filtered samples.
+func (sk *ServerKnowledge) Validate() error {
+	if sk.Round < 0 {
+		return fmt.Errorf("transport: negative round %d", sk.Round)
+	}
+	if err := checkLogits(sk.Samples, sk.Classes, len(sk.Logits)); err != nil {
+		return err
+	}
+	if len(sk.SelectedIndices) != sk.Samples {
+		return fmt.Errorf("transport: %d selected indices for %d samples", len(sk.SelectedIndices), sk.Samples)
+	}
+	for _, v := range sk.SelectedIndices {
+		if v < 0 {
+			return fmt.Errorf("transport: negative selected index %d", v)
+		}
+	}
+	return checkProtos(sk.ProtoClasses, sk.ProtoCounts, sk.ProtoDim, len(sk.ProtoValues))
+}
+
+// Validate rejects structurally inconsistent model updates.
+func (mu *ModelUpdate) Validate() error {
+	if mu.ClientID < 0 {
+		return fmt.Errorf("transport: negative client id %d", mu.ClientID)
+	}
+	if mu.Round < 0 {
+		return fmt.Errorf("transport: negative round %d", mu.Round)
+	}
+	if mu.NumSamples < 0 {
+		return fmt.Errorf("transport: negative sample count %d", mu.NumSamples)
+	}
+	return nil
+}
+
 // MatrixToFloat32 flattens a matrix to the float32 wire format.
 func MatrixToFloat32(m *tensor.Matrix) []float32 {
 	out := make([]float32, len(m.Data))
@@ -57,7 +149,10 @@ func MatrixToFloat32(m *tensor.Matrix) []float32 {
 
 // Float32ToMatrix reshapes wire values into a matrix.
 func Float32ToMatrix(rows, cols int, vals []float32) (*tensor.Matrix, error) {
-	if len(vals) != rows*cols {
+	if rows < 0 || cols < 0 || rows > maxWireDim || cols > maxWireDim {
+		return nil, fmt.Errorf("transport: matrix dims %dx%d out of range", rows, cols)
+	}
+	if int64(rows)*int64(cols) != int64(len(vals)) {
 		return nil, fmt.Errorf("transport: got %d values for %dx%d matrix", len(vals), rows, cols)
 	}
 	m := tensor.New(rows, cols)
@@ -86,14 +181,14 @@ func ProtoToWire(s *proto.Set) (classes, counts []int32, dim int, values []float
 
 // ProtoFromWire reconstructs a prototype set from the wire representation.
 func ProtoFromWire(numClasses int, classes, counts []int32, dim int, values []float32) (*proto.Set, error) {
-	if len(classes) != len(counts) {
-		return nil, fmt.Errorf("transport: %d proto classes but %d counts", len(classes), len(counts))
-	}
-	if len(values) != len(classes)*dim {
-		return nil, fmt.Errorf("transport: %d proto values for %d classes of dim %d", len(values), len(classes), dim)
+	if err := checkProtos(classes, counts, dim, len(values)); err != nil {
+		return nil, err
 	}
 	s := proto.NewSet(numClasses, dim)
 	for i, class := range classes {
+		if int(class) >= numClasses {
+			return nil, fmt.Errorf("transport: proto class %d out of range (%d classes)", class, numClasses)
+		}
 		vec := make([]float64, dim)
 		for j := 0; j < dim; j++ {
 			vec[j] = float64(values[i*dim+j])

@@ -1,0 +1,20 @@
+#!/bin/sh
+# check.sh is the repo's verification gate: build, vet, unit tests, then the
+# race detector over every package. CI and `make check` both run this.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo ">> go build ./..."
+go build ./...
+
+echo ">> go vet ./..."
+go vet ./...
+
+echo ">> go test ./..."
+go test ./...
+
+echo ">> go test -race ./..."
+go test -race ./...
+
+echo "all checks passed"
