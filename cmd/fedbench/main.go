@@ -20,6 +20,7 @@ import (
 
 	"fedpkd/internal/expt"
 	"fedpkd/internal/obs"
+	"fedpkd/internal/tensor"
 )
 
 func main() {
@@ -39,8 +40,11 @@ func run() error {
 		targetC10 = flag.Float64("target-c10", expt.DefaultTargetC10, "table1 accuracy target for SynthC10")
 		targetC1h = flag.Float64("target-c100", expt.DefaultTargetC100, "table1 accuracy target for SynthC100")
 		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
+		workers   = flag.Int("workers", 0, "tensor-kernel worker fan-out; 0 tracks GOMAXPROCS (results are bit-identical at any width)")
 	)
 	flag.Parse()
+
+	tensor.SetWorkers(*workers)
 
 	if *debugAddr != "" {
 		dbg, err := obs.StartDebugServer(*debugAddr)

@@ -47,8 +47,11 @@ func run() error {
 		traceDir  = flag.String("trace-dir", "results", "directory for round-trace JSONL/CSV output (empty disables tracing)")
 		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
 		progress  = flag.Bool("progress", true, "print a per-round progress line to stderr (requires tracing)")
+		workers   = flag.Int("workers", 0, "tensor-kernel worker fan-out; 0 tracks GOMAXPROCS (results are bit-identical at any width)")
 	)
 	flag.Parse()
+
+	fedpkd.SetKernelWorkers(*workers)
 
 	if *debugAddr != "" {
 		dbg, err := fedpkd.StartDebugServer(*debugAddr)

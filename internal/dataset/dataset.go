@@ -98,25 +98,44 @@ func Batches(rng *stats.RNG, n, batchSize int) [][]int {
 // Gather copies the given rows of d into a batch matrix and label slice
 // (labels nil when d is unlabeled).
 func Gather(d *Dataset, idx []int) (*tensor.Matrix, []int) {
-	x := tensor.New(len(idx), d.X.Cols)
 	var labels []int
 	if d.Labels != nil {
 		labels = make([]int, len(idx))
 	}
+	return GatherInto(nil, labels, d, idx)
+}
+
+// GatherInto copies the given rows of d into dst, reusing its backing
+// storage when it is large enough (dst may be nil). Labels land in dstLabels
+// when d is labeled; dstLabels must then have len(idx) capacity. It returns
+// the resized batch matrix and label slice. Training loops call this once
+// per minibatch with persistent workspaces, so epochs allocate nothing.
+func GatherInto(dst *tensor.Matrix, dstLabels []int, d *Dataset, idx []int) (*tensor.Matrix, []int) {
+	dst = tensor.Ensure(dst, len(idx), d.X.Cols)
+	var labels []int
+	if d.Labels != nil {
+		labels = dstLabels[:len(idx)]
+	}
 	for i, j := range idx {
-		copy(x.Row(i), d.X.Row(j))
+		copy(dst.Row(i), d.X.Row(j))
 		if labels != nil {
 			labels[i] = d.Labels[j]
 		}
 	}
-	return x, labels
+	return dst, labels
 }
 
 // GatherRows copies the given rows of a bare matrix into a batch matrix.
 func GatherRows(m *tensor.Matrix, idx []int) *tensor.Matrix {
-	out := tensor.New(len(idx), m.Cols)
+	return GatherRowsInto(nil, m, idx)
+}
+
+// GatherRowsInto copies the given rows of m into dst (reused when large
+// enough, may be nil) and returns the resized batch matrix.
+func GatherRowsInto(dst, m *tensor.Matrix, idx []int) *tensor.Matrix {
+	dst = tensor.Ensure(dst, len(idx), m.Cols)
 	for i, j := range idx {
-		copy(out.Row(i), m.Row(j))
+		copy(dst.Row(i), m.Row(j))
 	}
-	return out
+	return dst
 }

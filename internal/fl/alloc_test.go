@@ -1,0 +1,88 @@
+package fl
+
+import (
+	"runtime/debug"
+	"testing"
+
+	"fedpkd/internal/dataset"
+	"fedpkd/internal/nn"
+	"fedpkd/internal/stats"
+	"fedpkd/internal/tensor"
+)
+
+func allocTestNet(rng *stats.RNG) *nn.Network {
+	return nn.NewNetwork("alloc-test",
+		nn.NewSequential(nn.NewDense(rng, 12, 16), nn.NewReLU()),
+		nn.NewSequential(nn.NewDense(rng, 16, 4)),
+	)
+}
+
+func allocTestData(rng *stats.RNG, n int) *dataset.Dataset {
+	d := &dataset.Dataset{X: tensor.Randn(rng, n, 12, 1), Labels: make([]int, n), Classes: 4}
+	for i := range d.Labels {
+		d.Labels[i] = i % 4
+	}
+	return d
+}
+
+// TestTrainCESteadyStateMatrixAllocs locks down the allocation-free epoch
+// loop: after the first epoch warms every persistent buffer, additional
+// epochs must perform zero matrix allocations. Measured via the tensor
+// package's own allocation counter, so index-slice churn (minibatch
+// permutations) doesn't obscure the signal.
+func TestTrainCESteadyStateMatrixAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops cached items under the race detector; allocation counts are not meaningful")
+	}
+	old := debug.SetGCPercent(-1) // keep the scratch arena from being collected mid-run
+	defer debug.SetGCPercent(old)
+
+	allocsForEpochs := func(epochs int) int64 {
+		rng := stats.NewRNG(99)
+		net := allocTestNet(rng)
+		d := allocTestData(rng, 64)
+		opt := nn.NewSGD(0.05, 0.9)
+		before := tensor.ReadKernelStats().MatrixAllocs
+		TrainCE(net, opt, d, rng, epochs, 16)
+		return tensor.ReadKernelStats().MatrixAllocs - before
+	}
+
+	allocsForEpochs(1) // warm the process-wide scratch arena
+	one := allocsForEpochs(1)
+	five := allocsForEpochs(5)
+	if five != one {
+		t.Errorf("TrainCE matrix allocs: 1 epoch = %d, 5 epochs = %d; epochs after the first must allocate nothing", one, five)
+	}
+}
+
+// TestTrainDistillSteadyStateMatrixAllocs does the same for the public-set
+// distillation loop, which exercises GatherRowsInto and both Into-losses.
+func TestTrainDistillSteadyStateMatrixAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops cached items under the race detector; allocation counts are not meaningful")
+	}
+	old := debug.SetGCPercent(-1)
+	defer debug.SetGCPercent(old)
+
+	allocsForEpochs := func(epochs int) int64 {
+		rng := stats.NewRNG(7)
+		net := allocTestNet(rng)
+		x := tensor.Randn(rng, 48, 12, 1)
+		teacher := tensor.Randn(rng, 48, 4, 1)
+		pseudo := make([]int, 48)
+		for i := range pseudo {
+			pseudo[i] = i % 4
+		}
+		opt := nn.NewSGD(0.05, 0.9)
+		before := tensor.ReadKernelStats().MatrixAllocs
+		TrainDistill(net, opt, x, teacher, pseudo, rng, epochs, 16, 0.5, 2)
+		return tensor.ReadKernelStats().MatrixAllocs - before
+	}
+
+	allocsForEpochs(1) // warm the process-wide scratch arena
+	one := allocsForEpochs(1)
+	five := allocsForEpochs(5)
+	if five != one {
+		t.Errorf("TrainDistill matrix allocs: 1 epoch = %d, 5 epochs = %d; epochs after the first must allocate nothing", one, five)
+	}
+}

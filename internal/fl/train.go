@@ -9,14 +9,23 @@ import (
 	"fedpkd/internal/tensor"
 )
 
+// The training loops own small per-call workspaces (batch matrices, label
+// slices, gradient buffers) that are resized in place across minibatches,
+// so together with the layers' persistent buffers a steady-state epoch
+// performs zero matrix allocations.
+
 // TrainCE runs plain minibatch cross-entropy training (Eq. 4).
 func TrainCE(net *nn.Network, opt nn.Optimizer, d *dataset.Dataset, rng *stats.RNG, epochs, batchSize int) {
 	params := net.Params()
+	var x, grad *tensor.Matrix
+	yb := make([]int, batchSize)
 	for e := 0; e < epochs; e++ {
 		for _, idx := range dataset.Batches(rng, d.Len(), batchSize) {
-			x, labels := dataset.Gather(d, idx)
+			var labels []int
+			x, labels = dataset.GatherInto(x, yb, d, idx)
 			logits := net.Forward(x, true)
-			_, grad := nn.SoftmaxCrossEntropy(logits, labels)
+			grad = tensor.Ensure(grad, logits.Rows, logits.Cols)
+			nn.SoftmaxCrossEntropyInto(grad, logits, labels)
 			nn.ZeroGrads(params)
 			net.Backward(grad, nil)
 			opt.Step(params)
@@ -29,11 +38,15 @@ func TrainCE(net *nn.Network, opt nn.Optimizer, d *dataset.Dataset, rng *stats.R
 // term (mu/2)·‖w − w_global‖². ref is the flattened global weights.
 func TrainCEProx(net *nn.Network, opt nn.Optimizer, d *dataset.Dataset, rng *stats.RNG, epochs, batchSize int, mu float64, ref []float64) {
 	params := net.Params()
+	var x, grad *tensor.Matrix
+	yb := make([]int, batchSize)
 	for e := 0; e < epochs; e++ {
 		for _, idx := range dataset.Batches(rng, d.Len(), batchSize) {
-			x, labels := dataset.Gather(d, idx)
+			var labels []int
+			x, labels = dataset.GatherInto(x, yb, d, idx)
 			logits := net.Forward(x, true)
-			_, grad := nn.SoftmaxCrossEntropy(logits, labels)
+			grad = tensor.Ensure(grad, logits.Rows, logits.Cols)
+			nn.SoftmaxCrossEntropyInto(grad, logits, labels)
 			nn.ZeroGrads(params)
 			net.Backward(grad, nil)
 			// Proximal gradient: mu * (w - w_ref).
@@ -59,13 +72,18 @@ func TrainCEWithProto(net *nn.Network, opt nn.Optimizer, d *dataset.Dataset, rng
 		return
 	}
 	params := net.Params()
+	var x, gradLogits, target, gradFeat *tensor.Matrix
+	yb := make([]int, batchSize)
 	for e := 0; e < epochs; e++ {
 		for _, idx := range dataset.Batches(rng, d.Len(), batchSize) {
-			x, labels := dataset.Gather(d, idx)
+			var labels []int
+			x, labels = dataset.GatherInto(x, yb, d, idx)
 			feats, logits := net.ForwardSplit(x)
-			_, gradLogits := nn.SoftmaxCrossEntropy(logits, labels)
-			target := protos.TargetMatrix(labels, feats)
-			_, gradFeat := nn.MSE(feats, target)
+			gradLogits = tensor.Ensure(gradLogits, logits.Rows, logits.Cols)
+			nn.SoftmaxCrossEntropyInto(gradLogits, logits, labels)
+			target = protos.TargetMatrixInto(target, labels, feats)
+			gradFeat = tensor.Ensure(gradFeat, feats.Rows, feats.Cols)
+			nn.MSEInto(gradFeat, feats, target)
 			gradFeat.Scale(eps)
 			nn.ZeroGrads(params)
 			net.Backward(gradLogits, gradFeat)
@@ -82,17 +100,21 @@ func TrainCEWithProto(net *nn.Network, opt nn.Optimizer, d *dataset.Dataset, rng
 // pseudo the row-aligned pseudo-labels.
 func TrainDistill(net *nn.Network, opt nn.Optimizer, x, teacher *tensor.Matrix, pseudo []int, rng *stats.RNG, epochs, batchSize int, gamma, temp float64) {
 	params := net.Params()
+	var xb, tb, gradKL, gradCE *tensor.Matrix
+	yb := make([]int, batchSize)
 	for e := 0; e < epochs; e++ {
 		for _, idx := range dataset.Batches(rng, x.Rows, batchSize) {
-			xb := dataset.GatherRows(x, idx)
-			tb := dataset.GatherRows(teacher, idx)
-			yb := make([]int, len(idx))
+			xb = dataset.GatherRowsInto(xb, x, idx)
+			tb = dataset.GatherRowsInto(tb, teacher, idx)
+			labels := yb[:len(idx)]
 			for i, j := range idx {
-				yb[i] = pseudo[j]
+				labels[i] = pseudo[j]
 			}
 			logits := net.Forward(xb, true)
-			_, gradKL := nn.KLDistill(logits, tb, temp)
-			_, gradCE := nn.SoftmaxCrossEntropy(logits, yb)
+			gradKL = tensor.Ensure(gradKL, logits.Rows, logits.Cols)
+			nn.KLDistillInto(gradKL, logits, tb, temp)
+			gradCE = tensor.Ensure(gradCE, logits.Rows, logits.Cols)
+			nn.SoftmaxCrossEntropyInto(gradCE, logits, labels)
 			grad := gradKL.Scale(gamma).AddScaled(1-gamma, gradCE)
 			nn.ZeroGrads(params)
 			net.Backward(grad, nil)
@@ -107,27 +129,33 @@ func TrainDistill(net *nn.Network, opt nn.Optimizer, x, teacher *tensor.Matrix, 
 // pseudo-label).
 func TrainServerPKD(net *nn.Network, opt nn.Optimizer, x, teacher *tensor.Matrix, pseudo []int, protos *proto.Set, rng *stats.RNG, epochs, batchSize int, delta, temp float64) {
 	params := net.Params()
+	var xb, tb, gradKL, gradCE, target, gradFeat *tensor.Matrix
+	yb := make([]int, batchSize)
 	for e := 0; e < epochs; e++ {
 		for _, idx := range dataset.Batches(rng, x.Rows, batchSize) {
-			xb := dataset.GatherRows(x, idx)
-			tb := dataset.GatherRows(teacher, idx)
-			yb := make([]int, len(idx))
+			xb = dataset.GatherRowsInto(xb, x, idx)
+			tb = dataset.GatherRowsInto(tb, teacher, idx)
+			labels := yb[:len(idx)]
 			for i, j := range idx {
-				yb[i] = pseudo[j]
+				labels[i] = pseudo[j]
 			}
 			feats, logits := net.ForwardSplit(xb)
-			_, gradKL := nn.KLDistill(logits, tb, temp)
-			_, gradCE := nn.SoftmaxCrossEntropy(logits, yb)
+			gradKL = tensor.Ensure(gradKL, logits.Rows, logits.Cols)
+			nn.KLDistillInto(gradKL, logits, tb, temp)
+			gradCE = tensor.Ensure(gradCE, logits.Rows, logits.Cols)
+			nn.SoftmaxCrossEntropyInto(gradCE, logits, labels)
 			gradLogits := gradKL.Scale(delta).AddScaled(delta, gradCE)
 
-			var gradFeat *tensor.Matrix
+			var dfeat *tensor.Matrix
 			if protos != nil && protos.Len() > 0 && delta < 1 {
-				target := protos.TargetMatrix(yb, feats)
-				_, g := nn.MSE(feats, target)
-				gradFeat = g.Scale(1 - delta)
+				target = protos.TargetMatrixInto(target, labels, feats)
+				gradFeat = tensor.Ensure(gradFeat, feats.Rows, feats.Cols)
+				nn.MSEInto(gradFeat, feats, target)
+				gradFeat.Scale(1 - delta)
+				dfeat = gradFeat
 			}
 			nn.ZeroGrads(params)
-			net.Backward(gradLogits, gradFeat)
+			net.Backward(gradLogits, dfeat)
 			opt.Step(params)
 			obs.AddBatches(1)
 		}

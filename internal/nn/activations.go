@@ -6,9 +6,38 @@ import (
 	"fedpkd/internal/tensor"
 )
 
+// Activation layers write into persistent per-layer buffers (resized with
+// the batch via tensor.Ensure) instead of cloning their input each call —
+// part of the allocation-free training hot path. The returned matrices obey
+// the engine-wide buffer contract: valid until the next call on the same
+// layer.
+
+// reluVal returns max(0, v) without a branch: negative inputs (sign bit
+// set) are masked to +0.0, everything else — including +0.0 and -0.0 —
+// passes through as itself or +0.0. Bit-for-bit the same outputs as the
+// branchy form, but immune to the ~50% mispredict rate of random-signed
+// activations.
+func reluVal(v float64) float64 {
+	b := math.Float64bits(v)
+	return math.Float64frombits(b &^ uint64(int64(b)>>63))
+}
+
+// zeroOne returns 1.0 when nonNeg (a reluVal result, so never negative) is
+// nonzero and 0.0 when it is zero, again branch-free: for a non-negative
+// float, the bit pattern is zero iff the value is zero.
+func zeroOne(nonNeg float64) float64 {
+	u := int64(math.Float64bits(nonNeg))
+	return float64((u | -u) >> 63 & 1)
+}
+
 // ReLU is the rectified linear activation max(0, x).
 type ReLU struct {
-	mask []bool // cached activation mask from the last train-mode forward
+	// mask holds 1.0 where the last train-mode input was > 0 and 0.0
+	// elsewhere, so the backward pass is one branch-free multiply.
+	mask  []float64
+	ready bool // mask is valid (a train-mode forward ran last)
+	out   *tensor.Matrix
+	dx    *tensor.Matrix
 }
 
 var _ Layer = (*ReLU)(nil)
@@ -18,40 +47,40 @@ func NewReLU() *ReLU { return &ReLU{} }
 
 // Forward applies max(0, x) elementwise.
 func (r *ReLU) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
-	out := x.Clone()
+	r.out = tensor.Ensure(r.out, x.Rows, x.Cols)
+	out := r.out.Data
 	if train {
-		if cap(r.mask) < len(out.Data) {
-			r.mask = make([]bool, len(out.Data))
+		if cap(r.mask) < len(out) {
+			r.mask = make([]float64, len(out))
 		}
-		r.mask = r.mask[:len(out.Data)]
-	}
-	for i, v := range out.Data {
-		active := v > 0
-		if !active {
-			out.Data[i] = 0
+		r.mask = r.mask[:len(out)]
+		mask := r.mask
+		for i, v := range x.Data {
+			y := reluVal(v)
+			out[i] = y
+			mask[i] = zeroOne(y)
 		}
-		if train {
-			r.mask[i] = active
+	} else {
+		for i, v := range x.Data {
+			out[i] = reluVal(v)
 		}
 	}
-	if !train {
-		r.mask = nil
-	}
-	return out
+	r.ready = train
+	return r.out
 }
 
 // Backward zeroes gradients where the forward input was non-positive.
 func (r *ReLU) Backward(dout *tensor.Matrix) *tensor.Matrix {
-	if r.mask == nil {
+	if !r.ready {
 		panic("nn: ReLU.Backward called without a train-mode Forward")
 	}
-	dx := dout.Clone()
-	for i := range dx.Data {
-		if !r.mask[i] {
-			dx.Data[i] = 0
-		}
+	r.dx = tensor.Ensure(r.dx, dout.Rows, dout.Cols)
+	dx := r.dx.Data
+	mask := r.mask
+	for i, v := range dout.Data {
+		dx[i] = v * mask[i]
 	}
-	return dx
+	return r.dx
 }
 
 // Params returns nil: ReLU has no trainable parameters.
@@ -60,7 +89,14 @@ func (r *ReLU) Params() []*Param { return nil }
 // LeakyReLU is max(alpha*x, x) with a small negative-side slope.
 type LeakyReLU struct {
 	Alpha float64
-	mask  []bool
+
+	// scale holds the local derivative of the last train-mode forward per
+	// element — 1.0 on the positive side, Alpha elsewhere — making backward
+	// a single branch-free multiply.
+	scale []float64
+	ready bool
+	out   *tensor.Matrix
+	dx    *tensor.Matrix
 }
 
 var _ Layer = (*LeakyReLU)(nil)
@@ -70,41 +106,46 @@ func NewLeakyReLU(alpha float64) *LeakyReLU { return &LeakyReLU{Alpha: alpha} }
 
 // Forward applies the leaky rectifier elementwise.
 func (l *LeakyReLU) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
-	out := x.Clone()
+	l.out = tensor.Ensure(l.out, x.Rows, x.Cols)
+	out := l.out.Data
+	alpha := l.Alpha
 	if train {
-		if cap(l.mask) < len(out.Data) {
-			l.mask = make([]bool, len(out.Data))
+		if cap(l.scale) < len(out) {
+			l.scale = make([]float64, len(out))
 		}
-		l.mask = l.mask[:len(out.Data)]
-	}
-	for i, v := range out.Data {
-		active := v > 0
-		if !active {
-			out.Data[i] = l.Alpha * v
+		l.scale = l.scale[:len(out)]
+		scale := l.scale
+		for i, v := range x.Data {
+			pos := zeroOne(reluVal(v)) // 1 where v > 0
+			// pos + alpha*(1-pos) is exactly 1.0 or alpha (no rounding),
+			// so the positive side stays bit-identical to plain v.
+			s := pos + alpha*(1-pos)
+			out[i] = v * s
+			scale[i] = s
 		}
-		if train {
-			l.mask[i] = active
+	} else {
+		for i, v := range x.Data {
+			pos := zeroOne(reluVal(v))
+			out[i] = v * (pos + alpha*(1-pos))
 		}
 	}
-	if !train {
-		l.mask = nil
-	}
-	return out
+	l.ready = train
+	return l.out
 }
 
 // Backward scales gradients by Alpha where the forward input was
 // non-positive.
 func (l *LeakyReLU) Backward(dout *tensor.Matrix) *tensor.Matrix {
-	if l.mask == nil {
+	if !l.ready {
 		panic("nn: LeakyReLU.Backward called without a train-mode Forward")
 	}
-	dx := dout.Clone()
-	for i := range dx.Data {
-		if !l.mask[i] {
-			dx.Data[i] *= l.Alpha
-		}
+	l.dx = tensor.Ensure(l.dx, dout.Rows, dout.Cols)
+	dx := l.dx.Data
+	scale := l.scale
+	for i, v := range dout.Data {
+		dx[i] = v * scale[i]
 	}
-	return dx
+	return l.dx
 }
 
 // Params returns nil: LeakyReLU has no trainable parameters.
@@ -112,7 +153,9 @@ func (l *LeakyReLU) Params() []*Param { return nil }
 
 // Tanh is the hyperbolic-tangent activation.
 type Tanh struct {
-	out *tensor.Matrix // cached output from the last train-mode forward
+	out   *tensor.Matrix // persistent output, doubles as the backward cache
+	dx    *tensor.Matrix
+	ready bool
 }
 
 var _ Layer = (*Tanh)(nil)
@@ -122,25 +165,24 @@ func NewTanh() *Tanh { return &Tanh{} }
 
 // Forward applies tanh elementwise.
 func (t *Tanh) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
-	out := x.Clone().Apply(math.Tanh)
-	if train {
-		t.out = out
-	} else {
-		t.out = nil
+	t.out = tensor.Ensure(t.out, x.Rows, x.Cols)
+	for i, v := range x.Data {
+		t.out.Data[i] = math.Tanh(v)
 	}
-	return out
+	t.ready = train
+	return t.out
 }
 
 // Backward multiplies by 1 - tanh(x)^2 using the cached output.
 func (t *Tanh) Backward(dout *tensor.Matrix) *tensor.Matrix {
-	if t.out == nil {
+	if !t.ready {
 		panic("nn: Tanh.Backward called without a train-mode Forward")
 	}
-	dx := dout.Clone()
+	t.dx = tensor.Ensure(t.dx, dout.Rows, dout.Cols)
 	for i, y := range t.out.Data {
-		dx.Data[i] *= 1 - y*y
+		t.dx.Data[i] = dout.Data[i] * (1 - y*y)
 	}
-	return dx
+	return t.dx
 }
 
 // Params returns nil: Tanh has no trainable parameters.

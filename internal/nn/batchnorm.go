@@ -27,10 +27,16 @@ type BatchNorm struct {
 	gamma, beta             *Param
 	runningMean, runningVar *Param
 
-	// Cached train-mode state for backward.
-	xhat    *tensor.Matrix
-	std     []float64 // per-feature sqrt(var+eps) of the last train batch
-	centred *tensor.Matrix
+	// Persistent buffers and cached train-mode state for backward.
+	out    *tensor.Matrix
+	dx     *tensor.Matrix
+	xhat   *tensor.Matrix
+	invStd []float64 // per-feature 1/sqrt(var+eps) of the last normalization
+	mean   []float64
+	vari   []float64
+	sumA   []float64 // per-feature sum of dxhat
+	sumB   []float64 // per-feature sum of dxhat*xhat
+	ready  bool      // a train-mode forward ran last
 	// usedRunning marks a train-mode forward that had to fall back to the
 	// running statistics (single-sample batch); its backward has no
 	// batch-coupling terms.
@@ -59,6 +65,13 @@ func NewBatchNorm(dim int) *BatchNorm {
 	}
 }
 
+func ensureFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
 // Forward normalizes the batch. In train mode it uses batch statistics and
 // updates the running statistics; in eval mode it uses the running
 // statistics.
@@ -66,91 +79,111 @@ func (b *BatchNorm) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	if x.Cols != b.Dim {
 		panic(fmt.Sprintf("nn: BatchNorm got %d features, want %d", x.Cols, b.Dim))
 	}
-	out := tensor.New(x.Rows, x.Cols)
+	b.out = tensor.Ensure(b.out, x.Rows, x.Cols)
+	out := b.out
+	gamma, beta := b.gamma.Value.Data, b.beta.Value.Data
 	if !train || x.Rows == 1 {
 		// Eval — or a degenerate single-sample train batch, which has no
 		// usable batch statistics: normalize with the running statistics.
-		b.xhat = nil
+		// The per-feature 1/sqrt(var+eps) is computed once, not per row.
+		b.ready = train
 		b.usedRunning = train
+		rm, rv := b.runningMean.Value.Data, b.runningVar.Value.Data
+		b.invStd = ensureFloats(b.invStd, b.Dim)
+		invStd := b.invStd
+		for j := 0; j < b.Dim; j++ {
+			invStd[j] = 1 / math.Sqrt(rv[j]+b.Eps)
+		}
 		if train {
-			b.xhat = tensor.New(x.Rows, x.Cols)
-			if b.std == nil || len(b.std) != b.Dim {
-				b.std = make([]float64, b.Dim)
-			}
-			for j := 0; j < b.Dim; j++ {
-				b.std[j] = math.Sqrt(b.runningVar.Value.Data[j] + b.Eps)
-			}
+			b.xhat = tensor.Ensure(b.xhat, x.Rows, x.Cols)
 		}
 		for i := 0; i < x.Rows; i++ {
 			row := x.Row(i)
 			orow := out.Row(i)
-			for j := 0; j < b.Dim; j++ {
-				xhat := (row[j] - b.runningMean.Value.Data[j]) / math.Sqrt(b.runningVar.Value.Data[j]+b.Eps)
-				if b.xhat != nil {
-					b.xhat.Set(i, j, xhat)
+			if train {
+				xrow := b.xhat.Row(i)
+				for j := 0; j < b.Dim; j++ {
+					xhat := (row[j] - rm[j]) * invStd[j]
+					xrow[j] = xhat
+					orow[j] = gamma[j]*xhat + beta[j]
 				}
-				orow[j] = b.gamma.Value.Data[j]*xhat + b.beta.Value.Data[j]
+			} else {
+				for j := 0; j < b.Dim; j++ {
+					xhat := (row[j] - rm[j]) * invStd[j]
+					orow[j] = gamma[j]*xhat + beta[j]
+				}
 			}
 		}
 		return out
 	}
+	b.ready = true
 	b.usedRunning = false
 
+	// One fused sweep accumulates per-feature sum and sum of squares;
+	// variance comes out as E[x²]−E[x]² (clamped at zero against rounding).
+	// For normalized activations the cancellation error is far below Eps.
 	m := float64(x.Rows)
-	mean := make([]float64, b.Dim)
-	variance := make([]float64, b.Dim)
+	invBatch := 1 / m
+	b.mean = ensureFloats(b.mean, b.Dim)
+	b.vari = ensureFloats(b.vari, b.Dim)
+	mean, variance := b.mean, b.vari
+	for j := range mean {
+		mean[j] = 0
+		variance[j] = 0
+	}
 	for i := 0; i < x.Rows; i++ {
 		for j, v := range x.Row(i) {
 			mean[j] += v
+			variance[j] += v * v
 		}
 	}
 	for j := range mean {
-		mean[j] /= m
-	}
-	for i := 0; i < x.Rows; i++ {
-		for j, v := range x.Row(i) {
-			d := v - mean[j]
-			variance[j] += d * d
+		mu := mean[j] * invBatch
+		mean[j] = mu
+		va := variance[j]*invBatch - mu*mu
+		if va < 0 {
+			va = 0
 		}
-	}
-	for j := range variance {
-		variance[j] /= m
+		variance[j] = va
 	}
 
-	b.centred = tensor.New(x.Rows, x.Cols)
-	b.xhat = tensor.New(x.Rows, x.Cols)
-	if b.std == nil || len(b.std) != b.Dim {
-		b.std = make([]float64, b.Dim)
-	}
+	b.xhat = tensor.Ensure(b.xhat, x.Rows, x.Cols)
+	b.invStd = ensureFloats(b.invStd, b.Dim)
+	invStd := b.invStd
 	for j := 0; j < b.Dim; j++ {
-		b.std[j] = math.Sqrt(variance[j] + b.Eps)
+		invStd[j] = 1 / math.Sqrt(variance[j]+b.Eps)
 	}
 	for i := 0; i < x.Rows; i++ {
 		row := x.Row(i)
-		crow := b.centred.Row(i)
 		xrow := b.xhat.Row(i)
 		orow := out.Row(i)
 		for j := 0; j < b.Dim; j++ {
-			crow[j] = row[j] - mean[j]
-			xrow[j] = crow[j] / b.std[j]
-			orow[j] = b.gamma.Value.Data[j]*xrow[j] + b.beta.Value.Data[j]
+			xhat := (row[j] - mean[j]) * invStd[j]
+			xrow[j] = xhat
+			orow[j] = gamma[j]*xhat + beta[j]
 		}
 	}
 	// Exponential running statistics.
+	om, mom := 1-b.Momentum, b.Momentum
+	rm, rv := b.runningMean.Value.Data, b.runningVar.Value.Data
 	for j := 0; j < b.Dim; j++ {
-		b.runningMean.Value.Data[j] = (1-b.Momentum)*b.runningMean.Value.Data[j] + b.Momentum*mean[j]
-		b.runningVar.Value.Data[j] = (1-b.Momentum)*b.runningVar.Value.Data[j] + b.Momentum*variance[j]
+		rm[j] = om*rm[j] + mom*mean[j]
+		rv[j] = om*rv[j] + mom*variance[j]
 	}
 	return out
 }
 
 // Backward backpropagates through the batch normalization.
 func (b *BatchNorm) Backward(dout *tensor.Matrix) *tensor.Matrix {
-	if b.xhat == nil {
+	if !b.ready {
 		panic("nn: BatchNorm.Backward called without a train-mode Forward")
 	}
 	m := float64(dout.Rows)
-	dx := tensor.New(dout.Rows, dout.Cols)
+	b.dx = tensor.Ensure(b.dx, dout.Rows, dout.Cols)
+	dx := b.dx
+	gamma := b.gamma.Value.Data
+	gGrad, bGrad := b.gamma.Grad.Data, b.beta.Grad.Data
+	invStd := b.invStd
 
 	if b.usedRunning {
 		// Running-statistics normalization has no batch coupling: the
@@ -160,36 +193,42 @@ func (b *BatchNorm) Backward(dout *tensor.Matrix) *tensor.Matrix {
 			xrow := b.xhat.Row(i)
 			dxrow := dx.Row(i)
 			for j := 0; j < b.Dim; j++ {
-				b.gamma.Grad.Data[j] += drow[j] * xrow[j]
-				b.beta.Grad.Data[j] += drow[j]
-				dxrow[j] = drow[j] * b.gamma.Value.Data[j] / b.std[j]
+				gGrad[j] += drow[j] * xrow[j]
+				bGrad[j] += drow[j]
+				dxrow[j] = drow[j] * gamma[j] * invStd[j]
 			}
 		}
 		return dx
 	}
 
 	// Accumulate parameter gradients and the per-feature reduction terms.
-	sumDxhat := make([]float64, b.Dim)
-	sumDxhatXhat := make([]float64, b.Dim)
+	b.sumA = ensureFloats(b.sumA, b.Dim)
+	b.sumB = ensureFloats(b.sumB, b.Dim)
+	sumDxhat, sumDxhatXhat := b.sumA, b.sumB
+	for j := range sumDxhat {
+		sumDxhat[j] = 0
+		sumDxhatXhat[j] = 0
+	}
 	for i := 0; i < dout.Rows; i++ {
 		drow := dout.Row(i)
 		xrow := b.xhat.Row(i)
 		for j := 0; j < b.Dim; j++ {
-			dxhat := drow[j] * b.gamma.Value.Data[j]
+			dxhat := drow[j] * gamma[j]
 			sumDxhat[j] += dxhat
 			sumDxhatXhat[j] += dxhat * xrow[j]
-			b.gamma.Grad.Data[j] += drow[j] * xrow[j]
-			b.beta.Grad.Data[j] += drow[j]
+			gGrad[j] += drow[j] * xrow[j]
+			bGrad[j] += drow[j]
 		}
 	}
 	// dx = (1/m) * gamma/std * (m*dxhat - sum(dxhat) - xhat*sum(dxhat*xhat)).
+	invM := 1 / m
 	for i := 0; i < dout.Rows; i++ {
 		drow := dout.Row(i)
 		xrow := b.xhat.Row(i)
 		dxrow := dx.Row(i)
 		for j := 0; j < b.Dim; j++ {
-			dxhat := drow[j] * b.gamma.Value.Data[j]
-			dxrow[j] = (dxhat*m - sumDxhat[j] - xrow[j]*sumDxhatXhat[j]) / (m * b.std[j])
+			dxhat := drow[j] * gamma[j]
+			dxrow[j] = (dxhat*m - sumDxhat[j] - xrow[j]*sumDxhatXhat[j]) * invStd[j] * invM
 		}
 	}
 	return dx

@@ -8,13 +8,21 @@ import (
 )
 
 // Dense is a fully connected layer: y = xW + b.
+//
+// The layer owns persistent output and input-gradient buffers that are
+// resized (not reallocated) as the batch changes, so steady-state training
+// performs zero matrix allocations. Forward/Backward results are therefore
+// only valid until the next call on the same layer — the engine-wide buffer
+// contract documented on Layer.
 type Dense struct {
 	In, Out int
 
 	w *Param // In x Out
 	b *Param // 1 x Out
 
-	x *tensor.Matrix // cached input from the last train-mode forward
+	x   *tensor.Matrix // cached input from the last train-mode forward
+	out *tensor.Matrix // persistent forward output buffer
+	dx  *tensor.Matrix // persistent input-gradient buffer
 }
 
 var _ Layer = (*Dense)(nil)
@@ -47,22 +55,30 @@ func (d *Dense) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	} else {
 		d.x = nil
 	}
-	out := tensor.MatMul(x, d.w.Value)
-	out.AddRowVector(d.b.Value.Data)
-	return out
+	d.out = tensor.Ensure(d.out, x.Rows, d.Out)
+	tensor.MatMulInto(d.out, x, d.w.Value)
+	d.out.AddRowVector(d.b.Value.Data)
+	return d.out
 }
 
 // Backward accumulates dW = xᵀ·dout and db = Σrows(dout), and returns
-// dx = dout·Wᵀ.
+// dx = dout·Wᵀ. Both products run through the fused/pooled kernels: the
+// weight gradient accumulates in place and the input gradient reuses the
+// layer's buffer.
 func (d *Dense) Backward(dout *tensor.Matrix) *tensor.Matrix {
 	if d.x == nil {
 		panic("nn: Dense.Backward called without a train-mode Forward")
 	}
-	d.w.Grad.Add(tensor.MatMulTN(d.x, dout))
-	for j, v := range dout.ColSums() {
-		d.b.Grad.Data[j] += v
+	tensor.MatMulTNAccInto(d.w.Grad, d.x, dout)
+	bg := d.b.Grad.Data
+	for i := 0; i < dout.Rows; i++ {
+		for j, v := range dout.Row(i) {
+			bg[j] += v
+		}
 	}
-	return tensor.MatMulNT(dout, d.w.Value)
+	d.dx = tensor.Ensure(d.dx, dout.Rows, d.In)
+	tensor.MatMulNTInto(d.dx, dout, d.w.Value)
+	return d.dx
 }
 
 // Params returns the weight and bias parameters.

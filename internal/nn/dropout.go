@@ -10,13 +10,20 @@ import (
 
 // Dropout randomly zeroes activations during training with probability Rate
 // and rescales the survivors by 1/(1-Rate) (inverted dropout), so eval-mode
-// forwards need no adjustment.
+// forwards need no adjustment. Eval-mode and Rate-0 forwards return the
+// input unchanged (the layer is the identity then); train-mode outputs land
+// in a persistent buffer per the engine-wide contract.
 type Dropout struct {
 	Rate float64
 
 	mu   sync.Mutex // guards rng: layers are per-model but rng draws must not tear
 	rng  *stats.RNG
 	keep []float64 // cached keep-scale per element from the last train forward
+
+	out      *tensor.Matrix
+	dx       *tensor.Matrix
+	ready    bool // a train-mode forward ran last
+	identity bool // the last train forward was a Rate-0 pass-through
 }
 
 var _ Layer = (*Dropout)(nil)
@@ -33,17 +40,21 @@ func NewDropout(rng *stats.RNG, rate float64) *Dropout {
 // mode.
 func (d *Dropout) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	if !train || d.Rate == 0 {
-		d.keep = nil
-		return x.Clone()
+		d.ready = train
+		d.identity = true
+		return x
 	}
-	out := x.Clone()
+	d.ready = true
+	d.identity = false
+	d.out = tensor.Ensure(d.out, x.Rows, x.Cols)
+	out := d.out
 	if cap(d.keep) < len(out.Data) {
 		d.keep = make([]float64, len(out.Data))
 	}
 	d.keep = d.keep[:len(out.Data)]
 	scale := 1 / (1 - d.Rate)
 	d.mu.Lock()
-	for i := range out.Data {
+	for i := range d.keep {
 		if d.rng.Float64() < d.Rate {
 			d.keep[i] = 0
 		} else {
@@ -51,22 +62,25 @@ func (d *Dropout) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 		}
 	}
 	d.mu.Unlock()
-	for i := range out.Data {
-		out.Data[i] *= d.keep[i]
+	for i, v := range x.Data {
+		out.Data[i] = v * d.keep[i]
 	}
 	return out
 }
 
 // Backward applies the same keep mask to the gradient.
 func (d *Dropout) Backward(dout *tensor.Matrix) *tensor.Matrix {
-	if d.keep == nil {
+	if !d.ready {
 		panic("nn: Dropout.Backward called without a train-mode Forward")
 	}
-	dx := dout.Clone()
-	for i := range dx.Data {
-		dx.Data[i] *= d.keep[i]
+	if d.identity {
+		return dout
 	}
-	return dx
+	d.dx = tensor.Ensure(d.dx, dout.Rows, dout.Cols)
+	for i, v := range dout.Data {
+		d.dx.Data[i] = v * d.keep[i]
+	}
+	return d.dx
 }
 
 // Params returns nil: dropout has no trainable parameters.

@@ -41,6 +41,13 @@ func newParam(name string, value *tensor.Matrix) *Param {
 // Backward consumes dL/d(output) and returns dL/d(input), accumulating
 // parameter gradients into Params. It must be called after a train-mode
 // Forward on the same batch.
+//
+// Buffer contract: layers write their results into persistent per-layer
+// buffers that are reused (and resized in place) across calls, so training
+// epochs allocate no matrices in steady state. A matrix returned by Forward
+// or Backward is therefore only valid until the next call on the same
+// layer; callers that retain results across forwards (prototype averaging,
+// logit ensembling) must Clone them — Network.Features/Logits do this.
 type Layer interface {
 	Forward(x *tensor.Matrix, train bool) *tensor.Matrix
 	Backward(dout *tensor.Matrix) *tensor.Matrix

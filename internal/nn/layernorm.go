@@ -18,9 +18,12 @@ type LayerNorm struct {
 
 	gamma, beta *Param
 
-	// Cached train-mode state.
-	xhat *tensor.Matrix
-	std  []float64 // per-row sqrt(var+eps)
+	// Persistent buffers and cached train-mode state.
+	out   *tensor.Matrix
+	dx    *tensor.Matrix
+	xhat  *tensor.Matrix
+	std   []float64 // per-row sqrt(var+eps)
+	ready bool      // a train-mode forward ran last
 }
 
 var _ Layer = (*LayerNorm)(nil)
@@ -46,13 +49,16 @@ func (l *LayerNorm) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	if x.Cols != l.Dim {
 		panic(fmt.Sprintf("nn: LayerNorm got %d features, want %d", x.Cols, l.Dim))
 	}
-	out := tensor.New(x.Rows, x.Cols)
+	l.out = tensor.Ensure(l.out, x.Rows, x.Cols)
+	out := l.out
 	var xhat *tensor.Matrix
 	var std []float64
 	if train {
-		xhat = tensor.New(x.Rows, x.Cols)
-		std = make([]float64, x.Rows)
+		l.xhat = tensor.Ensure(l.xhat, x.Rows, x.Cols)
+		l.std = ensureFloats(l.std, x.Rows)
+		xhat, std = l.xhat, l.std
 	}
+	l.ready = train
 	n := float64(l.Dim)
 	for i := 0; i < x.Rows; i++ {
 		row := x.Row(i)
@@ -80,17 +86,17 @@ func (l *LayerNorm) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 			std[i] = s
 		}
 	}
-	l.xhat, l.std = xhat, std
 	return out
 }
 
 // Backward backpropagates through the per-row normalization.
 func (l *LayerNorm) Backward(dout *tensor.Matrix) *tensor.Matrix {
-	if l.xhat == nil {
+	if !l.ready {
 		panic("nn: LayerNorm.Backward called without a train-mode Forward")
 	}
 	n := float64(l.Dim)
-	dx := tensor.New(dout.Rows, dout.Cols)
+	l.dx = tensor.Ensure(l.dx, dout.Rows, dout.Cols)
+	dx := l.dx
 	for i := 0; i < dout.Rows; i++ {
 		drow := dout.Row(i)
 		xrow := l.xhat.Row(i)

@@ -8,16 +8,34 @@ import (
 	"fedpkd/internal/tensor"
 )
 
+// Loss functions come in two forms: the original allocating form (returns a
+// fresh gradient matrix) and an Into form that writes dL/dlogits into a
+// caller-owned buffer. Training loops use the Into forms so steady-state
+// epochs allocate no matrices; row-sized softmax workspaces come from the
+// tensor scratch arena.
+
 // SoftmaxCrossEntropy returns the mean cross-entropy between softmax(logits)
 // and integer labels, plus dL/dlogits (already divided by the batch size).
 func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int) (float64, *tensor.Matrix) {
+	grad := tensor.New(logits.Rows, logits.Cols)
+	loss := SoftmaxCrossEntropyInto(grad, logits, labels)
+	return loss, grad
+}
+
+// SoftmaxCrossEntropyInto writes dL/dlogits into grad (which must already
+// have the logits' shape) and returns the loss.
+func SoftmaxCrossEntropyInto(grad, logits *tensor.Matrix, labels []int) float64 {
 	if logits.Rows != len(labels) {
 		panic(fmt.Sprintf("nn: SoftmaxCrossEntropy got %d logit rows for %d labels", logits.Rows, len(labels)))
 	}
-	grad := tensor.New(logits.Rows, logits.Cols)
+	if grad.Rows != logits.Rows || grad.Cols != logits.Cols {
+		panic(fmt.Sprintf("nn: SoftmaxCrossEntropyInto grad shape %dx%d, want %dx%d",
+			grad.Rows, grad.Cols, logits.Rows, logits.Cols))
+	}
 	var loss float64
 	inv := 1 / float64(logits.Rows)
-	probs := make([]float64, logits.Cols)
+	scratch := tensor.GetScratch(1, logits.Cols)
+	probs := scratch.Data
 	for i := 0; i < logits.Rows; i++ {
 		stats.Softmax(logits.Row(i), probs)
 		y := labels[i]
@@ -33,7 +51,8 @@ func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int) (float64, *tensor.
 			grow[j] *= inv
 		}
 	}
-	return loss * inv, grad
+	tensor.Release(scratch)
+	return loss * inv
 }
 
 // KLDistill returns the temperature-scaled distillation loss
@@ -42,6 +61,14 @@ func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int) (float64, *tensor.
 // across temperatures (Hinton et al., 2015). The paper's Eqs. (11) and (15)
 // use T = 1.
 func KLDistill(studentLogits, teacherLogits *tensor.Matrix, temp float64) (float64, *tensor.Matrix) {
+	grad := tensor.New(studentLogits.Rows, studentLogits.Cols)
+	loss := KLDistillInto(grad, studentLogits, teacherLogits, temp)
+	return loss, grad
+}
+
+// KLDistillInto writes dL/d(studentLogits) into grad (which must already
+// have the student logits' shape) and returns the loss.
+func KLDistillInto(grad, studentLogits, teacherLogits *tensor.Matrix, temp float64) float64 {
 	if studentLogits.Rows != teacherLogits.Rows || studentLogits.Cols != teacherLogits.Cols {
 		panic(fmt.Sprintf("nn: KLDistill shape mismatch %dx%d vs %dx%d",
 			studentLogits.Rows, studentLogits.Cols, teacherLogits.Rows, teacherLogits.Cols))
@@ -49,11 +76,16 @@ func KLDistill(studentLogits, teacherLogits *tensor.Matrix, temp float64) (float
 	if temp <= 0 {
 		panic(fmt.Sprintf("nn: KLDistill temperature must be positive, got %v", temp))
 	}
-	grad := tensor.New(studentLogits.Rows, studentLogits.Cols)
+	if grad.Rows != studentLogits.Rows || grad.Cols != studentLogits.Cols {
+		panic(fmt.Sprintf("nn: KLDistillInto grad shape %dx%d, want %dx%d",
+			grad.Rows, grad.Cols, studentLogits.Rows, studentLogits.Cols))
+	}
 	var loss float64
 	inv := 1 / float64(studentLogits.Rows)
-	t := make([]float64, studentLogits.Cols)
-	s := make([]float64, studentLogits.Cols)
+	cols := studentLogits.Cols
+	scratch := tensor.GetScratch(2, cols)
+	t := scratch.Data[:cols]
+	s := scratch.Data[cols:]
 	for i := 0; i < studentLogits.Rows; i++ {
 		stats.SoftmaxTemp(teacherLogits.Row(i), temp, t)
 		stats.SoftmaxTemp(studentLogits.Row(i), temp, s)
@@ -70,16 +102,27 @@ func KLDistill(studentLogits, teacherLogits *tensor.Matrix, temp float64) (float
 			grow[j] = temp * (s[j] - t[j]) * inv
 		}
 	}
-	return loss * temp * temp * inv, grad
+	tensor.Release(scratch)
+	return loss * temp * temp * inv
 }
 
 // MSE returns the mean-squared error between pred and target (mean over all
 // elements) plus dL/dpred.
 func MSE(pred, target *tensor.Matrix) (float64, *tensor.Matrix) {
+	grad := tensor.New(pred.Rows, pred.Cols)
+	loss := MSEInto(grad, pred, target)
+	return loss, grad
+}
+
+// MSEInto writes dL/dpred into grad (which must already have pred's shape)
+// and returns the loss.
+func MSEInto(grad, pred, target *tensor.Matrix) float64 {
 	if pred.Rows != target.Rows || pred.Cols != target.Cols {
 		panic(fmt.Sprintf("nn: MSE shape mismatch %dx%d vs %dx%d", pred.Rows, pred.Cols, target.Rows, target.Cols))
 	}
-	grad := tensor.New(pred.Rows, pred.Cols)
+	if grad.Rows != pred.Rows || grad.Cols != pred.Cols {
+		panic(fmt.Sprintf("nn: MSEInto grad shape %dx%d, want %dx%d", grad.Rows, grad.Cols, pred.Rows, pred.Cols))
+	}
 	var loss float64
 	n := float64(len(pred.Data))
 	for i, p := range pred.Data {
@@ -87,5 +130,5 @@ func MSE(pred, target *tensor.Matrix) (float64, *tensor.Matrix) {
 		loss += d * d
 		grad.Data[i] = 2 * d / n
 	}
-	return loss / n, grad
+	return loss / n
 }

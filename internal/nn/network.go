@@ -13,6 +13,8 @@ type Network struct {
 	Name string
 	Body *Sequential
 	Head *Sequential
+
+	dfeat *tensor.Matrix // persistent feature-gradient sum buffer
 }
 
 // NewNetwork returns a network with the given body and head.
@@ -40,24 +42,32 @@ func (n *Network) ForwardSplit(x *tensor.Matrix) (features, logits *tensor.Matri
 func (n *Network) Backward(dlogits, dfeatExtra *tensor.Matrix) {
 	dfeat := n.Head.Backward(dlogits)
 	if dfeatExtra != nil {
-		dfeat = dfeat.Clone().Add(dfeatExtra)
+		n.dfeat = tensor.Ensure(n.dfeat, dfeat.Rows, dfeat.Cols)
+		for i, v := range dfeat.Data {
+			n.dfeat.Data[i] = v + dfeatExtra.Data[i]
+		}
+		dfeat = n.dfeat
 	}
 	n.Body.Backward(dfeat)
 }
 
-// Features returns the eval-mode feature representation of a batch.
+// Features returns the eval-mode feature representation of a batch. The
+// result is a fresh matrix (not a layer buffer): callers across the
+// codebase retain feature batches past subsequent forwards.
 func (n *Network) Features(x *tensor.Matrix) *tensor.Matrix {
-	return n.Body.Forward(x, false)
+	return n.Body.Forward(x, false).Clone()
 }
 
-// Logits returns the eval-mode logits of a batch.
+// Logits returns the eval-mode logits of a batch. The result is a fresh
+// matrix (not a layer buffer): ensemble algorithms collect logits from many
+// clients before consuming them, so buffer reuse would corrupt them.
 func (n *Network) Logits(x *tensor.Matrix) *tensor.Matrix {
-	return n.Forward(x, false)
+	return n.Forward(x, false).Clone()
 }
 
 // Predict returns the argmax class per row of a batch.
 func (n *Network) Predict(x *tensor.Matrix) []int {
-	logits := n.Logits(x)
+	logits := n.Forward(x, false) // consumed immediately; no need for the Logits clone
 	pred := make([]int, logits.Rows)
 	for i := range pred {
 		pred[i] = stats.Argmax(logits.Row(i))

@@ -63,9 +63,14 @@ type Adam struct {
 	Beta2 float64
 	Eps   float64
 
-	t int
-	m map[*Param]*tensor.Matrix
-	v map[*Param]*tensor.Matrix
+	t     int
+	state map[*Param]*adamState
+}
+
+// adamState bundles a parameter's first and second moments so Step pays one
+// map lookup per parameter, not two.
+type adamState struct {
+	m, v *tensor.Matrix
 }
 
 var _ Optimizer = (*Adam)(nil)
@@ -80,30 +85,37 @@ func NewAdam(lr float64) *Adam {
 		Beta1: 0.9,
 		Beta2: 0.999,
 		Eps:   1e-8,
-		m:     make(map[*Param]*tensor.Matrix),
-		v:     make(map[*Param]*tensor.Matrix),
+		state: make(map[*Param]*adamState),
 	}
 }
 
-// Step applies one Adam update with bias correction.
+// Step applies one Adam update with bias correction. The per-step bias
+// corrections are hoisted out of the element loop as reciprocals, so the
+// inner loop pays one divide and one sqrt per element instead of three
+// divides.
 func (o *Adam) Step(params []*Param) {
 	o.t++
-	c1 := 1 - math.Pow(o.Beta1, float64(o.t))
-	c2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	invC1 := 1 / (1 - math.Pow(o.Beta1, float64(o.t)))
+	invC2 := 1 / (1 - math.Pow(o.Beta2, float64(o.t)))
+	b1, b2 := o.Beta1, o.Beta2
+	ob1, ob2 := 1-o.Beta1, 1-o.Beta2
+	lr, eps := o.LR, o.Eps
 	for _, p := range params {
-		m, ok := o.m[p]
+		st, ok := o.state[p]
 		if !ok {
-			m = tensor.New(p.Grad.Rows, p.Grad.Cols)
-			o.m[p] = m
-			o.v[p] = tensor.New(p.Grad.Rows, p.Grad.Cols)
+			st = &adamState{
+				m: tensor.New(p.Grad.Rows, p.Grad.Cols),
+				v: tensor.New(p.Grad.Rows, p.Grad.Cols),
+			}
+			o.state[p] = st
 		}
-		v := o.v[p]
+		md, vd, pd := st.m.Data, st.v.Data, p.Value.Data
 		for i, g := range p.Grad.Data {
-			m.Data[i] = o.Beta1*m.Data[i] + (1-o.Beta1)*g
-			v.Data[i] = o.Beta2*v.Data[i] + (1-o.Beta2)*g*g
-			mHat := m.Data[i] / c1
-			vHat := v.Data[i] / c2
-			p.Value.Data[i] -= o.LR * mHat / (math.Sqrt(vHat) + o.Eps)
+			mi := b1*md[i] + ob1*g
+			vi := b2*vd[i] + ob2*g*g
+			md[i] = mi
+			vd[i] = vi
+			pd[i] -= lr * (mi * invC1) / (math.Sqrt(vi*invC2) + eps)
 		}
 	}
 }

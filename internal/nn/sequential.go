@@ -40,9 +40,14 @@ func (s *Sequential) Params() []*Param {
 }
 
 // Residual wraps an inner layer F with an identity skip connection:
-// y = x + F(x). The inner layer must preserve width.
+// y = x + F(x). The inner layer must preserve width. The skip sums land in
+// persistent buffers (the inner layer's output may be its own reused
+// buffer, so the sum cannot be formed in place).
 type Residual struct {
 	Inner Layer
+
+	out *tensor.Matrix
+	dx  *tensor.Matrix
 }
 
 var _ Layer = (*Residual)(nil)
@@ -53,14 +58,22 @@ func NewResidual(inner Layer) *Residual { return &Residual{Inner: inner} }
 // Forward computes x + Inner(x).
 func (r *Residual) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	out := r.Inner.Forward(x, train)
-	return out.Clone().Add(x)
+	r.out = tensor.Ensure(r.out, out.Rows, out.Cols)
+	for i, v := range out.Data {
+		r.out.Data[i] = v + x.Data[i]
+	}
+	return r.out
 }
 
 // Backward routes the gradient through both the skip path and the inner
 // layer.
 func (r *Residual) Backward(dout *tensor.Matrix) *tensor.Matrix {
 	dx := r.Inner.Backward(dout)
-	return dx.Clone().Add(dout)
+	r.dx = tensor.Ensure(r.dx, dx.Rows, dx.Cols)
+	for i, v := range dx.Data {
+		r.dx.Data[i] = v + dout.Data[i]
+	}
+	return r.dx
 }
 
 // Params returns the inner layer's parameters.

@@ -41,7 +41,8 @@ func WriteCSV(w io.Writer, traces []RoundTrace) error {
 	sort.Strings(phases)
 
 	cw := csv.NewWriter(w)
-	header := []string{"algo", "round", "wall_ns", "upload_bytes", "download_bytes", "batches", "workers", "clients_trained"}
+	header := []string{"algo", "round", "wall_ns", "upload_bytes", "download_bytes", "batches", "workers", "clients_trained",
+		"kernel_ops", "kernel_parallel_calls", "kernel_serial_calls", "kernel_matrix_allocs", "kernel_scratch_misses"}
 	for _, p := range phases {
 		header = append(header, "phase_"+p+"_ns")
 	}
@@ -58,6 +59,11 @@ func WriteCSV(w io.Writer, traces []RoundTrace) error {
 			strconv.FormatInt(t.Batches, 10),
 			strconv.Itoa(t.Workers),
 			strconv.Itoa(len(t.ClientTrainNS)),
+			strconv.FormatInt(t.KernelOps, 10),
+			strconv.FormatInt(t.KernelParallelCalls, 10),
+			strconv.FormatInt(t.KernelSerialCalls, 10),
+			strconv.FormatInt(t.KernelMatrixAllocs, 10),
+			strconv.FormatInt(t.KernelScratchMisses, 10),
 		}
 		for _, p := range phases {
 			row = append(row, strconv.FormatInt(t.PhaseNS[p], 10))

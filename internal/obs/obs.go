@@ -5,18 +5,23 @@
 // server aggregation and distillation, evaluation) and where its bytes
 // accrue (fed by internal/comm's ledger observer hook).
 //
-// The package is dependency-light by design — stdlib only — so every layer
-// (internal/fl, internal/core, internal/baselines, internal/distrib) can
-// import it without cycles. All Recorder methods are safe on a nil receiver,
+// The package is dependency-light by design — stdlib plus internal/tensor
+// (for kernel counters; tensor imports nothing of ours, so the graph stays
+// acyclic) — and every layer (internal/fl, internal/core,
+// internal/baselines, internal/distrib) can import it without cycles. All
+// Recorder methods are safe on a nil receiver,
 // so instrumented call-sites cost one pointer test when observability is
 // disabled, and safe for concurrent use, so fl.ForEachClient workers can
 // record without coordination.
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"sync"
 	"time"
+
+	"fedpkd/internal/tensor"
 )
 
 // Phase names used by the built-in instrumentation. Algorithms may record
@@ -47,6 +52,16 @@ var (
 	activeWorkers = expvar.NewInt("fedpkd_active_workers")
 	roundsTotal   = expvar.NewInt("fedpkd_rounds_total")
 )
+
+func init() {
+	// Live kernel/arena counters from the tensor compute layer, exported as
+	// one JSON object at /debug/vars alongside the round counters.
+	expvar.Publish("fedpkd_kernel_stats", expvar.Func(func() any {
+		s := tensor.ReadKernelStats()
+		b, _ := json.Marshal(s)
+		return json.RawMessage(b)
+	}))
+}
 
 // AddBatches counts minibatches processed by the training loops.
 func AddBatches(n int) { batchesTotal.Add(int64(n)) }
@@ -80,6 +95,17 @@ type RoundTrace struct {
 	Batches int64 `json:"batches"`
 	// Workers is the size of the parallel client fan-out this round.
 	Workers int `json:"workers"`
+	// Kernel* fields are deltas of the tensor compute layer's process-wide
+	// counters over this round (like Batches, concurrent runs in one process
+	// share them): scalar multiply-adds executed, kernel launches that fanned
+	// out across the worker pool vs. ran serially, matrices allocated, and
+	// scratch-arena misses. A steady-state round should show
+	// KernelMatrixAllocs and KernelScratchMisses near zero.
+	KernelOps           int64 `json:"kernel_ops,omitempty"`
+	KernelParallelCalls int64 `json:"kernel_parallel_calls,omitempty"`
+	KernelSerialCalls   int64 `json:"kernel_serial_calls,omitempty"`
+	KernelMatrixAllocs  int64 `json:"kernel_matrix_allocs,omitempty"`
+	KernelScratchMisses int64 `json:"kernel_scratch_misses,omitempty"`
 	// ClientTrainNS maps client id to that client's local-training time.
 	ClientTrainNS map[int]int64 `json:"client_train_ns,omitempty"`
 	// PhaseNS maps phase name to cumulative time spent in that phase. For
@@ -97,14 +123,15 @@ func (t RoundTrace) TotalBytes() int64 { return t.UploadBytes + t.DownloadBytes 
 // free. All methods are nil-receiver-safe no-ops and safe for concurrent
 // use from parallel client workers.
 type Recorder struct {
-	mu        sync.Mutex
-	algo      string
-	open      bool
-	cur       RoundTrace
-	start     time.Time
-	batchMark int64
-	done      []RoundTrace
-	onRound   func(RoundTrace)
+	mu         sync.Mutex
+	algo       string
+	open       bool
+	cur        RoundTrace
+	start      time.Time
+	batchMark  int64
+	kernelMark tensor.KernelStats
+	done       []RoundTrace
+	onRound    func(RoundTrace)
 }
 
 // NewRecorder returns a Recorder labeling its traces with the algorithm
@@ -135,6 +162,7 @@ func (r *Recorder) RoundStarted(round int) {
 	r.open = true
 	r.start = time.Now()
 	r.batchMark = BatchesTotal()
+	r.kernelMark = tensor.ReadKernelStats()
 	r.cur = RoundTrace{
 		Algo:          r.algo,
 		Round:         round,
@@ -169,6 +197,12 @@ func (r *Recorder) closeLocked() (RoundTrace, func(RoundTrace), bool) {
 	}
 	r.cur.WallNS = int64(time.Since(r.start))
 	r.cur.Batches = BatchesTotal() - r.batchMark
+	ks := tensor.ReadKernelStats()
+	r.cur.KernelOps = ks.Ops - r.kernelMark.Ops
+	r.cur.KernelParallelCalls = ks.ParallelCalls - r.kernelMark.ParallelCalls
+	r.cur.KernelSerialCalls = ks.SerialCalls - r.kernelMark.SerialCalls
+	r.cur.KernelMatrixAllocs = ks.MatrixAllocs - r.kernelMark.MatrixAllocs
+	r.cur.KernelScratchMisses = ks.ScratchMisses - r.kernelMark.ScratchMisses
 	r.done = append(r.done, r.cur)
 	r.open = false
 	return r.cur, r.onRound, true

@@ -157,11 +157,18 @@ func (s *Set) Distance(feat []float64, class int) float64 {
 // fallback (typically the model's own features, making the loss term zero
 // for that sample). fallback must have one row per label.
 func (s *Set) TargetMatrix(labels []int, fallback *tensor.Matrix) *tensor.Matrix {
+	return s.TargetMatrixInto(nil, labels, fallback)
+}
+
+// TargetMatrixInto is TargetMatrix writing into a reusable destination
+// (resized in place when its backing storage is large enough; dst may be
+// nil).
+func (s *Set) TargetMatrixInto(dst *tensor.Matrix, labels []int, fallback *tensor.Matrix) *tensor.Matrix {
 	if fallback.Rows != len(labels) || fallback.Cols != s.Dim {
 		panic(fmt.Sprintf("proto: TargetMatrix fallback %dx%d for %d labels, dim %d",
 			fallback.Rows, fallback.Cols, len(labels), s.Dim))
 	}
-	out := tensor.New(len(labels), s.Dim)
+	out := tensor.Ensure(dst, len(labels), s.Dim)
 	for i, y := range labels {
 		if vec, ok := s.Vectors[y]; ok {
 			copy(out.Row(i), vec)

@@ -24,7 +24,24 @@ func New(rows, cols int) *Matrix {
 	if rows < 0 || cols < 0 {
 		panic(fmt.Sprintf("tensor: negative shape %dx%d", rows, cols))
 	}
+	statMatrixAllocs.Add(1)
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Ensure returns m reshaped to rows x cols, reusing its backing array when
+// the capacity suffices and allocating a fresh matrix otherwise (m may be
+// nil). The contents after a capacity-reusing call are ARBITRARY — callers
+// own the buffer and must overwrite it. This is the reuse primitive behind
+// the allocation-free training hot path: layer output buffers shrink and
+// grow with the batch (e.g. the short final minibatch) without reallocating.
+func Ensure(m *Matrix, rows, cols int) *Matrix {
+	n := rows * cols
+	if m == nil || cap(m.Data) < n {
+		return New(rows, cols)
+	}
+	m.Rows, m.Cols = rows, cols
+	m.Data = m.Data[:n]
+	return m
 }
 
 // FromSlice wraps data (not copied) as a rows x cols matrix.

@@ -1,0 +1,71 @@
+package tensor
+
+// Retained serial reference kernels: the seed's naive single-threaded triple
+// loops, kept verbatim as the oracle the equivalence suite measures the
+// blocked/parallel kernels against. They are correctness references only —
+// never called from production paths — so keep them boring and obviously
+// right.
+
+// refMatMulInto is the seed MatMulInto: i-k-j order with a zero-row skip.
+func refMatMulInto(out, a, b *Matrix) {
+	out.Zero()
+	n := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : (k+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// refMatMulTNInto is the seed MatMulTN: k-outer accumulation into out.
+func refMatMulTNInto(out, a, b *Matrix) {
+	out.Zero()
+	n := b.Cols
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Data[k*n : (k+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Row(i)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// refMatMulNTInto is the seed MatMulNT: row-by-row dot products.
+func refMatMulNTInto(out, a, b *Matrix) {
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var sum float64
+			for k, av := range arow {
+				sum += av * brow[k]
+			}
+			orow[j] = sum
+		}
+	}
+}
+
+// refTransposeInto is the seed Transpose: a full-stride column walk.
+func refTransposeInto(out, m *Matrix) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j*m.Rows+i] = v
+		}
+	}
+}

@@ -1,0 +1,117 @@
+#!/bin/sh
+# bench.sh regenerates BENCH_kernels.json: the kernel and round benchmarks
+# of the current tree, side by side with the frozen pre-kernel baseline.
+#
+# The baseline numbers were measured at the seed of this change (commit
+# 83a70b7, naive row-by-row kernels and per-minibatch allocation) on the
+# same host class the current numbers come from, using the best of three
+# interleaved -benchtime=20x runs for the round benchmarks. Keeping them as
+# constants lets the script run without rebuilding the old commit; re-measure
+# them from that commit if the host changes.
+#
+#   BENCHTIME=20x REPS=3 sh scripts/bench.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-20x}"
+REPS="${REPS:-3}"
+OUT="${OUT:-BENCH_kernels.json}"
+
+# Frozen baselines (ns/op) from the seed commit.
+BASE_ROUND=174320969
+BASE_ROUND_INSTR=190940604
+BASE_MM_32=23575
+BASE_MM_128=1306229
+BASE_MM_256=11250245
+BASE_TN_32=18821
+BASE_TN_128=1224764
+BASE_TN_256=11764876
+BASE_NT_32=20259
+BASE_NT_128=1265843
+BASE_NT_256=11417507
+
+# best_of <bench regex> <pkg> — runs REPS times, prints the minimum ns/op.
+best_of() {
+	best=""
+	i=0
+	while [ "$i" -lt "$REPS" ]; do
+		ns=$(go test -run XXX -bench "$1" -benchtime "$BENCHTIME" "$2" |
+			awk -v pat="$1" '$1 ~ /^Benchmark/ && $0 ~ /ns\/op/ {print $3; exit}')
+		if [ -z "$best" ] || [ "$ns" -lt "$best" ]; then
+			best=$ns
+		fi
+		i=$((i + 1))
+	done
+	echo "$best"
+}
+
+echo ">> round benchmark (best of $REPS at $BENCHTIME)" >&2
+ROUND=$(best_of 'BenchmarkFedPKDRound$' .)
+echo "   BenchmarkFedPKDRound: $ROUND ns/op" >&2
+
+echo ">> instrumented round benchmark (best of $REPS at $BENCHTIME)" >&2
+ROUND_INSTR=$(best_of 'BenchmarkFedPKDRoundInstrumented$' .)
+echo "   BenchmarkFedPKDRoundInstrumented: $ROUND_INSTR ns/op" >&2
+
+echo ">> kernel benchmarks" >&2
+KERN=$(go test -run XXX -bench 'BenchmarkMatMul(|TN|NT)/' -benchtime 50x ./internal/tensor/)
+
+kern_ns() {
+	echo "$KERN" | awk -v name="$1" '$1 == name {print $3; exit}'
+}
+
+MM_32=$(kern_ns 'BenchmarkMatMul/32x32')
+MM_128=$(kern_ns 'BenchmarkMatMul/128x128')
+MM_256=$(kern_ns 'BenchmarkMatMul/256x256')
+TN_32=$(kern_ns 'BenchmarkMatMulTN/32x32')
+TN_128=$(kern_ns 'BenchmarkMatMulTN/128x128')
+TN_256=$(kern_ns 'BenchmarkMatMulTN/256x256')
+NT_32=$(kern_ns 'BenchmarkMatMulNT/32x32')
+NT_128=$(kern_ns 'BenchmarkMatMulNT/128x128')
+NT_256=$(kern_ns 'BenchmarkMatMulNT/256x256')
+
+ratio() {
+	awk -v a="$1" -v b="$2" 'BEGIN {printf "%.2f", a / b}'
+}
+
+entry() {
+	printf '    {"name": "%s", "baseline_ns_per_op": %s, "current_ns_per_op": %s, "speedup": %s}' \
+		"$1" "$2" "$3" "$(ratio "$2" "$3")"
+}
+
+{
+	echo '{'
+	echo '  "description": "Kernel and round benchmarks vs the pre-kernel seed (commit 83a70b7). Regenerate with scripts/bench.sh.",'
+	echo "  \"host\": \"$(go env GOOS)/$(go env GOARCH), $(nproc) cpu\","
+	echo "  \"round_benchtime\": \"$BENCHTIME, best of $REPS\","
+	echo '  "round": ['
+	entry "BenchmarkFedPKDRound" "$BASE_ROUND" "$ROUND"
+	echo ','
+	entry "BenchmarkFedPKDRoundInstrumented" "$BASE_ROUND_INSTR" "$ROUND_INSTR"
+	echo ''
+	echo '  ],'
+	echo '  "kernels": ['
+	entry "MatMul/32x32" "$BASE_MM_32" "$MM_32"
+	echo ','
+	entry "MatMul/128x128" "$BASE_MM_128" "$MM_128"
+	echo ','
+	entry "MatMul/256x256" "$BASE_MM_256" "$MM_256"
+	echo ','
+	entry "MatMulTN/32x32" "$BASE_TN_32" "$TN_32"
+	echo ','
+	entry "MatMulTN/128x128" "$BASE_TN_128" "$TN_128"
+	echo ','
+	entry "MatMulTN/256x256" "$BASE_TN_256" "$TN_256"
+	echo ','
+	entry "MatMulNT/32x32" "$BASE_NT_32" "$NT_32"
+	echo ','
+	entry "MatMulNT/128x128" "$BASE_NT_128" "$NT_128"
+	echo ','
+	entry "MatMulNT/256x256" "$BASE_NT_256" "$NT_256"
+	echo ''
+	echo '  ]'
+	echo '}'
+} >"$OUT"
+
+echo "wrote $OUT" >&2

@@ -17,4 +17,16 @@ go test ./...
 echo ">> go test -race ./..."
 go test -race ./...
 
+# The kernel determinism contract (parallel == serial, bit for bit) must hold
+# under real interleaving, so the equivalence and property suites run again
+# with the race detector and two scheduler threads forcing the worker pool to
+# actually overlap panels.
+echo ">> GOMAXPROCS=2 go test -race ./internal/tensor/ (equivalence + property)"
+GOMAXPROCS=2 go test -race -count=1 -run 'Equivalence|Property|Aliased|Parallel' ./internal/tensor/
+
+# Compile-and-run every kernel benchmark once so perf-path-only code (panel
+# kernels at benchmark shapes, scratch arena reuse) cannot rot unnoticed.
+echo ">> go test -bench . -benchtime 1x ./internal/tensor/"
+go test -run XXX -bench . -benchtime 1x ./internal/tensor/
+
 echo "all checks passed"
