@@ -1,12 +1,13 @@
 // Command fedpkd-sim runs a single federated-learning simulation with full
 // control over the algorithm, task, partition, fleet, and schedule, and
-// prints the per-round history.
+// prints the per-round history. Every algorithm runs on the shared round
+// engine, so any of them can also execute distributed over a transport.
 //
 // Examples:
 //
 //	fedpkd-sim -algo FedPKD -task c10 -partition dirichlet -alpha 0.1 -rounds 10
 //	fedpkd-sim -algo FedAvg -task c100 -partition shards -k 30
-//	fedpkd-sim -algo FedPKD -hetero -distributed tcp
+//	fedpkd-sim -algo FedMD -hetero -distributed tcp
 package main
 
 import (
@@ -27,7 +28,7 @@ func main() {
 
 func run() error {
 	var (
-		algoName  = flag.String("algo", "FedPKD", "algorithm: FedPKD, FedAvg, FedProx, FedMD, DS-FL, FedDF, FedET, KD")
+		algoName  = flag.String("algo", "FedPKD", "algorithm: "+strings.Join(fedpkd.Algorithms(), ", "))
 		task      = flag.String("task", "c10", "task: c10 or c100")
 		partition = flag.String("partition", "dirichlet", "partition: iid, dirichlet, shards")
 		alpha     = flag.Float64("alpha", 0.5, "Dirichlet concentration")
@@ -41,7 +42,7 @@ func run() error {
 		hetero    = flag.Bool("hetero", false, "heterogeneous client fleet (ResNet11/20/29)")
 		theta     = flag.Float64("theta", 0.7, "FedPKD select ratio θ")
 		delta     = flag.Float64("delta", 0.5, "FedPKD server loss mix δ")
-		distMode  = flag.String("distributed", "", "run FedPKD over a transport: bus or tcp (FedPKD only)")
+		distMode  = flag.String("distributed", "", "run the algorithm over a transport: bus or tcp")
 		localEp   = flag.Int("local-epochs", 5, "baseline local epochs / FedPKD private epochs")
 		serverEp  = flag.Int("server-epochs", 8, "server / distill epochs")
 		traceDir  = flag.String("trace-dir", "results", "directory for round-trace JSONL/CSV output (empty disables tracing)")
@@ -96,16 +97,22 @@ func run() error {
 		return err
 	}
 
-	fleet := fedpkd.HomogeneousFleet(*clients)
-	if *hetero {
-		fleet = fedpkd.HeterogeneousFleet(*clients)
-	}
-	common := fedpkd.CommonConfig{Env: env, Seed: *seed}
-	pkdConfig := fedpkd.Config{
-		Env: env, ClientArchs: fleet,
-		ClientPrivateEpochs: *localEp, ClientPublicEpochs: 3, ServerEpochs: *serverEp,
-		SelectRatio: *theta, Delta: *delta,
-		Seed: *seed,
+	// Project the flag schedule onto an experiment scale so algorithm
+	// construction goes through the same builder fedbench uses.
+	sc := fedpkd.ScaleQuick
+	sc.NumClients = *clients
+	sc.Rounds = *rounds
+	sc.PKDPrivateEpochs, sc.PKDPublicEpochs, sc.PKDServerEpochs = *localEp, 3, *serverEp
+	sc.LocalEpochs = *localEp
+	sc.DistillEpochs = *serverEp
+	sc.FedDFLocalEpochs, sc.FedDFServerEpochs = *localEp, 2
+	sc.FedETServerEpochs = *serverEp
+	sc.VanillaServerEpoch = *serverEp
+
+	algo, err := fedpkd.BuildAlgorithm(*algoName, env, sc, *seed, *hetero,
+		fedpkd.AlgoOptions{Theta: *theta, Delta: *delta})
+	if err != nil {
+		return err
 	}
 
 	var rec *fedpkd.Recorder
@@ -120,40 +127,11 @@ func run() error {
 
 	var history *fedpkd.History
 	if *distMode != "" {
-		if *algoName != "FedPKD" {
-			return fmt.Errorf("-distributed supports only FedPKD")
-		}
-		history, err = fedpkd.RunDistributed(fedpkd.DistributedConfig{
-			Core: pkdConfig, Mode: fedpkd.DistributedMode(*distMode), Recorder: rec,
-		}, *rounds)
+		history, err = fedpkd.RunAlgorithmDistributed(algo, fedpkd.DistributedMode(*distMode), *rounds, rec)
 		if err != nil {
 			return err
 		}
 	} else {
-		var algo fedpkd.Algorithm
-		switch *algoName {
-		case "FedPKD":
-			algo, err = fedpkd.NewFedPKD(pkdConfig)
-		case "FedAvg":
-			algo, err = fedpkd.NewFedAvg(fedpkd.FedAvgConfig{Common: common, LocalEpochs: *localEp})
-		case "FedProx":
-			algo, err = fedpkd.NewFedProx(fedpkd.FedAvgConfig{Common: common, LocalEpochs: *localEp})
-		case "FedMD":
-			algo, err = fedpkd.NewFedMD(fedpkd.FedMDConfig{Common: common, LocalEpochs: *localEp, DistillEpochs: *serverEp, Archs: fleet})
-		case "DS-FL":
-			algo, err = fedpkd.NewDSFL(fedpkd.FedMDConfig{Common: common, LocalEpochs: *localEp, DistillEpochs: *serverEp, Archs: fleet})
-		case "FedDF":
-			algo, err = fedpkd.NewFedDF(fedpkd.FedDFConfig{Common: common, LocalEpochs: *localEp, ServerEpochs: 2})
-		case "FedET":
-			algo, err = fedpkd.NewFedET(fedpkd.FedETConfig{Common: common, LocalEpochs: *localEp, ServerEpochs: *serverEp, ClientArchs: fleet})
-		case "KD":
-			algo, err = fedpkd.NewVanillaKD(fedpkd.VanillaKDConfig{Common: common, LocalEpochs: *localEp, ServerEpochs: *serverEp})
-		default:
-			return fmt.Errorf("unknown algorithm %q", *algoName)
-		}
-		if err != nil {
-			return err
-		}
 		if ins, ok := algo.(fedpkd.Instrumented); ok {
 			ins.SetRecorder(rec)
 		}

@@ -25,3 +25,12 @@ const (
 func RunDistributed(cfg DistributedConfig, rounds int) (*History, error) {
 	return distrib.Run(cfg, rounds)
 }
+
+// RunAlgorithmDistributed executes any engine-backed algorithm (everything
+// BuildAlgorithm or the New* constructors return) over the transport layer,
+// with the server and every client in their own goroutine. Accuracy
+// trajectories are bit-identical to the in-process Run; the ledger records
+// actual encoded wire bytes instead of the analytic sizes.
+func RunAlgorithmDistributed(algo Algorithm, mode DistributedMode, rounds int, rec *Recorder) (*History, error) {
+	return distrib.RunAlgorithm(algo, mode, rounds, rec)
+}

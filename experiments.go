@@ -10,6 +10,8 @@ type (
 	ExperimentResult = expt.Result
 	// ExperimentScale bundles the compute-budget knobs of a run.
 	ExperimentScale = expt.Scale
+	// AlgoOptions carries per-algorithm overrides for BuildAlgorithm.
+	AlgoOptions = expt.AlgoOptions
 )
 
 // Predefined experiment scales.
@@ -29,4 +31,15 @@ func Experiments() []string { return expt.ExperimentIDs() }
 // ("fig1".."fig10", "table1", "ablation-*").
 func RunExperiment(id string, sc ExperimentScale, seed uint64) (*ExperimentResult, error) {
 	return expt.Run(id, sc, seed)
+}
+
+// Algorithms lists every name BuildAlgorithm accepts.
+func Algorithms() []string { return expt.Algorithms() }
+
+// BuildAlgorithm constructs a named algorithm on an environment with the
+// scale's schedule. Every algorithm it returns runs on the shared round
+// engine, so the result works with Run, SetRecorder, and
+// RunAlgorithmDistributed alike.
+func BuildAlgorithm(name string, env *Env, sc ExperimentScale, seed uint64, hetero bool, opts AlgoOptions) (Algorithm, error) {
+	return expt.BuildAlgorithmOpts(name, env, sc, seed, hetero, opts)
 }

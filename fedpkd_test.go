@@ -107,22 +107,22 @@ func TestFacadeExperiments(t *testing.T) {
 func TestFacadeTransportRoundtrip(t *testing.T) {
 	bus := NewBus(1, 1)
 	defer bus.Close()
-	payload, err := EncodePayload(ModelUpdate{ClientID: 2, Params: []float32{1}})
+	payload, err := EncodePayload(RoundUpload{Client: 2, HasPayload: true, Payload: WirePayload{Params: []float64{1}}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := bus.ClientConn(0).Send(&Envelope{Kind: KindModelUpdate, From: 0, To: -1, Payload: payload}); err != nil {
+	if err := bus.ClientConn(0).Send(&Envelope{Kind: KindUpload, From: 0, To: -1, Payload: payload}); err != nil {
 		t.Fatal(err)
 	}
 	e, err := bus.ServerConn().Recv()
 	if err != nil {
 		t.Fatal(err)
 	}
-	var mu ModelUpdate
-	if err := DecodePayload(e.Payload, &mu); err != nil {
+	var ru RoundUpload
+	if err := DecodePayload(e.Payload, &ru); err != nil {
 		t.Fatal(err)
 	}
-	if mu.ClientID != 2 {
-		t.Errorf("decoded = %+v", mu)
+	if ru.Client != 2 {
+		t.Errorf("decoded = %+v", ru)
 	}
 }

@@ -67,8 +67,8 @@ func TestFedProxName(t *testing.T) {
 	if f.Name() != "FedProx" {
 		t.Errorf("name = %s", f.Name())
 	}
-	if f.cfg.Mu != 0.01 {
-		t.Errorf("default mu = %v", f.cfg.Mu)
+	if f.h.cfg.Mu != 0.01 {
+		t.Errorf("default mu = %v", f.h.cfg.Mu)
 	}
 	hist, err := f.Run(2)
 	if err != nil {
@@ -109,8 +109,8 @@ func TestDSFLUsesERA(t *testing.T) {
 	if f.Name() != "DS-FL" {
 		t.Errorf("name = %s", f.Name())
 	}
-	if f.cfg.ERATemperature != 0.5 {
-		t.Errorf("default ERA temperature = %v", f.cfg.ERATemperature)
+	if f.h.cfg.ERATemperature != 0.5 {
+		t.Errorf("default ERA temperature = %v", f.h.cfg.ERATemperature)
 	}
 	hist, err := f.Run(2)
 	if err != nil {
@@ -234,12 +234,12 @@ func TestBaselinesRequirePublicSet(t *testing.T) {
 
 func TestCommonConfigValidation(t *testing.T) {
 	c := CommonConfig{}
-	if err := c.fillDefaults(); err == nil {
+	if err := c.FillDefaults(); err == nil {
 		t.Error("missing Env should error")
 	}
 	env := tinyEnv(t)
 	c = CommonConfig{Env: env}
-	if err := c.fillDefaults(); err != nil {
+	if err := c.FillDefaults(); err != nil {
 		t.Fatal(err)
 	}
 	if c.BatchSize != 32 || c.LR != 0.001 {

@@ -1,45 +1,25 @@
 // Package baselines implements the six comparison algorithms of the paper's
-// evaluation — FedAvg, FedProx, FedMD, DS-FL, FedDF, and FedET — plus the
-// plain average-logit KD method of the motivating Fig. 1. Every baseline is
-// a full working algorithm on the same substrates FedPKD uses (internal/nn,
-// internal/dataset, internal/kd, internal/comm), implementing fl.Algorithm.
+// evaluation — FedAvg, FedProx, FedMD, DS-FL, FedDF, and FedET — plus
+// FedProto and the plain average-logit KD method of the motivating Fig. 1.
+// Every baseline is a full working algorithm on the same substrates FedPKD
+// uses (internal/nn, internal/dataset, internal/kd, internal/comm),
+// expressed as engine.Hooks and driven by the shared round engine in
+// internal/fl/engine.
 package baselines
 
 import (
 	"fmt"
 
-	"fedpkd/internal/comm"
-	"fedpkd/internal/fl"
+	"fedpkd/internal/fl/engine"
 	"fedpkd/internal/models"
 	"fedpkd/internal/nn"
-	"fedpkd/internal/obs"
 	"fedpkd/internal/stats"
 )
 
-// CommonConfig holds the knobs every baseline shares.
-type CommonConfig struct {
-	// Env supplies data splits and partitions.
-	Env *fl.Env
-	// BatchSize is the minibatch size B (default 32).
-	BatchSize int
-	// LR is the Adam learning rate (default 0.001).
-	LR float64
-	// Seed drives model init and batch order.
-	Seed uint64
-}
-
-func (c *CommonConfig) fillDefaults() error {
-	if c.Env == nil {
-		return fmt.Errorf("baselines: Env is required")
-	}
-	if c.BatchSize == 0 {
-		c.BatchSize = 32
-	}
-	if c.LR == 0 {
-		c.LR = 0.001
-	}
-	return nil
-}
+// CommonConfig holds the knobs every baseline shares. It is the engine's
+// shared config: defaults and validation live in engine.Config.FillDefaults,
+// the one place the whole repository fills them.
+type CommonConfig = engine.Config
 
 // buildFleet constructs one model per client for the given architectures.
 func buildFleet(common CommonConfig, archs []string) ([]*nn.Network, []nn.Optimizer, error) {
@@ -58,41 +38,4 @@ func buildFleet(common CommonConfig, archs []string) ([]*nn.Network, []nn.Optimi
 		opts[c] = nn.NewAdam(common.LR)
 	}
 	return nets, opts, nil
-}
-
-// newHistory starts a history labeled for the environment.
-func newHistory(algo string, env *fl.Env) *fl.History {
-	return &fl.History{
-		Algo:    algo,
-		Dataset: env.Cfg.Spec.Name,
-		Setting: env.Cfg.Partition.String(),
-	}
-}
-
-// record appends the standard round metrics. serverAcc or clientAcc may be
-// -1 for algorithms without that metric.
-func record(h *fl.History, round int, serverAcc, clientAcc float64, ledger *comm.Ledger) {
-	h.Add(fl.RoundMetrics{
-		Round:        round,
-		ServerAcc:    serverAcc,
-		ClientAcc:    clientAcc,
-		CumulativeMB: ledger.TotalMB(),
-	})
-}
-
-// recorderHolder embeds observability support into every baseline: a
-// nil-safe recorder plus the attach plumbing that mirrors the ledger into
-// it. Each baseline exposes it via its own SetRecorder method.
-type recorderHolder struct {
-	rec *obs.Recorder
-}
-
-// attach wires the recorder (nil detaches) and the ledger observer.
-func (h *recorderHolder) attach(r *obs.Recorder, l *comm.Ledger) {
-	h.rec = r
-	if r == nil {
-		l.SetObserver(nil)
-		return
-	}
-	l.SetObserver(r)
 }

@@ -1,10 +1,8 @@
 package baselines
 
 import (
-	"fmt"
-
-	"fedpkd/internal/comm"
 	"fedpkd/internal/fl"
+	"fedpkd/internal/fl/engine"
 	"fedpkd/internal/models"
 	"fedpkd/internal/nn"
 	"fedpkd/internal/obs"
@@ -25,27 +23,21 @@ type FedAvgConfig struct {
 }
 
 // FedAvg runs weight-averaging federated learning. Each round: clients load
-// the global weights, train locally (with an optional proximal term), and
-// upload their weights; the server computes the sample-weighted average
-// (Eq. 1) and broadcasts it.
+// the global weights (the engine's front-loaded GlobalState download),
+// train locally (with an optional proximal term), and upload their weights;
+// the server computes the sample-weighted average (Eq. 1). There is no
+// post-aggregation broadcast — the next round's GlobalState delivers the
+// new weights.
 type FedAvg struct {
-	recorderHolder
-	cfg     FedAvgConfig
-	name    string
-	clients []*nn.Network
-	opts    []nn.Optimizer
-	// evalNet holds the global weights for server-side evaluation.
-	evalNet *nn.Network
-	global  []float64
-	ledger  *comm.Ledger
-	round   int
+	*engine.Runner
+	h *fedAvgHooks
 }
 
 var _ fl.Algorithm = (*FedAvg)(nil)
 
 // NewFedAvg builds a FedAvg run (or FedProx when cfg.Mu > 0).
 func NewFedAvg(cfg FedAvgConfig) (*FedAvg, error) {
-	if err := cfg.Common.fillDefaults(); err != nil {
+	if err := cfg.Common.FillDefaults(); err != nil {
 		return nil, err
 	}
 	if cfg.LocalEpochs == 0 {
@@ -71,99 +63,19 @@ func NewFedAvg(cfg FedAvgConfig) (*FedAvg, error) {
 	if cfg.Mu > 0 {
 		name = "FedProx"
 	}
-	f := &FedAvg{
+	h := &fedAvgHooks{
 		cfg:     cfg,
 		name:    name,
 		clients: clients,
 		opts:    opts,
 		evalNet: evalNet,
 		global:  nn.FlattenParams(evalNet.Params()),
-		ledger:  comm.NewLedger(),
 	}
-	return f, nil
-}
-
-// Name implements fl.Algorithm.
-func (f *FedAvg) Name() string { return f.name }
-
-// Ledger returns the traffic ledger.
-func (f *FedAvg) Ledger() *comm.Ledger { return f.ledger }
-
-// SetRecorder attaches an observability recorder (nil detaches).
-func (f *FedAvg) SetRecorder(r *obs.Recorder) { f.attach(r, f.ledger) }
-
-// GlobalModel returns a network holding the current global weights.
-func (f *FedAvg) GlobalModel() *nn.Network { return f.evalNet }
-
-// Run implements fl.Algorithm.
-func (f *FedAvg) Run(rounds int) (*fl.History, error) {
-	env := f.cfg.Common.Env
-	hist := newHistory(f.name, env)
-	for r := 0; r < rounds; r++ {
-		if err := f.Round(); err != nil {
-			return hist, fmt.Errorf("%s round %d: %w", f.name, f.round-1, err)
-		}
-		stopEval := f.rec.Span(obs.PhaseEval)
-		record(hist, f.round-1,
-			fl.Accuracy(f.evalNet, env.Splits.Test),
-			fl.MeanClientAccuracy(f.clients, env.LocalTests),
-			f.ledger)
-		stopEval()
-	}
-	f.rec.Finish()
-	return hist, nil
-}
-
-// Round executes one FedAvg/FedProx communication round.
-func (f *FedAvg) Round() error {
-	env := f.cfg.Common.Env
-	t := f.round
-	f.round++
-	f.ledger.StartRound(t)
-
-	modelBytes := comm.ModelBytes(len(f.global))
-	f.rec.SetWorkers(fl.Workers(len(f.clients)))
-	err := fl.ForEachClient(len(f.clients), func(c int) error {
-		// Download global weights.
-		f.ledger.AddDownload(modelBytes)
-		if err := nn.SetFlatParams(f.clients[c].Params(), f.global); err != nil {
-			return err
-		}
-		rng := stats.Split(f.cfg.Common.Seed, uint64(t)*1000+uint64(c))
-		stopTrain := f.rec.ClientSpan(c)
-		if f.cfg.Mu > 0 {
-			fl.TrainCEProx(f.clients[c], f.opts[c], env.ClientData[c], rng,
-				f.cfg.LocalEpochs, f.cfg.Common.BatchSize, f.cfg.Mu, f.global)
-		} else {
-			fl.TrainCE(f.clients[c], f.opts[c], env.ClientData[c], rng,
-				f.cfg.LocalEpochs, f.cfg.Common.BatchSize)
-		}
-		stopTrain()
-		// Upload updated weights.
-		f.ledger.AddUpload(modelBytes)
-		return nil
-	})
+	runner, err := engine.NewRunner(h, cfg.Common)
 	if err != nil {
-		return err
+		return nil, err
 	}
-
-	// Sample-weighted average (Eq. 1).
-	defer f.rec.Span(obs.PhaseAggregate)()
-	next := make([]float64, len(f.global))
-	var totalSamples float64
-	for c, net := range f.clients {
-		w := float64(env.ClientData[c].Len())
-		flat := nn.FlattenParams(net.Params())
-		for i, v := range flat {
-			next[i] += w * v
-		}
-		totalSamples += w
-	}
-	for i := range next {
-		next[i] /= totalSamples
-	}
-	f.global = next
-	return nn.SetFlatParams(f.evalNet.Params(), f.global)
+	return &FedAvg{Runner: runner, h: h}, nil
 }
 
 // NewFedProx builds a FedProx run: FedAvg with a proximal term. Mu defaults
@@ -173,4 +85,80 @@ func NewFedProx(cfg FedAvgConfig) (*FedAvg, error) {
 		cfg.Mu = 0.01
 	}
 	return NewFedAvg(cfg)
+}
+
+// GlobalModel returns a network holding the current global weights.
+func (f *FedAvg) GlobalModel() *nn.Network { return f.h.evalNet }
+
+// fedAvgHooks implements engine.Hooks. global is the only cross-client
+// state: replaced in Aggregate, read by the next round's GlobalState.
+type fedAvgHooks struct {
+	cfg     FedAvgConfig
+	name    string
+	clients []*nn.Network
+	opts    []nn.Optimizer
+	// evalNet holds the global weights for server-side evaluation.
+	evalNet *nn.Network
+	global  []float64
+}
+
+var _ engine.Hooks = (*fedAvgHooks)(nil)
+
+// Name implements engine.Hooks.
+func (h *fedAvgHooks) Name() string { return h.name }
+
+// GlobalState implements engine.Hooks: every participant downloads the
+// current global weights before training.
+func (h *fedAvgHooks) GlobalState(round int) *engine.Payload {
+	return &engine.Payload{Params: h.global}
+}
+
+// LocalUpdate implements engine.Hooks: load the global weights, train
+// locally, upload the updated weights.
+func (h *fedAvgHooks) LocalUpdate(rc *engine.RoundContext, c int, global *engine.Payload) (*engine.Payload, error) {
+	env := rc.Env()
+	if err := nn.SetFlatParams(h.clients[c].Params(), global.Params); err != nil {
+		return nil, err
+	}
+	rng := rc.LocalRNG(c)
+	if h.cfg.Mu > 0 {
+		fl.TrainCEProx(h.clients[c], h.opts[c], env.ClientData[c], rng,
+			h.cfg.LocalEpochs, h.cfg.Common.BatchSize, h.cfg.Mu, global.Params)
+	} else {
+		fl.TrainCE(h.clients[c], h.opts[c], env.ClientData[c], rng,
+			h.cfg.LocalEpochs, h.cfg.Common.BatchSize)
+	}
+	return &engine.Payload{
+		Params:     nn.FlattenParams(h.clients[c].Params()),
+		NumSamples: env.ClientData[c].Len(),
+	}, nil
+}
+
+// Aggregate implements engine.Hooks: the sample-weighted average (Eq. 1).
+// No broadcast — the averaged weights reach clients via GlobalState.
+func (h *fedAvgHooks) Aggregate(rc *engine.RoundContext, uploads []engine.Upload) (*engine.Payload, error) {
+	defer rc.Span(obs.PhaseAggregate)()
+	next := make([]float64, len(h.global))
+	var totalSamples float64
+	for _, u := range uploads {
+		w := float64(u.Payload.NumSamples)
+		for i, v := range u.Payload.Params {
+			next[i] += w * v
+		}
+		totalSamples += w
+	}
+	for i := range next {
+		next[i] /= totalSamples
+	}
+	h.global = next
+	return nil, nn.SetFlatParams(h.evalNet.Params(), h.global)
+}
+
+// Digest implements engine.Hooks; FedAvg has no broadcast to digest.
+func (h *fedAvgHooks) Digest(rc *engine.RoundContext, c int, bcast *engine.Payload) error { return nil }
+
+// Eval implements engine.Hooks.
+func (h *fedAvgHooks) Eval() (float64, float64) {
+	env := h.cfg.Common.Env
+	return fl.Accuracy(h.evalNet, env.Splits.Test), fl.MeanClientAccuracy(h.clients, env.LocalTests)
 }

@@ -3,8 +3,8 @@ package baselines
 import (
 	"fmt"
 
-	"fedpkd/internal/comm"
 	"fedpkd/internal/fl"
+	"fedpkd/internal/fl/engine"
 	"fedpkd/internal/kd"
 	"fedpkd/internal/models"
 	"fedpkd/internal/nn"
@@ -28,27 +28,20 @@ type FedDFConfig struct {
 // FedDF runs robust model fusion: clients train from the global weights and
 // upload their models; the server initializes from the FedAvg average and
 // then fine-tunes it by distilling the ensemble of client logits on the
-// public set; the fused model is broadcast. Because clients ship whole
-// models, the server can compute their public-set logits locally — no logit
-// traffic.
+// public set; the fused model reaches clients via the next round's
+// GlobalState. Because clients ship whole models, the server can compute
+// their public-set logits locally — no logit traffic (the upload marks them
+// LogitsLocal).
 type FedDF struct {
-	recorderHolder
-	cfg     FedDFConfig
-	clients []*nn.Network
-	opts    []nn.Optimizer
-	server  *nn.Network
-	// serverOpt is recreated each round: fusion restarts from the averaged
-	// weights, so stale Adam moments would be misleading.
-	global []float64
-	ledger *comm.Ledger
-	round  int
+	*engine.Runner
+	h *fedDFHooks
 }
 
 var _ fl.Algorithm = (*FedDF)(nil)
 
 // NewFedDF builds a FedDF run.
 func NewFedDF(cfg FedDFConfig) (*FedDF, error) {
-	if err := cfg.Common.fillDefaults(); err != nil {
+	if err := cfg.Common.FillDefaults(); err != nil {
 		return nil, err
 	}
 	if cfg.LocalEpochs == 0 {
@@ -76,107 +69,108 @@ func NewFedDF(cfg FedDFConfig) (*FedDF, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &FedDF{
+	h := &fedDFHooks{
 		cfg:     cfg,
 		clients: clients,
 		opts:    opts,
 		server:  server,
 		global:  nn.FlattenParams(server.Params()),
-		ledger:  comm.NewLedger(),
+	}
+	runner, err := engine.NewRunner(h, cfg.Common)
+	if err != nil {
+		return nil, err
+	}
+	return &FedDF{Runner: runner, h: h}, nil
+}
+
+// Server returns the fused server model.
+func (f *FedDF) Server() *nn.Network { return f.h.server }
+
+// fedDFHooks implements engine.Hooks. server and global are cross-client
+// state: written in Aggregate, read by the next round's GlobalState and
+// LocalUpdate.
+type fedDFHooks struct {
+	cfg     FedDFConfig
+	clients []*nn.Network
+	opts    []nn.Optimizer
+	server  *nn.Network
+	global  []float64
+}
+
+var _ engine.Hooks = (*fedDFHooks)(nil)
+
+// Name implements engine.Hooks.
+func (h *fedDFHooks) Name() string { return "FedDF" }
+
+// GlobalState implements engine.Hooks: every participant downloads the
+// fused weights before training.
+func (h *fedDFHooks) GlobalState(round int) *engine.Payload {
+	return &engine.Payload{Params: h.global}
+}
+
+// LocalUpdate implements engine.Hooks: load the fused weights, train
+// locally, upload the whole model. The public-set logits ride along marked
+// LogitsLocal — the server holds the uploaded model, so they cost nothing
+// on the wire.
+func (h *fedDFHooks) LocalUpdate(rc *engine.RoundContext, c int, global *engine.Payload) (*engine.Payload, error) {
+	env := rc.Env()
+	if err := nn.SetFlatParams(h.clients[c].Params(), global.Params); err != nil {
+		return nil, err
+	}
+	fl.TrainCE(h.clients[c], h.opts[c], env.ClientData[c], rc.LocalRNG(c),
+		h.cfg.LocalEpochs, h.cfg.Common.BatchSize)
+	return &engine.Payload{
+		Params:      nn.FlattenParams(h.clients[c].Params()),
+		Logits:      h.clients[c].Logits(env.Splits.Public.X),
+		LogitsLocal: true,
+		NumSamples:  env.ClientData[c].Len(),
 	}, nil
 }
 
-// Name implements fl.Algorithm.
-func (f *FedDF) Name() string { return "FedDF" }
-
-// Ledger returns the traffic ledger.
-func (f *FedDF) Ledger() *comm.Ledger { return f.ledger }
-
-// SetRecorder attaches an observability recorder (nil detaches).
-func (f *FedDF) SetRecorder(r *obs.Recorder) { f.attach(r, f.ledger) }
-
-// Server returns the fused server model.
-func (f *FedDF) Server() *nn.Network { return f.server }
-
-// Run implements fl.Algorithm. FedDF is not focused on client-model
-// performance (per the paper's comparison), so ClientAcc is recorded as -1.
-func (f *FedDF) Run(rounds int) (*fl.History, error) {
-	env := f.cfg.Common.Env
-	hist := newHistory(f.Name(), env)
-	for r := 0; r < rounds; r++ {
-		if err := f.Round(); err != nil {
-			return hist, fmt.Errorf("FedDF round %d: %w", f.round-1, err)
-		}
-		stopEval := f.rec.Span(obs.PhaseEval)
-		record(hist, f.round-1, fl.Accuracy(f.server, env.Splits.Test), -1, f.ledger)
-		stopEval()
-	}
-	f.rec.Finish()
-	return hist, nil
-}
-
-// Round executes one FedDF communication round.
-func (f *FedDF) Round() error {
-	env := f.cfg.Common.Env
-	t := f.round
-	f.round++
-	f.ledger.StartRound(t)
-
-	modelBytes := comm.ModelBytes(len(f.global))
-	publicX := env.Splits.Public.X
-
-	clientLogits := make([]*tensor.Matrix, len(f.clients))
-	f.rec.SetWorkers(fl.Workers(len(f.clients)))
-	err := fl.ForEachClient(len(f.clients), func(c int) error {
-		f.ledger.AddDownload(modelBytes)
-		if err := nn.SetFlatParams(f.clients[c].Params(), f.global); err != nil {
-			return err
-		}
-		rng := stats.Split(f.cfg.Common.Seed, uint64(t)*1000+uint64(c))
-		stopTrain := f.rec.ClientSpan(c)
-		fl.TrainCE(f.clients[c], f.opts[c], env.ClientData[c], rng, f.cfg.LocalEpochs, f.cfg.Common.BatchSize)
-		stopTrain()
-		f.ledger.AddUpload(modelBytes)
-		// The server holds the uploaded model, so it computes these logits
-		// locally — no wire cost.
-		clientLogits[c] = f.clients[c].Logits(publicX)
-		return nil
-	})
-	if err != nil {
-		return err
-	}
-
-	// Initialize fusion from the FedAvg average (Eq. 1).
-	stopAgg := f.rec.Span(obs.PhaseAggregate)
-	next := make([]float64, len(f.global))
+// Aggregate implements engine.Hooks: initialize fusion from the FedAvg
+// average (Eq. 1), then fine-tune toward the mean client logits (pure KL).
+// The optimizer is recreated each round: fusion restarts from the averaged
+// weights, so stale Adam moments would be misleading.
+func (h *fedDFHooks) Aggregate(rc *engine.RoundContext, uploads []engine.Upload) (*engine.Payload, error) {
+	stopAgg := rc.Span(obs.PhaseAggregate)
+	next := make([]float64, len(h.global))
 	var totalSamples float64
-	for c, net := range f.clients {
-		w := float64(env.ClientData[c].Len())
-		flat := nn.FlattenParams(net.Params())
-		for i, v := range flat {
-			next[i] += w * v
+	clientLogits := make([]*tensor.Matrix, len(uploads))
+	for i, u := range uploads {
+		w := float64(u.Payload.NumSamples)
+		for j, v := range u.Payload.Params {
+			next[j] += w * v
 		}
 		totalSamples += w
+		clientLogits[i] = u.Payload.Logits
 	}
 	for i := range next {
 		next[i] /= totalSamples
 	}
-	if err := nn.SetFlatParams(f.server.Params(), next); err != nil {
+	if err := nn.SetFlatParams(h.server.Params(), next); err != nil {
 		stopAgg()
-		return err
+		return nil, err
 	}
-
-	// Ensemble distillation: fine-tune the averaged model toward the mean
-	// client logits (pure KL).
 	ensemble := kd.AggregateMean(clientLogits)
 	pseudo := kd.PseudoLabels(ensemble)
 	stopAgg()
-	rng := stats.Split(f.cfg.Common.Seed, uint64(t)*1000+999)
-	stopServer := f.rec.Span(obs.PhaseServerTrain)
-	fl.TrainDistill(f.server, nn.NewAdam(f.cfg.Common.LR), publicX, ensemble, pseudo,
-		rng, f.cfg.ServerEpochs, f.cfg.Common.BatchSize, 1, 1)
+
+	env := rc.Env()
+	stopServer := rc.Span(obs.PhaseServerTrain)
+	fl.TrainDistill(h.server, nn.NewAdam(h.cfg.Common.LR), env.Splits.Public.X, ensemble, pseudo,
+		rc.ServerRNG(), h.cfg.ServerEpochs, h.cfg.Common.BatchSize, 1, 1)
 	stopServer()
 
-	f.global = nn.FlattenParams(f.server.Params())
-	return nil
+	h.global = nn.FlattenParams(h.server.Params())
+	return nil, nil
+}
+
+// Digest implements engine.Hooks; FedDF has no broadcast to digest.
+func (h *fedDFHooks) Digest(rc *engine.RoundContext, c int, bcast *engine.Payload) error { return nil }
+
+// Eval implements engine.Hooks. FedDF is not focused on client-model
+// performance (per the paper's comparison), so ClientAcc is -1.
+func (h *fedDFHooks) Eval() (float64, float64) {
+	env := h.cfg.Common.Env
+	return fl.Accuracy(h.server, env.Splits.Test), -1
 }

@@ -3,8 +3,8 @@ package baselines
 import (
 	"fmt"
 
-	"fedpkd/internal/comm"
 	"fedpkd/internal/fl"
+	"fedpkd/internal/fl/engine"
 	"fedpkd/internal/kd"
 	"fedpkd/internal/models"
 	"fedpkd/internal/nn"
@@ -34,21 +34,15 @@ type FedETConfig struct {
 // and a larger server model is trained by ensemble distillation; clients
 // then distill from the server's logits.
 type FedET struct {
-	recorderHolder
-	cfg       FedETConfig
-	clients   []*nn.Network
-	opts      []nn.Optimizer
-	server    *nn.Network
-	serverOpt nn.Optimizer
-	ledger    *comm.Ledger
-	round     int
+	*engine.Runner
+	h *fedETHooks
 }
 
 var _ fl.Algorithm = (*FedET)(nil)
 
 // NewFedET builds a FedET run.
 func NewFedET(cfg FedETConfig) (*FedET, error) {
-	if err := cfg.Common.fillDefaults(); err != nil {
+	if err := cfg.Common.FillDefaults(); err != nil {
 		return nil, err
 	}
 	if cfg.LocalEpochs == 0 {
@@ -75,97 +69,91 @@ func NewFedET(cfg FedETConfig) (*FedET, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &FedET{
+	h := &fedETHooks{
 		cfg:       cfg,
 		clients:   clients,
 		opts:      opts,
 		server:    server,
 		serverOpt: nn.NewAdam(cfg.Common.LR),
-		ledger:    comm.NewLedger(),
+	}
+	runner, err := engine.NewRunner(h, cfg.Common)
+	if err != nil {
+		return nil, err
+	}
+	return &FedET{Runner: runner, h: h}, nil
+}
+
+// Server returns the large server model.
+func (f *FedET) Server() *nn.Network { return f.h.server }
+
+// fedETHooks implements engine.Hooks. server state is written in Aggregate
+// only.
+type fedETHooks struct {
+	cfg       FedETConfig
+	clients   []*nn.Network
+	opts      []nn.Optimizer
+	server    *nn.Network
+	serverOpt nn.Optimizer
+}
+
+var _ engine.Hooks = (*fedETHooks)(nil)
+
+// Name implements engine.Hooks.
+func (h *fedETHooks) Name() string { return "FedET" }
+
+// GlobalState implements engine.Hooks; server knowledge reaches clients
+// through the broadcast.
+func (h *fedETHooks) GlobalState(round int) *engine.Payload { return nil }
+
+// LocalUpdate implements engine.Hooks: private training, then the dual
+// upload — public-set logits plus the client's model parameters (FedET's
+// representation-layer synchronization, charged via ParamsCounted without
+// materializing the vector: the simulation's server never reads it).
+func (h *fedETHooks) LocalUpdate(rc *engine.RoundContext, c int, global *engine.Payload) (*engine.Payload, error) {
+	env := rc.Env()
+	fl.TrainCE(h.clients[c], h.opts[c], env.ClientData[c], rc.LocalRNG(c),
+		h.cfg.LocalEpochs, h.cfg.Common.BatchSize)
+	return &engine.Payload{
+		Logits:        h.clients[c].Logits(env.Splits.Public.X),
+		ParamsCounted: h.clients[c].ParamCount(),
 	}, nil
 }
 
-// Name implements fl.Algorithm.
-func (f *FedET) Name() string { return "FedET" }
-
-// Ledger returns the traffic ledger.
-func (f *FedET) Ledger() *comm.Ledger { return f.ledger }
-
-// SetRecorder attaches an observability recorder (nil detaches).
-func (f *FedET) SetRecorder(r *obs.Recorder) { f.attach(r, f.ledger) }
-
-// Server returns the large server model.
-func (f *FedET) Server() *nn.Network { return f.server }
-
-// Run implements fl.Algorithm.
-func (f *FedET) Run(rounds int) (*fl.History, error) {
-	env := f.cfg.Common.Env
-	hist := newHistory(f.Name(), env)
-	for r := 0; r < rounds; r++ {
-		if err := f.Round(); err != nil {
-			return hist, fmt.Errorf("FedET round %d: %w", f.round-1, err)
-		}
-		stopEval := f.rec.Span(obs.PhaseEval)
-		record(hist, f.round-1,
-			fl.Accuracy(f.server, env.Splits.Test),
-			fl.MeanClientAccuracy(f.clients, env.LocalTests),
-			f.ledger)
-		stopEval()
+// Aggregate implements engine.Hooks: confidence-weighted ensemble
+// distillation into the large server model, then broadcast the server's
+// public-set logits.
+func (h *fedETHooks) Aggregate(rc *engine.RoundContext, uploads []engine.Upload) (*engine.Payload, error) {
+	stopAgg := rc.Span(obs.PhaseAggregate)
+	clientLogits := make([]*tensor.Matrix, len(uploads))
+	for i, u := range uploads {
+		clientLogits[i] = u.Payload.Logits
 	}
-	f.rec.Finish()
-	return hist, nil
-}
-
-// Round executes one FedET communication round.
-func (f *FedET) Round() error {
-	env := f.cfg.Common.Env
-	t := f.round
-	f.round++
-	f.ledger.StartRound(t)
-
-	publicX := env.Splits.Public.X
-	classes := env.Classes()
-	logitBytes := comm.LogitsBytes(publicX.Rows, classes)
-
-	clientLogits := make([]*tensor.Matrix, len(f.clients))
-	f.rec.SetWorkers(fl.Workers(len(f.clients)))
-	err := fl.ForEachClient(len(f.clients), func(c int) error {
-		rng := stats.Split(f.cfg.Common.Seed, uint64(t)*1000+uint64(c))
-		stopTrain := f.rec.ClientSpan(c)
-		fl.TrainCE(f.clients[c], f.opts[c], env.ClientData[c], rng, f.cfg.LocalEpochs, f.cfg.Common.BatchSize)
-		stopTrain()
-		clientLogits[c] = f.clients[c].Logits(publicX)
-		// Dual upload: logits plus the client's model parameters (FedET's
-		// representation-layer synchronization).
-		f.ledger.AddUpload(logitBytes)
-		f.ledger.AddUpload(comm.ModelBytes(f.clients[c].ParamCount()))
-		return nil
-	})
-	if err != nil {
-		return err
-	}
-
-	// Confidence-weighted ensemble distillation into the large server model.
-	stopAgg := f.rec.Span(obs.PhaseAggregate)
 	ensemble := kd.AggregateConfidenceWeighted(clientLogits)
 	pseudo := kd.PseudoLabels(ensemble)
 	stopAgg()
-	rng := stats.Split(f.cfg.Common.Seed, uint64(t)*1000+999)
-	stopServer := f.rec.Span(obs.PhaseServerTrain)
-	fl.TrainDistill(f.server, f.serverOpt, publicX, ensemble, pseudo,
-		rng, f.cfg.ServerEpochs, f.cfg.Common.BatchSize, 0.5, 1)
+
+	env := rc.Env()
+	publicX := env.Splits.Public.X
+	stopServer := rc.Span(obs.PhaseServerTrain)
+	fl.TrainDistill(h.server, h.serverOpt, publicX, ensemble, pseudo,
+		rc.ServerRNG(), h.cfg.ServerEpochs, h.cfg.Common.BatchSize, 0.5, 1)
 	stopServer()
 
-	// Clients distill from the server's logits.
-	serverLogits := f.server.Logits(publicX)
-	serverPseudo := kd.PseudoLabels(serverLogits)
-	return fl.ForEachClient(len(f.clients), func(c int) error {
-		f.ledger.AddDownload(logitBytes)
-		rng := stats.Split(f.cfg.Common.Seed, uint64(t)*1000+500+uint64(c))
-		stopPublic := f.rec.Span(obs.PhaseClientPublic)
-		fl.TrainDistill(f.clients[c], f.opts[c], publicX, serverLogits, serverPseudo,
-			rng, 5, f.cfg.Common.BatchSize, 0.5, 1)
-		stopPublic()
-		return nil
-	})
+	return &engine.Payload{Logits: h.server.Logits(publicX)}, nil
+}
+
+// Digest implements engine.Hooks: clients distill from the server's logits
+// (5 epochs, per FedET's client-update schedule).
+func (h *fedETHooks) Digest(rc *engine.RoundContext, c int, bcast *engine.Payload) error {
+	env := rc.Env()
+	serverPseudo := kd.PseudoLabels(bcast.Logits)
+	fl.TrainDistill(h.clients[c], h.opts[c], env.Splits.Public.X, bcast.Logits, serverPseudo,
+		rc.DigestRNG(c), 5, h.cfg.Common.BatchSize, 0.5, 1)
+	return nil
+}
+
+// Eval implements engine.Hooks.
+func (h *fedETHooks) Eval() (float64, float64) {
+	env := h.cfg.Common.Env
+	return fl.Accuracy(h.server, env.Splits.Test), fl.MeanClientAccuracy(h.clients, env.LocalTests)
 }

@@ -3,13 +3,12 @@ package baselines
 import (
 	"fmt"
 
-	"fedpkd/internal/comm"
 	"fedpkd/internal/fl"
+	"fedpkd/internal/fl/engine"
 	"fedpkd/internal/kd"
 	"fedpkd/internal/models"
 	"fedpkd/internal/nn"
 	"fedpkd/internal/obs"
-	"fedpkd/internal/stats"
 	"fedpkd/internal/tensor"
 )
 
@@ -35,20 +34,15 @@ type FedMDConfig struct {
 // consensus; clients digest the consensus via KL distillation. There is no
 // server model.
 type FedMD struct {
-	recorderHolder
-	cfg     FedMDConfig
-	name    string
-	clients []*nn.Network
-	opts    []nn.Optimizer
-	ledger  *comm.Ledger
-	round   int
+	*engine.Runner
+	h *fedMDHooks
 }
 
 var _ fl.Algorithm = (*FedMD)(nil)
 
 // NewFedMD builds a FedMD run (or DS-FL when ERATemperature > 0).
 func NewFedMD(cfg FedMDConfig) (*FedMD, error) {
-	if err := cfg.Common.fillDefaults(); err != nil {
+	if err := cfg.Common.FillDefaults(); err != nil {
 		return nil, err
 	}
 	if cfg.LocalEpochs == 0 {
@@ -71,7 +65,12 @@ func NewFedMD(cfg FedMDConfig) (*FedMD, error) {
 	if cfg.ERATemperature > 0 {
 		name = "DS-FL"
 	}
-	return &FedMD{cfg: cfg, name: name, clients: clients, opts: opts, ledger: comm.NewLedger()}, nil
+	h := &fedMDHooks{cfg: cfg, name: name, clients: clients, opts: opts}
+	runner, err := engine.NewRunner(h, cfg.Common)
+	if err != nil {
+		return nil, err
+	}
+	return &FedMD{Runner: runner, h: h}, nil
 }
 
 // NewDSFL builds a DS-FL run: FedMD with entropy-reduction aggregation.
@@ -83,79 +82,65 @@ func NewDSFL(cfg FedMDConfig) (*FedMD, error) {
 	return NewFedMD(cfg)
 }
 
-// Name implements fl.Algorithm.
-func (f *FedMD) Name() string { return f.name }
-
-// Ledger returns the traffic ledger.
-func (f *FedMD) Ledger() *comm.Ledger { return f.ledger }
-
-// SetRecorder attaches an observability recorder (nil detaches).
-func (f *FedMD) SetRecorder(r *obs.Recorder) { f.attach(r, f.ledger) }
-
 // Clients returns the client models.
-func (f *FedMD) Clients() []*nn.Network { return f.clients }
+func (f *FedMD) Clients() []*nn.Network { return f.h.clients }
 
-// Run implements fl.Algorithm. FedMD and DS-FL have no server model, so
-// ServerAcc is recorded as -1.
-func (f *FedMD) Run(rounds int) (*fl.History, error) {
-	env := f.cfg.Common.Env
-	hist := newHistory(f.name, env)
-	for r := 0; r < rounds; r++ {
-		if err := f.Round(); err != nil {
-			return hist, fmt.Errorf("%s round %d: %w", f.name, f.round-1, err)
-		}
-		stopEval := f.rec.Span(obs.PhaseEval)
-		record(hist, f.round-1, -1, fl.MeanClientAccuracy(f.clients, env.LocalTests), f.ledger)
-		stopEval()
-	}
-	f.rec.Finish()
-	return hist, nil
+// fedMDHooks implements engine.Hooks. All state is per-client.
+type fedMDHooks struct {
+	cfg     FedMDConfig
+	name    string
+	clients []*nn.Network
+	opts    []nn.Optimizer
 }
 
-// Round executes one FedMD/DS-FL communication round.
-func (f *FedMD) Round() error {
-	env := f.cfg.Common.Env
-	t := f.round
-	f.round++
-	f.ledger.StartRound(t)
+var _ engine.Hooks = (*fedMDHooks)(nil)
 
-	publicX := env.Splits.Public.X
-	classes := env.Classes()
-	logitBytes := comm.LogitsBytes(publicX.Rows, classes)
+// Name implements engine.Hooks.
+func (h *fedMDHooks) Name() string { return h.name }
 
-	clientLogits := make([]*tensor.Matrix, len(f.clients))
-	f.rec.SetWorkers(fl.Workers(len(f.clients)))
-	err := fl.ForEachClient(len(f.clients), func(c int) error {
-		rng := stats.Split(f.cfg.Common.Seed, uint64(t)*1000+uint64(c))
-		stopTrain := f.rec.ClientSpan(c)
-		fl.TrainCE(f.clients[c], f.opts[c], env.ClientData[c], rng, f.cfg.LocalEpochs, f.cfg.Common.BatchSize)
-		stopTrain()
-		clientLogits[c] = f.clients[c].Logits(publicX)
-		f.ledger.AddUpload(logitBytes)
-		return nil
-	})
-	if err != nil {
-		return err
+// GlobalState implements engine.Hooks; the consensus reaches clients
+// through the broadcast.
+func (h *fedMDHooks) GlobalState(round int) *engine.Payload { return nil }
+
+// LocalUpdate implements engine.Hooks: private training, then public-set
+// logits as the upload.
+func (h *fedMDHooks) LocalUpdate(rc *engine.RoundContext, c int, global *engine.Payload) (*engine.Payload, error) {
+	env := rc.Env()
+	fl.TrainCE(h.clients[c], h.opts[c], env.ClientData[c], rc.LocalRNG(c),
+		h.cfg.LocalEpochs, h.cfg.Common.BatchSize)
+	return &engine.Payload{Logits: h.clients[c].Logits(env.Splits.Public.X)}, nil
+}
+
+// Aggregate implements engine.Hooks: build the logit consensus (mean for
+// FedMD, entropy-reduction for DS-FL) and broadcast it.
+func (h *fedMDHooks) Aggregate(rc *engine.RoundContext, uploads []engine.Upload) (*engine.Payload, error) {
+	defer rc.Span(obs.PhaseAggregate)()
+	clientLogits := make([]*tensor.Matrix, len(uploads))
+	for i, u := range uploads {
+		clientLogits[i] = u.Payload.Logits
 	}
-
-	stopAgg := f.rec.Span(obs.PhaseAggregate)
 	var consensus *tensor.Matrix
-	if f.cfg.ERATemperature > 0 {
-		consensus = kd.AggregateERA(clientLogits, f.cfg.ERATemperature)
+	if h.cfg.ERATemperature > 0 {
+		consensus = kd.AggregateERA(clientLogits, h.cfg.ERATemperature)
 	} else {
 		consensus = kd.AggregateMean(clientLogits)
 	}
-	pseudo := kd.PseudoLabels(consensus)
-	stopAgg()
+	return &engine.Payload{Logits: consensus}, nil
+}
 
-	// Digest: clients approach the consensus via pure KL (gamma = 1).
-	return fl.ForEachClient(len(f.clients), func(c int) error {
-		f.ledger.AddDownload(logitBytes)
-		rng := stats.Split(f.cfg.Common.Seed, uint64(t)*1000+500+uint64(c))
-		stopPublic := f.rec.Span(obs.PhaseClientPublic)
-		fl.TrainDistill(f.clients[c], f.opts[c], publicX, consensus, pseudo,
-			rng, f.cfg.DistillEpochs, f.cfg.Common.BatchSize, 1, 1)
-		stopPublic()
-		return nil
-	})
+// Digest implements engine.Hooks: clients approach the consensus via pure
+// KL (gamma = 1).
+func (h *fedMDHooks) Digest(rc *engine.RoundContext, c int, bcast *engine.Payload) error {
+	env := rc.Env()
+	pseudo := kd.PseudoLabels(bcast.Logits)
+	fl.TrainDistill(h.clients[c], h.opts[c], env.Splits.Public.X, bcast.Logits, pseudo,
+		rc.DigestRNG(c), h.cfg.DistillEpochs, h.cfg.Common.BatchSize, 1, 1)
+	return nil
+}
+
+// Eval implements engine.Hooks. FedMD and DS-FL have no server model, so
+// ServerAcc is -1.
+func (h *fedMDHooks) Eval() (float64, float64) {
+	env := h.cfg.Common.Env
+	return -1, fl.MeanClientAccuracy(h.clients, env.LocalTests)
 }

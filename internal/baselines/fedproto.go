@@ -1,13 +1,12 @@
 package baselines
 
 import (
-	"fedpkd/internal/comm"
 	"fedpkd/internal/fl"
+	"fedpkd/internal/fl/engine"
 	"fedpkd/internal/models"
 	"fedpkd/internal/nn"
 	"fedpkd/internal/obs"
 	"fedpkd/internal/proto"
-	"fedpkd/internal/stats"
 )
 
 // FedProtoConfig parameterizes FedProto (Tan et al., 2021), the
@@ -29,20 +28,15 @@ type FedProtoConfig struct {
 
 // FedProto runs prototype-aggregation federated learning.
 type FedProto struct {
-	recorderHolder
-	cfg     FedProtoConfig
-	clients []*nn.Network
-	opts    []nn.Optimizer
-	global  *proto.Set
-	ledger  *comm.Ledger
-	round   int
+	*engine.Runner
+	h *fedProtoHooks
 }
 
 var _ fl.Algorithm = (*FedProto)(nil)
 
 // NewFedProto builds a FedProto run.
 func NewFedProto(cfg FedProtoConfig) (*FedProto, error) {
-	if err := cfg.Common.fillDefaults(); err != nil {
+	if err := cfg.Common.FillDefaults(); err != nil {
 		return nil, err
 	}
 	if cfg.LocalEpochs == 0 {
@@ -58,75 +52,76 @@ func NewFedProto(cfg FedProtoConfig) (*FedProto, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &FedProto{cfg: cfg, clients: clients, opts: opts, ledger: comm.NewLedger()}, nil
+	h := &fedProtoHooks{cfg: cfg, clients: clients, opts: opts}
+	runner, err := engine.NewRunner(h, cfg.Common)
+	if err != nil {
+		return nil, err
+	}
+	return &FedProto{Runner: runner, h: h}, nil
 }
-
-// Name implements fl.Algorithm.
-func (f *FedProto) Name() string { return "FedProto" }
-
-// Ledger returns the traffic ledger.
-func (f *FedProto) Ledger() *comm.Ledger { return f.ledger }
-
-// SetRecorder attaches an observability recorder (nil detaches).
-func (f *FedProto) SetRecorder(r *obs.Recorder) { f.attach(r, f.ledger) }
 
 // GlobalPrototypes returns the latest aggregated prototypes (nil before the
 // first round).
-func (f *FedProto) GlobalPrototypes() *proto.Set { return f.global }
+func (f *FedProto) GlobalPrototypes() *proto.Set { return f.h.global }
 
-// Run implements fl.Algorithm. FedProto has no server model, so ServerAcc
-// is recorded as -1.
-func (f *FedProto) Run(rounds int) (*fl.History, error) {
-	env := f.cfg.Common.Env
-	hist := newHistory(f.Name(), env)
-	for r := 0; r < rounds; r++ {
-		if err := f.Round(); err != nil {
-			return hist, err
-		}
-		stopEval := f.rec.Span(obs.PhaseEval)
-		record(hist, f.round-1, -1, fl.MeanClientAccuracy(f.clients, env.LocalTests), f.ledger)
-		stopEval()
-	}
-	f.rec.Finish()
-	return hist, nil
+// fedProtoHooks implements engine.Hooks. global is the only cross-client
+// state: written in Aggregate, read by the next round's LocalUpdate.
+type fedProtoHooks struct {
+	cfg     FedProtoConfig
+	clients []*nn.Network
+	opts    []nn.Optimizer
+	global  *proto.Set
 }
 
-// Round executes one FedProto communication round.
-func (f *FedProto) Round() error {
-	env := f.cfg.Common.Env
-	t := f.round
-	f.round++
-	f.ledger.StartRound(t)
+var _ engine.Hooks = (*fedProtoHooks)(nil)
 
-	clientProtos := make([]*proto.Set, len(f.clients))
-	f.rec.SetWorkers(fl.Workers(len(f.clients)))
-	err := fl.ForEachClient(len(f.clients), func(c int) error {
-		rng := stats.Split(f.cfg.Common.Seed, uint64(t)*1000+uint64(c))
-		stopTrain := f.rec.ClientSpan(c)
-		if t == 0 || f.global == nil {
-			fl.TrainCE(f.clients[c], f.opts[c], env.ClientData[c], rng, f.cfg.LocalEpochs, f.cfg.Common.BatchSize)
-		} else {
-			fl.TrainCEWithProto(f.clients[c], f.opts[c], env.ClientData[c], rng,
-				f.cfg.LocalEpochs, f.cfg.Common.BatchSize, f.global, f.cfg.Epsilon)
-		}
-		stopTrain()
-		clientProtos[c] = proto.Compute(f.clients[c].Features, env.ClientData[c])
-		f.ledger.AddUpload(comm.PrototypeBytes(clientProtos[c].Len(), clientProtos[c].Dim))
-		return nil
-	})
-	if err != nil {
-		return err
+// Name implements engine.Hooks.
+func (h *fedProtoHooks) Name() string { return "FedProto" }
+
+// GlobalState implements engine.Hooks; the aggregated prototypes reach
+// clients through the broadcast.
+func (h *fedProtoHooks) GlobalState(round int) *engine.Payload { return nil }
+
+// LocalUpdate implements engine.Hooks: local training regularized toward
+// the global prototypes (plain CE before any exist), then upload the
+// client's per-class prototypes.
+func (h *fedProtoHooks) LocalUpdate(rc *engine.RoundContext, c int, global *engine.Payload) (*engine.Payload, error) {
+	env := rc.Env()
+	rng := rc.LocalRNG(c)
+	if rc.Round() == 0 || h.global == nil {
+		fl.TrainCE(h.clients[c], h.opts[c], env.ClientData[c], rng, h.cfg.LocalEpochs, h.cfg.Common.BatchSize)
+	} else {
+		fl.TrainCEWithProto(h.clients[c], h.opts[c], env.ClientData[c], rng,
+			h.cfg.LocalEpochs, h.cfg.Common.BatchSize, h.global, h.cfg.Epsilon)
 	}
+	return &engine.Payload{Protos: proto.Compute(h.clients[c].Features, env.ClientData[c])}, nil
+}
 
-	stopAgg := f.rec.Span(obs.PhaseAggregate)
+// Aggregate implements engine.Hooks: average the client prototypes and
+// broadcast the result.
+func (h *fedProtoHooks) Aggregate(rc *engine.RoundContext, uploads []engine.Upload) (*engine.Payload, error) {
+	stopAgg := rc.Span(obs.PhaseAggregate)
+	clientProtos := make([]*proto.Set, len(uploads))
+	for i, u := range uploads {
+		clientProtos[i] = u.Payload.Protos
+	}
 	global, err := proto.Aggregate(clientProtos)
 	stopAgg()
 	if err != nil {
-		return err
+		return nil, err
 	}
-	f.global = global
-	for range f.clients {
-		f.ledger.AddDownload(comm.PrototypeBytes(global.Len(), global.Dim))
-	}
-	return nil
+	h.global = global
+	return &engine.Payload{Protos: global}, nil
+}
+
+// Digest implements engine.Hooks. The broadcast's prototypes feed the next
+// round's LocalUpdate via the hook state set in Aggregate; there is no
+// digest-time training.
+func (h *fedProtoHooks) Digest(rc *engine.RoundContext, c int, bcast *engine.Payload) error { return nil }
+
+// Eval implements engine.Hooks. FedProto has no server model, so ServerAcc
+// is -1.
+func (h *fedProtoHooks) Eval() (float64, float64) {
+	env := h.cfg.Common.Env
+	return -1, fl.MeanClientAccuracy(h.clients, env.LocalTests)
 }

@@ -3,8 +3,8 @@ package baselines
 import (
 	"fmt"
 
-	"fedpkd/internal/comm"
 	"fedpkd/internal/fl"
+	"fedpkd/internal/fl/engine"
 	"fedpkd/internal/kd"
 	"fedpkd/internal/models"
 	"fedpkd/internal/nn"
@@ -29,21 +29,15 @@ type VanillaKDConfig struct {
 
 // VanillaKD is the strawman FedPKD improves on.
 type VanillaKD struct {
-	recorderHolder
-	cfg       VanillaKDConfig
-	clients   []*nn.Network
-	opts      []nn.Optimizer
-	server    *nn.Network
-	serverOpt nn.Optimizer
-	ledger    *comm.Ledger
-	round     int
+	*engine.Runner
+	h *vanillaKDHooks
 }
 
 var _ fl.Algorithm = (*VanillaKD)(nil)
 
 // NewVanillaKD builds a plain KD-based FL run.
 func NewVanillaKD(cfg VanillaKDConfig) (*VanillaKD, error) {
-	if err := cfg.Common.fillDefaults(); err != nil {
+	if err := cfg.Common.FillDefaults(); err != nil {
 		return nil, err
 	}
 	if cfg.LocalEpochs == 0 {
@@ -74,91 +68,87 @@ func NewVanillaKD(cfg VanillaKDConfig) (*VanillaKD, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &VanillaKD{
+	h := &vanillaKDHooks{
 		cfg:       cfg,
 		clients:   clients,
 		opts:      opts,
 		server:    server,
 		serverOpt: nn.NewAdam(cfg.Common.LR),
-		ledger:    comm.NewLedger(),
-	}, nil
+	}
+	runner, err := engine.NewRunner(h, cfg.Common)
+	if err != nil {
+		return nil, err
+	}
+	return &VanillaKD{Runner: runner, h: h}, nil
 }
 
-// Name implements fl.Algorithm.
-func (f *VanillaKD) Name() string { return "KD" }
-
-// Ledger returns the traffic ledger.
-func (f *VanillaKD) Ledger() *comm.Ledger { return f.ledger }
-
-// SetRecorder attaches an observability recorder (nil detaches).
-func (f *VanillaKD) SetRecorder(r *obs.Recorder) { f.attach(r, f.ledger) }
-
 // Server returns the server model.
-func (f *VanillaKD) Server() *nn.Network { return f.server }
+func (f *VanillaKD) Server() *nn.Network { return f.h.server }
 
 // AggregatedLogits returns the current round's equally averaged client
 // logits on the public set — the quantity whose quality Figs. 2-3 measure.
 func (f *VanillaKD) AggregatedLogits() *tensor.Matrix {
-	publicX := f.cfg.Common.Env.Splits.Public.X
-	clientLogits := make([]*tensor.Matrix, len(f.clients))
-	for c, net := range f.clients {
+	publicX := f.h.cfg.Common.Env.Splits.Public.X
+	clientLogits := make([]*tensor.Matrix, len(f.h.clients))
+	for c, net := range f.h.clients {
 		clientLogits[c] = net.Logits(publicX)
 	}
 	return kd.AggregateMean(clientLogits)
 }
 
-// Run implements fl.Algorithm.
-func (f *VanillaKD) Run(rounds int) (*fl.History, error) {
-	env := f.cfg.Common.Env
-	hist := newHistory(f.Name(), env)
-	for r := 0; r < rounds; r++ {
-		if err := f.Round(); err != nil {
-			return hist, fmt.Errorf("KD round %d: %w", f.round-1, err)
-		}
-		stopEval := f.rec.Span(obs.PhaseEval)
-		record(hist, f.round-1,
-			fl.Accuracy(f.server, env.Splits.Test),
-			fl.MeanClientAccuracy(f.clients, env.LocalTests),
-			f.ledger)
-		stopEval()
-	}
-	f.rec.Finish()
-	return hist, nil
+// vanillaKDHooks implements engine.Hooks. server state is written in
+// Aggregate only.
+type vanillaKDHooks struct {
+	cfg       VanillaKDConfig
+	clients   []*nn.Network
+	opts      []nn.Optimizer
+	server    *nn.Network
+	serverOpt nn.Optimizer
 }
 
-// Round executes one vanilla-KD communication round.
-func (f *VanillaKD) Round() error {
-	env := f.cfg.Common.Env
-	t := f.round
-	f.round++
-	f.ledger.StartRound(t)
+var _ engine.Hooks = (*vanillaKDHooks)(nil)
 
-	publicX := env.Splits.Public.X
-	logitBytes := comm.LogitsBytes(publicX.Rows, env.Classes())
+// Name implements engine.Hooks.
+func (h *vanillaKDHooks) Name() string { return "KD" }
 
-	clientLogits := make([]*tensor.Matrix, len(f.clients))
-	f.rec.SetWorkers(fl.Workers(len(f.clients)))
-	err := fl.ForEachClient(len(f.clients), func(c int) error {
-		rng := stats.Split(f.cfg.Common.Seed, uint64(t)*1000+uint64(c))
-		stopTrain := f.rec.ClientSpan(c)
-		fl.TrainCE(f.clients[c], f.opts[c], env.ClientData[c], rng, f.cfg.LocalEpochs, f.cfg.Common.BatchSize)
-		stopTrain()
-		clientLogits[c] = f.clients[c].Logits(publicX)
-		f.ledger.AddUpload(logitBytes)
-		return nil
-	})
-	if err != nil {
-		return err
+// GlobalState implements engine.Hooks; vanilla KD sends nothing downstream.
+func (h *vanillaKDHooks) GlobalState(round int) *engine.Payload { return nil }
+
+// LocalUpdate implements engine.Hooks: private training, then public-set
+// logits as the upload.
+func (h *vanillaKDHooks) LocalUpdate(rc *engine.RoundContext, c int, global *engine.Payload) (*engine.Payload, error) {
+	env := rc.Env()
+	fl.TrainCE(h.clients[c], h.opts[c], env.ClientData[c], rc.LocalRNG(c),
+		h.cfg.LocalEpochs, h.cfg.Common.BatchSize)
+	return &engine.Payload{Logits: h.clients[c].Logits(env.Splits.Public.X)}, nil
+}
+
+// Aggregate implements engine.Hooks: train the server on the equally
+// averaged client logits. No broadcast — clients never hear back, which is
+// exactly the one-way strawman of Fig. 1.
+func (h *vanillaKDHooks) Aggregate(rc *engine.RoundContext, uploads []engine.Upload) (*engine.Payload, error) {
+	stopAgg := rc.Span(obs.PhaseAggregate)
+	clientLogits := make([]*tensor.Matrix, len(uploads))
+	for i, u := range uploads {
+		clientLogits[i] = u.Payload.Logits
 	}
-
-	stopAgg := f.rec.Span(obs.PhaseAggregate)
 	ensemble := kd.AggregateMean(clientLogits)
 	pseudo := kd.PseudoLabels(ensemble)
 	stopAgg()
-	rng := stats.Split(f.cfg.Common.Seed, uint64(t)*1000+999)
-	stopServer := f.rec.Span(obs.PhaseServerTrain)
-	fl.TrainDistill(f.server, f.serverOpt, publicX, ensemble, pseudo,
-		rng, f.cfg.ServerEpochs, f.cfg.Common.BatchSize, 0.5, 1)
+
+	env := rc.Env()
+	stopServer := rc.Span(obs.PhaseServerTrain)
+	fl.TrainDistill(h.server, h.serverOpt, env.Splits.Public.X, ensemble, pseudo,
+		rc.ServerRNG(), h.cfg.ServerEpochs, h.cfg.Common.BatchSize, 0.5, 1)
 	stopServer()
-	return nil
+	return nil, nil
+}
+
+// Digest implements engine.Hooks; vanilla KD has no broadcast to digest.
+func (h *vanillaKDHooks) Digest(rc *engine.RoundContext, c int, bcast *engine.Payload) error { return nil }
+
+// Eval implements engine.Hooks.
+func (h *vanillaKDHooks) Eval() (float64, float64) {
+	env := h.cfg.Common.Env
+	return fl.Accuracy(h.server, env.Splits.Test), fl.MeanClientAccuracy(h.clients, env.LocalTests)
 }

@@ -13,18 +13,21 @@
 //  4. Server knowledge transfer — the server sends its logits on the
 //     filtered subset plus the global prototypes; clients train with
 //     Eq. (15).
+//
+// The round skeleton itself — sampling, fan-out, ledger, obs, history —
+// lives in internal/fl/engine; this package supplies only the FedPKD phase
+// hooks.
 package core
 
 import (
 	"fmt"
 	"math"
 	"sort"
-	"sync"
 
-	"fedpkd/internal/comm"
 	"fedpkd/internal/dataset"
 	"fedpkd/internal/filter"
 	"fedpkd/internal/fl"
+	"fedpkd/internal/fl/engine"
 	"fedpkd/internal/kd"
 	"fedpkd/internal/models"
 	"fedpkd/internal/nn"
@@ -87,14 +90,9 @@ type Config struct {
 	// Temperature is the distillation temperature (paper: 1).
 	Temperature float64
 
-	// ClientFraction, when in (0, 1), samples that fraction of clients to
-	// participate in each round (at least one), modelling the partial
-	// participation of real federated deployments. 0 or 1 means everyone
-	// participates.
+	// ClientFraction and ClientDropProb model partial participation and
+	// upload failures; see engine.Config for semantics.
 	ClientFraction float64
-	// ClientDropProb is the per-round probability that a participating
-	// client fails before uploading (straggler/crash injection); its
-	// knowledge is simply absent from that round's aggregation.
 	ClientDropProb float64
 
 	// DisablePrototypes removes the prototype loss terms from both the
@@ -114,8 +112,25 @@ type Config struct {
 	Seed uint64
 }
 
-func (c *Config) fillDefaults() {
-	if c.ClientArchs == nil {
+// engineConfig projects the shared knobs onto the engine's config.
+func (c *Config) engineConfig() engine.Config {
+	return engine.Config{
+		Env:            c.Env,
+		BatchSize:      c.BatchSize,
+		LR:             c.LR,
+		Seed:           c.Seed,
+		ClientFraction: c.ClientFraction,
+		ClientDropProb: c.ClientDropProb,
+	}
+}
+
+// fillDefaults applies FedPKD's paper defaults on top of the engine's
+// shared ones (batch size, learning rate, participation validation).
+func (c *Config) fillDefaults() error {
+	ec := c.engineConfig()
+	err := ec.FillDefaults()
+	c.BatchSize, c.LR = ec.BatchSize, ec.LR
+	if c.Env != nil && c.ClientArchs == nil {
 		c.ClientArchs = models.HomogeneousFleet(c.Env.Cfg.NumClients)
 	}
 	if c.ServerArch == "" {
@@ -129,12 +144,6 @@ func (c *Config) fillDefaults() {
 	}
 	if c.ServerEpochs == 0 {
 		c.ServerEpochs = 40
-	}
-	if c.BatchSize == 0 {
-		c.BatchSize = 32
-	}
-	if c.LR == 0 {
-		c.LR = 0.001
 	}
 	if c.SelectRatio == 0 {
 		c.SelectRatio = 0.7
@@ -157,21 +166,14 @@ func (c *Config) fillDefaults() {
 	if c.FilterSignal == "" {
 		c.FilterSignal = FilterByPrototype
 	}
+	return err
 }
 
-// FedPKD is one configured run of the framework.
+// FedPKD is one configured run of the framework. The embedded engine runner
+// provides Run, Round, Name, Ledger, and SetRecorder.
 type FedPKD struct {
-	cfg Config
-
-	clients    []*nn.Network
-	clientOpts []nn.Optimizer
-	server     *nn.Network
-	serverOpt  nn.Optimizer
-
-	globalProtos *proto.Set
-	ledger       *comm.Ledger
-	rec          *obs.Recorder
-	round        int
+	*engine.Runner
+	h *pkdHooks
 }
 
 var _ fl.Algorithm = (*FedPKD)(nil)
@@ -182,7 +184,9 @@ func New(cfg Config) (*FedPKD, error) {
 	if cfg.Env == nil {
 		return nil, fmt.Errorf("core: Config.Env is required")
 	}
-	cfg.fillDefaults()
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
 	n := cfg.Env.Cfg.NumClients
 	if len(cfg.ClientArchs) != n {
 		return nil, fmt.Errorf("core: %d client archs for %d clients", len(cfg.ClientArchs), n)
@@ -190,168 +194,116 @@ func New(cfg Config) (*FedPKD, error) {
 	if cfg.SelectRatio <= 0 || cfg.SelectRatio > 1 {
 		return nil, fmt.Errorf("core: SelectRatio must be in (0,1], got %v", cfg.SelectRatio)
 	}
-	if cfg.ClientFraction < 0 || cfg.ClientFraction > 1 {
-		return nil, fmt.Errorf("core: ClientFraction must be in [0,1], got %v", cfg.ClientFraction)
-	}
-	if cfg.ClientDropProb < 0 || cfg.ClientDropProb >= 1 {
-		return nil, fmt.Errorf("core: ClientDropProb must be in [0,1), got %v", cfg.ClientDropProb)
-	}
 	if cfg.Env.Cfg.PublicSize == 0 {
 		return nil, fmt.Errorf("core: FedPKD needs a public dataset")
 	}
 
-	f := &FedPKD{
+	h := &pkdHooks{
 		cfg:        cfg,
 		clients:    make([]*nn.Network, n),
 		clientOpts: make([]nn.Optimizer, n),
-		ledger:     comm.NewLedger(),
 	}
 	for c := 0; c < n; c++ {
 		net, err := models.BuildNamed(stats.Split(cfg.Seed, uint64(c)+100), cfg.ClientArchs[c], cfg.Env.InputDim(), cfg.Env.Classes())
 		if err != nil {
 			return nil, fmt.Errorf("core: client %d: %w", c, err)
 		}
-		f.clients[c] = net
-		f.clientOpts[c] = nn.NewAdam(cfg.LR)
+		h.clients[c] = net
+		h.clientOpts[c] = nn.NewAdam(cfg.LR)
 	}
 	server, err := models.BuildNamed(stats.Split(cfg.Seed, 99), cfg.ServerArch, cfg.Env.InputDim(), cfg.Env.Classes())
 	if err != nil {
 		return nil, fmt.Errorf("core: server: %w", err)
 	}
-	f.server = server
-	f.serverOpt = nn.NewAdam(cfg.LR)
-	return f, nil
-}
+	h.server = server
+	h.serverOpt = nn.NewAdam(cfg.LR)
 
-// Name implements fl.Algorithm.
-func (f *FedPKD) Name() string { return "FedPKD" }
+	runner, err := engine.NewRunner(h, cfg.engineConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &FedPKD{Runner: runner, h: h}, nil
+}
 
 // ConfigSnapshot returns the run's configuration with all defaults applied.
 // The ClientArchs slice is copied so callers cannot mutate the run.
 func (f *FedPKD) ConfigSnapshot() Config {
-	cfg := f.cfg
-	cfg.ClientArchs = append([]string(nil), f.cfg.ClientArchs...)
+	cfg := f.h.cfg
+	cfg.ClientArchs = append([]string(nil), f.h.cfg.ClientArchs...)
 	return cfg
 }
 
 // Server returns the trained server model.
-func (f *FedPKD) Server() *nn.Network { return f.server }
+func (f *FedPKD) Server() *nn.Network { return f.h.server }
 
 // Clients returns the client models.
-func (f *FedPKD) Clients() []*nn.Network { return f.clients }
+func (f *FedPKD) Clients() []*nn.Network { return f.h.clients }
 
 // GlobalPrototypes returns the latest global prototype set (nil before the
 // first round).
-func (f *FedPKD) GlobalPrototypes() *proto.Set { return f.globalProtos }
+func (f *FedPKD) GlobalPrototypes() *proto.Set { return f.h.globalProtos }
 
-// Ledger returns the traffic ledger.
-func (f *FedPKD) Ledger() *comm.Ledger { return f.ledger }
+// pkdHooks implements engine.Hooks with the FedPKD phases. globalProtos is
+// the only cross-client state: written in Aggregate (which runs alone) and
+// read by the next round's LocalUpdate, per the engine's concurrency
+// contract.
+type pkdHooks struct {
+	cfg Config
 
-// SetRecorder attaches an observability recorder: round phases and
-// per-client training times are spanned, and the ledger's byte accounting
-// is mirrored into the recorder's traces. Attach before the first Round;
-// nil detaches.
-func (f *FedPKD) SetRecorder(r *obs.Recorder) {
-	f.rec = r
-	if r == nil {
-		f.ledger.SetObserver(nil)
-		return
-	}
-	f.ledger.SetObserver(r)
+	clients    []*nn.Network
+	clientOpts []nn.Optimizer
+	server     *nn.Network
+	serverOpt  nn.Optimizer
+
+	globalProtos *proto.Set
 }
 
-// Run executes the given number of communication rounds (Algorithm 2).
-func (f *FedPKD) Run(rounds int) (*fl.History, error) {
-	env := f.cfg.Env
-	hist := &fl.History{
-		Algo:    f.Name(),
-		Dataset: env.Cfg.Spec.Name,
-		Setting: env.Cfg.Partition.String(),
+var _ engine.Hooks = (*pkdHooks)(nil)
+
+// Name implements engine.Hooks.
+func (h *pkdHooks) Name() string { return "FedPKD" }
+
+// GlobalState implements engine.Hooks. FedPKD front-loads nothing: server
+// knowledge reaches clients through the end-of-round broadcast.
+func (h *pkdHooks) GlobalState(round int) *engine.Payload { return nil }
+
+// LocalUpdate implements engine.Hooks: client private training (phase 1)
+// and dual knowledge extraction (phase 2 — public-set logits plus local
+// prototypes).
+func (h *pkdHooks) LocalUpdate(rc *engine.RoundContext, c int, global *engine.Payload) (*engine.Payload, error) {
+	env := rc.Env()
+	rng := rc.LocalRNG(c)
+	net := h.clients[c]
+	if rc.Round() == 0 || h.globalProtos == nil || h.cfg.DisablePrototypes {
+		fl.TrainCE(net, h.clientOpts[c], env.ClientData[c], rng, h.cfg.ClientPrivateEpochs, h.cfg.BatchSize)
+	} else {
+		fl.TrainCEWithProto(net, h.clientOpts[c], env.ClientData[c], rng,
+			h.cfg.ClientPrivateEpochs, h.cfg.BatchSize, h.globalProtos, h.cfg.Epsilon)
 	}
-	for r := 0; r < rounds; r++ {
-		if err := f.Round(); err != nil {
-			return hist, fmt.Errorf("core: round %d: %w", f.round-1, err)
-		}
-		stopEval := f.rec.Span(obs.PhaseEval)
-		hist.Add(fl.RoundMetrics{
-			Round:        f.round - 1,
-			ServerAcc:    fl.Accuracy(f.server, env.Splits.Test),
-			ClientAcc:    fl.MeanClientAccuracy(f.clients, env.LocalTests),
-			CumulativeMB: f.ledger.TotalMB(),
-		})
-		stopEval()
-	}
-	f.rec.Finish()
-	return hist, nil
+	return &engine.Payload{
+		Logits: net.Logits(env.Splits.Public.X),
+		Protos: proto.Compute(net.Features, env.ClientData[c]),
+	}, nil
 }
 
-// Round executes one communication round.
-func (f *FedPKD) Round() error {
-	env := f.cfg.Env
-	t := f.round
-	f.round++
-	f.ledger.StartRound(t)
-
+// Aggregate implements engine.Hooks: dual-knowledge aggregation (phase 3a),
+// prototype-based data filtering (3b, Algorithm 1), and prototype-based
+// ensemble distillation into the server model (3c, Eqs. 11-13). The
+// broadcast carries the server's logits on the filtered subset, the subset
+// indices, and the global prototypes.
+func (h *pkdHooks) Aggregate(rc *engine.RoundContext, uploads []engine.Upload) (*engine.Payload, error) {
+	env := rc.Env()
 	publicX := env.Splits.Public.X
-	classes := env.Classes()
 
-	// Partial participation: sample this round's cohort and inject upload
-	// failures.
-	participants := f.sampleParticipants(t)
-	f.rec.SetWorkers(fl.Workers(len(participants)))
-
-	// Phase 1+2: client private training and dual knowledge extraction.
-	logitsByClient := make(map[int]*tensor.Matrix, len(participants))
-	protosByClient := make(map[int]*proto.Set, len(participants))
-	var mu sync.Mutex
-	dropRng := stats.Split(f.cfg.Seed, uint64(t)*1000+777)
-	err := fl.ForEachClient(len(participants), func(i int) error {
-		c := participants[i]
-		rng := stats.Split(f.cfg.Seed, uint64(t)*1000+uint64(c))
-		net := f.clients[c]
-		stopTrain := f.rec.ClientSpan(c)
-		if t == 0 || f.globalProtos == nil || f.cfg.DisablePrototypes {
-			fl.TrainCE(net, f.clientOpts[c], env.ClientData[c], rng, f.cfg.ClientPrivateEpochs, f.cfg.BatchSize)
-		} else {
-			fl.TrainCEWithProto(net, f.clientOpts[c], env.ClientData[c], rng,
-				f.cfg.ClientPrivateEpochs, f.cfg.BatchSize, f.globalProtos, f.cfg.Epsilon)
-		}
-		stopTrain()
-		logits := net.Logits(publicX)
-		protos := proto.Compute(net.Features, env.ClientData[c])
-
-		mu.Lock()
-		defer mu.Unlock()
-		if f.cfg.ClientDropProb > 0 && dropRng.Float64() < f.cfg.ClientDropProb {
-			// The client crashed before uploading: its work is lost.
-			return nil
-		}
-		logitsByClient[c] = logits
-		protosByClient[c] = protos
-		f.ledger.AddUpload(comm.LogitsBytes(publicX.Rows, classes))
-		f.ledger.AddUpload(comm.PrototypeBytes(protos.Len(), protos.Dim))
-		return nil
-	})
-	if err != nil {
-		return err
+	stopAgg := rc.Span(obs.PhaseAggregate)
+	clientLogits := make([]*tensor.Matrix, len(uploads))
+	clientProtos := make([]*proto.Set, len(uploads))
+	for i, u := range uploads {
+		clientLogits[i] = u.Payload.Logits
+		clientProtos[i] = u.Payload.Protos
 	}
-	if len(logitsByClient) == 0 {
-		// Every participant failed: nothing to aggregate this round.
-		return nil
-	}
-	clientLogits := make([]*tensor.Matrix, 0, len(logitsByClient))
-	clientProtos := make([]*proto.Set, 0, len(protosByClient))
-	for _, c := range participants {
-		if l, ok := logitsByClient[c]; ok {
-			clientLogits = append(clientLogits, l)
-			clientProtos = append(clientProtos, protosByClient[c])
-		}
-	}
-
-	// Phase 3a: aggregate the dual knowledge.
-	stopAgg := f.rec.Span(obs.PhaseAggregate)
 	var aggregated *tensor.Matrix
-	switch f.cfg.Aggregation {
+	switch h.cfg.Aggregation {
 	case AggregationMean:
 		aggregated = kd.AggregateMean(clientLogits)
 	default:
@@ -360,15 +312,14 @@ func (f *FedPKD) Round() error {
 	globalProtos, err := proto.Aggregate(clientProtos)
 	if err != nil {
 		stopAgg()
-		return fmt.Errorf("aggregate prototypes: %w", err)
+		return nil, fmt.Errorf("aggregate prototypes: %w", err)
 	}
-	f.globalProtos = globalProtos
+	h.globalProtos = globalProtos
 	pseudo := kd.PseudoLabels(aggregated)
 	stopAgg()
 
-	// Phase 3b: prototype-based data filtering (Algorithm 1).
-	stopFilter := f.rec.Span(obs.PhaseFilter)
-	selected := f.selectPublicSubset(publicX, pseudo, aggregated, globalProtos)
+	stopFilter := rc.Span(obs.PhaseFilter)
+	selected := h.selectPublicSubset(publicX, pseudo, aggregated, globalProtos)
 	stopFilter()
 
 	subsetX := dataset.GatherRows(publicX, selected)
@@ -378,75 +329,56 @@ func (f *FedPKD) Round() error {
 		subsetPseudo[i] = pseudo[j]
 	}
 
-	// Phase 3c: prototype-based ensemble distillation (Eqs. 11-13).
-	serverRng := stats.Split(f.cfg.Seed, uint64(t)*1000+999)
 	serverProtos := globalProtos
-	if f.cfg.DisablePrototypes {
+	if h.cfg.DisablePrototypes {
 		serverProtos = nil
 	}
-	stopServer := f.rec.Span(obs.PhaseServerTrain)
-	fl.TrainServerPKD(f.server, f.serverOpt, subsetX, subsetTeacher, subsetPseudo, serverProtos,
-		serverRng, f.cfg.ServerEpochs, f.cfg.BatchSize, f.cfg.Delta, f.cfg.Temperature)
+	stopServer := rc.Span(obs.PhaseServerTrain)
+	fl.TrainServerPKD(h.server, h.serverOpt, subsetX, subsetTeacher, subsetPseudo, serverProtos,
+		rc.ServerRNG(), h.cfg.ServerEpochs, h.cfg.BatchSize, h.cfg.Delta, h.cfg.Temperature)
 	stopServer()
 
-	// Phase 4: server knowledge transfer and client public training
-	// (Eqs. 14-15), to this round's participants.
-	serverLogits := f.server.Logits(subsetX)
-	serverPseudo := kd.PseudoLabels(serverLogits)
-	downloadBytes := comm.LogitsBytes(len(selected), classes) +
-		comm.SampleIndexBytes(len(selected)) +
-		comm.PrototypeBytes(globalProtos.Len(), globalProtos.Dim)
-	return fl.ForEachClient(len(participants), func(i int) error {
-		c := participants[i]
-		f.ledger.AddDownload(downloadBytes)
-		rng := stats.Split(f.cfg.Seed, uint64(t)*1000+500+uint64(c))
-		stopPublic := f.rec.Span(obs.PhaseClientPublic)
-		fl.TrainDistill(f.clients[c], f.clientOpts[c], subsetX, serverLogits, serverPseudo,
-			rng, f.cfg.ClientPublicEpochs, f.cfg.BatchSize, f.cfg.Gamma, f.cfg.Temperature)
-		stopPublic()
-		return nil
-	})
+	return &engine.Payload{
+		Logits:  h.server.Logits(subsetX),
+		Indices: selected,
+		Protos:  globalProtos,
+	}, nil
 }
 
-// sampleParticipants returns this round's participating client ids:
-// everyone when ClientFraction is 0 or 1, otherwise a deterministic random
-// sample of ceil(fraction·n) clients (at least one).
-func (f *FedPKD) sampleParticipants(round int) []int {
-	n := len(f.clients)
-	all := make([]int, n)
-	for i := range all {
-		all[i] = i
-	}
-	if f.cfg.ClientFraction == 0 || f.cfg.ClientFraction == 1 {
-		return all
-	}
-	k := int(math.Ceil(f.cfg.ClientFraction * float64(n)))
-	if k < 1 {
-		k = 1
-	}
-	rng := stats.Split(f.cfg.Seed, uint64(round)*1000+888)
-	stats.Shuffle(rng, all)
-	picked := all[:k]
-	sort.Ints(picked)
-	return picked
+// Digest implements engine.Hooks: client public training against the
+// server's subset logits (phase 4, Eq. 15). The broadcast's prototypes feed
+// the next round's LocalUpdate via the hook state set in Aggregate.
+func (h *pkdHooks) Digest(rc *engine.RoundContext, c int, bcast *engine.Payload) error {
+	env := rc.Env()
+	subsetX := dataset.GatherRows(env.Splits.Public.X, bcast.Indices)
+	serverPseudo := kd.PseudoLabels(bcast.Logits)
+	fl.TrainDistill(h.clients[c], h.clientOpts[c], subsetX, bcast.Logits, serverPseudo,
+		rc.DigestRNG(c), h.cfg.ClientPublicEpochs, h.cfg.BatchSize, h.cfg.Gamma, h.cfg.Temperature)
+	return nil
+}
+
+// Eval implements engine.Hooks.
+func (h *pkdHooks) Eval() (float64, float64) {
+	env := h.cfg.Env
+	return fl.Accuracy(h.server, env.Splits.Test), fl.MeanClientAccuracy(h.clients, env.LocalTests)
 }
 
 // selectPublicSubset applies Algorithm 1 (or its ablation variants) and
 // returns the selected public-set indices.
-func (f *FedPKD) selectPublicSubset(publicX *tensor.Matrix, pseudo []int, aggregated *tensor.Matrix, globalProtos *proto.Set) []int {
+func (h *pkdHooks) selectPublicSubset(publicX *tensor.Matrix, pseudo []int, aggregated *tensor.Matrix, globalProtos *proto.Set) []int {
 	n := publicX.Rows
-	if f.cfg.DisableFiltering {
+	if h.cfg.DisableFiltering {
 		all := make([]int, n)
 		for i := range all {
 			all[i] = i
 		}
 		return all
 	}
-	if f.cfg.FilterSignal == FilterByConfidence {
-		return selectByConfidence(aggregated, pseudo, f.cfg.SelectRatio)
+	if h.cfg.FilterSignal == FilterByConfidence {
+		return selectByConfidence(aggregated, pseudo, h.cfg.SelectRatio)
 	}
-	serverFeats := f.server.Features(publicX)
-	return filter.Select(serverFeats, pseudo, globalProtos, f.cfg.SelectRatio)
+	serverFeats := h.server.Features(publicX)
+	return filter.Select(serverFeats, pseudo, globalProtos, h.cfg.SelectRatio)
 }
 
 // selectByConfidence is the ablation comparator for Algorithm 1: rank

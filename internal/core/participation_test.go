@@ -13,7 +13,7 @@ func TestPartialParticipation(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	participants := f.sampleParticipants(0)
+	participants := f.Participants(0)
 	if len(participants) != 2 {
 		t.Fatalf("sampled %d participants, want 2", len(participants))
 	}
@@ -21,7 +21,7 @@ func TestPartialParticipation(t *testing.T) {
 	// every client should appear at least once.
 	seen := map[int]bool{}
 	for r := 0; r < 10; r++ {
-		for _, c := range f.sampleParticipants(r) {
+		for _, c := range f.Participants(r) {
 			seen[c] = true
 		}
 	}
@@ -57,7 +57,7 @@ func TestFullParticipationDefault(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := f.sampleParticipants(0); len(got) != 3 {
+	if got := f.Participants(0); len(got) != 3 {
 		t.Errorf("default participation = %d clients, want all 3", len(got))
 	}
 }

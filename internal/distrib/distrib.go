@@ -1,27 +1,26 @@
-// Package distrib runs FedPKD as communicating processes: the server and
-// every client execute in their own goroutine and exchange knowledge
-// exclusively through the transport layer (in-memory bus or real TCP),
-// exercising the same wire protocol a multi-host deployment would use. The
-// ledger records the actual encoded wire bytes rather than the analytic
-// sizes of internal/comm.
+// Package distrib runs any engine-backed algorithm as communicating
+// processes: the server and every client execute in their own goroutine and
+// exchange knowledge exclusively through the transport layer (in-memory bus
+// or real TCP), exercising the same wire protocol a multi-host deployment
+// would use. The round skeleton mirrors internal/fl/engine — RoundStart
+// carries the front-loaded global state, RoundUpload the local updates,
+// RoundEnd the aggregation broadcast — so the phase hooks an algorithm wrote
+// for the in-process engine drive the distributed run unchanged. The ledger
+// records the actual encoded wire bytes rather than the analytic sizes of
+// internal/comm, so traffic totals differ from in-process runs while the
+// accuracy trajectory is bit-identical (payload values travel as float64).
 package distrib
 
 import (
 	"fmt"
 	"io"
+	"sort"
+	"sync"
 
-	"fedpkd/internal/comm"
 	"fedpkd/internal/core"
-	"fedpkd/internal/dataset"
-	"fedpkd/internal/filter"
 	"fedpkd/internal/fl"
-	"fedpkd/internal/kd"
-	"fedpkd/internal/models"
-	"fedpkd/internal/nn"
+	"fedpkd/internal/fl/engine"
 	"fedpkd/internal/obs"
-	"fedpkd/internal/proto"
-	"fedpkd/internal/stats"
-	"fedpkd/internal/tensor"
 	"fedpkd/internal/transport"
 )
 
@@ -36,8 +35,9 @@ const (
 	ModeTCP Mode = "tcp"
 )
 
-// Config parameterizes a distributed FedPKD run. The algorithm knobs are
-// core.Config's; Mode selects the transport.
+// Config parameterizes a distributed FedPKD run, kept for the original
+// FedPKD-only entry point. The algorithm knobs are core.Config's; Mode
+// selects the transport.
 type Config struct {
 	Core core.Config
 	Mode Mode
@@ -47,93 +47,93 @@ type Config struct {
 }
 
 // Run executes rounds of FedPKD over the transport and returns the history.
-// All model state lives in the worker goroutines during a round; evaluation
-// happens at round barriers when every worker is parked. The distributed
-// runner always uses full participation: cfg.Core.ClientFraction and
-// ClientDropProb apply to the in-process simulation only.
+// It is a convenience wrapper over RunAlgorithm for the paper's main
+// algorithm.
 func Run(cfg Config, rounds int) (*fl.History, error) {
-	if cfg.Mode == "" {
-		cfg.Mode = ModeBus
-	}
-	env := cfg.Core.Env
-	if env == nil {
+	if cfg.Core.Env == nil {
 		return nil, fmt.Errorf("distrib: Core.Env is required")
 	}
-	// Reuse core.New for validation and defaulting, then run our own loop.
-	validated, err := core.New(cfg.Core)
+	f, err := core.New(cfg.Core)
 	if err != nil {
 		return nil, err
 	}
-	coreCfg := validated.ConfigSnapshot()
+	return RunAlgorithm(f, cfg.Mode, rounds, cfg.Recorder)
+}
 
-	serverConn, clientConns, cleanup, err := buildTransport(cfg.Mode, env.Cfg.NumClients)
+// RunAlgorithm executes rounds of any engine-backed algorithm over the
+// transport and returns the history. All model state lives in the worker
+// goroutines during a round; evaluation happens at round barriers when every
+// worker is parked. The distributed runner always uses full participation:
+// ClientFraction and ClientDropProb apply to the in-process engine only.
+func RunAlgorithm(algo fl.Algorithm, mode Mode, rounds int, rec *obs.Recorder) (*fl.History, error) {
+	runner, err := engineOf(algo)
 	if err != nil {
 		return nil, err
 	}
-	defer cleanup()
-
-	numClients := env.Cfg.NumClients
-	clients := make([]*nn.Network, numClients)
-	clientOpts := make([]nn.Optimizer, numClients)
-	for c := 0; c < numClients; c++ {
-		net, err := models.BuildNamed(stats.Split(coreCfg.Seed, uint64(c)+100), coreCfg.ClientArchs[c], env.InputDim(), env.Classes())
-		if err != nil {
-			return nil, err
-		}
-		clients[c] = net
-		clientOpts[c] = nn.NewAdam(coreCfg.LR)
+	if mode == "" {
+		mode = ModeBus
 	}
-	server, err := models.BuildNamed(stats.Split(coreCfg.Seed, 99), coreCfg.ServerArch, env.InputDim(), env.Classes())
+	env := runner.Config().Env
+	n := env.Cfg.NumClients
+	hooks := runner.Hooks()
+	runner.SetRecorder(rec)
+	ledger := runner.Ledger()
+
+	serverConn, clientConns, cleanup, err := buildTransport(mode, n)
 	if err != nil {
 		return nil, err
 	}
-	serverOpt := nn.NewAdam(coreCfg.LR)
+	var once sync.Once
+	closeTransport := func() { once.Do(cleanup) }
+	defer closeTransport()
 
-	ledger := comm.NewLedger()
-	rec := cfg.Recorder
-	if rec != nil {
-		ledger.SetObserver(rec)
+	hist := &fl.History{
+		Algo:    hooks.Name() + "(distributed)",
+		Dataset: env.Cfg.Spec.Name,
+		Setting: env.Cfg.Partition.String(),
 	}
-	hist := &fl.History{Algo: "FedPKD(distributed)", Dataset: env.Cfg.Spec.Name, Setting: env.Cfg.Partition.String()}
 
 	// Round barriers: start signals fan out, done signals fan in.
-	start := make([]chan int, numClients)
+	start := make([]chan int, n)
 	for c := range start {
 		start[c] = make(chan int, 1)
 	}
-	done := make(chan error, numClients)
-
-	for c := 0; c < numClients; c++ {
-		go clientWorker(c, coreCfg, env, clients[c], clientOpts[c], clientConns[c], rec, start[c], done)
+	done := make(chan error, n)
+	for c := 0; c < n; c++ {
+		go clientWorker(c, runner, clientConns[c], rec, start[c], done)
 	}
-
-	serverErr := make(chan error, 1)
-	go func() {
-		serverErr <- serverWorker(coreCfg, env, server, serverOpt, serverConn, ledger, rec, rounds)
-	}()
 
 	var firstErr error
 	for t := 0; t < rounds; t++ {
 		ledger.StartRound(t)
 		// Every client runs in its own goroutine: full fan-out.
-		rec.SetWorkers(numClients)
+		rec.SetWorkers(n)
 		for c := range start {
 			start[c] <- t
 		}
-		for i := 0; i < numClients; i++ {
+		serverErr := serverRound(t, runner, serverConn, n)
+		if serverErr != nil {
+			// Unblock any client still parked on Recv before fanning in.
+			closeTransport()
+		}
+		for i := 0; i < n; i++ {
 			if err := <-done; err != nil && firstErr == nil {
 				firstErr = err
 			}
+		}
+		if serverErr != nil {
+			firstErr = serverErr
 		}
 		if firstErr != nil {
 			break
 		}
 		// All workers parked: evaluate safely.
 		stopEval := rec.Span(obs.PhaseEval)
+		sAcc, cAcc := hooks.Eval()
 		hist.Add(fl.RoundMetrics{
 			Round:        t,
-			ServerAcc:    fl.Accuracy(server, env.Splits.Test),
-			ClientAcc:    fl.MeanClientAccuracy(clients, env.LocalTests),
+			ServerAcc:    sAcc,
+			ClientAcc:    cAcc,
 			CumulativeMB: ledger.TotalMB(),
 		})
 		stopEval()
@@ -141,11 +141,214 @@ func Run(cfg Config, rounds int) (*fl.History, error) {
 	for c := range start {
 		close(start[c])
 	}
-	if err := <-serverErr; err != nil && firstErr == nil {
-		firstErr = err
-	}
 	rec.Finish()
 	return hist, firstErr
+}
+
+// engineOf extracts the engine runner an algorithm embeds.
+func engineOf(algo fl.Algorithm) (*engine.Runner, error) {
+	if e, ok := algo.(interface{ Engine() *engine.Runner }); ok {
+		return e.Engine(), nil
+	}
+	return nil, fmt.Errorf("distrib: %s does not expose an engine runner", algo.Name())
+}
+
+// serverRound runs the server side of one round: fan out RoundStart, collect
+// every upload, aggregate, fan out RoundEnd. A client-reported error aborts
+// the round but still produces a RoundEnd so no peer blocks forever.
+func serverRound(t int, runner *engine.Runner, conn transport.Conn, n int) error {
+	hooks := runner.Hooks()
+	ledger := runner.Ledger()
+	rc := runner.Context(t)
+
+	global := hooks.GlobalState(t)
+	rs := transport.RoundStart{Round: t, HasGlobal: global != nil, Global: transport.PayloadToWire(global)}
+	payload, err := transport.Encode(rs)
+	if err != nil {
+		return err
+	}
+	for c := 0; c < n; c++ {
+		e := &transport.Envelope{Kind: transport.KindRoundStart, From: -1, To: c, Round: t, Payload: payload}
+		if err := conn.Send(e); err != nil {
+			return err
+		}
+		if rs.HasGlobal {
+			ledger.AddDownload(e.WireSize())
+		}
+	}
+
+	uploads := make([]engine.Upload, 0, n)
+	seen := make([]bool, n)
+	var roundErr error
+	for i := 0; i < n && roundErr == nil; i++ {
+		e, err := conn.Recv()
+		if err != nil {
+			return fmt.Errorf("server recv: %w", err)
+		}
+		roundErr = func() error {
+			if e.Kind != transport.KindUpload {
+				return fmt.Errorf("distrib: unexpected message kind %v", e.Kind)
+			}
+			var ru transport.RoundUpload
+			if err := transport.Decode(e.Payload, &ru); err != nil {
+				return err
+			}
+			if err := ru.Validate(); err != nil {
+				return err
+			}
+			if ru.Client >= n {
+				return fmt.Errorf("distrib: client id %d out of range (%d clients)", ru.Client, n)
+			}
+			if seen[ru.Client] {
+				return fmt.Errorf("distrib: duplicate upload from client %d", ru.Client)
+			}
+			seen[ru.Client] = true
+			if ru.Err != "" {
+				return fmt.Errorf("distrib: client %d: %s", ru.Client, ru.Err)
+			}
+			if !ru.HasPayload {
+				return nil
+			}
+			p, err := ru.Payload.ToPayload()
+			if err != nil {
+				return err
+			}
+			ledger.AddUpload(e.WireSize())
+			uploads = append(uploads, engine.Upload{Client: ru.Client, Payload: p})
+			return nil
+		}()
+	}
+
+	var bcast *engine.Payload
+	if roundErr == nil && len(uploads) > 0 {
+		// Aggregate sees uploads sorted by client id, exactly like the
+		// in-process engine, so reductions are order-stable regardless of
+		// which goroutine finished first.
+		sort.Slice(uploads, func(i, j int) bool { return uploads[i].Client < uploads[j].Client })
+		bcast, roundErr = hooks.Aggregate(rc, uploads)
+	}
+
+	re := transport.RoundEnd{Round: t, HasBroadcast: bcast != nil, Broadcast: transport.PayloadToWire(bcast)}
+	if roundErr != nil {
+		re.HasBroadcast = false
+		re.Broadcast = transport.WirePayload{}
+		re.Err = roundErr.Error()
+	}
+	payload, err = transport.Encode(re)
+	if err != nil {
+		return err
+	}
+	for c := 0; c < n; c++ {
+		e := &transport.Envelope{Kind: transport.KindRoundEnd, From: -1, To: c, Round: t, Payload: payload}
+		if err := conn.Send(e); err != nil {
+			return err
+		}
+		if re.HasBroadcast {
+			ledger.AddDownload(e.WireSize())
+		}
+	}
+	return roundErr
+}
+
+// clientWorker runs one client's per-round protocol until its start channel
+// closes.
+func clientWorker(id int, runner *engine.Runner, conn transport.Conn, rec *obs.Recorder, start <-chan int, done chan<- error) {
+	for t := range start {
+		done <- clientRound(id, t, runner, conn, rec)
+	}
+}
+
+// clientRound runs one client round: receive RoundStart, train, upload,
+// receive RoundEnd, digest. A local failure is reported upstream in the
+// upload's Err field — the protocol keeps flowing so neither side deadlocks.
+func clientRound(id, t int, runner *engine.Runner, conn transport.Conn, rec *obs.Recorder) error {
+	hooks := runner.Hooks()
+	rc := runner.Context(t)
+
+	e, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("client %d recv: %w", id, err)
+	}
+	roundErr := func() error {
+		if e.Kind != transport.KindRoundStart {
+			return fmt.Errorf("client %d: unexpected message kind %v", id, e.Kind)
+		}
+		var rs transport.RoundStart
+		if err := transport.Decode(e.Payload, &rs); err != nil {
+			return err
+		}
+		if err := rs.Validate(); err != nil {
+			return err
+		}
+		var global *engine.Payload
+		if rs.HasGlobal {
+			if global, err = rs.Global.ToPayload(); err != nil {
+				return err
+			}
+		}
+		stopTrain := rec.ClientSpan(id)
+		up, err := hooks.LocalUpdate(rc, id, global)
+		stopTrain()
+		if err != nil {
+			return err
+		}
+		ru := transport.RoundUpload{Round: t, Client: id}
+		if up != nil {
+			ru.HasPayload = true
+			ru.Payload = transport.PayloadToWire(up)
+		}
+		return sendUpload(conn, id, t, ru)
+	}()
+	if roundErr != nil {
+		// Report the failure upstream so the server's collect loop is never
+		// short one upload; a send failure here means the transport itself
+		// is down and the server will notice on its own.
+		_ = sendUpload(conn, id, t, transport.RoundUpload{Round: t, Client: id, Err: roundErr.Error()})
+	}
+
+	e, err = conn.Recv()
+	if err != nil {
+		if roundErr != nil {
+			return roundErr
+		}
+		return fmt.Errorf("client %d recv: %w", id, err)
+	}
+	if e.Kind != transport.KindRoundEnd {
+		return fmt.Errorf("client %d: unexpected message kind %v", id, e.Kind)
+	}
+	var re transport.RoundEnd
+	if err := transport.Decode(e.Payload, &re); err != nil {
+		return err
+	}
+	if err := re.Validate(); err != nil {
+		return err
+	}
+	if roundErr != nil {
+		return roundErr
+	}
+	if re.Err != "" {
+		return fmt.Errorf("client %d: server aborted round %d: %s", id, t, re.Err)
+	}
+	if !re.HasBroadcast {
+		return nil
+	}
+	bcast, err := re.Broadcast.ToPayload()
+	if err != nil {
+		return err
+	}
+	stopPublic := rec.Span(obs.PhaseClientPublic)
+	derr := hooks.Digest(rc, id, bcast)
+	stopPublic()
+	return derr
+}
+
+// sendUpload encodes and sends one RoundUpload.
+func sendUpload(conn transport.Conn, id, t int, ru transport.RoundUpload) error {
+	payload, err := transport.Encode(ru)
+	if err != nil {
+		return err
+	}
+	return conn.Send(&transport.Envelope{Kind: transport.KindUpload, From: id, To: -1, Round: t, Payload: payload})
 }
 
 // buildTransport wires one server conn and n client conns.
@@ -206,179 +409,6 @@ func buildTransport(mode Mode, n int) (transport.Conn, []transport.Conn, func(),
 	default:
 		return nil, nil, nil, fmt.Errorf("distrib: unknown mode %q", mode)
 	}
-}
-
-// clientWorker runs one client's per-round protocol.
-func clientWorker(id int, cfg core.Config, env *fl.Env, net *nn.Network, opt nn.Optimizer, conn transport.Conn, rec *obs.Recorder, start <-chan int, done chan<- error) {
-	var globalProtos *proto.Set
-	publicX := env.Splits.Public.X
-	for t := range start {
-		done <- func() error {
-			rng := stats.Split(cfg.Seed, uint64(t)*1000+uint64(id))
-			// Private training (Eq. 4 / Eq. 16).
-			stopTrain := rec.ClientSpan(id)
-			if t == 0 || globalProtos == nil || cfg.DisablePrototypes {
-				fl.TrainCE(net, opt, env.ClientData[id], rng, cfg.ClientPrivateEpochs, cfg.BatchSize)
-			} else {
-				fl.TrainCEWithProto(net, opt, env.ClientData[id], rng, cfg.ClientPrivateEpochs, cfg.BatchSize, globalProtos, cfg.Epsilon)
-			}
-			stopTrain()
-
-			// Dual knowledge upload.
-			logits := net.Logits(publicX)
-			protos := proto.Compute(net.Features, env.ClientData[id])
-			pc, cnt, dim, vals := transport.ProtoToWire(protos)
-			payload, err := transport.Encode(transport.ClientKnowledge{
-				ClientID: id, Round: t,
-				Samples: logits.Rows, Classes: logits.Cols,
-				Logits:       transport.MatrixToFloat32(logits),
-				ProtoClasses: pc, ProtoCounts: cnt, ProtoDim: dim, ProtoValues: vals,
-			})
-			if err != nil {
-				return err
-			}
-			if err := conn.Send(&transport.Envelope{Kind: transport.KindClientKnowledge, From: id, To: -1, Round: t, Payload: payload}); err != nil {
-				return err
-			}
-
-			// Server knowledge download.
-			e, err := conn.Recv()
-			if err != nil {
-				return fmt.Errorf("client %d recv: %w", id, err)
-			}
-			if e.Kind != transport.KindServerKnowledge {
-				return fmt.Errorf("client %d: unexpected message kind %v", id, e.Kind)
-			}
-			var sk transport.ServerKnowledge
-			if err := transport.Decode(e.Payload, &sk); err != nil {
-				return err
-			}
-			if err := sk.Validate(); err != nil {
-				return err
-			}
-			serverLogits, err := transport.Float32ToMatrix(sk.Samples, sk.Classes, sk.Logits)
-			if err != nil {
-				return err
-			}
-			globalProtos, err = transport.ProtoFromWire(env.Classes(), sk.ProtoClasses, sk.ProtoCounts, sk.ProtoDim, sk.ProtoValues)
-			if err != nil {
-				return err
-			}
-			selected := make([]int, len(sk.SelectedIndices))
-			for i, v := range sk.SelectedIndices {
-				selected[i] = int(v)
-			}
-			subsetX := dataset.GatherRows(publicX, selected)
-			pseudo := kd.PseudoLabels(serverLogits)
-
-			// Public training (Eq. 15).
-			rng2 := stats.Split(cfg.Seed, uint64(t)*1000+500+uint64(id))
-			stopPublic := rec.Span(obs.PhaseClientPublic)
-			fl.TrainDistill(net, opt, subsetX, serverLogits, pseudo, rng2, cfg.ClientPublicEpochs, cfg.BatchSize, cfg.Gamma, cfg.Temperature)
-			stopPublic()
-			return nil
-		}()
-	}
-}
-
-// serverWorker runs the server side of the protocol for the given number of
-// rounds.
-func serverWorker(cfg core.Config, env *fl.Env, server *nn.Network, opt nn.Optimizer, conn transport.Conn, ledger *comm.Ledger, rec *obs.Recorder, rounds int) error {
-	numClients := env.Cfg.NumClients
-	publicX := env.Splits.Public.X
-	for t := 0; t < rounds; t++ {
-		clientLogits := make([]*tensor.Matrix, numClients)
-		clientProtos := make([]*proto.Set, numClients)
-		for i := 0; i < numClients; i++ {
-			e, err := conn.Recv()
-			if err != nil {
-				return fmt.Errorf("server recv: %w", err)
-			}
-			ledger.AddUpload(e.WireSize())
-			var ck transport.ClientKnowledge
-			if err := transport.Decode(e.Payload, &ck); err != nil {
-				return err
-			}
-			if err := ck.Validate(); err != nil {
-				return err
-			}
-			if ck.ClientID >= numClients {
-				return fmt.Errorf("distrib: client id %d out of range (%d clients)", ck.ClientID, numClients)
-			}
-			logits, err := transport.Float32ToMatrix(ck.Samples, ck.Classes, ck.Logits)
-			if err != nil {
-				return err
-			}
-			protos, err := transport.ProtoFromWire(env.Classes(), ck.ProtoClasses, ck.ProtoCounts, ck.ProtoDim, ck.ProtoValues)
-			if err != nil {
-				return err
-			}
-			clientLogits[ck.ClientID] = logits
-			clientProtos[ck.ClientID] = protos
-		}
-
-		stopAgg := rec.Span(obs.PhaseAggregate)
-		aggregated := kd.AggregateVarianceWeighted(clientLogits)
-		globalProtos, err := proto.Aggregate(clientProtos)
-		if err != nil {
-			stopAgg()
-			return err
-		}
-		pseudo := kd.PseudoLabels(aggregated)
-		stopAgg()
-
-		stopFilter := rec.Span(obs.PhaseFilter)
-		var selected []int
-		if cfg.DisableFiltering {
-			selected = make([]int, publicX.Rows)
-			for i := range selected {
-				selected[i] = i
-			}
-		} else {
-			selected = filter.Select(server.Features(publicX), pseudo, globalProtos, cfg.SelectRatio)
-		}
-		stopFilter()
-		subsetX := dataset.GatherRows(publicX, selected)
-		subsetTeacher := dataset.GatherRows(aggregated, selected)
-		subsetPseudo := make([]int, len(selected))
-		for i, j := range selected {
-			subsetPseudo[i] = pseudo[j]
-		}
-
-		serverProtos := globalProtos
-		if cfg.DisablePrototypes {
-			serverProtos = nil
-		}
-		rng := stats.Split(cfg.Seed, uint64(t)*1000+999)
-		stopServer := rec.Span(obs.PhaseServerTrain)
-		fl.TrainServerPKD(server, opt, subsetX, subsetTeacher, subsetPseudo, serverProtos, rng, cfg.ServerEpochs, cfg.BatchSize, cfg.Delta, cfg.Temperature)
-		stopServer()
-
-		serverLogits := server.Logits(subsetX)
-		idx := make([]int32, len(selected))
-		for i, v := range selected {
-			idx[i] = int32(v)
-		}
-		pc, cnt, dim, vals := transport.ProtoToWire(globalProtos)
-		payload, err := transport.Encode(transport.ServerKnowledge{
-			Round:           t,
-			SelectedIndices: idx,
-			Samples:         serverLogits.Rows, Classes: serverLogits.Cols,
-			Logits:       transport.MatrixToFloat32(serverLogits),
-			ProtoClasses: pc, ProtoCounts: cnt, ProtoDim: dim, ProtoValues: vals,
-		})
-		if err != nil {
-			return err
-		}
-		for c := 0; c < numClients; c++ {
-			e := &transport.Envelope{Kind: transport.KindServerKnowledge, From: -1, To: c, Round: t, Payload: payload}
-			if err := conn.Send(e); err != nil {
-				return err
-			}
-			ledger.AddDownload(e.WireSize())
-		}
-	}
-	return nil
 }
 
 // muxConn fans a set of per-client server connections into one Conn: Recv

@@ -3,9 +3,11 @@ package distrib
 import (
 	"testing"
 
+	"fedpkd/internal/baselines"
 	"fedpkd/internal/core"
 	"fedpkd/internal/dataset"
 	"fedpkd/internal/fl"
+	"fedpkd/internal/fl/engine"
 )
 
 func distribEnv(t *testing.T) *fl.Env {
@@ -50,6 +52,9 @@ func TestRunOverBus(t *testing.T) {
 	if hist.TotalMB() <= 0 {
 		t.Error("wire traffic not recorded")
 	}
+	if hist.Algo != "FedPKD(distributed)" {
+		t.Errorf("history algo = %q", hist.Algo)
+	}
 }
 
 func TestRunOverTCP(t *testing.T) {
@@ -66,10 +71,26 @@ func TestRunOverTCP(t *testing.T) {
 	}
 }
 
+// requireSameAccuracies asserts bit-identical accuracy trajectories. Traffic
+// totals legitimately differ: distrib records encoded wire bytes while the
+// in-process engine uses the analytic sizes of internal/comm.
+func requireSameAccuracies(t *testing.T, distributed, inproc *fl.History) {
+	t.Helper()
+	if distributed.Len() != inproc.Len() {
+		t.Fatalf("round counts differ: %d vs %d", distributed.Len(), inproc.Len())
+	}
+	for i := range distributed.Rounds {
+		d, p := distributed.Rounds[i], inproc.Rounds[i]
+		if d.ServerAcc != p.ServerAcc || d.ClientAcc != p.ClientAcc {
+			t.Errorf("round %d: distributed (%v, %v) vs in-process (%v, %v)",
+				i, d.ServerAcc, d.ClientAcc, p.ServerAcc, p.ClientAcc)
+		}
+	}
+}
+
 func TestRunMatchesInProcessFedPKD(t *testing.T) {
-	// The distributed run must compute the same protocol as the in-process
-	// core loop; float32 wire quantization perturbs results slightly, so
-	// compare within a tolerance.
+	// Payload values travel as float64, so the distributed run must follow
+	// the exact same trajectory as the in-process engine — no tolerance.
 	env := distribEnv(t)
 	d, err := Run(Config{Core: distribConfig(env), Mode: ModeBus}, 2)
 	if err != nil {
@@ -83,11 +104,65 @@ func TestRunMatchesInProcessFedPKD(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	diff := d.FinalServerAcc() - inproc.FinalServerAcc()
-	if diff < -0.15 || diff > 0.15 {
-		t.Errorf("distributed S_acc %v vs in-process %v: divergence too large",
-			d.FinalServerAcc(), inproc.FinalServerAcc())
+	requireSameAccuracies(t, d, inproc)
+}
+
+func TestRunMatchesInProcessFedAvg(t *testing.T) {
+	env := distribEnv(t)
+	cfg := baselines.FedAvgConfig{
+		Common:      engine.Config{Env: env, Seed: 9},
+		LocalEpochs: 2,
 	}
+	newRun := func() *baselines.FedAvg {
+		f, err := baselines.NewFedAvg(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	d, err := RunAlgorithm(newRun(), ModeBus, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Algo != "FedAvg(distributed)" {
+		t.Errorf("history algo = %q", d.Algo)
+	}
+	if d.TotalMB() <= 0 {
+		t.Error("wire traffic not recorded")
+	}
+	inproc, err := newRun().Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameAccuracies(t, d, inproc)
+}
+
+func TestRunMatchesInProcessFedMD(t *testing.T) {
+	env := distribEnv(t)
+	cfg := baselines.FedMDConfig{
+		Common:        engine.Config{Env: env, Seed: 9},
+		LocalEpochs:   2,
+		DistillEpochs: 1,
+	}
+	newRun := func() *baselines.FedMD {
+		f, err := baselines.NewFedMD(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	d, err := RunAlgorithm(newRun(), ModeBus, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Algo != "FedMD(distributed)" {
+		t.Errorf("history algo = %q", d.Algo)
+	}
+	inproc, err := newRun().Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameAccuracies(t, d, inproc)
 }
 
 func TestRunValidation(t *testing.T) {

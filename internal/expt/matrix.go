@@ -11,14 +11,15 @@ import (
 
 // Algorithm names used throughout the harness.
 const (
-	AlgoFedPKD  = "FedPKD"
-	AlgoFedMD   = "FedMD"
-	AlgoDSFL    = "DS-FL"
-	AlgoFedET   = "FedET"
-	AlgoFedDF   = "FedDF"
-	AlgoFedAvg  = "FedAvg"
-	AlgoFedProx = "FedProx"
-	AlgoKD      = "KD"
+	AlgoFedPKD   = "FedPKD"
+	AlgoFedMD    = "FedMD"
+	AlgoDSFL     = "DS-FL"
+	AlgoFedET    = "FedET"
+	AlgoFedDF    = "FedDF"
+	AlgoFedAvg   = "FedAvg"
+	AlgoFedProx  = "FedProx"
+	AlgoFedProto = "FedProto"
+	AlgoKD       = "KD"
 )
 
 // AllAlgos is the Fig. 5 / Table I comparison set.
@@ -28,10 +29,31 @@ var AllAlgos = []string{AlgoFedPKD, AlgoFedMD, AlgoDSFL, AlgoFedET, AlgoFedDF, A
 // heterogeneous client models.
 var HeteroAlgos = []string{AlgoFedPKD, AlgoFedMD, AlgoDSFL, AlgoFedET}
 
+// Algorithms lists every name BuildAlgorithm accepts.
+func Algorithms() []string {
+	return []string{AlgoFedPKD, AlgoFedMD, AlgoDSFL, AlgoFedET, AlgoFedDF, AlgoFedAvg, AlgoFedProx, AlgoFedProto, AlgoKD}
+}
+
+// AlgoOptions carries the per-algorithm knobs that are not part of the
+// shared schedule. The zero value keeps every paper default.
+type AlgoOptions struct {
+	// Theta overrides FedPKD's filtering select ratio θ when positive.
+	Theta float64
+	// Delta overrides FedPKD's server loss mix δ when positive.
+	Delta float64
+}
+
 // BuildAlgorithm constructs a named algorithm on an environment with the
-// scale's schedule. hetero selects the heterogeneous ResNet11/20/29 fleet
-// for the methods that support it.
+// scale's schedule and the paper-default options. hetero selects the
+// heterogeneous ResNet11/20/29 fleet for the methods that support it.
 func BuildAlgorithm(name string, env *fl.Env, sc Scale, seed uint64, hetero bool) (fl.Algorithm, error) {
+	return BuildAlgorithmOpts(name, env, sc, seed, hetero, AlgoOptions{})
+}
+
+// BuildAlgorithmOpts is BuildAlgorithm with per-algorithm option overrides.
+// Every returned algorithm runs on the shared engine driver, so it can be
+// handed to internal/distrib as-is.
+func BuildAlgorithmOpts(name string, env *fl.Env, sc Scale, seed uint64, hetero bool, opts AlgoOptions) (fl.Algorithm, error) {
 	common := baselines.CommonConfig{Env: env, Seed: seed}
 	n := env.Cfg.NumClients
 	clientArchs := models.HomogeneousFleet(n)
@@ -46,6 +68,8 @@ func BuildAlgorithm(name string, env *fl.Env, sc Scale, seed uint64, hetero bool
 			ClientPrivateEpochs: sc.PKDPrivateEpochs,
 			ClientPublicEpochs:  sc.PKDPublicEpochs,
 			ServerEpochs:        sc.PKDServerEpochs,
+			SelectRatio:         opts.Theta,
+			Delta:               opts.Delta,
 			Seed:                seed,
 		})
 	case AlgoFedMD:
@@ -77,6 +101,10 @@ func BuildAlgorithm(name string, env *fl.Env, sc Scale, seed uint64, hetero bool
 			return nil, fmt.Errorf("expt: FedProx does not support heterogeneous models")
 		}
 		return baselines.NewFedProx(baselines.FedAvgConfig{Common: common, LocalEpochs: sc.LocalEpochs})
+	case AlgoFedProto:
+		return baselines.NewFedProto(baselines.FedProtoConfig{
+			Common: common, LocalEpochs: sc.LocalEpochs, Archs: clientArchs,
+		})
 	case AlgoKD:
 		return baselines.NewVanillaKD(baselines.VanillaKDConfig{
 			Common: common, LocalEpochs: sc.LocalEpochs, ServerEpochs: sc.VanillaServerEpoch,

@@ -1,0 +1,351 @@
+// Package engine is the unified federated round driver. The paper evaluates
+// FedPKD and six baselines under one round structure — sample participants,
+// train locally in parallel, upload knowledge, aggregate/distill on the
+// server, broadcast, evaluate — and this package owns that invariant
+// skeleton exactly once. Algorithms supply only the three knowledge-moving
+// phase hooks (LocalUpdate, Aggregate, Digest) plus evaluation; the engine
+// owns participant sampling, the worker-pool fan-out, drop injection, all
+// ledger byte accounting (priced by Payload.WireBytes — see payload.go for
+// the contract), the obs spans shared by every algorithm, and fl.History
+// recording. internal/distrib drives the same hooks over a transport, so an
+// algorithm written against this package runs in-process and distributed
+// with no extra code.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fedpkd/internal/comm"
+	"fedpkd/internal/fl"
+	"fedpkd/internal/obs"
+	"fedpkd/internal/stats"
+)
+
+// Config holds the knobs every algorithm shares. Algorithm-specific configs
+// embed or project onto it; FillDefaults is the one place the shared
+// defaults and validation live.
+type Config struct {
+	// Env supplies the data: client splits, public set, test sets.
+	Env *fl.Env
+	// BatchSize is the minibatch size B (default 32).
+	BatchSize int
+	// LR is the Adam learning rate (default 0.001).
+	LR float64
+	// Seed drives model init, batch order, and the sampling/drop streams.
+	Seed uint64
+	// ClientFraction, when in (0, 1), samples that fraction of clients to
+	// participate in each round (at least one), modelling the partial
+	// participation of real federated deployments. 0 or 1 means everyone
+	// participates.
+	ClientFraction float64
+	// ClientDropProb is the per-round probability that a participating
+	// client fails before uploading (straggler/crash injection); its
+	// knowledge is simply absent from that round's aggregation.
+	ClientDropProb float64
+}
+
+// FillDefaults applies the shared defaults, then validates. Defaults are
+// applied before validation so callers inspecting a config without an
+// environment still see the paper's values. Idempotent.
+func (c *Config) FillDefaults() error {
+	if c.BatchSize == 0 {
+		c.BatchSize = 32
+	}
+	if c.LR == 0 {
+		c.LR = 0.001
+	}
+	if c.Env == nil {
+		return fmt.Errorf("engine: Config.Env is required")
+	}
+	if c.ClientFraction < 0 || c.ClientFraction > 1 {
+		return fmt.Errorf("engine: ClientFraction must be in [0,1], got %v", c.ClientFraction)
+	}
+	if c.ClientDropProb < 0 || c.ClientDropProb >= 1 {
+		return fmt.Errorf("engine: ClientDropProb must be in [0,1), got %v", c.ClientDropProb)
+	}
+	return nil
+}
+
+// Upload pairs a client id with the payload it sent. The engine hands
+// Aggregate the surviving uploads sorted by client id, so floating-point
+// reductions are order-stable regardless of fan-out scheduling.
+type Upload struct {
+	Client  int
+	Payload *Payload
+}
+
+// Hooks are the algorithm-specific phases of a round. The engine (or
+// internal/distrib, over a transport) calls them in order:
+//
+//	global := GlobalState(t)                    // server → clients
+//	up[c] := LocalUpdate(rc, c, global)         // per client, in parallel
+//	bcast := Aggregate(rc, survivors(up))       // server
+//	Digest(rc, c, bcast)                        // per client, in parallel
+//	sAcc, cAcc := Eval()                        // end of round
+//
+// Concurrency contract: LocalUpdate and Digest run concurrently across
+// clients and must only touch state owned by client c plus read-only shared
+// state; any state shared between clients (a global model, global
+// prototypes) is written only in Aggregate, which runs alone. The engine
+// provides the happens-before edges.
+//
+// Observability contract: the engine spans client_train around LocalUpdate,
+// client_public around Digest, and eval around Eval. Server-side hooks span
+// their own interior phases (aggregate, filter, server_train) via
+// RoundContext.Span, so e.g. server training is not misattributed to
+// aggregation.
+type Hooks interface {
+	// Name returns the algorithm's display name.
+	Name() string
+	// GlobalState returns the server state every participant downloads
+	// before training (e.g. FedAvg's global weights), or nil when the
+	// algorithm front-loads nothing. The engine charges its WireBytes to the
+	// ledger once per participant.
+	GlobalState(round int) *Payload
+	// LocalUpdate trains client c locally and returns its upload. The
+	// engine charges the upload's WireBytes for every client that does not
+	// drop. Returning a nil payload means the client has nothing to upload.
+	LocalUpdate(rc *RoundContext, c int, global *Payload) (*Payload, error)
+	// Aggregate consumes the surviving uploads (sorted by client id),
+	// updates server state, and returns the broadcast every participant
+	// downloads — or nil when there is no post-aggregation broadcast (the
+	// FedAvg family defers its download to the next round's GlobalState).
+	Aggregate(rc *RoundContext, uploads []Upload) (*Payload, error)
+	// Digest lets client c absorb the broadcast (distill the consensus,
+	// store prototypes). Called only when Aggregate returned a broadcast;
+	// the engine charges the broadcast's WireBytes per participant.
+	Digest(rc *RoundContext, c int, bcast *Payload) error
+	// Eval returns end-of-round (server, mean-client) accuracy; -1 marks a
+	// metric the algorithm does not track.
+	Eval() (serverAcc, clientAcc float64)
+}
+
+// RoundContext gives hooks access to one round's environment, deterministic
+// RNG streams, and phase spans. The streams are the repository-wide label
+// scheme (offsets within round t of seed s):
+//
+//	t*1000 + c     local training, client c
+//	t*1000 + 500+c digest / public training, client c
+//	t*1000 + 777   drop injection (engine-owned)
+//	t*1000 + 888   participant sampling (engine-owned)
+//	t*1000 + 999   server training
+type RoundContext struct {
+	r     *Runner
+	round int
+}
+
+// Round returns the round index t.
+func (rc *RoundContext) Round() int { return rc.round }
+
+// Env returns the run's environment.
+func (rc *RoundContext) Env() *fl.Env { return rc.r.cfg.Env }
+
+// LocalRNG returns client c's local-training stream for this round.
+func (rc *RoundContext) LocalRNG(c int) *stats.RNG {
+	return stats.Split(rc.r.cfg.Seed, uint64(rc.round)*1000+uint64(c))
+}
+
+// DigestRNG returns client c's digest-training stream for this round.
+func (rc *RoundContext) DigestRNG(c int) *stats.RNG {
+	return stats.Split(rc.r.cfg.Seed, uint64(rc.round)*1000+500+uint64(c))
+}
+
+// ServerRNG returns the server-training stream for this round.
+func (rc *RoundContext) ServerRNG() *stats.RNG {
+	return stats.Split(rc.r.cfg.Seed, uint64(rc.round)*1000+999)
+}
+
+// Span starts timing a named obs phase and returns the stop function.
+// Nil-recorder-safe, like the Recorder itself.
+func (rc *RoundContext) Span(phase string) func() { return rc.r.rec.Span(phase) }
+
+// Runner drives an algorithm's hooks through communication rounds. It
+// implements fl.Algorithm; algorithm types embed *Runner so Run, Round,
+// Name, Ledger, and SetRecorder are their public API.
+type Runner struct {
+	hooks  Hooks
+	cfg    Config
+	ledger *comm.Ledger
+	rec    *obs.Recorder
+	round  int
+}
+
+var _ fl.Algorithm = (*Runner)(nil)
+
+// NewRunner builds a runner for the given hooks. The config is defaulted
+// and validated via FillDefaults.
+func NewRunner(hooks Hooks, cfg Config) (*Runner, error) {
+	if err := cfg.FillDefaults(); err != nil {
+		return nil, err
+	}
+	return &Runner{hooks: hooks, cfg: cfg, ledger: comm.NewLedger()}, nil
+}
+
+// Name implements fl.Algorithm.
+func (r *Runner) Name() string { return r.hooks.Name() }
+
+// Hooks returns the algorithm's phase hooks (internal/distrib drives them
+// over a transport).
+func (r *Runner) Hooks() Hooks { return r.hooks }
+
+// Config returns the shared config with defaults applied.
+func (r *Runner) Config() Config { return r.cfg }
+
+// Ledger returns the traffic ledger.
+func (r *Runner) Ledger() *comm.Ledger { return r.ledger }
+
+// Engine returns the runner itself. Via embedding this is promoted onto
+// every algorithm type, giving callers (internal/distrib, cmd) a uniform way
+// to reach the engine under an fl.Algorithm value.
+func (r *Runner) Engine() *Runner { return r }
+
+// SetRecorder attaches an observability recorder: round phases and
+// per-client training times are spanned, and the ledger's byte accounting
+// is mirrored into the recorder's traces. Attach before the first Round;
+// nil detaches.
+func (r *Runner) SetRecorder(rec *obs.Recorder) {
+	r.rec = rec
+	if rec == nil {
+		r.ledger.SetObserver(nil)
+		return
+	}
+	r.ledger.SetObserver(rec)
+}
+
+// Context returns the hook context for the given round. Exposed for
+// internal/distrib, which drives the hooks round by round itself.
+func (r *Runner) Context(round int) *RoundContext {
+	return &RoundContext{r: r, round: round}
+}
+
+// Participants returns the given round's participating client ids: everyone
+// when ClientFraction is 0 or 1, otherwise a deterministic random sample of
+// ceil(fraction·n) clients (at least one), sorted ascending.
+func (r *Runner) Participants(round int) []int {
+	n := r.cfg.Env.Cfg.NumClients
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	if r.cfg.ClientFraction == 0 || r.cfg.ClientFraction == 1 {
+		return all
+	}
+	k := int(math.Ceil(r.cfg.ClientFraction * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	rng := stats.Split(r.cfg.Seed, uint64(round)*1000+888)
+	stats.Shuffle(rng, all)
+	picked := all[:k]
+	sort.Ints(picked)
+	return picked
+}
+
+// Run implements fl.Algorithm: it executes the given number of rounds,
+// evaluating and recording history after each.
+func (r *Runner) Run(rounds int) (*fl.History, error) {
+	env := r.cfg.Env
+	hist := &fl.History{
+		Algo:    r.hooks.Name(),
+		Dataset: env.Cfg.Spec.Name,
+		Setting: env.Cfg.Partition.String(),
+	}
+	for i := 0; i < rounds; i++ {
+		if err := r.Round(); err != nil {
+			return hist, fmt.Errorf("%s: round %d: %w", r.hooks.Name(), r.round-1, err)
+		}
+		stopEval := r.rec.Span(obs.PhaseEval)
+		sAcc, cAcc := r.hooks.Eval()
+		hist.Add(fl.RoundMetrics{
+			Round:        r.round - 1,
+			ServerAcc:    sAcc,
+			ClientAcc:    cAcc,
+			CumulativeMB: r.ledger.TotalMB(),
+		})
+		stopEval()
+	}
+	r.rec.Finish()
+	return hist, nil
+}
+
+// Round executes one communication round through the phase hooks.
+func (r *Runner) Round() error {
+	t := r.round
+	r.round++
+	r.ledger.StartRound(t)
+
+	rc := r.Context(t)
+	participants := r.Participants(t)
+	r.rec.SetWorkers(fl.Workers(len(participants)))
+
+	// Front-loaded server state: every participant downloads it.
+	global := r.hooks.GlobalState(t)
+	if n := global.WireBytes(); n > 0 {
+		for range participants {
+			r.ledger.AddDownload(n)
+		}
+	}
+
+	// Local training fan-out over the worker pool.
+	payloads := make([]*Payload, len(participants))
+	err := fl.ForEachClient(len(participants), func(i int) error {
+		c := participants[i]
+		stopTrain := r.rec.ClientSpan(c)
+		up, err := r.hooks.LocalUpdate(rc, c, global)
+		stopTrain()
+		if err != nil {
+			return err
+		}
+		payloads[i] = up
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Drop injection, drawn in deterministic participant order (one draw per
+	// participant) after the fan-out so completion scheduling cannot perturb
+	// the stream. A dropped client trained but its upload is lost.
+	if r.cfg.ClientDropProb > 0 {
+		dropRng := stats.Split(r.cfg.Seed, uint64(t)*1000+777)
+		for i := range participants {
+			if dropRng.Float64() < r.cfg.ClientDropProb {
+				payloads[i] = nil
+			}
+		}
+	}
+	uploads := make([]Upload, 0, len(participants))
+	for i, c := range participants {
+		if payloads[i] == nil {
+			continue
+		}
+		r.ledger.AddUpload(payloads[i].WireBytes())
+		uploads = append(uploads, Upload{Client: c, Payload: payloads[i]})
+	}
+	if len(uploads) == 0 {
+		// Every participant failed: nothing to aggregate this round.
+		return nil
+	}
+
+	bcast, err := r.hooks.Aggregate(rc, uploads)
+	if err != nil {
+		return err
+	}
+	if bcast == nil {
+		return nil
+	}
+
+	// Broadcast and digest fan-out, to every participant — a client that
+	// dropped before uploading still receives the round's knowledge.
+	bcastBytes := bcast.WireBytes()
+	return fl.ForEachClient(len(participants), func(i int) error {
+		c := participants[i]
+		r.ledger.AddDownload(bcastBytes)
+		stopPublic := r.rec.Span(obs.PhaseClientPublic)
+		err := r.hooks.Digest(rc, c, bcast)
+		stopPublic()
+		return err
+	})
+}

@@ -1,0 +1,73 @@
+package engine
+
+import (
+	"fedpkd/internal/comm"
+	"fedpkd/internal/proto"
+	"fedpkd/internal/tensor"
+)
+
+// Payload is the unit of knowledge that crosses the client/server boundary:
+// every upload, pre-round global state, and post-aggregation broadcast is
+// one Payload. Algorithms populate only the fields they exchange — FedPKD
+// uploads Logits+Protos and broadcasts Logits+Indices+Protos, the FedAvg
+// family moves Params, FedMD moves Logits, FedProto moves Protos.
+type Payload struct {
+	// Logits holds per-sample class logits (rows × classes), on the public
+	// set or on the Indices subset of it.
+	Logits *tensor.Matrix
+	// LogitsLocal marks Logits the receiver can recompute locally and that
+	// therefore cost nothing on the wire: FedDF clients ship whole models, so
+	// the server derives their public-set logits itself.
+	LogitsLocal bool
+	// Indices are the public-set sample indices Logits refers to, when it
+	// covers a filtered subset rather than the whole public set.
+	Indices []int
+	// Protos is a per-class prototype set.
+	Protos *proto.Set
+	// Params is a flattened model parameter vector.
+	Params []float64
+	// ParamsCounted models a parameter sync whose content the receiver never
+	// uses in this simulation (FedET's representation-layer synchronization):
+	// the traffic is charged for ParamsCounted scalars without materializing
+	// them. Ignored when Params is non-empty.
+	ParamsCounted int
+	// NumSamples is the sender's local sample count, used as an aggregation
+	// weight. Metadata — not charged to the wire.
+	NumSamples int
+}
+
+// WireBytes returns the payload's analytic wire size. This is THE byte
+// accounting contract of the repository: every upload and download the
+// engine ledgers is priced by this one function, so units cannot drift
+// between algorithms. The rules, matching internal/comm and the paper:
+//
+//   - every scalar (logit, prototype value, model parameter) costs
+//     comm.BytesPerValue (4, float32 on the wire);
+//   - subset indices cost 4 bytes each (uint32);
+//   - logits marked LogitsLocal are recomputable by the receiver and free;
+//   - params are charged once: the materialized vector if present,
+//     otherwise the declared ParamsCounted width;
+//   - NumSamples and other metadata are free (negligible next to knowledge).
+//
+// A nil payload (no message) costs nothing.
+func (p *Payload) WireBytes() int {
+	if p == nil {
+		return 0
+	}
+	n := 0
+	if p.Logits != nil && !p.LogitsLocal {
+		n += comm.LogitsBytes(p.Logits.Rows, p.Logits.Cols)
+	}
+	if len(p.Indices) > 0 {
+		n += comm.SampleIndexBytes(len(p.Indices))
+	}
+	if p.Protos != nil {
+		n += comm.PrototypeBytes(p.Protos.Len(), p.Protos.Dim)
+	}
+	if len(p.Params) > 0 {
+		n += comm.ModelBytes(len(p.Params))
+	} else if p.ParamsCounted > 0 {
+		n += comm.ModelBytes(p.ParamsCounted)
+	}
+	return n
+}

@@ -5,32 +5,43 @@ import (
 	"testing"
 )
 
-// seedCorpus returns valid encoded payloads of each kind so the fuzzer
-// starts from structurally plausible gob streams.
+// seedCorpus returns valid encoded round messages so the fuzzer starts from
+// structurally plausible gob streams.
 func seedCorpus(t testing.TB) [][]byte {
 	t.Helper()
-	ck := ClientKnowledge{
-		ClientID: 1, Round: 2,
-		Samples: 2, Classes: 3,
-		Logits:       []float32{1, 2, 3, 4, 5, 6},
-		ProtoClasses: []int32{0, 2},
-		ProtoCounts:  []int32{5, 7},
-		ProtoDim:     2,
-		ProtoValues:  []float32{0.1, 0.2, 0.3, 0.4},
+	rs := RoundStart{
+		Round:     2,
+		HasGlobal: true,
+		Global:    WirePayload{Params: []float64{1, 2, 3}},
 	}
-	sk := ServerKnowledge{
-		Round:           3,
-		SelectedIndices: []int32{0, 4},
-		Samples:         2, Classes: 3,
-		Logits:       []float32{1, 2, 3, 4, 5, 6},
-		ProtoClasses: []int32{1},
-		ProtoCounts:  []int32{9},
-		ProtoDim:     2,
-		ProtoValues:  []float32{0.5, 0.6},
+	ru := RoundUpload{
+		Round: 2, Client: 1,
+		HasPayload: true,
+		Payload: WirePayload{
+			HasLogits: true,
+			Rows:      2, Cols: 3,
+			Logits:          []float64{1, 2, 3, 4, 5, 6},
+			HasProtos:       true,
+			ProtoNumClasses: 3,
+			ProtoClasses:    []int32{0, 2},
+			ProtoCounts:     []int32{5, 7},
+			ProtoDim:        2,
+			ProtoValues:     []float64{0.1, 0.2, 0.3, 0.4},
+			NumSamples:      10,
+		},
 	}
-	mu := ModelUpdate{ClientID: 0, Round: 1, NumSamples: 10, Params: []float32{1, 2, 3}}
+	re := RoundEnd{
+		Round:        3,
+		HasBroadcast: true,
+		Broadcast: WirePayload{
+			HasLogits: true,
+			Rows:      2, Cols: 3,
+			Logits:  []float64{1, 2, 3, 4, 5, 6},
+			Indices: []int32{0, 4},
+		},
+	}
 	var out [][]byte
-	for _, v := range []any{ck, sk, mu} {
+	for _, v := range []any{rs, ru, re} {
 		b, err := Encode(v)
 		if err != nil {
 			t.Fatalf("Encode(%T): %v", v, err)
@@ -40,9 +51,10 @@ func seedCorpus(t testing.TB) [][]byte {
 	return out
 }
 
-// FuzzDecode feeds arbitrary bytes through Decode + Validate for every
-// payload type. Malformed input must surface as an error, never a panic,
-// and anything that passes Validate must survive the reshape helpers.
+// FuzzDecode feeds arbitrary bytes through Decode + Validate for every round
+// message type. Malformed input must surface as an error, never a panic, and
+// any payload that passes Validate must survive reconstruction into an
+// engine.Payload.
 func FuzzDecode(f *testing.F) {
 	for _, b := range seedCorpus(f) {
 		f.Add(b)
@@ -51,29 +63,29 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{0x00})
 	f.Add([]byte(strings.Repeat("\xff", 64)))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		var ck ClientKnowledge
-		if err := Decode(data, &ck); err == nil {
-			if err := ck.Validate(); err == nil {
-				if _, err := Float32ToMatrix(ck.Samples, ck.Classes, ck.Logits); err != nil {
-					t.Fatalf("validated ClientKnowledge failed reshape: %v", err)
+		var rs RoundStart
+		if err := Decode(data, &rs); err == nil {
+			if err := rs.Validate(); err == nil && rs.HasGlobal {
+				if _, err := rs.Global.ToPayload(); err != nil {
+					t.Fatalf("validated RoundStart failed reconstruction: %v", err)
 				}
-				// Class ids may still exceed the receiver's class count;
-				// ProtoFromWire must error on those, not panic.
-				_, _ = ProtoFromWire(10, ck.ProtoClasses, ck.ProtoCounts, ck.ProtoDim, ck.ProtoValues)
 			}
 		}
-		var sk ServerKnowledge
-		if err := Decode(data, &sk); err == nil {
-			if err := sk.Validate(); err == nil {
-				if _, err := Float32ToMatrix(sk.Samples, sk.Classes, sk.Logits); err != nil {
-					t.Fatalf("validated ServerKnowledge failed reshape: %v", err)
+		var ru RoundUpload
+		if err := Decode(data, &ru); err == nil {
+			if err := ru.Validate(); err == nil && ru.HasPayload {
+				if _, err := ru.Payload.ToPayload(); err != nil {
+					t.Fatalf("validated RoundUpload failed reconstruction: %v", err)
 				}
-				_, _ = ProtoFromWire(10, sk.ProtoClasses, sk.ProtoCounts, sk.ProtoDim, sk.ProtoValues)
 			}
 		}
-		var mu ModelUpdate
-		if err := Decode(data, &mu); err == nil {
-			_ = mu.Validate()
+		var re RoundEnd
+		if err := Decode(data, &re); err == nil {
+			if err := re.Validate(); err == nil && re.HasBroadcast {
+				if _, err := re.Broadcast.ToPayload(); err != nil {
+					t.Fatalf("validated RoundEnd failed reconstruction: %v", err)
+				}
+			}
 		}
 	})
 }
@@ -81,31 +93,34 @@ func FuzzDecode(f *testing.F) {
 func TestDecodeRoundTrip(t *testing.T) {
 	seeds := seedCorpus(t)
 
-	var ck ClientKnowledge
-	if err := Decode(seeds[0], &ck); err != nil {
-		t.Fatalf("decode ClientKnowledge: %v", err)
+	var rs RoundStart
+	if err := Decode(seeds[0], &rs); err != nil {
+		t.Fatalf("decode RoundStart: %v", err)
 	}
-	if err := ck.Validate(); err != nil {
-		t.Fatalf("valid ClientKnowledge rejected: %v", err)
+	if err := rs.Validate(); err != nil {
+		t.Fatalf("valid RoundStart rejected: %v", err)
 	}
-	if ck.ClientID != 1 || ck.Samples != 2 || ck.Classes != 3 || len(ck.Logits) != 6 {
-		t.Fatalf("round-trip mangled ClientKnowledge: %+v", ck)
-	}
-
-	var sk ServerKnowledge
-	if err := Decode(seeds[1], &sk); err != nil {
-		t.Fatalf("decode ServerKnowledge: %v", err)
-	}
-	if err := sk.Validate(); err != nil {
-		t.Fatalf("valid ServerKnowledge rejected: %v", err)
+	if rs.Round != 2 || !rs.HasGlobal || len(rs.Global.Params) != 3 {
+		t.Fatalf("round-trip mangled RoundStart: %+v", rs)
 	}
 
-	var mu ModelUpdate
-	if err := Decode(seeds[2], &mu); err != nil {
-		t.Fatalf("decode ModelUpdate: %v", err)
+	var ru RoundUpload
+	if err := Decode(seeds[1], &ru); err != nil {
+		t.Fatalf("decode RoundUpload: %v", err)
 	}
-	if err := mu.Validate(); err != nil {
-		t.Fatalf("valid ModelUpdate rejected: %v", err)
+	if err := ru.Validate(); err != nil {
+		t.Fatalf("valid RoundUpload rejected: %v", err)
+	}
+	if ru.Client != 1 || ru.Payload.Rows != 2 || len(ru.Payload.Logits) != 6 {
+		t.Fatalf("round-trip mangled RoundUpload: %+v", ru)
+	}
+
+	var re RoundEnd
+	if err := Decode(seeds[2], &re); err != nil {
+		t.Fatalf("decode RoundEnd: %v", err)
+	}
+	if err := re.Validate(); err != nil {
+		t.Fatalf("valid RoundEnd rejected: %v", err)
 	}
 }
 
@@ -114,74 +129,72 @@ func TestValidateRejectsMalformed(t *testing.T) {
 		name string
 		err  func() error
 	}{
-		{"negative client id", func() error {
-			return (&ClientKnowledge{ClientID: -1}).Validate()
-		}},
 		{"negative round", func() error {
-			return (&ClientKnowledge{Round: -1}).Validate()
+			return (&RoundStart{Round: -1}).Validate()
+		}},
+		{"negative client id", func() error {
+			return (&RoundUpload{Client: -1}).Validate()
 		}},
 		{"logit count mismatch", func() error {
-			return (&ClientKnowledge{Samples: 2, Classes: 2, Logits: []float32{1}}).Validate()
+			return (&WirePayload{HasLogits: true, Rows: 2, Cols: 2, Logits: []float64{1}}).Validate()
 		}},
 		{"overflowing dims", func() error {
-			// 2^30 x 2^30 overflows int64 multiplication guards in naive
-			// code; the range check must reject it first.
-			return (&ClientKnowledge{Samples: maxWireDim + 1, Classes: 1}).Validate()
+			// 2^30+1 rows is out of range; the range check must reject it
+			// before any multiplication.
+			return (&WirePayload{HasLogits: true, Rows: maxWireDim + 1, Cols: 1}).Validate()
 		}},
 		{"huge product", func() error {
-			return (&ClientKnowledge{Samples: maxWireDim, Classes: maxWireDim}).Validate()
+			return (&WirePayload{HasLogits: true, Rows: maxWireDim, Cols: maxWireDim}).Validate()
+		}},
+		{"orphan logits", func() error {
+			return (&WirePayload{Logits: []float64{1, 2}}).Validate()
+		}},
+		{"negative sample index", func() error {
+			return (&WirePayload{Indices: []int32{-3}}).Validate()
 		}},
 		{"proto class/count mismatch", func() error {
-			return (&ClientKnowledge{ProtoClasses: []int32{0}, ProtoCounts: nil}).Validate()
+			return (&WirePayload{HasProtos: true, ProtoClasses: []int32{0}, ProtoCounts: nil}).Validate()
 		}},
 		{"negative proto dim", func() error {
-			return (&ClientKnowledge{ProtoDim: -4}).Validate()
+			return (&WirePayload{HasProtos: true, ProtoDim: -4}).Validate()
 		}},
 		{"negative proto class", func() error {
-			return (&ClientKnowledge{ProtoClasses: []int32{-1}, ProtoCounts: []int32{1}, ProtoDim: 0}).Validate()
+			return (&WirePayload{HasProtos: true, ProtoNumClasses: 2, ProtoClasses: []int32{-1}, ProtoCounts: []int32{1}}).Validate()
 		}},
 		{"negative proto count", func() error {
-			return (&ClientKnowledge{ProtoClasses: []int32{1}, ProtoCounts: []int32{-2}, ProtoDim: 0}).Validate()
+			return (&WirePayload{HasProtos: true, ProtoNumClasses: 2, ProtoClasses: []int32{1}, ProtoCounts: []int32{-2}}).Validate()
 		}},
 		{"proto value length mismatch", func() error {
-			return (&ClientKnowledge{ProtoClasses: []int32{0}, ProtoCounts: []int32{1}, ProtoDim: 3, ProtoValues: []float32{1}}).Validate()
+			return (&WirePayload{HasProtos: true, ProtoNumClasses: 2, ProtoClasses: []int32{0}, ProtoCounts: []int32{1}, ProtoDim: 3, ProtoValues: []float64{1}}).Validate()
 		}},
-		{"selected index count mismatch", func() error {
-			return (&ServerKnowledge{Samples: 2, Classes: 1, Logits: []float32{1, 2}, SelectedIndices: []int32{0}}).Validate()
+		{"proto class beyond class count", func() error {
+			return (&WirePayload{HasProtos: true, ProtoNumClasses: 2, ProtoClasses: []int32{5}, ProtoCounts: []int32{1}, ProtoDim: 1, ProtoValues: []float64{1}}).Validate()
 		}},
-		{"negative selected index", func() error {
-			return (&ServerKnowledge{Samples: 1, Classes: 1, Logits: []float32{1}, SelectedIndices: []int32{-3}}).Validate()
+		{"negative proto class count", func() error {
+			return (&WirePayload{HasProtos: true, ProtoNumClasses: -1}).Validate()
+		}},
+		{"orphan proto values", func() error {
+			return (&WirePayload{ProtoValues: []float64{1}}).Validate()
+		}},
+		{"negative counted params", func() error {
+			return (&WirePayload{ParamsCounted: -1}).Validate()
 		}},
 		{"negative num samples", func() error {
-			return (&ModelUpdate{NumSamples: -1}).Validate()
+			return (&WirePayload{NumSamples: -1}).Validate()
+		}},
+		{"nested bad payload in upload", func() error {
+			return (&RoundUpload{HasPayload: true, Payload: WirePayload{NumSamples: -1}}).Validate()
+		}},
+		{"nested bad payload in round end", func() error {
+			return (&RoundEnd{HasBroadcast: true, Broadcast: WirePayload{HasLogits: true, Rows: 1, Cols: 1}}).Validate()
+		}},
+		{"nested bad payload in round start", func() error {
+			return (&RoundStart{HasGlobal: true, Global: WirePayload{Indices: []int32{-1}}}).Validate()
 		}},
 	}
 	for _, tc := range cases {
 		if err := tc.err(); err == nil {
 			t.Errorf("%s: Validate accepted malformed payload", tc.name)
 		}
-	}
-}
-
-func TestFloat32ToMatrixRejectsBadDims(t *testing.T) {
-	if _, err := Float32ToMatrix(-1, 4, nil); err == nil {
-		t.Error("negative rows accepted")
-	}
-	if _, err := Float32ToMatrix(4, -1, nil); err == nil {
-		t.Error("negative cols accepted")
-	}
-	// Crafted so rows*cols overflows 32-bit and could equal len(vals) in
-	// naive int arithmetic on 32-bit platforms.
-	if _, err := Float32ToMatrix(maxWireDim+1, maxWireDim+1, nil); err == nil {
-		t.Error("overflowing dims accepted")
-	}
-}
-
-func TestProtoFromWireRejectsOutOfRangeClass(t *testing.T) {
-	if _, err := ProtoFromWire(2, []int32{5}, []int32{1}, 1, []float32{1}); err == nil {
-		t.Error("class 5 accepted for a 2-class set")
-	}
-	if _, err := ProtoFromWire(2, []int32{-1}, []int32{1}, 1, []float32{1}); err == nil {
-		t.Error("negative class accepted")
 	}
 }

@@ -3,47 +3,66 @@ package transport
 import (
 	"fmt"
 
+	"fedpkd/internal/fl/engine"
 	"fedpkd/internal/proto"
 	"fedpkd/internal/tensor"
 )
 
-// ClientKnowledge is the dual-knowledge upload of FedPKD: public-set logits
-// plus local prototypes. Values travel as float32, matching the comm
-// package's 4-bytes-per-value accounting.
-type ClientKnowledge struct {
-	ClientID int
-	Round    int
-	// Logits is row-major: Samples x Classes.
-	Samples, Classes int
-	Logits           []float32
-	// Prototypes: one entry per class the client holds.
-	ProtoClasses []int32
-	ProtoCounts  []int32
-	ProtoDim     int
-	ProtoValues  []float32 // len(ProtoClasses) * ProtoDim, row-major
+// WirePayload is the serialized form of an engine.Payload — the one
+// knowledge container every algorithm exchanges, so one wire struct serves
+// all of them. Values travel as float64: a distributed run then produces
+// bit-identical histories to the in-process engine (the analytic byte
+// accounting in internal/comm still prices scalars at 4 bytes, modelling a
+// float32 deployment; see engine.Payload.WireBytes).
+type WirePayload struct {
+	// Logits block (row-major Rows x Cols), present when HasLogits.
+	HasLogits   bool
+	Rows, Cols  int
+	Logits      []float64
+	LogitsLocal bool
+	// Indices are public-set sample indices the logits refer to.
+	Indices []int32
+	// Prototype block, present when HasProtos: one entry per class held.
+	HasProtos       bool
+	ProtoNumClasses int
+	ProtoClasses    []int32
+	ProtoCounts     []int32
+	ProtoDim        int
+	ProtoValues     []float64 // len(ProtoClasses) * ProtoDim, row-major
+	// Flattened model parameters / accounting-only parameter width.
+	Params        []float64
+	ParamsCounted int
+	// NumSamples is the sender's aggregation weight.
+	NumSamples int
 }
 
-// ServerKnowledge is the downstream message: server logits on the filtered
-// public subset, the subset's indices, and the global prototypes.
-type ServerKnowledge struct {
-	Round int
-	// SelectedIndices are the filtered public-set sample indices the logits
-	// refer to.
-	SelectedIndices  []int32
-	Samples, Classes int
-	Logits           []float32
-	ProtoClasses     []int32
-	ProtoCounts      []int32
-	ProtoDim         int
-	ProtoValues      []float32
+// RoundStart opens a round, server → client: it carries the front-loaded
+// global state (engine.Hooks.GlobalState) when the algorithm has one.
+type RoundStart struct {
+	Round     int
+	HasGlobal bool
+	Global    WirePayload
 }
 
-// ModelUpdate carries flattened model parameters (FedAvg family).
-type ModelUpdate struct {
-	ClientID   int
-	Round      int
-	NumSamples int // aggregation weight
-	Params     []float32
+// RoundUpload is a client's upload (engine.Hooks.LocalUpdate result),
+// client → server. A client whose local update failed reports Err instead
+// of a payload, so the server never blocks waiting for a crashed phase.
+type RoundUpload struct {
+	Round  int
+	Client int
+	Err    string
+	HasPayload bool
+	Payload    WirePayload
+}
+
+// RoundEnd closes a round, server → client: it carries the aggregation
+// broadcast (engine.Hooks.Aggregate result) when there is one, or the
+// server-side error that aborted the round.
+type RoundEnd struct {
+	Round        int
+	Err          string
+	HasBroadcast bool
+	Broadcast    WirePayload
 }
 
 // maxWireDim bounds any single dimension decoded off the wire. Gob happily
@@ -87,114 +106,150 @@ func checkProtos(classes, counts []int32, dim, nvals int) error {
 	return nil
 }
 
-// Validate rejects structurally inconsistent client knowledge. Decode only
-// checks gob framing; every field a peer controls must pass here before it
-// sizes an allocation or indexes a slice.
-func (ck *ClientKnowledge) Validate() error {
-	if ck.ClientID < 0 {
-		return fmt.Errorf("transport: negative client id %d", ck.ClientID)
+// Validate rejects structurally inconsistent payloads. Decode only checks
+// gob framing; every field a peer controls must pass here before it sizes
+// an allocation or indexes a slice.
+func (w *WirePayload) Validate() error {
+	if w.HasLogits {
+		if err := checkLogits(w.Rows, w.Cols, len(w.Logits)); err != nil {
+			return err
+		}
+	} else if len(w.Logits) > 0 {
+		return fmt.Errorf("transport: %d logit values without a logits block", len(w.Logits))
 	}
-	if ck.Round < 0 {
-		return fmt.Errorf("transport: negative round %d", ck.Round)
-	}
-	if err := checkLogits(ck.Samples, ck.Classes, len(ck.Logits)); err != nil {
-		return err
-	}
-	return checkProtos(ck.ProtoClasses, ck.ProtoCounts, ck.ProtoDim, len(ck.ProtoValues))
-}
-
-// Validate rejects structurally inconsistent server knowledge. The logits
-// rows must match the selected-subset size: the server computes logits on
-// exactly the filtered samples.
-func (sk *ServerKnowledge) Validate() error {
-	if sk.Round < 0 {
-		return fmt.Errorf("transport: negative round %d", sk.Round)
-	}
-	if err := checkLogits(sk.Samples, sk.Classes, len(sk.Logits)); err != nil {
-		return err
-	}
-	if len(sk.SelectedIndices) != sk.Samples {
-		return fmt.Errorf("transport: %d selected indices for %d samples", len(sk.SelectedIndices), sk.Samples)
-	}
-	for _, v := range sk.SelectedIndices {
+	for _, v := range w.Indices {
 		if v < 0 {
-			return fmt.Errorf("transport: negative selected index %d", v)
+			return fmt.Errorf("transport: negative sample index %d", v)
 		}
 	}
-	return checkProtos(sk.ProtoClasses, sk.ProtoCounts, sk.ProtoDim, len(sk.ProtoValues))
-}
-
-// Validate rejects structurally inconsistent model updates.
-func (mu *ModelUpdate) Validate() error {
-	if mu.ClientID < 0 {
-		return fmt.Errorf("transport: negative client id %d", mu.ClientID)
+	if w.HasProtos {
+		if w.ProtoNumClasses < 0 || w.ProtoNumClasses > maxWireDim {
+			return fmt.Errorf("transport: proto class count %d out of range", w.ProtoNumClasses)
+		}
+		if err := checkProtos(w.ProtoClasses, w.ProtoCounts, w.ProtoDim, len(w.ProtoValues)); err != nil {
+			return err
+		}
+		for _, c := range w.ProtoClasses {
+			if int(c) >= w.ProtoNumClasses {
+				return fmt.Errorf("transport: proto class %d out of range (%d classes)", c, w.ProtoNumClasses)
+			}
+		}
+	} else if len(w.ProtoValues) > 0 {
+		return fmt.Errorf("transport: %d proto values without a proto block", len(w.ProtoValues))
 	}
-	if mu.Round < 0 {
-		return fmt.Errorf("transport: negative round %d", mu.Round)
+	if w.ParamsCounted < 0 {
+		return fmt.Errorf("transport: negative counted params %d", w.ParamsCounted)
 	}
-	if mu.NumSamples < 0 {
-		return fmt.Errorf("transport: negative sample count %d", mu.NumSamples)
+	if w.NumSamples < 0 {
+		return fmt.Errorf("transport: negative sample count %d", w.NumSamples)
 	}
 	return nil
 }
 
-// MatrixToFloat32 flattens a matrix to the float32 wire format.
-func MatrixToFloat32(m *tensor.Matrix) []float32 {
-	out := make([]float32, len(m.Data))
-	for i, v := range m.Data {
-		out[i] = float32(v)
+// Validate rejects structurally inconsistent round starts.
+func (rs *RoundStart) Validate() error {
+	if rs.Round < 0 {
+		return fmt.Errorf("transport: negative round %d", rs.Round)
 	}
-	return out
+	if rs.HasGlobal {
+		return rs.Global.Validate()
+	}
+	return nil
 }
 
-// Float32ToMatrix reshapes wire values into a matrix.
-func Float32ToMatrix(rows, cols int, vals []float32) (*tensor.Matrix, error) {
-	if rows < 0 || cols < 0 || rows > maxWireDim || cols > maxWireDim {
-		return nil, fmt.Errorf("transport: matrix dims %dx%d out of range", rows, cols)
+// Validate rejects structurally inconsistent uploads.
+func (ru *RoundUpload) Validate() error {
+	if ru.Round < 0 {
+		return fmt.Errorf("transport: negative round %d", ru.Round)
 	}
-	if int64(rows)*int64(cols) != int64(len(vals)) {
-		return nil, fmt.Errorf("transport: got %d values for %dx%d matrix", len(vals), rows, cols)
+	if ru.Client < 0 {
+		return fmt.Errorf("transport: negative client id %d", ru.Client)
 	}
-	m := tensor.New(rows, cols)
-	for i, v := range vals {
-		m.Data[i] = float64(v)
+	if ru.HasPayload {
+		return ru.Payload.Validate()
 	}
-	return m, nil
+	return nil
 }
 
-// ProtoToWire converts a prototype set to the wire representation.
-func ProtoToWire(s *proto.Set) (classes, counts []int32, dim int, values []float32) {
-	dim = s.Dim
-	for class := 0; class < s.Classes; class++ {
-		vec, ok := s.Vectors[class]
-		if !ok {
-			continue
+// Validate rejects structurally inconsistent round ends.
+func (re *RoundEnd) Validate() error {
+	if re.Round < 0 {
+		return fmt.Errorf("transport: negative round %d", re.Round)
+	}
+	if re.HasBroadcast {
+		return re.Broadcast.Validate()
+	}
+	return nil
+}
+
+// PayloadToWire serializes an engine payload (nil yields the zero wire
+// payload — pair it with a Has* flag on the enclosing message).
+func PayloadToWire(p *engine.Payload) WirePayload {
+	var w WirePayload
+	if p == nil {
+		return w
+	}
+	if p.Logits != nil {
+		w.HasLogits = true
+		w.Rows, w.Cols = p.Logits.Rows, p.Logits.Cols
+		w.Logits = append([]float64(nil), p.Logits.Data...)
+	}
+	w.LogitsLocal = p.LogitsLocal
+	for _, i := range p.Indices {
+		w.Indices = append(w.Indices, int32(i))
+	}
+	if p.Protos != nil {
+		w.HasProtos = true
+		w.ProtoNumClasses = p.Protos.Classes
+		w.ProtoDim = p.Protos.Dim
+		for class := 0; class < p.Protos.Classes; class++ {
+			vec, ok := p.Protos.Vectors[class]
+			if !ok {
+				continue
+			}
+			w.ProtoClasses = append(w.ProtoClasses, int32(class))
+			w.ProtoCounts = append(w.ProtoCounts, int32(p.Protos.Counts[class]))
+			w.ProtoValues = append(w.ProtoValues, vec...)
 		}
-		classes = append(classes, int32(class))
-		counts = append(counts, int32(s.Counts[class]))
-		for _, v := range vec {
-			values = append(values, float32(v))
-		}
 	}
-	return classes, counts, dim, values
+	if len(p.Params) > 0 {
+		w.Params = append([]float64(nil), p.Params...)
+	}
+	w.ParamsCounted = p.ParamsCounted
+	w.NumSamples = p.NumSamples
+	return w
 }
 
-// ProtoFromWire reconstructs a prototype set from the wire representation.
-func ProtoFromWire(numClasses int, classes, counts []int32, dim int, values []float32) (*proto.Set, error) {
-	if err := checkProtos(classes, counts, dim, len(values)); err != nil {
+// ToPayload validates the wire payload and reconstructs the engine payload.
+func (w *WirePayload) ToPayload() (*engine.Payload, error) {
+	if err := w.Validate(); err != nil {
 		return nil, err
 	}
-	s := proto.NewSet(numClasses, dim)
-	for i, class := range classes {
-		if int(class) >= numClasses {
-			return nil, fmt.Errorf("transport: proto class %d out of range (%d classes)", class, numClasses)
-		}
-		vec := make([]float64, dim)
-		for j := 0; j < dim; j++ {
-			vec[j] = float64(values[i*dim+j])
-		}
-		s.Vectors[int(class)] = vec
-		s.Counts[int(class)] = int(counts[i])
+	p := &engine.Payload{
+		LogitsLocal:   w.LogitsLocal,
+		ParamsCounted: w.ParamsCounted,
+		NumSamples:    w.NumSamples,
 	}
-	return s, nil
+	if w.HasLogits {
+		m := tensor.New(w.Rows, w.Cols)
+		copy(m.Data, w.Logits)
+		p.Logits = m
+	}
+	for _, i := range w.Indices {
+		p.Indices = append(p.Indices, int(i))
+	}
+	if w.HasProtos {
+		s := proto.NewSet(w.ProtoNumClasses, w.ProtoDim)
+		for i, class := range w.ProtoClasses {
+			vec := make([]float64, w.ProtoDim)
+			copy(vec, w.ProtoValues[i*w.ProtoDim:(i+1)*w.ProtoDim])
+			s.Vectors[int(class)] = vec
+			s.Counts[int(class)] = int(w.ProtoCounts[i])
+		}
+		p.Protos = s
+	}
+	if len(w.Params) > 0 {
+		p.Params = append([]float64(nil), w.Params...)
+	}
+	return p, nil
 }

@@ -19,15 +19,17 @@ import (
 // Kind labels the payload type of an envelope.
 type Kind uint8
 
-// Message kinds exchanged by the federated protocols.
+// Message kinds exchanged by the federated protocols — one per phase edge
+// of the engine's round skeleton, shared by every algorithm.
 const (
-	// KindClientKnowledge carries a client's logits and prototypes upstream.
-	KindClientKnowledge Kind = iota + 1
-	// KindServerKnowledge carries server logits, selected sample indices,
-	// and global prototypes downstream.
-	KindServerKnowledge
-	// KindModelUpdate carries flattened model parameters (FedAvg family).
-	KindModelUpdate
+	// KindRoundStart opens a round (server → client), carrying the
+	// front-loaded global state when the algorithm has one.
+	KindRoundStart Kind = iota + 1
+	// KindUpload carries a client's local-update payload (client → server).
+	KindUpload
+	// KindRoundEnd closes a round (server → client), carrying the
+	// aggregation broadcast when there is one.
+	KindRoundEnd
 	// KindControl carries round-control messages (start, stop).
 	KindControl
 )
@@ -35,12 +37,12 @@ const (
 // String returns the kind name for logs.
 func (k Kind) String() string {
 	switch k {
-	case KindClientKnowledge:
-		return "client-knowledge"
-	case KindServerKnowledge:
-		return "server-knowledge"
-	case KindModelUpdate:
-		return "model-update"
+	case KindRoundStart:
+		return "round-start"
+	case KindUpload:
+		return "upload"
+	case KindRoundEnd:
+		return "round-end"
 	case KindControl:
 		return "control"
 	default:

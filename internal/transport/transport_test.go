@@ -5,28 +5,32 @@ import (
 	"sync"
 	"testing"
 
+	"fedpkd/internal/fl/engine"
 	"fedpkd/internal/proto"
 	"fedpkd/internal/stats"
 	"fedpkd/internal/tensor"
 )
 
 func TestEncodeDecodeRoundtrip(t *testing.T) {
-	in := ClientKnowledge{
-		ClientID: 3,
-		Round:    7,
-		Samples:  2,
-		Classes:  3,
-		Logits:   []float32{1, 2, 3, 4, 5, 6},
+	in := RoundUpload{
+		Client:     3,
+		Round:      7,
+		HasPayload: true,
+		Payload: WirePayload{
+			HasLogits: true,
+			Rows:      2, Cols: 3,
+			Logits: []float64{1, 2, 3, 4, 5, 6},
+		},
 	}
 	payload, err := Encode(in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var out ClientKnowledge
+	var out RoundUpload
 	if err := Decode(payload, &out); err != nil {
 		t.Fatal(err)
 	}
-	if out.ClientID != 3 || out.Round != 7 || len(out.Logits) != 6 || out.Logits[5] != 6 {
+	if out.Client != 3 || out.Round != 7 || len(out.Payload.Logits) != 6 || out.Payload.Logits[5] != 6 {
 		t.Errorf("roundtrip = %+v", out)
 	}
 }
@@ -38,10 +42,10 @@ func TestBusDelivery(t *testing.T) {
 	c0 := bus.ClientConn(0)
 	c1 := bus.ClientConn(1)
 
-	if err := c0.Send(&Envelope{Kind: KindClientKnowledge, From: 0, To: -1, Round: 1}); err != nil {
+	if err := c0.Send(&Envelope{Kind: KindUpload, From: 0, To: -1, Round: 1}); err != nil {
 		t.Fatal(err)
 	}
-	if err := c1.Send(&Envelope{Kind: KindClientKnowledge, From: 1, To: -1, Round: 1}); err != nil {
+	if err := c1.Send(&Envelope{Kind: KindUpload, From: 1, To: -1, Round: 1}); err != nil {
 		t.Fatal(err)
 	}
 	got := map[int]bool{}
@@ -56,14 +60,14 @@ func TestBusDelivery(t *testing.T) {
 		t.Errorf("server received from %v", got)
 	}
 
-	if err := server.Send(&Envelope{Kind: KindServerKnowledge, From: -1, To: 1, Round: 1}); err != nil {
+	if err := server.Send(&Envelope{Kind: KindRoundEnd, From: -1, To: 1, Round: 1}); err != nil {
 		t.Fatal(err)
 	}
 	e, err := c1.Recv()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if e.Kind != KindServerKnowledge {
+	if e.Kind != KindRoundEnd {
 		t.Errorf("client received kind %v", e.Kind)
 	}
 }
@@ -135,11 +139,11 @@ func TestTCPRoundtrip(t *testing.T) {
 	}
 	defer client.Close()
 
-	payload, err := Encode(ModelUpdate{ClientID: 1, Params: []float32{1, 2, 3}})
+	payload, err := Encode(RoundUpload{Client: 1, HasPayload: true, Payload: WirePayload{Params: []float64{1, 2, 3}}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := &Envelope{Kind: KindModelUpdate, From: 1, To: -1, Round: 5, Payload: payload}
+	out := &Envelope{Kind: KindUpload, From: 1, To: -1, Round: 5, Payload: payload}
 	if err := client.Send(out); err != nil {
 		t.Fatal(err)
 	}
@@ -151,15 +155,15 @@ func TestTCPRoundtrip(t *testing.T) {
 	if serverErr != nil {
 		t.Fatal(serverErr)
 	}
-	if in.Kind != KindModelUpdate || in.From != -1 || in.To != 1 || in.Round != 5 {
+	if in.Kind != KindUpload || in.From != -1 || in.To != 1 || in.Round != 5 {
 		t.Errorf("echoed envelope = %+v", in)
 	}
-	var mu ModelUpdate
-	if err := Decode(in.Payload, &mu); err != nil {
+	var ru RoundUpload
+	if err := Decode(in.Payload, &ru); err != nil {
 		t.Fatal(err)
 	}
-	if mu.ClientID != 1 || len(mu.Params) != 3 {
-		t.Errorf("decoded = %+v", mu)
+	if ru.Client != 1 || len(ru.Payload.Params) != 3 {
+		t.Errorf("decoded = %+v", ru)
 	}
 }
 
@@ -193,47 +197,58 @@ func TestWireSizeMatchesHeader(t *testing.T) {
 	}
 }
 
-func TestMatrixWireRoundtrip(t *testing.T) {
+func TestPayloadWireRoundtrip(t *testing.T) {
 	rng := stats.NewRNG(1)
-	m := tensor.Randn(rng, 3, 4, 1)
-	vals := MatrixToFloat32(m)
-	back, err := Float32ToMatrix(3, 4, vals)
+	logits := tensor.Randn(rng, 3, 4, 1)
+	protos := proto.NewSet(5, 3)
+	protos.Vectors[1] = []float64{1, 2, 3}
+	protos.Counts[1] = 4
+	protos.Vectors[4] = []float64{-1, 0, 1}
+	protos.Counts[4] = 9
+	in := &engine.Payload{
+		Logits:     logits,
+		Indices:    []int{0, 7, 2},
+		Protos:     protos,
+		Params:     []float64{0.5, -0.25},
+		NumSamples: 11,
+	}
+
+	w := PayloadToWire(in)
+	back, err := w.ToPayload()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !m.Equal(back, 1e-6) {
-		t.Error("matrix wire roundtrip lost precision beyond float32")
+	// float64 on the wire: the roundtrip must be exact, which is what makes
+	// distributed histories bit-identical to in-process runs.
+	if !logits.Equal(back.Logits, 0) {
+		t.Error("logits roundtrip not exact")
 	}
-	if _, err := Float32ToMatrix(2, 2, vals); err == nil {
-		t.Error("wrong shape should error")
+	if len(back.Indices) != 3 || back.Indices[1] != 7 {
+		t.Errorf("indices roundtrip = %v", back.Indices)
 	}
-}
+	if back.Protos.Len() != 2 || !back.Protos.Has(1) || !back.Protos.Has(4) {
+		t.Fatalf("roundtrip set = %+v", back.Protos)
+	}
+	if back.Protos.Counts[4] != 9 || back.Protos.Vectors[1][2] != 3 {
+		t.Errorf("roundtrip proto values wrong: %+v", back.Protos)
+	}
+	if len(back.Params) != 2 || back.Params[1] != -0.25 || back.NumSamples != 11 {
+		t.Errorf("params/meta roundtrip = %+v", back)
+	}
+	// The analytic wire cost must survive serialization unchanged: both
+	// sides of a distributed run account the same bytes.
+	if in.WireBytes() != back.WireBytes() {
+		t.Errorf("WireBytes drifted across the wire: %d vs %d", in.WireBytes(), back.WireBytes())
+	}
 
-func TestProtoWireRoundtrip(t *testing.T) {
-	s := proto.NewSet(5, 3)
-	s.Vectors[1] = []float64{1, 2, 3}
-	s.Counts[1] = 4
-	s.Vectors[4] = []float64{-1, 0, 1}
-	s.Counts[4] = 9
-
-	classes, counts, dim, values := ProtoToWire(s)
-	back, err := ProtoFromWire(5, classes, counts, dim, values)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if back.Len() != 2 || !back.Has(1) || !back.Has(4) {
-		t.Fatalf("roundtrip set = %+v", back)
-	}
-	if back.Counts[4] != 9 || back.Vectors[1][2] != 3 {
-		t.Errorf("roundtrip values wrong: %+v", back)
-	}
-	if _, err := ProtoFromWire(5, classes, counts[:1], dim, values); err == nil {
-		t.Error("mismatched counts should error")
+	if got := PayloadToWire(nil); got.HasLogits || got.HasProtos || len(got.Params) != 0 {
+		t.Errorf("nil payload serialized to %+v", got)
 	}
 }
 
 func TestKindString(t *testing.T) {
-	if KindClientKnowledge.String() != "client-knowledge" || Kind(99).String() == "" {
+	if KindRoundStart.String() != "round-start" || KindUpload.String() != "upload" ||
+		KindRoundEnd.String() != "round-end" || Kind(99).String() == "" {
 		t.Error("Kind.String broken")
 	}
 }

@@ -17,6 +17,21 @@ go test ./...
 echo ">> go test -race ./..."
 go test -race ./...
 
+# The distributed driver fans every client into its own goroutine and shares
+# algorithm hook state across the round barrier, so the multi-algorithm
+# distrib suite must hold under the race detector specifically.
+echo ">> go test -race -count=1 -run 'MatchesInProcess|RunOver' ./internal/distrib/"
+go test -race -count=1 -run 'MatchesInProcess|RunOver' ./internal/distrib/
+
+# Structural invariant of the round-engine refactor: no algorithm owns a
+# round loop. The engine's Runner is the only Round() in the tree; algorithm
+# packages supply phase hooks exclusively.
+echo ">> structural check: no per-algorithm Round() declarations"
+if grep -rnE 'func \([^)]*\) Round\(' internal/core/ internal/baselines/; then
+    echo "FAIL: algorithm packages must not declare their own Round(); use engine hooks" >&2
+    exit 1
+fi
+
 # The kernel determinism contract (parallel == serial, bit for bit) must hold
 # under real interleaving, so the equivalence and property suites run again
 # with the race detector and two scheduler threads forcing the worker pool to

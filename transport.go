@@ -18,20 +18,23 @@ type (
 	// Bus is the in-memory transport with the same semantics as TCP.
 	Bus = transport.Bus
 
-	// ClientKnowledge is FedPKD's dual-knowledge upload payload.
-	ClientKnowledge = transport.ClientKnowledge
-	// ServerKnowledge is FedPKD's downstream knowledge payload.
-	ServerKnowledge = transport.ServerKnowledge
-	// ModelUpdate carries flattened model parameters.
-	ModelUpdate = transport.ModelUpdate
+	// WirePayload is the serialized knowledge container every algorithm
+	// exchanges.
+	WirePayload = transport.WirePayload
+	// RoundStart opens a round, carrying the front-loaded global state.
+	RoundStart = transport.RoundStart
+	// RoundUpload is one client's local-update upload.
+	RoundUpload = transport.RoundUpload
+	// RoundEnd closes a round, carrying the aggregation broadcast.
+	RoundEnd = transport.RoundEnd
 )
 
 // Message kinds.
 const (
-	KindClientKnowledge = transport.KindClientKnowledge
-	KindServerKnowledge = transport.KindServerKnowledge
-	KindModelUpdate     = transport.KindModelUpdate
-	KindControl         = transport.KindControl
+	KindRoundStart = transport.KindRoundStart
+	KindUpload     = transport.KindUpload
+	KindRoundEnd   = transport.KindRoundEnd
+	KindControl    = transport.KindControl
 )
 
 // Listen starts an envelope server on a TCP address.
