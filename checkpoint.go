@@ -1,0 +1,76 @@
+package fedpkd
+
+import (
+	"fedpkd/internal/distrib"
+	"fedpkd/internal/fl/engine"
+)
+
+// Checkpoint/resume facade. Every algorithm in this package runs on the
+// shared round engine, which owns the run-state contract (DESIGN.md §8): a
+// checkpoint is one versioned, checksummed file bundling the round counter,
+// per-round history, ledger traffic, and every model's weights and optimizer
+// state. A run restored from a checkpoint continues bit-identically to one
+// that was never interrupted.
+
+// SetCheckpointPolicy enables auto-checkpointing for an algorithm: a durable
+// checkpoint is written into dir after every `every` completed rounds. The
+// write is crash-safe (temp file + fsync + atomic rename) and earlier round
+// files are kept, so the newest previous checkpoint survives until the new
+// one is durable.
+func SetCheckpointPolicy(algo Algorithm, dir string, every int) error {
+	r, err := engine.Of(algo)
+	if err != nil {
+		return err
+	}
+	r.SetCheckpointPolicy(dir, every)
+	return nil
+}
+
+// SaveCheckpoint durably writes the algorithm's full run state into dir and
+// returns the written path.
+func SaveCheckpoint(algo Algorithm, dir string) (string, error) {
+	r, err := engine.Of(algo)
+	if err != nil {
+		return "", err
+	}
+	return r.SaveCheckpoint(dir)
+}
+
+// ResumeAlgorithm restores a freshly constructed algorithm from a checkpoint
+// file, or from the newest valid checkpoint when path is a directory
+// (corrupt newer files are skipped, reported in warnings). The algorithm
+// must have been built with the same configuration as the checkpointed run.
+func ResumeAlgorithm(algo Algorithm, path string) (warnings []string, err error) {
+	r, err := engine.Of(algo)
+	if err != nil {
+		return nil, err
+	}
+	return r.ResumeAny(path)
+}
+
+// CompletedRounds returns how many rounds the algorithm has completed
+// (including rounds restored from a checkpoint).
+func CompletedRounds(algo Algorithm) (int, error) {
+	r, err := engine.Of(algo)
+	if err != nil {
+		return 0, err
+	}
+	return r.CurrentRound(), nil
+}
+
+// RunAlgorithmUntil runs in-process until the run has completed total
+// rounds: a fresh algorithm runs all of them, a resumed one only the
+// remainder. Returns the cumulative history.
+func RunAlgorithmUntil(algo Algorithm, total int) (*History, error) {
+	r, err := engine.Of(algo)
+	if err != nil {
+		return nil, err
+	}
+	return r.RunUntil(total)
+}
+
+// RunAlgorithmDistributedUntil is RunAlgorithmUntil over the transport
+// layer: after ResumeAlgorithm it executes only the remaining rounds.
+func RunAlgorithmDistributedUntil(algo Algorithm, mode DistributedMode, total int, rec *Recorder) (*History, error) {
+	return distrib.RunAlgorithmUntil(algo, mode, total, rec)
+}

@@ -41,10 +41,14 @@ func run() error {
 		targetC1h = flag.Float64("target-c100", expt.DefaultTargetC100, "table1 accuracy target for SynthC100")
 		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
 		workers   = flag.Int("workers", 0, "tensor-kernel worker fan-out; 0 tracks GOMAXPROCS (results are bit-identical at any width)")
+		ckptDir   = flag.String("checkpoint-dir", "", "root directory for per-run checkpoints (each run gets its own subdirectory)")
+		ckptEvery = flag.Int("checkpoint-every", 1, "checkpoint cadence in rounds (with -checkpoint-dir)")
+		resume    = flag.Bool("resume", false, "continue interrupted runs from their newest valid checkpoint under -checkpoint-dir")
 	)
 	flag.Parse()
 
 	tensor.SetWorkers(*workers)
+	expt.SetCheckpointPolicy(*ckptDir, *ckptEvery, *resume)
 
 	if *debugAddr != "" {
 		dbg, err := obs.StartDebugServer(*debugAddr)

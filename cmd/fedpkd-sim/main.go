@@ -34,7 +34,7 @@ func run() error {
 		alpha     = flag.Float64("alpha", 0.5, "Dirichlet concentration")
 		k         = flag.Int("k", 3, "classes per client (shards partition)")
 		clients   = flag.Int("clients", 5, "number of clients")
-		rounds    = flag.Int("rounds", 6, "communication rounds")
+		rounds    = flag.Int("rounds", 6, "total communication rounds (a resumed run executes only the remainder)")
 		trainSize = flag.Int("train", 3000, "training-pool size")
 		pubSize   = flag.Int("public", 600, "public-set size")
 		testSize  = flag.Int("test", 1000, "test-set size")
@@ -49,6 +49,9 @@ func run() error {
 		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
 		progress  = flag.Bool("progress", true, "print a per-round progress line to stderr (requires tracing)")
 		workers   = flag.Int("workers", 0, "tensor-kernel worker fan-out; 0 tracks GOMAXPROCS (results are bit-identical at any width)")
+		ckptDir   = flag.String("checkpoint-dir", "", "write a durable run checkpoint into this directory every -checkpoint-every rounds")
+		ckptEvery = flag.Int("checkpoint-every", 1, "checkpoint cadence in rounds (with -checkpoint-dir)")
+		resume    = flag.String("resume", "", "resume from a checkpoint file, or from the newest valid checkpoint in a directory")
 	)
 	flag.Parse()
 
@@ -115,6 +118,23 @@ func run() error {
 		return err
 	}
 
+	if *resume != "" {
+		warnings, err := fedpkd.ResumeAlgorithm(algo, *resume)
+		for _, w := range warnings {
+			fmt.Fprintln(os.Stderr, "fedpkd-sim:", w)
+		}
+		if err != nil {
+			return fmt.Errorf("resume from %s: %w", *resume, err)
+		}
+		done, _ := fedpkd.CompletedRounds(algo)
+		fmt.Fprintf(os.Stderr, "resumed %s at round %d from %s\n", *algoName, done, *resume)
+	}
+	if *ckptDir != "" {
+		if err := fedpkd.SetCheckpointPolicy(algo, *ckptDir, *ckptEvery); err != nil {
+			return err
+		}
+	}
+
 	var rec *fedpkd.Recorder
 	if *traceDir != "" {
 		rec = fedpkd.NewRecorder(*algoName)
@@ -127,7 +147,7 @@ func run() error {
 
 	var history *fedpkd.History
 	if *distMode != "" {
-		history, err = fedpkd.RunAlgorithmDistributed(algo, fedpkd.DistributedMode(*distMode), *rounds, rec)
+		history, err = fedpkd.RunAlgorithmDistributedUntil(algo, fedpkd.DistributedMode(*distMode), *rounds, rec)
 		if err != nil {
 			return err
 		}
@@ -135,7 +155,7 @@ func run() error {
 		if ins, ok := algo.(fedpkd.Instrumented); ok {
 			ins.SetRecorder(rec)
 		}
-		history, err = algo.Run(*rounds)
+		history, err = fedpkd.RunAlgorithmUntil(algo, *rounds)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,276 @@
+package ckpt
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestEncDecRoundTrip(t *testing.T) {
+	e := NewEnc()
+	e.U32(7)
+	e.U64(1 << 40)
+	e.I64(-99)
+	e.F64(math.Pi)
+	e.F64s([]float64{1.5, -2.5, math.Inf(1)})
+	e.String("hello")
+	e.LenBytes([]byte{0xde, 0xad})
+
+	d := NewDec(e.Buf())
+	if v, _ := d.U32(); v != 7 {
+		t.Fatalf("U32 = %d", v)
+	}
+	if v, _ := d.U64(); v != 1<<40 {
+		t.Fatalf("U64 = %d", v)
+	}
+	if v, _ := d.I64(); v != -99 {
+		t.Fatalf("I64 = %d", v)
+	}
+	if v, _ := d.F64(); v != math.Pi {
+		t.Fatalf("F64 = %v", v)
+	}
+	fs, err := d.F64s()
+	if err != nil || len(fs) != 3 || fs[0] != 1.5 || fs[1] != -2.5 || !math.IsInf(fs[2], 1) {
+		t.Fatalf("F64s = %v, %v", fs, err)
+	}
+	if s, _ := d.String(); s != "hello" {
+		t.Fatalf("String = %q", s)
+	}
+	b, err := d.LenBytes()
+	if err != nil || !bytes.Equal(b, []byte{0xde, 0xad}) {
+		t.Fatalf("LenBytes = %x, %v", b, err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("Remaining = %d", d.Remaining())
+	}
+}
+
+func TestDecUnderflow(t *testing.T) {
+	d := NewDec([]byte{1, 2})
+	if _, err := d.U32(); err == nil {
+		t.Fatal("U32 on 2 bytes should error")
+	}
+	d = NewDec(NewEnc().Buf())
+	if _, err := d.F64s(); err == nil {
+		t.Fatal("F64s on empty buffer should error")
+	}
+	// Length prefix claims more data than exists.
+	e := NewEnc()
+	e.U64(1 << 30)
+	if _, err := NewDec(e.Buf()).F64s(); err == nil {
+		t.Fatal("F64s with oversized length prefix should error, not allocate")
+	}
+	if _, err := NewDec(e.Buf()).LenBytes(); err == nil {
+		t.Fatal("LenBytes with oversized length prefix should error")
+	}
+}
+
+func TestDictRoundTrip(t *testing.T) {
+	d := NewDict()
+	d.Put("b", []byte("two"))
+	d.Put("a", []byte("one"))
+	d.Put("b", []byte("two-replaced")) // replace keeps position
+
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames := []string{"b", "a"}
+	gotNames := got.Names()
+	if len(gotNames) != 2 || gotNames[0] != wantNames[0] || gotNames[1] != wantNames[1] {
+		t.Fatalf("Names = %v, want %v", gotNames, wantNames)
+	}
+	if b, _ := got.Get("b"); string(b) != "two-replaced" {
+		t.Fatalf("b = %q", b)
+	}
+	if _, err := got.MustGet("missing"); err == nil || !strings.Contains(err.Error(), `"missing"`) {
+		t.Fatalf("MustGet(missing) = %v, want error naming the section", err)
+	}
+}
+
+func TestWriteDeterministic(t *testing.T) {
+	d := NewDict()
+	d.Put("x", []byte{9, 8, 7})
+	d.Put("y", []byte("state"))
+	var a, b bytes.Buffer
+	if err := Write(&a, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, d); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two writes of the same dict differ")
+	}
+}
+
+func TestReadRejectsTruncation(t *testing.T) {
+	d := NewDict()
+	d.Put("weights", bytes.Repeat([]byte{0xab}, 256))
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every proper prefix must be rejected — never a silent partial restore.
+	for _, cut := range []int{0, 3, 11, 20, len(full) / 2, len(full) - 1} {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d bytes accepted", cut, len(full))
+		}
+	}
+}
+
+func TestReadRejectsBitFlips(t *testing.T) {
+	d := NewDict()
+	d.Put("weights", bytes.Repeat([]byte{0x5c}, 128))
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Flip one bit at a spread of positions, including header and trailer.
+	for _, pos := range []int{0, 5, 9, 15, 30, len(full) / 2, len(full) - 2} {
+		mut := append([]byte(nil), full...)
+		mut[pos] ^= 0x10
+		if _, err := Read(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("bit flip at byte %d accepted", pos)
+		}
+	}
+}
+
+func TestReadRejectsWrongMagicAndVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, NewDict()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	wrongMagic := append([]byte(nil), full...)
+	copy(wrongMagic, "NOPE")
+	if _, err := Read(bytes.NewReader(wrongMagic)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("wrong magic: err = %v", err)
+	}
+
+	wrongVer := append([]byte(nil), full...)
+	wrongVer[4] = 99
+	if _, err := Read(bytes.NewReader(wrongVer)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("wrong version: err = %v", err)
+	}
+}
+
+func TestAtomicWriteFileKeepsOldOnFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.bin")
+	if err := os.WriteFile(path, []byte("previous"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := AtomicWriteFile(path, func(f *os.File) error {
+		f.Write([]byte("partial"))
+		return os.ErrInvalid
+	})
+	if err == nil {
+		t.Fatal("write callback error not propagated")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "previous" {
+		t.Fatalf("previous content not preserved: %q, %v", got, err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("temp file leaked: %d entries in dir", len(entries))
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, RoundFileName(3))
+	d := NewDict()
+	d.Put("s", []byte("hello"))
+	if err := WriteFile(path, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := got.Get("s"); string(b) != "hello" {
+		t.Fatalf("s = %q", b)
+	}
+}
+
+func TestParseRoundFileName(t *testing.T) {
+	if r, ok := ParseRoundFileName(RoundFileName(17)); !ok || r != 17 {
+		t.Fatalf("ParseRoundFileName(RoundFileName(17)) = %d, %v", r, ok)
+	}
+	for _, bad := range []string{"ckpt-abc.fpkc", "other-000001.fpkc", "ckpt-000001.json", "ckpt-.fpkc"} {
+		if _, ok := ParseRoundFileName(bad); ok {
+			t.Fatalf("ParseRoundFileName(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLatestValidFallsBackPastCorruption(t *testing.T) {
+	dir := t.TempDir()
+	write := func(round int, payload string) string {
+		p := filepath.Join(dir, RoundFileName(round))
+		d := NewDict()
+		d.Put("payload", []byte(payload))
+		if err := WriteFile(p, d); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	write(2, "old")
+	write(5, "good")
+	newest := write(9, "corrupt-me")
+
+	// Corrupt the newest checkpoint in place.
+	raw, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(newest, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	path, d, warnings, err := LatestValid(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != RoundFileName(5) {
+		t.Fatalf("fell back to %s, want round-5 checkpoint", path)
+	}
+	if b, _ := d.Get("payload"); string(b) != "good" {
+		t.Fatalf("payload = %q", b)
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "corrupt") {
+		t.Fatalf("warnings = %v, want one corruption warning", warnings)
+	}
+}
+
+func TestLatestValidErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, _, err := LatestValid(dir); err == nil {
+		t.Fatal("empty dir should error")
+	}
+	// A dir with only a corrupt checkpoint should error too.
+	p := filepath.Join(dir, RoundFileName(1))
+	if err := os.WriteFile(p, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, warnings, err := LatestValid(dir)
+	if err == nil {
+		t.Fatal("all-corrupt dir should error")
+	}
+	if len(warnings) != 1 {
+		t.Fatalf("warnings = %v", warnings)
+	}
+}

@@ -1,0 +1,155 @@
+package ckpt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Enc builds a little-endian binary buffer. All state owners in the tree
+// (nn.StateDict, proto.Set, the engine's history/ledger sections) encode
+// through it so the byte layout has a single definition.
+type Enc struct {
+	buf []byte
+}
+
+// NewEnc returns an empty encoder.
+func NewEnc() *Enc { return &Enc{} }
+
+// Buf returns the accumulated bytes.
+func (e *Enc) Buf() []byte { return e.buf }
+
+// U32 appends a little-endian uint32.
+func (e *Enc) U32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+
+// U64 appends a little-endian uint64.
+func (e *Enc) U64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+// I64 appends a little-endian int64.
+func (e *Enc) I64(v int64) { e.U64(uint64(v)) }
+
+// F64 appends a float64 as its IEEE-754 bits.
+func (e *Enc) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// F64s appends a length-prefixed float64 slice.
+func (e *Enc) F64s(v []float64) {
+	e.U64(uint64(len(v)))
+	for _, f := range v {
+		e.F64(f)
+	}
+}
+
+// String appends a length-prefixed UTF-8 string.
+func (e *Enc) String(s string) {
+	e.U32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Bytes appends raw bytes with no prefix.
+func (e *Enc) Bytes(b []byte) { e.buf = append(e.buf, b...) }
+
+// LenBytes appends a length-prefixed byte slice.
+func (e *Enc) LenBytes(b []byte) {
+	e.U64(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// Dec reads back what Enc wrote. Every method returns an error on underflow
+// so a truncated section surfaces as a decode error rather than garbage.
+type Dec struct {
+	buf []byte
+	off int
+}
+
+// NewDec wraps b for decoding.
+func NewDec(b []byte) *Dec { return &Dec{buf: b} }
+
+// Remaining reports how many bytes are left unread.
+func (d *Dec) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Dec) take(n int) ([]byte, error) {
+	if d.Remaining() < n {
+		return nil, fmt.Errorf("ckpt: truncated data: need %d bytes at offset %d, have %d", n, d.off, d.Remaining())
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b, nil
+}
+
+// U32 reads a little-endian uint32.
+func (d *Dec) U32() (uint32, error) {
+	b, err := d.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+// U64 reads a little-endian uint64.
+func (d *Dec) U64() (uint64, error) {
+	b, err := d.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// I64 reads a little-endian int64.
+func (d *Dec) I64() (int64, error) {
+	v, err := d.U64()
+	return int64(v), err
+}
+
+// F64 reads a float64 from its IEEE-754 bits.
+func (d *Dec) F64() (float64, error) {
+	v, err := d.U64()
+	return math.Float64frombits(v), err
+}
+
+// F64s reads a length-prefixed float64 slice.
+func (d *Dec) F64s() ([]float64, error) {
+	n, err := d.U64()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(d.Remaining()) < n*8 {
+		return nil, fmt.Errorf("ckpt: truncated float64 slice: need %d values, have %d bytes", n, d.Remaining())
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i], _ = d.F64()
+	}
+	return out, nil
+}
+
+// String reads a length-prefixed string.
+func (d *Dec) String() (string, error) {
+	n, err := d.U32()
+	if err != nil {
+		return "", err
+	}
+	b, err := d.take(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// BytesN reads exactly n raw bytes.
+func (d *Dec) BytesN(n int) ([]byte, error) { return d.take(n) }
+
+// LenBytes reads a length-prefixed byte slice.
+func (d *Dec) LenBytes() ([]byte, error) {
+	n, err := d.U64()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(d.Remaining()) < n {
+		return nil, fmt.Errorf("ckpt: truncated byte slice: need %d bytes, have %d", n, d.Remaining())
+	}
+	return d.take(int(n))
+}
+
+// mustU32/mustU64 read from buffers whose length the caller already checked.
+func (d *Dec) mustU32() uint32 { v, _ := d.U32(); return v }
+func (d *Dec) mustU64() uint64 { v, _ := d.U64(); return v }

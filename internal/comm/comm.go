@@ -135,6 +135,16 @@ func (l *Ledger) mustCurrent() *RoundTraffic {
 	return &l.rounds[len(l.rounds)-1]
 }
 
+// Restore replaces the ledger's contents with the given per-round records
+// (copied), so a resumed run continues cumulative byte accounting exactly
+// where the checkpointed run stopped.
+func (l *Ledger) Restore(rounds []RoundTraffic) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.rounds = make([]RoundTraffic, len(rounds))
+	copy(l.rounds, rounds)
+}
+
 // Rounds returns a copy of the per-round traffic records.
 func (l *Ledger) Rounds() []RoundTraffic {
 	l.mu.Lock()

@@ -60,13 +60,21 @@ func Run(cfg Config, rounds int) (*fl.History, error) {
 	return RunAlgorithm(f, cfg.Mode, rounds, cfg.Recorder)
 }
 
-// RunAlgorithm executes rounds of any engine-backed algorithm over the
-// transport and returns the history. All model state lives in the worker
-// goroutines during a round; evaluation happens at round barriers when every
-// worker is parked. The distributed runner always uses full participation:
-// ClientFraction and ClientDropProb apply to the in-process engine only.
+// RunAlgorithm executes rounds additional rounds of any engine-backed
+// algorithm over the transport and returns the cumulative history. All model
+// state lives in the worker goroutines during a round; evaluation (and, when
+// a checkpoint policy is set on the runner, the durable checkpoint write)
+// happens at round barriers when every worker is parked. The distributed
+// runner always uses full participation: ClientFraction and ClientDropProb
+// apply to the in-process engine only.
+//
+// Resume: restore the algorithm first (engine.Runner.ResumeAny) and the run
+// continues from the checkpointed round — the server-side checkpoint holds
+// every client's model and optimizer state, which the restored hooks carry
+// back into the worker goroutines exactly as a real deployment would re-seed
+// clients from the next RoundStart.
 func RunAlgorithm(algo fl.Algorithm, mode Mode, rounds int, rec *obs.Recorder) (*fl.History, error) {
-	runner, err := engineOf(algo)
+	runner, err := engine.Of(algo)
 	if err != nil {
 		return nil, err
 	}
@@ -75,9 +83,7 @@ func RunAlgorithm(algo fl.Algorithm, mode Mode, rounds int, rec *obs.Recorder) (
 	}
 	env := runner.Config().Env
 	n := env.Cfg.NumClients
-	hooks := runner.Hooks()
 	runner.SetRecorder(rec)
-	ledger := runner.Ledger()
 
 	serverConn, clientConns, cleanup, err := buildTransport(mode, n)
 	if err != nil {
@@ -87,11 +93,8 @@ func RunAlgorithm(algo fl.Algorithm, mode Mode, rounds int, rec *obs.Recorder) (
 	closeTransport := func() { once.Do(cleanup) }
 	defer closeTransport()
 
-	hist := &fl.History{
-		Algo:    hooks.Name() + "(distributed)",
-		Dataset: env.Cfg.Spec.Name,
-		Setting: env.Cfg.Partition.String(),
-	}
+	runner.SetHistoryLabelSuffix("(distributed)")
+	hist := runner.History()
 
 	// Round barriers: start signals fan out, done signals fan in.
 	start := make([]chan int, n)
@@ -104,8 +107,8 @@ func RunAlgorithm(algo fl.Algorithm, mode Mode, rounds int, rec *obs.Recorder) (
 	}
 
 	var firstErr error
-	for t := 0; t < rounds; t++ {
-		ledger.StartRound(t)
+	for i := 0; i < rounds; i++ {
+		t := runner.BeginRound()
 		// Every client runs in its own goroutine: full fan-out.
 		rec.SetWorkers(n)
 		for c := range start {
@@ -116,7 +119,7 @@ func RunAlgorithm(algo fl.Algorithm, mode Mode, rounds int, rec *obs.Recorder) (
 			// Unblock any client still parked on Recv before fanning in.
 			closeTransport()
 		}
-		for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
 			if err := <-done; err != nil && firstErr == nil {
 				firstErr = err
 			}
@@ -127,16 +130,11 @@ func RunAlgorithm(algo fl.Algorithm, mode Mode, rounds int, rec *obs.Recorder) (
 		if firstErr != nil {
 			break
 		}
-		// All workers parked: evaluate safely.
-		stopEval := rec.Span(obs.PhaseEval)
-		sAcc, cAcc := hooks.Eval()
-		hist.Add(fl.RoundMetrics{
-			Round:        t,
-			ServerAcc:    sAcc,
-			ClientAcc:    cAcc,
-			CumulativeMB: ledger.TotalMB(),
-		})
-		stopEval()
+		// All workers parked: evaluate (and checkpoint) safely.
+		if err := runner.CompleteRound(); err != nil {
+			firstErr = err
+			break
+		}
 	}
 	for c := range start {
 		close(start[c])
@@ -145,12 +143,20 @@ func RunAlgorithm(algo fl.Algorithm, mode Mode, rounds int, rec *obs.Recorder) (
 	return hist, firstErr
 }
 
-// engineOf extracts the engine runner an algorithm embeds.
-func engineOf(algo fl.Algorithm) (*engine.Runner, error) {
-	if e, ok := algo.(interface{ Engine() *engine.Runner }); ok {
-		return e.Engine(), nil
+// RunAlgorithmUntil runs over the transport until the run has completed
+// total rounds — the resume-aware entry point mirroring
+// engine.Runner.RunUntil: after restoring a round-5 checkpoint,
+// RunAlgorithmUntil(algo, mode, 10, rec) runs exactly the 5 remaining
+// rounds.
+func RunAlgorithmUntil(algo fl.Algorithm, mode Mode, total int, rec *obs.Recorder) (*fl.History, error) {
+	runner, err := engine.Of(algo)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("distrib: %s does not expose an engine runner", algo.Name())
+	if total < runner.CurrentRound() {
+		return nil, fmt.Errorf("distrib: RunAlgorithmUntil(%d) but %d rounds already completed", total, runner.CurrentRound())
+	}
+	return RunAlgorithm(algo, mode, total-runner.CurrentRound(), rec)
 }
 
 // serverRound runs the server side of one round: fan out RoundStart, collect

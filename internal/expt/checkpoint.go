@@ -1,0 +1,68 @@
+package expt
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+
+	"fedpkd/internal/ckpt"
+	"fedpkd/internal/fl/engine"
+)
+
+// Harness-wide checkpoint policy, threaded from fedbench's -checkpoint-dir /
+// -checkpoint-every / -resume flags. When enabled, every RunOne invocation
+// checkpoints into its own subdirectory of the configured root (named after
+// algorithm, task, setting, and seed) and — in resume mode — restarts from
+// the newest valid checkpoint it finds there, so an interrupted experiment
+// sweep picks up where it left off instead of recomputing finished rounds.
+var ckptPolicy struct {
+	dir    string
+	every  int
+	resume bool
+}
+
+// SetCheckpointPolicy configures checkpointing for subsequent RunOne calls.
+// An empty dir or every <= 0 disables it. With resume set, runs whose
+// checkpoint subdirectory already holds a valid checkpoint continue from it.
+func SetCheckpointPolicy(dir string, every int, resume bool) {
+	ckptPolicy.dir = dir
+	ckptPolicy.every = every
+	ckptPolicy.resume = resume
+}
+
+// runCheckpointDir names one run's checkpoint subdirectory. The label is
+// sanitized so settings like "dirichlet(α=0.5)" stay filesystem-safe.
+func runCheckpointDir(name string, task Task, setting Setting, seed uint64, hetero bool) string {
+	label := fmt.Sprintf("%s_%s_%s_s%d", name, task, setting.Label, seed)
+	if hetero {
+		label += "_hetero"
+	}
+	label = strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '-'
+		}
+	}, label)
+	return filepath.Join(ckptPolicy.dir, label)
+}
+
+// applyCheckpointPolicy attaches the policy to one built algorithm's runner:
+// resume first (when asked and a checkpoint file exists), then arm the
+// auto-checkpoint cadence. Returns resume warnings for the caller to
+// surface.
+func applyCheckpointPolicy(r *engine.Runner, dir string) (warnings []string, err error) {
+	if ckptPolicy.resume {
+		candidates, _ := filepath.Glob(filepath.Join(dir, "ckpt-*"+ckpt.FileExt))
+		if len(candidates) > 0 {
+			warnings, err = r.ResumeAny(dir)
+			if err != nil {
+				return warnings, fmt.Errorf("expt: resume from %s: %w", dir, err)
+			}
+		}
+	}
+	r.SetCheckpointPolicy(dir, ckptPolicy.every)
+	return warnings, nil
+}

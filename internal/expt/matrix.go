@@ -2,10 +2,12 @@ package expt
 
 import (
 	"fmt"
+	"os"
 
 	"fedpkd/internal/baselines"
 	"fedpkd/internal/core"
 	"fedpkd/internal/fl"
+	"fedpkd/internal/fl/engine"
 	"fedpkd/internal/models"
 )
 
@@ -115,7 +117,9 @@ func BuildAlgorithmOpts(name string, env *fl.Env, sc Scale, seed uint64, hetero 
 }
 
 // RunOne materializes an environment and runs one algorithm over the
-// scale's round budget.
+// scale's round budget. When a checkpoint policy is set
+// (SetCheckpointPolicy), the run checkpoints into its own subdirectory and,
+// in resume mode, continues from the newest valid checkpoint found there.
 func RunOne(name string, task Task, setting Setting, sc Scale, seed uint64, hetero bool) (*fl.History, error) {
 	env, err := NewEnv(task, setting, sc, seed)
 	if err != nil {
@@ -125,7 +129,20 @@ func RunOne(name string, task Task, setting Setting, sc Scale, seed uint64, hete
 	if err != nil {
 		return nil, err
 	}
-	hist, err := algo.Run(sc.Rounds)
+	runner, err := engine.Of(algo)
+	if err != nil {
+		return nil, err
+	}
+	if ckptPolicy.dir != "" && ckptPolicy.every > 0 {
+		warnings, err := applyCheckpointPolicy(runner, runCheckpointDir(name, task, setting, seed, hetero))
+		for _, w := range warnings {
+			fmt.Fprintln(os.Stderr, "expt:", w)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	hist, err := runner.RunUntil(sc.Rounds)
 	if err != nil {
 		return nil, fmt.Errorf("expt: run %s on %s/%s: %w", name, task, setting.Label, err)
 	}

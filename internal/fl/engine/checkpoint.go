@@ -1,0 +1,247 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"fedpkd/internal/ckpt"
+	"fedpkd/internal/comm"
+	"fedpkd/internal/fl"
+	"fedpkd/internal/obs"
+)
+
+// Engine-reserved checkpoint section names. Hook Snapshot implementations
+// own every other name.
+const (
+	secMeta    = "engine.meta"
+	secHistory = "engine.history"
+	secLedger  = "engine.ledger"
+)
+
+// SetCheckpointPolicy enables auto-checkpointing: CompleteRound writes a
+// durable checkpoint into dir after every `every` completed rounds. Pass an
+// empty dir or every <= 0 to disable. The directory is created on the first
+// write.
+func (r *Runner) SetCheckpointPolicy(dir string, every int) {
+	r.ckptDir = dir
+	r.ckptEvery = every
+}
+
+// checkpointDict bundles the full run state: engine meta (algorithm
+// identity, seed, fleet size, round counter), cumulative history, per-round
+// ledger traffic, and every hook-owned section.
+func (r *Runner) checkpointDict() (*ckpt.Dict, error) {
+	d := ckpt.NewDict()
+
+	me := ckpt.NewEnc()
+	me.String(r.hooks.Name())
+	me.U64(r.cfg.Seed)
+	me.U32(uint32(r.cfg.Env.Cfg.NumClients))
+	me.I64(int64(r.round))
+	d.Put(secMeta, me.Buf())
+
+	d.Put(secHistory, fl.EncodeHistory(r.ensureHistory()))
+
+	rounds := r.ledger.Rounds()
+	le := ckpt.NewEnc()
+	le.U32(uint32(len(rounds)))
+	for _, rt := range rounds {
+		le.I64(int64(rt.Round))
+		le.I64(rt.Upload)
+		le.I64(rt.Download)
+	}
+	d.Put(secLedger, le.Buf())
+
+	if err := r.hooks.Snapshot(d); err != nil {
+		return nil, fmt.Errorf("%s: snapshot algorithm state: %w", r.hooks.Name(), err)
+	}
+	return d, nil
+}
+
+// restoreDict applies a checkpoint dict: validates the engine meta against
+// this runner's configuration, then restores round counter, history, ledger,
+// and the hook-owned sections.
+func (r *Runner) restoreDict(d *ckpt.Dict) error {
+	mb, err := d.MustGet(secMeta)
+	if err != nil {
+		return err
+	}
+	md := ckpt.NewDec(mb)
+	algo, err := md.String()
+	if err != nil {
+		return fmt.Errorf("engine: decode checkpoint meta: %w", err)
+	}
+	if algo != r.hooks.Name() {
+		return fmt.Errorf("engine: checkpoint is for algorithm %q, runner is %q", algo, r.hooks.Name())
+	}
+	seed, err := md.U64()
+	if err != nil {
+		return fmt.Errorf("engine: decode checkpoint seed: %w", err)
+	}
+	if seed != r.cfg.Seed {
+		return fmt.Errorf("engine: checkpoint seed %d, runner seed %d — resumed RNG streams would diverge", seed, r.cfg.Seed)
+	}
+	numClients, err := md.U32()
+	if err != nil {
+		return fmt.Errorf("engine: decode checkpoint fleet size: %w", err)
+	}
+	if int(numClients) != r.cfg.Env.Cfg.NumClients {
+		return fmt.Errorf("engine: checkpoint has %d clients, environment has %d", numClients, r.cfg.Env.Cfg.NumClients)
+	}
+	round, err := md.I64()
+	if err != nil {
+		return fmt.Errorf("engine: decode checkpoint round: %w", err)
+	}
+
+	hb, err := d.MustGet(secHistory)
+	if err != nil {
+		return err
+	}
+	hist, err := fl.DecodeHistory(hb)
+	if err != nil {
+		return err
+	}
+
+	lb, err := d.MustGet(secLedger)
+	if err != nil {
+		return err
+	}
+	ld := ckpt.NewDec(lb)
+	n, err := ld.U32()
+	if err != nil {
+		return fmt.Errorf("engine: decode ledger rounds: %w", err)
+	}
+	ledgerRounds := make([]comm.RoundTraffic, n)
+	for i := range ledgerRounds {
+		rd, err := ld.I64()
+		if err != nil {
+			return fmt.Errorf("engine: decode ledger round %d: %w", i, err)
+		}
+		up, err := ld.I64()
+		if err != nil {
+			return fmt.Errorf("engine: decode ledger round %d upload: %w", i, err)
+		}
+		down, err := ld.I64()
+		if err != nil {
+			return fmt.Errorf("engine: decode ledger round %d download: %w", i, err)
+		}
+		ledgerRounds[i] = comm.RoundTraffic{Round: int(rd), Upload: up, Download: down}
+	}
+
+	// Algorithm state last: its Restore is the most likely to fail, and the
+	// engine-owned fields are only committed together with it.
+	if err := r.hooks.Restore(d); err != nil {
+		return fmt.Errorf("%s: restore algorithm state: %w", r.hooks.Name(), err)
+	}
+	r.round = int(round)
+	r.hist = hist
+	r.ledger.Restore(ledgerRounds)
+	return nil
+}
+
+// Checkpoint writes the full run state to w in the ckpt container format.
+func (r *Runner) Checkpoint(w io.Writer) error {
+	d, err := r.checkpointDict()
+	if err != nil {
+		return err
+	}
+	return ckpt.Write(w, d)
+}
+
+// Resume restores the full run state from a Checkpoint stream. The runner
+// must have been built with the same algorithm, config, and environment as
+// the checkpointed one; the next Run continues bit-identically from the
+// checkpointed round.
+func (r *Runner) Resume(rd io.Reader) error {
+	d, err := ckpt.Read(rd)
+	if err != nil {
+		return err
+	}
+	return r.restoreDict(d)
+}
+
+// countingWriter counts bytes for the checkpoint-size expvar without
+// buffering the whole checkpoint in memory.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// SaveCheckpoint durably writes the run state into dir as the canonical
+// round-numbered file (ckpt-NNNNNN.fpkc for the current round), creating dir
+// if needed, and returns the written path. The write is crash-safe (temp +
+// fsync + rename) and earlier round files are left in place, so the newest
+// previous checkpoint survives until this one is durable. The write is
+// spanned as the obs "checkpoint" phase and published to the checkpoint
+// expvars.
+func (r *Runner) SaveCheckpoint(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("engine: create checkpoint dir: %w", err)
+	}
+	d, err := r.checkpointDict()
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, ckpt.RoundFileName(r.round))
+	stop := r.rec.Span(obs.PhaseCheckpoint)
+	start := time.Now()
+	var written int64
+	err = ckpt.AtomicWriteFile(path, func(f *os.File) error {
+		cw := &countingWriter{w: f}
+		if err := ckpt.Write(cw, d); err != nil {
+			return err
+		}
+		written = cw.n
+		return nil
+	})
+	stop()
+	if err != nil {
+		return "", err
+	}
+	obs.RecordCheckpoint(r.round, written, time.Since(start))
+	return path, nil
+}
+
+// ResumeAny restores from path, which may be a checkpoint file or a
+// checkpoint directory. For a directory, the newest valid checkpoint wins
+// and corrupt newer files are skipped with warnings (returned for the caller
+// to surface) — the corruption-recovery contract: a truncated or bit-flipped
+// latest checkpoint must not strand the run.
+func (r *Runner) ResumeAny(path string) (warnings []string, err error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("engine: resume: %w", err)
+	}
+	var d *ckpt.Dict
+	if info.IsDir() {
+		_, d, warnings, err = ckpt.LatestValid(path)
+		if err != nil {
+			return warnings, err
+		}
+	} else {
+		d, err = ckpt.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return warnings, r.restoreDict(d)
+}
+
+// Of extracts the engine runner an algorithm embeds — the uniform way for
+// drivers (internal/distrib, cmd) to reach checkpoint/resume and the hook
+// surface under an fl.Algorithm value.
+func Of(algo fl.Algorithm) (*Runner, error) {
+	if e, ok := algo.(interface{ Engine() *Runner }); ok {
+		return e.Engine(), nil
+	}
+	return nil, fmt.Errorf("engine: %s does not expose an engine runner", algo.Name())
+}

@@ -17,6 +17,7 @@ import (
 	"math"
 	"sort"
 
+	"fedpkd/internal/ckpt"
 	"fedpkd/internal/comm"
 	"fedpkd/internal/fl"
 	"fedpkd/internal/obs"
@@ -120,6 +121,19 @@ type Hooks interface {
 	// Eval returns end-of-round (server, mean-client) accuracy; -1 marks a
 	// metric the algorithm does not track.
 	Eval() (serverAcc, clientAcc float64)
+	// Snapshot writes the algorithm's full mutable state — client models and
+	// optimizers, server model and optimizer, prototype banks, consensus
+	// state — into checkpoint sections. Together with the engine-owned
+	// sections (round counter, history, ledger) the dict must capture enough
+	// to make a restored run bit-identical to an uninterrupted one; all RNG
+	// streams derive from (Seed, round, client) so no generator state exists
+	// outside the round counter. Section names must not collide with the
+	// engine's reserved "engine.*" names.
+	Snapshot(d *ckpt.Dict) error
+	// Restore reads the state written by Snapshot into a freshly constructed
+	// algorithm with the same Config. It must fail (not partially apply) on
+	// missing or shape-mismatched sections.
+	Restore(d *ckpt.Dict) error
 }
 
 // RoundContext gives hooks access to one round's environment, deterministic
@@ -164,12 +178,29 @@ func (rc *RoundContext) Span(phase string) func() { return rc.r.rec.Span(phase) 
 // Runner drives an algorithm's hooks through communication rounds. It
 // implements fl.Algorithm; algorithm types embed *Runner so Run, Round,
 // Name, Ledger, and SetRecorder are their public API.
+//
+// The runner owns the run's cumulative state: the round counter, the
+// per-round history, and the traffic ledger. Run(rounds) executes rounds
+// MORE rounds and returns the cumulative history, so run-10 and
+// run-5/checkpoint/resume/run-5 return identical histories — the resume-
+// equivalence contract (DESIGN.md §8).
 type Runner struct {
 	hooks  Hooks
 	cfg    Config
 	ledger *comm.Ledger
 	rec    *obs.Recorder
 	round  int
+	hist   *fl.History
+
+	// labelSuffix decorates the history's Algo label (internal/distrib
+	// appends "(distributed)") without touching the algorithm name used for
+	// checkpoint identity.
+	labelSuffix string
+
+	// Auto-checkpoint policy: when ckptDir is set and ckptEvery > 0,
+	// CompleteRound writes a durable checkpoint every ckptEvery rounds.
+	ckptDir   string
+	ckptEvery int
 }
 
 var _ fl.Algorithm = (*Runner)(nil)
@@ -243,38 +274,94 @@ func (r *Runner) Participants(round int) []int {
 	return picked
 }
 
-// Run implements fl.Algorithm: it executes the given number of rounds,
-// evaluating and recording history after each.
-func (r *Runner) Run(rounds int) (*fl.History, error) {
-	env := r.cfg.Env
-	hist := &fl.History{
-		Algo:    r.hooks.Name(),
-		Dataset: env.Cfg.Spec.Name,
-		Setting: env.Cfg.Partition.String(),
+// SetHistoryLabelSuffix decorates the history's Algo label (e.g.
+// "(distributed)"). Call before the first round; it does not change the
+// algorithm name used for checkpoint identity.
+func (r *Runner) SetHistoryLabelSuffix(suffix string) { r.labelSuffix = suffix }
+
+// CurrentRound returns the number of completed rounds (the next round's
+// index).
+func (r *Runner) CurrentRound() int { return r.round }
+
+// History returns the cumulative run history, creating it if needed.
+func (r *Runner) History() *fl.History { return r.ensureHistory() }
+
+func (r *Runner) ensureHistory() *fl.History {
+	if r.hist == nil {
+		env := r.cfg.Env
+		r.hist = &fl.History{
+			Algo:    r.hooks.Name() + r.labelSuffix,
+			Dataset: env.Cfg.Spec.Name,
+			Setting: env.Cfg.Partition.String(),
+		}
 	}
+	return r.hist
+}
+
+// Run implements fl.Algorithm: it executes the given number of additional
+// rounds, evaluating and recording history after each, and returns the
+// cumulative history (including rounds restored from a checkpoint).
+func (r *Runner) Run(rounds int) (*fl.History, error) {
+	r.ensureHistory()
 	for i := 0; i < rounds; i++ {
 		if err := r.Round(); err != nil {
-			return hist, fmt.Errorf("%s: round %d: %w", r.hooks.Name(), r.round-1, err)
+			return r.hist, fmt.Errorf("%s: round %d: %w", r.hooks.Name(), r.round-1, err)
 		}
-		stopEval := r.rec.Span(obs.PhaseEval)
-		sAcc, cAcc := r.hooks.Eval()
-		hist.Add(fl.RoundMetrics{
-			Round:        r.round - 1,
-			ServerAcc:    sAcc,
-			ClientAcc:    cAcc,
-			CumulativeMB: r.ledger.TotalMB(),
-		})
-		stopEval()
+		if err := r.CompleteRound(); err != nil {
+			return r.hist, err
+		}
 	}
 	r.rec.Finish()
-	return hist, nil
+	return r.hist, nil
+}
+
+// RunUntil runs rounds until the run has completed total rounds — the
+// resume-aware entry point: after restoring a round-5 checkpoint,
+// RunUntil(10) runs exactly the 5 remaining rounds.
+func (r *Runner) RunUntil(total int) (*fl.History, error) {
+	if total < r.round {
+		return nil, fmt.Errorf("%s: RunUntil(%d) but %d rounds already completed", r.hooks.Name(), total, r.round)
+	}
+	return r.Run(total - r.round)
+}
+
+// BeginRound opens the next round's accounting and returns its index.
+// internal/distrib drives rounds itself, pairing BeginRound with
+// CompleteRound around its transport fan-out.
+func (r *Runner) BeginRound() int {
+	t := r.round
+	r.round++
+	r.ledger.StartRound(t)
+	return t
+}
+
+// CompleteRound evaluates the just-executed round, appends its metrics to
+// the cumulative history, and — when an auto-checkpoint policy is set —
+// writes a durable checkpoint at the configured cadence. A checkpoint write
+// failure fails the round: continuing would silently void the durability
+// the policy asked for.
+func (r *Runner) CompleteRound() error {
+	r.ensureHistory()
+	stopEval := r.rec.Span(obs.PhaseEval)
+	sAcc, cAcc := r.hooks.Eval()
+	r.hist.Add(fl.RoundMetrics{
+		Round:        r.round - 1,
+		ServerAcc:    sAcc,
+		ClientAcc:    cAcc,
+		CumulativeMB: r.ledger.TotalMB(),
+	})
+	stopEval()
+	if r.ckptDir != "" && r.ckptEvery > 0 && r.round%r.ckptEvery == 0 {
+		if _, err := r.SaveCheckpoint(r.ckptDir); err != nil {
+			return fmt.Errorf("%s: checkpoint after round %d: %w", r.hooks.Name(), r.round-1, err)
+		}
+	}
+	return nil
 }
 
 // Round executes one communication round through the phase hooks.
 func (r *Runner) Round() error {
-	t := r.round
-	r.round++
-	r.ledger.StartRound(t)
+	t := r.BeginRound()
 
 	rc := r.Context(t)
 	participants := r.Participants(t)

@@ -1,0 +1,65 @@
+package fl
+
+import (
+	"fmt"
+
+	"fedpkd/internal/ckpt"
+)
+
+// EncodeHistory serializes a history to the ckpt binary form. Accuracies are
+// stored as raw IEEE-754 bits, so a decoded history is bit-identical to the
+// original — the engine's checkpoint "history" section uses this, and the
+// resume-equivalence guarantee depends on the exactness.
+func EncodeHistory(h *History) []byte {
+	e := ckpt.NewEnc()
+	e.String(h.Algo)
+	e.String(h.Dataset)
+	e.String(h.Setting)
+	e.U32(uint32(len(h.Rounds)))
+	for _, r := range h.Rounds {
+		e.I64(int64(r.Round))
+		e.F64(r.ServerAcc)
+		e.F64(r.ClientAcc)
+		e.F64(r.CumulativeMB)
+	}
+	return e.Buf()
+}
+
+// DecodeHistory parses a history from its EncodeHistory form.
+func DecodeHistory(b []byte) (*History, error) {
+	d := ckpt.NewDec(b)
+	h := &History{}
+	var err error
+	if h.Algo, err = d.String(); err != nil {
+		return nil, fmt.Errorf("fl: decode history algo: %w", err)
+	}
+	if h.Dataset, err = d.String(); err != nil {
+		return nil, fmt.Errorf("fl: decode history dataset: %w", err)
+	}
+	if h.Setting, err = d.String(); err != nil {
+		return nil, fmt.Errorf("fl: decode history setting: %w", err)
+	}
+	n, err := d.U32()
+	if err != nil {
+		return nil, fmt.Errorf("fl: decode history round count: %w", err)
+	}
+	for i := uint32(0); i < n; i++ {
+		var m RoundMetrics
+		round, err := d.I64()
+		if err != nil {
+			return nil, fmt.Errorf("fl: decode history round %d: %w", i, err)
+		}
+		m.Round = int(round)
+		if m.ServerAcc, err = d.F64(); err != nil {
+			return nil, fmt.Errorf("fl: decode history round %d server acc: %w", i, err)
+		}
+		if m.ClientAcc, err = d.F64(); err != nil {
+			return nil, fmt.Errorf("fl: decode history round %d client acc: %w", i, err)
+		}
+		if m.CumulativeMB, err = d.F64(); err != nil {
+			return nil, fmt.Errorf("fl: decode history round %d traffic: %w", i, err)
+		}
+		h.Rounds = append(h.Rounds, m)
+	}
+	return h, nil
+}

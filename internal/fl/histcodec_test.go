@@ -1,0 +1,39 @@
+package fl
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistoryCodecRoundTrip(t *testing.T) {
+	h := &History{Algo: "FedPKD", Dataset: "SynthC10", Setting: "dirichlet(α=0.5)"}
+	h.Add(RoundMetrics{Round: 0, ServerAcc: 0.1234567891234, ClientAcc: -1, CumulativeMB: 1.25})
+	h.Add(RoundMetrics{Round: 1, ServerAcc: math.Nextafter(0.5, 1), ClientAcc: 0.25, CumulativeMB: 2.5})
+
+	got, err := DecodeHistory(EncodeHistory(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Algo != h.Algo || got.Dataset != h.Dataset || got.Setting != h.Setting {
+		t.Fatalf("labels mangled: %+v", got)
+	}
+	if len(got.Rounds) != 2 {
+		t.Fatalf("rounds = %d", len(got.Rounds))
+	}
+	for i := range h.Rounds {
+		if got.Rounds[i] != h.Rounds[i] {
+			t.Fatalf("round %d: %+v != %+v (must be bit-identical)", i, got.Rounds[i], h.Rounds[i])
+		}
+	}
+}
+
+func TestDecodeHistoryRejectsTruncation(t *testing.T) {
+	h := &History{Algo: "x"}
+	h.Add(RoundMetrics{Round: 0})
+	enc := EncodeHistory(h)
+	for _, cut := range []int{0, 2, len(enc) - 1} {
+		if _, err := DecodeHistory(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"io"
 	"math"
 	"os"
+
+	"fedpkd/internal/ckpt"
 )
 
 // Checkpoint I/O: a small self-describing binary format for model
@@ -90,20 +92,20 @@ func LoadParams(r io.Reader, params []*Param) error {
 	if int(n) != len(params) {
 		return fmt.Errorf("nn: checkpoint has %d params, model has %d", n, len(params))
 	}
-	for _, p := range params {
+	for idx, p := range params {
 		nameLen, err := readU32(tr)
 		if err != nil {
 			return err
 		}
 		if nameLen > 4096 {
-			return fmt.Errorf("nn: implausible param name length %d", nameLen)
+			return fmt.Errorf("nn: param %d: implausible name length %d", idx, nameLen)
 		}
 		name := make([]byte, nameLen)
 		if _, err := io.ReadFull(tr, name); err != nil {
-			return fmt.Errorf("nn: read param name: %w", err)
+			return fmt.Errorf("nn: param %d: read name: %w", idx, err)
 		}
 		if string(name) != p.Name {
-			return fmt.Errorf("nn: checkpoint param %q, model expects %q", name, p.Name)
+			return fmt.Errorf("nn: param %d: checkpoint has %q, model expects %q", idx, name, p.Name)
 		}
 		rows, err := readU32(tr)
 		if err != nil {
@@ -114,12 +116,12 @@ func LoadParams(r io.Reader, params []*Param) error {
 			return err
 		}
 		if int(rows) != p.Value.Rows || int(cols) != p.Value.Cols {
-			return fmt.Errorf("nn: checkpoint param %q is %dx%d, model expects %dx%d",
-				p.Name, rows, cols, p.Value.Rows, p.Value.Cols)
+			return fmt.Errorf("nn: param %d (%q): checkpoint shape %dx%d, model expects %dx%d",
+				idx, p.Name, rows, cols, p.Value.Rows, p.Value.Cols)
 		}
 		buf := make([]byte, 8*rows*cols)
 		if _, err := io.ReadFull(tr, buf); err != nil {
-			return fmt.Errorf("nn: read param values: %w", err)
+			return fmt.Errorf("nn: param %d (%q): read values: %w", idx, p.Name, err)
 		}
 		for i := range p.Value.Data {
 			p.Value.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
@@ -136,35 +138,20 @@ func LoadParams(r io.Reader, params []*Param) error {
 	return nil
 }
 
-// SaveParamsFile writes a checkpoint to path atomically (temp file +
-// rename).
-func SaveParamsFile(path string, params []*Param) (err error) {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("nn: create checkpoint: %w", err)
-	}
-	defer func() {
-		if err != nil {
-			os.Remove(tmp)
+// SaveParamsFile writes a checkpoint to path crash-safely: a unique temp
+// file in the same directory, fsync, then atomic rename (ckpt.AtomicWriteFile),
+// so a crash mid-write can never clobber an existing checkpoint at path.
+func SaveParamsFile(path string, params []*Param) error {
+	return ckpt.AtomicWriteFile(path, func(f *os.File) error {
+		bw := bufio.NewWriter(f)
+		if err := SaveParams(bw, params); err != nil {
+			return err
 		}
-	}()
-	bw := bufio.NewWriter(f)
-	if err = SaveParams(bw, params); err != nil {
-		f.Close()
-		return err
-	}
-	if err = bw.Flush(); err != nil {
-		f.Close()
-		return fmt.Errorf("nn: flush checkpoint: %w", err)
-	}
-	if err = f.Close(); err != nil {
-		return fmt.Errorf("nn: close checkpoint: %w", err)
-	}
-	if err = os.Rename(tmp, path); err != nil {
-		return fmt.Errorf("nn: rename checkpoint: %w", err)
-	}
-	return nil
+		if err := bw.Flush(); err != nil {
+			return fmt.Errorf("nn: flush checkpoint: %w", err)
+		}
+		return nil
+	})
 }
 
 // LoadParamsFile reads a checkpoint from path into params.

@@ -1,0 +1,60 @@
+package nn
+
+import (
+	"fmt"
+
+	"fedpkd/internal/ckpt"
+)
+
+// Checkpoint-section helpers shared by every algorithm's Snapshot/Restore
+// hooks: one ckpt.Dict section per model (network + optimizer), encoded as a
+// StateDict. Keeping the section layout here means FedPKD and all baselines
+// speak the same on-disk dialect for their fleets.
+
+// SnapshotModelSection captures net (and opt, if non-nil) into one section.
+func SnapshotModelSection(d *ckpt.Dict, section string, net *Network, opt Optimizer) {
+	d.Put(section, CaptureState(net, opt).Encode())
+}
+
+// RestoreModelSection restores net (and opt, if non-nil) from the section
+// written by SnapshotModelSection.
+func RestoreModelSection(d *ckpt.Dict, section string, net *Network, opt Optimizer) error {
+	b, err := d.MustGet(section)
+	if err != nil {
+		return err
+	}
+	sd, err := DecodeStateDict(b)
+	if err != nil {
+		return fmt.Errorf("nn: section %q: %w", section, err)
+	}
+	if err := ApplyState(net, opt, sd); err != nil {
+		return fmt.Errorf("nn: section %q: %w", section, err)
+	}
+	return nil
+}
+
+// SnapshotFleetSections captures each client model into prefix.<c>. opts may
+// be nil (no optimizer state) but otherwise must be parallel to nets.
+func SnapshotFleetSections(d *ckpt.Dict, prefix string, nets []*Network, opts []Optimizer) {
+	for c, net := range nets {
+		var opt Optimizer
+		if opts != nil {
+			opt = opts[c]
+		}
+		SnapshotModelSection(d, fmt.Sprintf("%s.%d", prefix, c), net, opt)
+	}
+}
+
+// RestoreFleetSections restores each client model from prefix.<c>.
+func RestoreFleetSections(d *ckpt.Dict, prefix string, nets []*Network, opts []Optimizer) error {
+	for c, net := range nets {
+		var opt Optimizer
+		if opts != nil {
+			opt = opts[c]
+		}
+		if err := RestoreModelSection(d, fmt.Sprintf("%s.%d", prefix, c), net, opt); err != nil {
+			return fmt.Errorf("nn: restore client %d: %w", c, err)
+		}
+	}
+	return nil
+}

@@ -48,10 +48,18 @@ func newParam(name string, value *tensor.Matrix) *Param {
 // or Backward is therefore only valid until the next call on the same
 // layer; callers that retain results across forwards (prototype averaging,
 // logit ensembling) must Clone them — Network.Features/Logits do this.
+// Snapshot writes the layer's persistent state into sd under hierarchical
+// names rooted at prefix; Restore reads it back. Persistent state is what
+// must survive a process restart for training to continue bit-identically —
+// parameter values and BatchNorm running statistics — not transient forward
+// caches, which the next forward recomputes. Stateless layers implement both
+// as no-ops so containers can recurse uniformly.
 type Layer interface {
 	Forward(x *tensor.Matrix, train bool) *tensor.Matrix
 	Backward(dout *tensor.Matrix) *tensor.Matrix
 	Params() []*Param
+	Snapshot(sd *StateDict, prefix string)
+	Restore(sd *StateDict, prefix string) error
 }
 
 // ZeroGrads clears the gradient accumulators of all params.

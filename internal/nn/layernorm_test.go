@@ -122,7 +122,9 @@ func TestScheduledRejectsUnknownOptimizer(t *testing.T) {
 
 type fakeOpt struct{}
 
-func (fakeOpt) Step([]*Param) {}
+func (fakeOpt) Step([]*Param)                              {}
+func (fakeOpt) Snapshot(*StateDict, string, []*Param)      {}
+func (fakeOpt) Restore(*StateDict, string, []*Param) error { return nil }
 
 func TestClipGradNorm(t *testing.T) {
 	p := quadParam(0)

@@ -11,8 +11,17 @@ import (
 // accumulated in each Param.Grad. Implementations keep per-parameter state
 // keyed by the *Param pointer, so an optimizer instance must be used with a
 // single model.
+//
+// Snapshot/Restore serialize that per-parameter state (Adam moments and step
+// count, SGD momentum velocity) keyed by position in the params slice, which
+// must therefore be the same stable list (e.g. Network.Params()) on both
+// sides. Restoring into a freshly constructed optimizer reproduces the next
+// Step bit for bit. Hyperparameters (LR, betas, …) are construction-time
+// configuration, not state, and are not serialized.
 type Optimizer interface {
 	Step(params []*Param)
+	Snapshot(sd *StateDict, prefix string, params []*Param)
+	Restore(sd *StateDict, prefix string, params []*Param) error
 }
 
 // SGD is stochastic gradient descent with optional momentum and weight
@@ -53,6 +62,39 @@ func (o *SGD) Step(params []*Param) {
 		}
 		p.Value.AddScaled(-o.LR, g)
 	}
+}
+
+// Snapshot writes the momentum velocity of every param that has one. State
+// is keyed by position in params, iterated in slice order for deterministic
+// encoding (the velocity map's own order is not stable).
+func (o *SGD) Snapshot(sd *StateDict, prefix string, params []*Param) {
+	for i, p := range params {
+		if v, ok := o.velocity[p]; ok {
+			sd.PutTensor(fmt.Sprintf("%s.v%d", prefix, i), v)
+		}
+	}
+}
+
+// Restore rebuilds the velocity map from a Snapshot. Params without a saved
+// velocity (never stepped, or momentum disabled) are left stateless, exactly
+// as a fresh optimizer would treat them.
+func (o *SGD) Restore(sd *StateDict, prefix string, params []*Param) error {
+	if o.velocity == nil {
+		o.velocity = make(map[*Param]*tensor.Matrix)
+	}
+	for i, p := range params {
+		name := fmt.Sprintf("%s.v%d", prefix, i)
+		if !sd.Has(name) {
+			delete(o.velocity, p)
+			continue
+		}
+		v := tensor.New(p.Value.Rows, p.Value.Cols)
+		if err := sd.CopyTensorInto(name, v); err != nil {
+			return fmt.Errorf("nn: restore SGD velocity for param %d: %w", i, err)
+		}
+		o.velocity[p] = v
+	}
+	return nil
 }
 
 // Adam is the Adam optimizer (Kingma & Ba, 2015) — the optimizer the paper
@@ -118,4 +160,51 @@ func (o *Adam) Step(params []*Param) {
 			pd[i] -= lr * (mi * invC1) / (math.Sqrt(vi*invC2) + eps)
 		}
 	}
+}
+
+// Snapshot writes the step count and per-param first/second moments. State
+// is keyed by position in params, iterated in slice order so encoding is
+// deterministic regardless of map iteration order.
+func (o *Adam) Snapshot(sd *StateDict, prefix string, params []*Param) {
+	sd.PutInt(prefix+".t", int64(o.t))
+	for i, p := range params {
+		if st, ok := o.state[p]; ok {
+			sd.PutTensor(fmt.Sprintf("%s.m%d", prefix, i), st.m)
+			sd.PutTensor(fmt.Sprintf("%s.v%d", prefix, i), st.v)
+		}
+	}
+}
+
+// Restore rebuilds the step count and moment estimates from a Snapshot so
+// the next Step's bias corrections and updates are bit-identical to an
+// uninterrupted run. Params without saved moments are left stateless.
+func (o *Adam) Restore(sd *StateDict, prefix string, params []*Param) error {
+	t, err := sd.Int(prefix + ".t")
+	if err != nil {
+		return fmt.Errorf("nn: restore Adam step count: %w", err)
+	}
+	o.t = int(t)
+	if o.state == nil {
+		o.state = make(map[*Param]*adamState)
+	}
+	for i, p := range params {
+		mName := fmt.Sprintf("%s.m%d", prefix, i)
+		vName := fmt.Sprintf("%s.v%d", prefix, i)
+		if !sd.Has(mName) {
+			delete(o.state, p)
+			continue
+		}
+		st := &adamState{
+			m: tensor.New(p.Value.Rows, p.Value.Cols),
+			v: tensor.New(p.Value.Rows, p.Value.Cols),
+		}
+		if err := sd.CopyTensorInto(mName, st.m); err != nil {
+			return fmt.Errorf("nn: restore Adam first moment for param %d: %w", i, err)
+		}
+		if err := sd.CopyTensorInto(vName, st.v); err != nil {
+			return fmt.Errorf("nn: restore Adam second moment for param %d: %w", i, err)
+		}
+		o.state[p] = st
+	}
+	return nil
 }

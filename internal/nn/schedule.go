@@ -91,6 +91,24 @@ func (s *Scheduled) Step(params []*Param) {
 	s.inner.Step(params)
 }
 
+// Snapshot writes the schedule position and delegates the inner optimizer's
+// state under prefix.inner.
+func (s *Scheduled) Snapshot(sd *StateDict, prefix string, params []*Param) {
+	sd.PutInt(prefix+".step", int64(s.step))
+	s.inner.Snapshot(sd, prefix+".inner", params)
+}
+
+// Restore reads the schedule position and the inner optimizer's state, so
+// the next Step resumes at the exact learning rate of the uninterrupted run.
+func (s *Scheduled) Restore(sd *StateDict, prefix string, params []*Param) error {
+	step, err := sd.Int(prefix + ".step")
+	if err != nil {
+		return fmt.Errorf("nn: restore schedule step: %w", err)
+	}
+	s.step = int(step)
+	return s.inner.Restore(sd, prefix+".inner", params)
+}
+
 // ClipGradNorm rescales all gradients in place so their combined L2 norm is
 // at most maxNorm, and returns the pre-clip norm. A non-positive maxNorm is
 // a programmer error.

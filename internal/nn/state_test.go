@@ -1,0 +1,276 @@
+package nn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fedpkd/internal/stats"
+	"fedpkd/internal/tensor"
+)
+
+// stateTestNet builds a small network with every stateful layer kind (Dense,
+// BatchNorm, LayerNorm, Residual) from a fixed seed, so two calls with the
+// same seed produce bit-identical models.
+func stateTestNet(seed uint64) *Network {
+	rng := stats.NewRNG(seed)
+	body := NewSequential(
+		NewDense(rng, 6, 8),
+		NewBatchNorm(8),
+		NewReLU(),
+		NewResidual(NewSequential(NewDense(rng, 8, 8), NewLayerNorm(8), NewReLU())),
+	)
+	head := NewSequential(NewDense(rng, 8, 4))
+	return NewNetwork("state-test", body, head)
+}
+
+// trainSteps runs n deterministic training steps (synthetic batches from a
+// fixed stream, squared-error-style gradient) on net with opt.
+func trainSteps(t *testing.T, net *Network, opt Optimizer, dataSeed uint64, n int) {
+	t.Helper()
+	rng := stats.NewRNG(dataSeed)
+	params := net.Params()
+	for s := 0; s < n; s++ {
+		x := tensor.Randn(rng, 5, 6, 1)
+		ZeroGrads(params)
+		logits := net.Forward(x, true)
+		dl := logits.Clone()
+		for i := range dl.Data {
+			dl.Data[i] -= 0.5 // arbitrary deterministic target pull
+		}
+		net.Backward(dl, nil)
+		opt.Step(params)
+	}
+}
+
+// assertBitIdentical fails unless every parameter of a and b matches bit for
+// bit.
+func assertBitIdentical(t *testing.T, a, b *Network, context string) {
+	t.Helper()
+	pa, pb := a.Params(), b.Params()
+	if len(pa) != len(pb) {
+		t.Fatalf("%s: param count %d vs %d", context, len(pa), len(pb))
+	}
+	for i := range pa {
+		for j := range pa[i].Value.Data {
+			if pa[i].Value.Data[j] != pb[i].Value.Data[j] {
+				t.Fatalf("%s: param %d (%s) diverges at element %d: %v vs %v",
+					context, i, pa[i].Name, j, pa[i].Value.Data[j], pb[i].Value.Data[j])
+			}
+		}
+	}
+}
+
+// roundTrip encodes the captured state and decodes it again, so the test
+// covers the full binary path, not just the in-memory dict.
+func roundTrip(t *testing.T, net *Network, opt Optimizer) *StateDict {
+	t.Helper()
+	sd := CaptureState(net, opt)
+	decoded, err := DecodeStateDict(sd.Encode())
+	if err != nil {
+		t.Fatalf("decode state dict: %v", err)
+	}
+	if decoded.Len() != sd.Len() {
+		t.Fatalf("decoded %d entries, captured %d", decoded.Len(), sd.Len())
+	}
+	return decoded
+}
+
+// TestAdamStateRoundTripBitEquality is the optimizer-state acceptance
+// criterion: snapshot after k steps, restore into a freshly constructed
+// identical model+optimizer, and the NEXT training steps must be
+// bit-identical — which can only hold if Adam's moments and step count (the
+// bias corrections depend on t) and BatchNorm's running statistics all
+// survived the round trip exactly.
+func TestAdamStateRoundTripBitEquality(t *testing.T) {
+	orig := stateTestNet(7)
+	origOpt := NewAdam(0.01)
+	trainSteps(t, orig, origOpt, 99, 4)
+
+	sd := roundTrip(t, orig, origOpt)
+
+	fresh := stateTestNet(8) // different seed: restore must overwrite everything
+	freshOpt := NewAdam(0.01)
+	if err := ApplyState(fresh, freshOpt, sd); err != nil {
+		t.Fatalf("ApplyState: %v", err)
+	}
+	assertBitIdentical(t, orig, fresh, "after restore")
+
+	// The divergence test: continue both for several steps on identical data.
+	trainSteps(t, orig, origOpt, 1234, 3)
+	trainSteps(t, fresh, freshOpt, 1234, 3)
+	assertBitIdentical(t, orig, fresh, "after 3 post-restore steps")
+}
+
+// TestAdamStepCountMatters guards against a regression that silently drops
+// the step count: restoring everything but t must NOT reproduce the run.
+func TestAdamStepCountMatters(t *testing.T) {
+	orig := stateTestNet(7)
+	origOpt := NewAdam(0.01)
+	trainSteps(t, orig, origOpt, 99, 4)
+
+	sd := CaptureState(orig, origOpt)
+	fresh := stateTestNet(7)
+	freshOpt := NewAdam(0.01)
+	if err := ApplyState(fresh, freshOpt, sd); err != nil {
+		t.Fatal(err)
+	}
+	freshOpt.t = 0 // sabotage: pretend the step count was dropped
+
+	trainSteps(t, orig, origOpt, 1234, 1)
+	trainSteps(t, fresh, freshOpt, 1234, 1)
+	pa, pb := orig.Params(), fresh.Params()
+	same := true
+	for i := range pa {
+		for j := range pa[i].Value.Data {
+			if pa[i].Value.Data[j] != pb[i].Value.Data[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("dropping Adam's step count did not change the next step; the test would miss a t-serialization regression")
+	}
+}
+
+// TestSGDMomentumRoundTripBitEquality covers the SGD velocity map.
+func TestSGDMomentumRoundTripBitEquality(t *testing.T) {
+	orig := stateTestNet(3)
+	origOpt := NewSGD(0.05, 0.9)
+	origOpt.WeightDecay = 1e-4
+	trainSteps(t, orig, origOpt, 42, 3)
+
+	sd := roundTrip(t, orig, origOpt)
+
+	fresh := stateTestNet(4)
+	freshOpt := NewSGD(0.05, 0.9)
+	freshOpt.WeightDecay = 1e-4
+	if err := ApplyState(fresh, freshOpt, sd); err != nil {
+		t.Fatalf("ApplyState: %v", err)
+	}
+	trainSteps(t, orig, origOpt, 777, 3)
+	trainSteps(t, fresh, freshOpt, 777, 3)
+	assertBitIdentical(t, orig, fresh, "after 3 post-restore SGD steps")
+}
+
+// TestScheduledRoundTrip covers the schedule-position state of a wrapped
+// optimizer: the restored run must resume at the same point of the decay.
+func TestScheduledRoundTrip(t *testing.T) {
+	orig := stateTestNet(5)
+	inner := NewAdam(0.01)
+	origOpt, err := NewScheduled(inner, StepSchedule{Base: 0.01, Gamma: 0.5, Every: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainSteps(t, orig, origOpt, 11, 3)
+
+	sd := roundTrip(t, orig, origOpt)
+
+	fresh := stateTestNet(6)
+	freshInner := NewAdam(0.01)
+	freshOpt, err := NewScheduled(freshInner, StepSchedule{Base: 0.01, Gamma: 0.5, Every: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyState(fresh, freshOpt, sd); err != nil {
+		t.Fatalf("ApplyState: %v", err)
+	}
+	trainSteps(t, orig, origOpt, 22, 3)
+	trainSteps(t, fresh, freshOpt, 22, 3)
+	assertBitIdentical(t, orig, fresh, "after 3 post-restore scheduled steps")
+}
+
+// TestBatchNormRunningStatsCaptured asserts the running statistics appear in
+// the snapshot by name and change restore behaviour — the state the old
+// params-only codec carried only implicitly.
+func TestBatchNormRunningStatsCaptured(t *testing.T) {
+	net := stateTestNet(9)
+	trainSteps(t, net, NewSGD(0.1, 0), 5, 2)
+	sd := CaptureState(net, nil)
+	var sawMean, sawVar bool
+	for _, name := range sd.Names() {
+		if strings.HasSuffix(name, ".running_mean") {
+			sawMean = true
+		}
+		if strings.HasSuffix(name, ".running_var") {
+			sawVar = true
+		}
+	}
+	if !sawMean || !sawVar {
+		t.Fatalf("snapshot lacks BatchNorm running stats; entries: %v", sd.Names())
+	}
+}
+
+// TestRestoreErrorsNameTheEntry pins the diagnosable-failure contract: a
+// shape mismatch must say which entry and both shapes.
+func TestRestoreErrorsNameTheEntry(t *testing.T) {
+	small := NewNetwork("small",
+		NewSequential(NewDense(stats.NewRNG(1), 4, 4)),
+		NewSequential(NewDense(stats.NewRNG(2), 4, 2)))
+	big := NewNetwork("big",
+		NewSequential(NewDense(stats.NewRNG(1), 4, 6)),
+		NewSequential(NewDense(stats.NewRNG(2), 6, 2)))
+	sd := CaptureState(small, nil)
+	err := ApplyState(big, nil, sd)
+	if err == nil {
+		t.Fatal("restoring a 4x4 snapshot into a 4x6 model succeeded")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "net.body.0") || !strings.Contains(msg, "4x4") || !strings.Contains(msg, "4x6") {
+		t.Fatalf("error does not name entry and expected-vs-got shapes: %v", err)
+	}
+}
+
+// TestStateDictMissingEntry pins the missing-entry error path.
+func TestStateDictMissingEntry(t *testing.T) {
+	sd := NewStateDict()
+	if err := sd.CopyTensorInto("nope", tensor.New(1, 1)); err == nil || !strings.Contains(err.Error(), `"nope"`) {
+		t.Fatalf("missing entry error = %v", err)
+	}
+	if _, err := sd.Int("nope"); err == nil {
+		t.Fatal("Int on missing entry should error")
+	}
+}
+
+// TestLoadParamsErrorsNameIndexAndShape pins the upgraded LoadParams
+// diagnostics (satellite): errors identify the offending param index and the
+// expected-vs-got shape.
+func TestLoadParamsErrorsNameIndexAndShape(t *testing.T) {
+	rng := stats.NewRNG(1)
+	saveP := []*Param{
+		newParam("W", tensor.Randn(rng, 3, 3, 1)),
+		newParam("b", tensor.Randn(rng, 1, 3, 1)),
+	}
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, saveP); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.String()
+
+	// Same names, wrong shape on param 1.
+	loadP := []*Param{
+		newParam("W", tensor.New(3, 3)),
+		newParam("b", tensor.New(1, 5)),
+	}
+	err := LoadParams(strings.NewReader(data), loadP)
+	if err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "param 1") || !strings.Contains(msg, "1x3") || !strings.Contains(msg, "1x5") {
+		t.Fatalf("LoadParams shape error lacks index or shapes: %v", err)
+	}
+
+	// Wrong name on param 0.
+	loadP = []*Param{
+		newParam("X", tensor.New(3, 3)),
+		newParam("b", tensor.New(1, 3)),
+	}
+	err = LoadParams(strings.NewReader(data), loadP)
+	if err == nil {
+		t.Fatal("name mismatch accepted")
+	}
+	if !strings.Contains(err.Error(), "param 0") {
+		t.Fatalf("LoadParams name error lacks index: %v", err)
+	}
+}

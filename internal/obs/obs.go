@@ -41,6 +41,9 @@ const (
 	PhaseServerTrain = "server_train"
 	// PhaseEval is end-of-round evaluation on the test sets.
 	PhaseEval = "eval"
+	// PhaseCheckpoint is the durable write of a run-state checkpoint, so
+	// traces show what checkpointing costs a round.
+	PhaseCheckpoint = "checkpoint"
 )
 
 // Process-wide counters, published via expvar so the -debug-addr endpoint
@@ -51,6 +54,14 @@ var (
 	workerBusyNS  = expvar.NewInt("fedpkd_worker_busy_ns")
 	activeWorkers = expvar.NewInt("fedpkd_active_workers")
 	roundsTotal   = expvar.NewInt("fedpkd_rounds_total")
+
+	// Checkpoint counters: the round the latest durable checkpoint covers,
+	// cumulative bytes written, cumulative write time, and write count —
+	// enough to read checkpoint cost and cadence off /debug/vars.
+	lastCheckpointRound = expvar.NewInt("fedpkd_last_checkpoint_round")
+	checkpointBytes     = expvar.NewInt("fedpkd_checkpoint_bytes_total")
+	checkpointWriteNS   = expvar.NewInt("fedpkd_checkpoint_write_ns_total")
+	checkpointsTotal    = expvar.NewInt("fedpkd_checkpoints_total")
 )
 
 func init() {
@@ -77,6 +88,23 @@ func WorkerDone() { activeWorkers.Add(-1) }
 
 // AddWorkerBusy accumulates time a fan-out worker spent inside a client job.
 func AddWorkerBusy(d time.Duration) { workerBusyNS.Add(int64(d)) }
+
+// RecordCheckpoint publishes one durable checkpoint write: the round it
+// covers, its encoded size, and how long the write took.
+func RecordCheckpoint(round int, bytes int64, d time.Duration) {
+	lastCheckpointRound.Set(int64(round))
+	checkpointBytes.Add(bytes)
+	checkpointWriteNS.Add(int64(d))
+	checkpointsTotal.Add(1)
+}
+
+// LastCheckpointRound returns the round of the most recent checkpoint write
+// (for tests; -0 initial value is indistinguishable from round 0, so tests
+// should write a checkpoint first).
+func LastCheckpointRound() int64 { return lastCheckpointRound.Value() }
+
+// CheckpointsTotal returns the process-wide checkpoint write count.
+func CheckpointsTotal() int64 { return checkpointsTotal.Value() }
 
 // RoundTrace is the observed cost profile of one communication round.
 type RoundTrace struct {

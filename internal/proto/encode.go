@@ -1,0 +1,69 @@
+package proto
+
+import (
+	"fmt"
+
+	"fedpkd/internal/ckpt"
+)
+
+// Encode serializes the set deterministically: classes are written in
+// ascending order regardless of map iteration order, so identical sets
+// always produce identical bytes — the property the engine's resume-
+// equivalence goldens rely on.
+func (s *Set) Encode() []byte {
+	e := ckpt.NewEnc()
+	e.U32(uint32(s.Classes))
+	e.U32(uint32(s.Dim))
+	e.U32(uint32(len(s.Vectors)))
+	for class := 0; class < s.Classes; class++ {
+		vec, ok := s.Vectors[class]
+		if !ok {
+			continue
+		}
+		e.U32(uint32(class))
+		e.I64(int64(s.Counts[class]))
+		e.F64s(vec)
+	}
+	return e.Buf()
+}
+
+// DecodeSet parses a set from its Encode form.
+func DecodeSet(b []byte) (*Set, error) {
+	d := ckpt.NewDec(b)
+	classes, err := d.U32()
+	if err != nil {
+		return nil, fmt.Errorf("proto: decode set classes: %w", err)
+	}
+	dim, err := d.U32()
+	if err != nil {
+		return nil, fmt.Errorf("proto: decode set dim: %w", err)
+	}
+	n, err := d.U32()
+	if err != nil {
+		return nil, fmt.Errorf("proto: decode set size: %w", err)
+	}
+	s := NewSet(int(classes), int(dim))
+	for i := uint32(0); i < n; i++ {
+		class, err := d.U32()
+		if err != nil {
+			return nil, fmt.Errorf("proto: decode prototype %d class: %w", i, err)
+		}
+		if int(class) >= s.Classes {
+			return nil, fmt.Errorf("proto: prototype class %d out of range (%d classes)", class, s.Classes)
+		}
+		count, err := d.I64()
+		if err != nil {
+			return nil, fmt.Errorf("proto: decode class %d count: %w", class, err)
+		}
+		vec, err := d.F64s()
+		if err != nil {
+			return nil, fmt.Errorf("proto: decode class %d vector: %w", class, err)
+		}
+		if len(vec) != s.Dim {
+			return nil, fmt.Errorf("proto: class %d vector has %d dims, set expects %d", class, len(vec), s.Dim)
+		}
+		s.Vectors[int(class)] = vec
+		s.Counts[int(class)] = int(count)
+	}
+	return s, nil
+}

@@ -1,0 +1,69 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSetEncodeDecodeRoundTrip(t *testing.T) {
+	s := NewSet(5, 3)
+	s.Vectors[0] = []float64{1, 2, 3}
+	s.Counts[0] = 7
+	s.Vectors[3] = []float64{-0.5, 0, 4.25}
+	s.Counts[3] = 2
+
+	got, err := DecodeSet(s.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Classes != 5 || got.Dim != 3 || got.Len() != 2 {
+		t.Fatalf("decoded shape: %d classes, %d dim, %d protos", got.Classes, got.Dim, got.Len())
+	}
+	for class, vec := range s.Vectors {
+		gv, ok := got.Vectors[class]
+		if !ok {
+			t.Fatalf("class %d missing after round trip", class)
+		}
+		for j := range vec {
+			if gv[j] != vec[j] {
+				t.Fatalf("class %d dim %d: %v != %v", class, j, gv[j], vec[j])
+			}
+		}
+		if got.Counts[class] != s.Counts[class] {
+			t.Fatalf("class %d count %d != %d", class, got.Counts[class], s.Counts[class])
+		}
+	}
+}
+
+func TestSetEncodeDeterministic(t *testing.T) {
+	// Same contents inserted in different orders must encode identically —
+	// the map-order independence the resume goldens rely on.
+	a := NewSet(4, 2)
+	a.Vectors[2] = []float64{1, 1}
+	a.Counts[2] = 1
+	a.Vectors[0] = []float64{2, 2}
+	a.Counts[0] = 3
+
+	b := NewSet(4, 2)
+	b.Vectors[0] = []float64{2, 2}
+	b.Counts[0] = 3
+	b.Vectors[2] = []float64{1, 1}
+	b.Counts[2] = 1
+
+	if !bytes.Equal(a.Encode(), b.Encode()) {
+		t.Fatal("insertion order leaked into the encoding")
+	}
+}
+
+func TestDecodeSetRejectsCorruption(t *testing.T) {
+	s := NewSet(3, 2)
+	s.Vectors[1] = []float64{1, 2}
+	s.Counts[1] = 4
+	enc := s.Encode()
+	if _, err := DecodeSet(enc[:len(enc)-3]); err == nil {
+		t.Fatal("truncated set accepted")
+	}
+	if _, err := DecodeSet(nil); err == nil {
+		t.Fatal("empty bytes accepted")
+	}
+}

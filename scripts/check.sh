@@ -32,6 +32,31 @@ if grep -rnE 'func \([^)]*\) Round\(' internal/core/ internal/baselines/; then
     exit 1
 fi
 
+# Resume-equivalence suite: for all nine algorithms, run-N straight and
+# run-k/checkpoint/rebuild/resume must produce byte-identical histories
+# (accuracy trajectory and ledger byte totals), including over the distrib
+# transport and past a corrupted newest checkpoint — under the race detector,
+# because resume re-enters the concurrent fan-out mid-run.
+echo ">> go test -race -count=1 -run 'TestResumeEquivalenceGoldens|TestResumeFallsBack|TestDistributedResume' ."
+go test -race -count=1 -run 'TestResumeEquivalenceGoldens|TestResumeFallsBack|TestDistributedResume' .
+
+# Structural invariant of the run-state contract: every nn.Layer and
+# nn.Optimizer implementation must declare Snapshot/Restore. New types are
+# registered by their compile-time interface assertions (var _ Layer = ...),
+# so a type that compiles without the state methods can only exist if someone
+# also skipped the assertion — this gate catches exactly that drift.
+echo ">> structural check: every nn.Layer/nn.Optimizer has Snapshot and Restore"
+types=$(grep -rhoE 'var _ (Layer|Optimizer) = \(\*[A-Za-z0-9_]+\)' internal/nn/*.go \
+    | sed -E 's/.*\(\*([A-Za-z0-9_]+)\)/\1/' | sort -u)
+for ty in $types; do
+    for method in Snapshot Restore; do
+        if ! grep -qE "func \([a-zA-Z0-9_]+ \*$ty\) $method\(" internal/nn/*.go; then
+            echo "FAIL: nn type $ty lacks $method (run-state contract, DESIGN.md §8)" >&2
+            exit 1
+        fi
+    done
+done
+
 # The kernel determinism contract (parallel == serial, bit for bit) must hold
 # under real interleaving, so the equivalence and property suites run again
 # with the race detector and two scheduler threads forcing the worker pool to
