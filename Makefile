@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race check bench fuzz
+.PHONY: build test race check chaos bench fuzz
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,11 @@ race:
 # check is the full verification gate: build + vet + test + race.
 check:
 	sh scripts/check.sh
+
+# chaos runs the seeded fault-injection suite (crash/drop/dup/corrupt over
+# bus and TCP, multiple algorithms) under the race detector.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos' ./internal/distrib/
 
 bench:
 	$(GO) test -bench=. -benchmem ./internal/tensor/

@@ -43,6 +43,9 @@ func run() error {
 		theta     = flag.Float64("theta", 0.7, "FedPKD select ratio θ")
 		delta     = flag.Float64("delta", 0.5, "FedPKD server loss mix δ")
 		distMode  = flag.String("distributed", "", "run the algorithm over a transport: bus or tcp")
+		chaos     = flag.String("chaos", "", "inject deterministic faults into the distributed transport, e.g. drop=0.1,crash=0.2 (keys: drop, delay, dup, corrupt, sendfail, crash, maxdelay)")
+		cliTmo    = flag.Duration("client-timeout", 0, "distributed straggler deadline per round; 0 waits forever (required >0 for lossy -chaos plans)")
+		minQuorum = flag.Int("min-quorum", 0, "abort a distributed round that aggregated fewer uploads; 0 disables")
 		localEp   = flag.Int("local-epochs", 5, "baseline local epochs / FedPKD private epochs")
 		serverEp  = flag.Int("server-epochs", 8, "server / distill epochs")
 		traceDir  = flag.String("trace-dir", "results", "directory for round-trace JSONL/CSV output (empty disables tracing)")
@@ -147,10 +150,22 @@ func run() error {
 
 	var history *fedpkd.History
 	if *distMode != "" {
-		history, err = fedpkd.RunAlgorithmDistributedUntil(algo, fedpkd.DistributedMode(*distMode), *rounds, rec)
+		plan, err := fedpkd.ParseFaultPlan(*chaos, *seed)
 		if err != nil {
 			return err
 		}
+		history, err = fedpkd.RunAlgorithmDistributedUntilOpts(algo, *rounds, fedpkd.DistributedOptions{
+			Mode:          fedpkd.DistributedMode(*distMode),
+			Recorder:      rec,
+			ClientTimeout: *cliTmo,
+			MinQuorum:     *minQuorum,
+			Faults:        plan,
+		})
+		if err != nil {
+			return err
+		}
+	} else if *chaos != "" || *cliTmo != 0 || *minQuorum != 0 {
+		return fmt.Errorf("-chaos, -client-timeout, and -min-quorum require -distributed")
 	} else {
 		if ins, ok := algo.(fedpkd.Instrumented); ok {
 			ins.SetRecorder(rec)
@@ -181,6 +196,12 @@ func run() error {
 			c = fmt.Sprintf("%5.1f%%", r.ClientAcc*100)
 		}
 		fmt.Printf("%5d  %s  %s  %10.2f\n", r.Round, s, c, r.CumulativeMB)
+	}
+	if n := history.DegradedCount(); n > 0 {
+		fmt.Printf("\n%d partial round(s):\n", n)
+		for _, d := range history.Degraded {
+			fmt.Printf("  round %d aggregated %d/%d clients (missing %v)\n", d.Round, d.Cohort, d.Expected, d.Missing)
+		}
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package fedpkd
 
 import (
 	"fedpkd/internal/distrib"
+	"fedpkd/internal/faults"
 )
 
 // Distributed-execution types, aliased for the public surface.
@@ -10,7 +11,33 @@ type (
 	DistributedConfig = distrib.Config
 	// DistributedMode selects the wire (bus or TCP).
 	DistributedMode = distrib.Mode
+	// DistributedOptions parameterizes the failure-tolerant distributed
+	// runtime: straggler deadline, minimum quorum, fault plan, retry policy.
+	DistributedOptions = distrib.Options
+	// FaultPlan is a deterministic seed-driven chaos plan injected beneath
+	// the distributed protocol.
+	FaultPlan = faults.Plan
+	// FaultStats accumulates injected-fault counters across a run.
+	FaultStats = faults.Stats
+	// RetryBackoff configures the clients' upload retry schedule.
+	RetryBackoff = faults.Backoff
 )
+
+// Named protocol-robustness errors, for errors.Is against a distributed
+// run's failure.
+var (
+	ErrStaleEnvelope   = distrib.ErrStaleEnvelope
+	ErrPeerMismatch    = distrib.ErrPeerMismatch
+	ErrDuplicateUpload = distrib.ErrDuplicateUpload
+	ErrQuorumNotMet    = distrib.ErrQuorumNotMet
+)
+
+// ParseFaultPlan parses a CLI chaos spec like
+// "drop=0.1,crash=0.2,dup=0.05,corrupt=0.01,delay=0.3,sendfail=0.1,maxdelay=5ms"
+// into a FaultPlan seeded with seed. An empty spec returns nil (no chaos).
+func ParseFaultPlan(spec string, seed uint64) (*FaultPlan, error) {
+	return faults.ParsePlan(spec, seed)
+}
 
 // Distributed transport modes.
 const (
@@ -33,4 +60,19 @@ func RunDistributed(cfg DistributedConfig, rounds int) (*History, error) {
 // actual encoded wire bytes instead of the analytic sizes.
 func RunAlgorithmDistributed(algo Algorithm, mode DistributedMode, rounds int, rec *Recorder) (*History, error) {
 	return distrib.RunAlgorithm(algo, mode, rounds, rec)
+}
+
+// RunAlgorithmDistributedOpts is RunAlgorithmDistributed with the full
+// failure-model option set: a finite ClientTimeout lets rounds complete with
+// partial cohorts instead of stalling on stragglers, a FaultPlan injects
+// deterministic chaos, and MinQuorum aborts rounds that heard from too few
+// clients. Partial rounds are recorded in History.Degraded.
+func RunAlgorithmDistributedOpts(algo Algorithm, rounds int, opts DistributedOptions) (*History, error) {
+	return distrib.RunAlgorithmOpts(algo, rounds, opts)
+}
+
+// RunAlgorithmDistributedUntilOpts is RunAlgorithmDistributedUntil with the
+// full failure-model option set.
+func RunAlgorithmDistributedUntilOpts(algo Algorithm, total int, opts DistributedOptions) (*History, error) {
+	return distrib.RunAlgorithmUntilOpts(algo, total, opts)
 }

@@ -49,10 +49,16 @@ type RoundTraffic struct {
 	Round    int
 	Upload   int64 // client -> server bytes, summed over clients
 	Download int64 // server -> client bytes, summed over clients
+	// Control is control-plane traffic: round-start/round-end envelopes that
+	// carry no knowledge payload, reconnect handshakes, and other protocol
+	// framing. The in-process analytic model records none (its messages are
+	// pure knowledge); the distributed runtime bills every control envelope
+	// here so wire totals stay honest.
+	Control int64
 }
 
-// Total returns upload + download.
-func (r RoundTraffic) Total() int64 { return r.Upload + r.Download }
+// Total returns upload + download + control.
+func (r RoundTraffic) Total() int64 { return r.Upload + r.Download + r.Control }
 
 // Observer receives ledger events as they are recorded — the hook the
 // observability layer (internal/obs) uses to mirror byte accounting into
@@ -65,6 +71,8 @@ type Observer interface {
 	UploadedBytes(bytes int)
 	// DownloadedBytes fires for every server→client recording.
 	DownloadedBytes(bytes int)
+	// ControlBytes fires for every control-plane recording.
+	ControlBytes(bytes int)
 }
 
 // Ledger accumulates traffic measurements across rounds. It is safe for
@@ -103,27 +111,46 @@ func (l *Ledger) StartRound(round int) {
 
 // AddUpload records client→server traffic in the current round.
 func (l *Ledger) AddUpload(bytes int) {
-	if o := l.add(bytes, true); o != nil {
+	if o := l.add(bytes, dirUpload); o != nil {
 		o.UploadedBytes(bytes)
 	}
 }
 
 // AddDownload records server→client traffic in the current round.
 func (l *Ledger) AddDownload(bytes int) {
-	if o := l.add(bytes, false); o != nil {
+	if o := l.add(bytes, dirDownload); o != nil {
 		o.DownloadedBytes(bytes)
 	}
 }
 
+// AddControl records control-plane traffic (payload-free round framing,
+// reconnect handshakes) in the current round.
+func (l *Ledger) AddControl(bytes int) {
+	if o := l.add(bytes, dirControl); o != nil {
+		o.ControlBytes(bytes)
+	}
+}
+
+type direction int
+
+const (
+	dirUpload direction = iota
+	dirDownload
+	dirControl
+)
+
 // add records the bytes under the lock and returns the observer to notify
 // (deferred unlock keeps the ledger usable if mustCurrent panics).
-func (l *Ledger) add(bytes int, upload bool) Observer {
+func (l *Ledger) add(bytes int, dir direction) Observer {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if upload {
+	switch dir {
+	case dirUpload:
 		l.mustCurrent().Upload += int64(bytes)
-	} else {
+	case dirDownload:
 		l.mustCurrent().Download += int64(bytes)
+	case dirControl:
+		l.mustCurrent().Control += int64(bytes)
 	}
 	return l.obs
 }

@@ -50,9 +50,9 @@ func TestLedgerAccumulates(t *testing.T) {
 
 // recordingObserver captures ledger notifications for assertions.
 type recordingObserver struct {
-	mu             sync.Mutex
-	rounds         []int
-	uploads, downs int64
+	mu                      sync.Mutex
+	rounds                  []int
+	uploads, downs, control int64
 }
 
 func (o *recordingObserver) RoundStarted(round int) {
@@ -73,6 +73,12 @@ func (o *recordingObserver) DownloadedBytes(b int) {
 	o.mu.Unlock()
 }
 
+func (o *recordingObserver) ControlBytes(b int) {
+	o.mu.Lock()
+	o.control += int64(b)
+	o.mu.Unlock()
+}
+
 func TestLedgerObserverMirrorsTraffic(t *testing.T) {
 	l := NewLedger()
 	obs := &recordingObserver{}
@@ -82,16 +88,17 @@ func TestLedgerObserverMirrorsTraffic(t *testing.T) {
 	l.AddDownload(40)
 	l.StartRound(1)
 	l.AddUpload(60)
+	l.AddControl(17)
 
 	if want := []int{0, 1}; len(obs.rounds) != 2 || obs.rounds[0] != want[0] || obs.rounds[1] != want[1] {
 		t.Errorf("observed rounds = %v, want %v", obs.rounds, want)
 	}
-	if obs.uploads != 160 || obs.downs != 40 {
-		t.Errorf("observed bytes = %d/%d, want 160/40", obs.uploads, obs.downs)
+	if obs.uploads != 160 || obs.downs != 40 || obs.control != 17 {
+		t.Errorf("observed bytes = %d/%d/%d, want 160/40/17", obs.uploads, obs.downs, obs.control)
 	}
 	// Observer totals must match the ledger's own accounting.
-	if obs.uploads+obs.downs != l.TotalBytes() {
-		t.Errorf("observer total %d != ledger total %d", obs.uploads+obs.downs, l.TotalBytes())
+	if obs.uploads+obs.downs+obs.control != l.TotalBytes() {
+		t.Errorf("observer total %d != ledger total %d", obs.uploads+obs.downs+obs.control, l.TotalBytes())
 	}
 
 	// Detach: further traffic must not notify.

@@ -1,0 +1,314 @@
+package distrib
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"fedpkd/internal/baselines"
+	"fedpkd/internal/core"
+	"fedpkd/internal/dataset"
+	"fedpkd/internal/faults"
+	"fedpkd/internal/fl"
+	"fedpkd/internal/fl/engine"
+	"fedpkd/internal/transport"
+)
+
+// chaosEnv is a deliberately small environment: chaos runs burn wall-clock
+// on straggler deadlines, so training itself must be cheap enough that a
+// generous ClientTimeout never misclassifies a healthy client as a
+// straggler (which would break run-to-run determinism).
+func chaosEnv(t *testing.T) *fl.Env {
+	t.Helper()
+	spec := dataset.SynthC10(23)
+	spec.Noise = 0.6
+	env, err := fl.NewEnv(fl.EnvConfig{
+		Spec:       spec,
+		NumClients: 3,
+		TrainSize:  90, TestSize: 60, PublicSize: 45, LocalTestSize: 30,
+		Partition: fl.PartitionConfig{Kind: fl.PartitionDirichlet, Alpha: 0.5},
+		Seed:      23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func chaosFedAvg(t *testing.T, env *fl.Env) *baselines.FedAvg {
+	t.Helper()
+	f, err := baselines.NewFedAvg(baselines.FedAvgConfig{
+		Common:      engine.Config{Env: env, Seed: 9},
+		LocalEpochs: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func chaosFedPKD(t *testing.T, env *fl.Env) *core.FedPKD {
+	t.Helper()
+	f, err := core.New(core.Config{
+		Env:                 env,
+		ClientPrivateEpochs: 1,
+		ClientPublicEpochs:  1,
+		ServerEpochs:        1,
+		Seed:                9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// chaosTimeout is generous relative to a round of chaosEnv training (tens of
+// milliseconds even under the race detector), so only injected faults — never
+// scheduling noise — decide which uploads miss the deadline.
+const chaosTimeout = 2 * time.Second
+
+// TestChaosFedPKDDeterministicPartialRounds is the acceptance scenario:
+// distributed FedPKD under crash+drop chaos with a finite straggler deadline
+// completes every round with partial cohorts, and the same seed yields the
+// same history — degraded rounds included — across two independent runs.
+func TestChaosFedPKDDeterministicPartialRounds(t *testing.T) {
+	plan := &faults.Plan{Seed: 42, CrashProb: 0.2, DropProb: 0.1}
+	const rounds = 3
+	run := func() *fl.History {
+		env := chaosEnv(t)
+		hist, err := RunAlgorithmOpts(chaosFedPKD(t, env), rounds, Options{
+			Mode:          ModeBus,
+			ClientTimeout: chaosTimeout,
+			Faults:        plan,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hist
+	}
+	h1 := run()
+	if h1.Len() != rounds {
+		t.Fatalf("history rounds = %d, want %d (chaos must not abort the run)", h1.Len(), rounds)
+	}
+	if h1.DegradedCount() == 0 {
+		t.Fatal("no degraded rounds recorded; this plan+seed is known to crash clients")
+	}
+	for _, d := range h1.Degraded {
+		if d.Cohort >= d.Expected || d.Cohort+len(d.Missing) != d.Expected {
+			t.Fatalf("inconsistent degraded record %+v", d)
+		}
+	}
+	h2 := run()
+	j1, _ := json.Marshal(h1)
+	j2, _ := json.Marshal(h2)
+	if string(j1) != string(j2) {
+		t.Fatalf("same-seed chaos runs diverged:\n%s\nvs\n%s", j1, j2)
+	}
+}
+
+// TestChaosTCPCrashRestart drives the full reconnect path: crashed clients
+// drop their TCP connection and redial through the join handshake, and the
+// run still completes every round.
+func TestChaosTCPCrashRestart(t *testing.T) {
+	var fs faults.Stats
+	env := chaosEnv(t)
+	hist, err := RunAlgorithmOpts(chaosFedAvg(t, env), 3, Options{
+		Mode:          ModeTCP,
+		ClientTimeout: chaosTimeout,
+		Faults:        &faults.Plan{Seed: 7, CrashProb: 0.3},
+		FaultStats:    &fs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.Len() != 3 {
+		t.Fatalf("history rounds = %d, want 3", hist.Len())
+	}
+	if fs.Snapshot().Crashes == 0 {
+		t.Fatal("no crashes injected; this plan+seed is known to crash clients")
+	}
+	if hist.DegradedCount() == 0 {
+		t.Fatal("crashed rounds must be recorded as degraded")
+	}
+}
+
+// TestChaosRetryRecoversSendFailures checks the client backoff loop: with
+// only transient send failures injected (no message loss), retries keep the
+// protocol whole and the run completes.
+func TestChaosRetrySendFailures(t *testing.T) {
+	var fs faults.Stats
+	env := chaosEnv(t)
+	hist, err := RunAlgorithmOpts(chaosFedAvg(t, env), 3, Options{
+		Mode:          ModeBus,
+		ClientTimeout: chaosTimeout,
+		Faults:        &faults.Plan{Seed: 5, SendFailProb: 0.5},
+		FaultStats:    &fs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.Len() != 3 {
+		t.Fatalf("history rounds = %d, want 3", hist.Len())
+	}
+	if fs.Snapshot().SendFails == 0 {
+		t.Fatal("no send failures injected; this plan+seed is known to inject them")
+	}
+}
+
+// TestChaosZeroPlanMatchesStrict pins the degradation-free contract: turning
+// on the tolerant machinery (a finite deadline) without any faults must not
+// change a single byte of the history relative to the strict runtime.
+func TestChaosZeroPlanMatchesStrict(t *testing.T) {
+	tolerant, err := RunAlgorithmOpts(chaosFedAvg(t, chaosEnv(t)), 2, Options{
+		Mode:          ModeBus,
+		ClientTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := RunAlgorithm(chaosFedAvg(t, chaosEnv(t)), ModeBus, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tolerant, strict) {
+		t.Fatalf("tolerant-but-healthy run diverged from strict run:\n%+v\nvs\n%+v", tolerant, strict)
+	}
+	if tolerant.DegradedCount() != 0 {
+		t.Fatalf("healthy run recorded degraded rounds: %+v", tolerant.Degraded)
+	}
+}
+
+// TestChaosQuorumAbort: with every client required and crashes injected, the
+// first partial round must abort with ErrQuorumNotMet instead of silently
+// aggregating a rump cohort.
+func TestChaosQuorumAbort(t *testing.T) {
+	env := chaosEnv(t)
+	_, err := RunAlgorithmOpts(chaosFedAvg(t, env), 6, Options{
+		Mode:          ModeBus,
+		ClientTimeout: chaosTimeout,
+		MinQuorum:     3,
+		Faults:        &faults.Plan{Seed: 11, CrashProb: 0.5},
+	})
+	if !errors.Is(err, ErrQuorumNotMet) {
+		t.Fatalf("err = %v, want ErrQuorumNotMet", err)
+	}
+}
+
+func TestChaosOptionsValidation(t *testing.T) {
+	env := chaosEnv(t)
+	if _, err := RunAlgorithmOpts(chaosFedAvg(t, env), 1, Options{
+		Faults: &faults.Plan{DropProb: 0.1},
+	}); err == nil {
+		t.Error("lossy plan without ClientTimeout should error")
+	}
+	if _, err := RunAlgorithmOpts(chaosFedAvg(t, env), 1, Options{
+		MinQuorum: 4,
+	}); err == nil {
+		t.Error("MinQuorum above the fleet size should error")
+	}
+	if _, err := RunAlgorithmOpts(chaosFedAvg(t, env), 1, Options{
+		Faults: &faults.Plan{DropProb: 1.5}, ClientTimeout: time.Second,
+	}); err == nil {
+		t.Error("out-of-range probability should error")
+	}
+}
+
+// TestChaosServerRejectsStaleAndDuplicate drives collectUploads directly:
+// strict mode rejects a stale-round upload with the named error; tolerant
+// mode counts and drops stale, duplicate, and mismatched envelopes while
+// accepting the one valid upload.
+func TestChaosServerRejectsStaleAndDuplicate(t *testing.T) {
+	env := chaosEnv(t)
+	runner, err := engine.Of(chaosFedAvg(t, env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	round := runner.BeginRound()
+
+	sendRaw := func(conn transport.Conn, from, envRound, ruRound, client int) {
+		t.Helper()
+		payload, err := transport.Encode(transport.RoundUpload{Round: ruRound, Client: client})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := conn.Send(&transport.Envelope{Kind: transport.KindUpload, From: from, To: -1, Round: envRound, Payload: payload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	t.Run("strict", func(t *testing.T) {
+		bus := transport.NewBus(3, 6)
+		defer bus.Close()
+		rx := newReceiver(bus.ServerConn())
+		defer rx.stop()
+		sendRaw(bus.ClientConn(0), 0, round+5, round+5, 0) // stale round stamp
+		_, _, roundErr, err := collectUploads(round, runner, rx, 3, &Options{}, false, &roundStats{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !errors.Is(roundErr, ErrStaleEnvelope) {
+			t.Fatalf("roundErr = %v, want ErrStaleEnvelope", roundErr)
+		}
+	})
+
+	t.Run("strict-peer-mismatch", func(t *testing.T) {
+		bus := transport.NewBus(3, 6)
+		defer bus.Close()
+		rx := newReceiver(bus.ServerConn())
+		defer rx.stop()
+		sendRaw(bus.ClientConn(0), 0, round, round, 1) // payload claims client 1, conn is client 0
+		_, _, roundErr, err := collectUploads(round, runner, rx, 3, &Options{}, false, &roundStats{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !errors.Is(roundErr, ErrPeerMismatch) {
+			t.Fatalf("roundErr = %v, want ErrPeerMismatch", roundErr)
+		}
+	})
+
+	t.Run("tolerant", func(t *testing.T) {
+		bus := transport.NewBus(3, 6)
+		defer bus.Close()
+		rx := newReceiver(bus.ServerConn())
+		defer rx.stop()
+		sendRaw(bus.ClientConn(0), 0, round+5, round+5, 0) // stale: dropped, client 0 still missing
+		sendRaw(bus.ClientConn(1), 1, round, round, 1)     // valid
+		sendRaw(bus.ClientConn(1), 1, round, round, 1)     // duplicate: dropped
+		rs := &roundStats{}
+		opts := &Options{ClientTimeout: 300 * time.Millisecond}
+		_, report, roundErr, err := collectUploads(round, runner, rx, 3, opts, true, rs)
+		if err != nil || roundErr != nil {
+			t.Fatalf("errs = %v, %v", err, roundErr)
+		}
+		if report.cohort != 1 || !reflect.DeepEqual(report.missing, []int{0, 2}) {
+			t.Fatalf("report = %+v, want cohort 1 missing [0 2]", report)
+		}
+		if rs.stale.Load() != 1 || rs.dup.Load() != 1 {
+			t.Fatalf("stale=%d dup=%d, want 1 and 1", rs.stale.Load(), rs.dup.Load())
+		}
+	})
+}
+
+// TestChaosTCPGoroutineLeakFree pins the mux fix: a finished TCP run must
+// not leave receiver pumps or accept handlers blocked forever.
+func TestChaosTCPGoroutineLeakFree(t *testing.T) {
+	before := runtime.NumGoroutine()
+	env := chaosEnv(t)
+	if _, err := RunAlgorithm(chaosFedAvg(t, env), ModeTCP, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		now := runtime.NumGoroutine()
+		if now <= before+2 { // small slack for runtime background goroutines
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before run, %d five seconds after", before, now)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

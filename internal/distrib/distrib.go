@@ -9,19 +9,59 @@
 // records the actual encoded wire bytes rather than the analytic sizes of
 // internal/comm, so traffic totals differ from in-process runs while the
 // accuracy trajectory is bit-identical (payload values travel as float64).
+//
+// # Failure model
+//
+// By default the runtime is strict: any protocol violation, lost message, or
+// dead peer aborts the run, which is the right behavior for debugging and
+// for the determinism goldens. Options turns on the failure-tolerant mode:
+// a positive ClientTimeout bounds how long the server waits for uploads each
+// round (stragglers and crashed clients are simply left out of the
+// aggregate), a faults.Plan injects deterministic chaos beneath the
+// protocol, MinQuorum aborts rounds that heard from too few clients, and
+// Retry gives clients bounded exponential backoff on transient send
+// failures. Partial rounds are recorded in fl.History.Degraded and in the
+// per-round obs Robustness trace, so degradation is measurable rather than
+// silent. Because every fault draw is a pure function of the plan seed and
+// the message coordinates, two tolerant runs with the same seed accept the
+// same uploads in the same rounds and produce identical histories.
 package distrib
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"fedpkd/internal/core"
+	"fedpkd/internal/faults"
 	"fedpkd/internal/fl"
 	"fedpkd/internal/fl/engine"
 	"fedpkd/internal/obs"
+	"fedpkd/internal/stats"
 	"fedpkd/internal/transport"
+)
+
+// Protocol-violation errors. Strict mode returns them (wrapped with
+// context); tolerant mode counts the offending envelope in the round's
+// Robustness trace and drops it.
+var (
+	// ErrStaleEnvelope marks a message stamped with a round other than the
+	// one in flight — a late upload from a past round, or leftover traffic a
+	// restarted client finds on its connection.
+	ErrStaleEnvelope = errors.New("distrib: stale envelope")
+	// ErrPeerMismatch marks an envelope whose From/To addressing does not
+	// match the connection it arrived on.
+	ErrPeerMismatch = errors.New("distrib: peer mismatch")
+	// ErrDuplicateUpload marks a second upload from a client that already
+	// contributed this round (the transport-duplication dedup).
+	ErrDuplicateUpload = errors.New("distrib: duplicate upload")
+	// ErrQuorumNotMet aborts a round that collected fewer uploads than
+	// Options.MinQuorum.
+	ErrQuorumNotMet = errors.New("distrib: quorum not met")
 )
 
 // Mode selects the wire.
@@ -46,6 +86,49 @@ type Config struct {
 	Recorder *obs.Recorder
 }
 
+// Options parameterizes a distributed run of any engine-backed algorithm.
+// The zero value (plus a Mode) reproduces the strict runtime.
+type Options struct {
+	// Mode selects the transport; empty means ModeBus.
+	Mode Mode
+	// Recorder, when non-nil, receives per-round spans, wire-byte counters,
+	// and the Robustness trace.
+	Recorder *obs.Recorder
+	// ClientTimeout bounds how long the server waits for the round's
+	// uploads. Zero waits forever (strict mode). When positive, clients
+	// that miss the deadline are left out of the aggregate and the round
+	// completes with a partial cohort.
+	ClientTimeout time.Duration
+	// MinQuorum is the minimum number of uploads a round must aggregate;
+	// fewer aborts the round with ErrQuorumNotMet. Zero disables the check
+	// (a round that heard from nobody skips aggregation, matching the
+	// engine's dropout semantics).
+	MinQuorum int
+	// Faults, when non-nil and enabled, injects deterministic chaos on
+	// every client connection. Lossy plans require a positive
+	// ClientTimeout.
+	Faults *faults.Plan
+	// Retry configures the clients' upload backoff on transient send
+	// failures; zero fields take the faults.Backoff defaults.
+	Retry faults.Backoff
+	// FaultStats, when non-nil, accumulates the run's injected-fault
+	// counters for the caller to inspect.
+	FaultStats *faults.Stats
+}
+
+func (o *Options) validate(n int) error {
+	if err := o.Faults.Validate(); err != nil {
+		return err
+	}
+	if o.Faults.Lossy() && o.ClientTimeout <= 0 {
+		return fmt.Errorf("distrib: fault plan [%v] can lose messages or clients; set a positive ClientTimeout so the server does not wait forever", o.Faults)
+	}
+	if o.MinQuorum < 0 || o.MinQuorum > n {
+		return fmt.Errorf("distrib: MinQuorum %d out of range [0,%d]", o.MinQuorum, n)
+	}
+	return nil
+}
+
 // Run executes rounds of FedPKD over the transport and returns the history.
 // It is a convenience wrapper over RunAlgorithm for the paper's main
 // algorithm.
@@ -61,60 +144,123 @@ func Run(cfg Config, rounds int) (*fl.History, error) {
 }
 
 // RunAlgorithm executes rounds additional rounds of any engine-backed
+// algorithm over the transport with the strict failure model. It is
+// RunAlgorithmOpts with only Mode and Recorder set.
+func RunAlgorithm(algo fl.Algorithm, mode Mode, rounds int, rec *obs.Recorder) (*fl.History, error) {
+	return RunAlgorithmOpts(algo, rounds, Options{Mode: mode, Recorder: rec})
+}
+
+// RunAlgorithmUntil runs over the transport until the run has completed
+// total rounds — the resume-aware entry point mirroring
+// engine.Runner.RunUntil: after restoring a round-5 checkpoint,
+// RunAlgorithmUntil(algo, mode, 10, rec) runs exactly the 5 remaining
+// rounds.
+func RunAlgorithmUntil(algo fl.Algorithm, mode Mode, total int, rec *obs.Recorder) (*fl.History, error) {
+	return RunAlgorithmUntilOpts(algo, total, Options{Mode: mode, Recorder: rec})
+}
+
+// RunAlgorithmUntilOpts is RunAlgorithmUntil with the full option set.
+func RunAlgorithmUntilOpts(algo fl.Algorithm, total int, opts Options) (*fl.History, error) {
+	runner, err := engine.Of(algo)
+	if err != nil {
+		return nil, err
+	}
+	if total < runner.CurrentRound() {
+		return nil, fmt.Errorf("distrib: RunAlgorithmUntil(%d) but %d rounds already completed", total, runner.CurrentRound())
+	}
+	return RunAlgorithmOpts(algo, total-runner.CurrentRound(), opts)
+}
+
+// RunAlgorithmOpts executes rounds additional rounds of any engine-backed
 // algorithm over the transport and returns the cumulative history. All model
 // state lives in the worker goroutines during a round; evaluation (and, when
 // a checkpoint policy is set on the runner, the durable checkpoint write)
 // happens at round barriers when every worker is parked. The distributed
 // runner always uses full participation: ClientFraction and ClientDropProb
-// apply to the in-process engine only.
+// apply to the in-process engine only — here the cohort shrinks through the
+// failure model instead (timeouts, injected faults).
 //
 // Resume: restore the algorithm first (engine.Runner.ResumeAny) and the run
 // continues from the checkpointed round — the server-side checkpoint holds
 // every client's model and optimizer state, which the restored hooks carry
 // back into the worker goroutines exactly as a real deployment would re-seed
 // clients from the next RoundStart.
-func RunAlgorithm(algo fl.Algorithm, mode Mode, rounds int, rec *obs.Recorder) (*fl.History, error) {
+func RunAlgorithmOpts(algo fl.Algorithm, rounds int, opts Options) (*fl.History, error) {
 	runner, err := engine.Of(algo)
 	if err != nil {
 		return nil, err
 	}
-	if mode == "" {
-		mode = ModeBus
+	if opts.Mode == "" {
+		opts.Mode = ModeBus
 	}
 	env := runner.Config().Env
 	n := env.Cfg.NumClients
+	if err := opts.validate(n); err != nil {
+		return nil, err
+	}
+	tolerant := opts.ClientTimeout > 0 || opts.Faults.Enabled()
+	rec := opts.Recorder
 	runner.SetRecorder(rec)
+	ledger := runner.Ledger()
 
-	serverConn, clientConns, cleanup, err := buildTransport(mode, n)
+	// Reconnect handshakes are control traffic; they are only billable while
+	// a round is open (the ledger has no row before the first StartRound, and
+	// the setup handshakes happen before the run's first round).
+	var roundOpen atomic.Bool
+	billControl := func(bytes int) {
+		if roundOpen.Load() {
+			ledger.AddControl(bytes)
+		}
+	}
+
+	tr, err := buildTransport(opts.Mode, n, billControl)
 	if err != nil {
 		return nil, err
 	}
 	var once sync.Once
-	closeTransport := func() { once.Do(cleanup) }
+	closeTransport := func() { once.Do(tr.cleanup) }
 	defer closeTransport()
 
 	runner.SetHistoryLabelSuffix("(distributed)")
 	hist := runner.History()
 
+	fstats := opts.FaultStats
+	if fstats == nil {
+		fstats = &faults.Stats{}
+	}
+
 	// Round barriers: start signals fan out, done signals fan in.
+	peers := make([]*clientPeer, n)
 	start := make([]chan int, n)
-	for c := range start {
-		start[c] = make(chan int, 1)
-	}
 	done := make(chan error, n)
+	rs := &roundStats{}
 	for c := 0; c < n; c++ {
-		go clientWorker(c, runner, clientConns[c], rec, start[c], done)
+		p := &clientPeer{
+			id:     c,
+			conn:   faults.Wrap(tr.clients[c], opts.Faults, c, fstats),
+			stats:  fstats,
+			redial: tr.redial,
+		}
+		p.rx = newReceiver(p.conn)
+		peers[c] = p
+		start[c] = make(chan int, 1)
+		go clientWorker(p, runner, rec, &opts, tolerant, rs, start[c], done)
 	}
+	srx := newReceiver(tr.server)
+	defer srx.stop()
 
 	var firstErr error
 	for i := 0; i < rounds; i++ {
 		t := runner.BeginRound()
+		roundOpen.Store(true)
+		rs.reset()
+		faultBase := fstats.Snapshot().Total()
 		// Every client runs in its own goroutine: full fan-out.
 		rec.SetWorkers(n)
 		for c := range start {
 			start[c] <- t
 		}
-		serverErr := serverRound(t, runner, serverConn, n)
+		report, serverErr := serverRound(t, runner, tr.server, srx, n, &opts, tolerant, rs)
 		if serverErr != nil {
 			// Unblock any client still parked on Recv before fanning in.
 			closeTransport()
@@ -124,11 +270,15 @@ func RunAlgorithm(algo fl.Algorithm, mode Mode, rounds int, rec *obs.Recorder) (
 				firstErr = err
 			}
 		}
+		roundOpen.Store(false)
 		if serverErr != nil {
 			firstErr = serverErr
 		}
 		if firstErr != nil {
 			break
+		}
+		if tolerant {
+			recordRobustness(t, n, runner, rec, &opts, report, rs, fstats.Snapshot().Total()-faultBase)
 		}
 		// All workers parked: evaluate (and checkpoint) safely.
 		if err := runner.CompleteRound(); err != nil {
@@ -143,86 +293,96 @@ func RunAlgorithm(algo fl.Algorithm, mode Mode, rounds int, rec *obs.Recorder) (
 	return hist, firstErr
 }
 
-// RunAlgorithmUntil runs over the transport until the run has completed
-// total rounds — the resume-aware entry point mirroring
-// engine.Runner.RunUntil: after restoring a round-5 checkpoint,
-// RunAlgorithmUntil(algo, mode, 10, rec) runs exactly the 5 remaining
-// rounds.
-func RunAlgorithmUntil(algo fl.Algorithm, mode Mode, total int, rec *obs.Recorder) (*fl.History, error) {
-	runner, err := engine.Of(algo)
-	if err != nil {
-		return nil, err
+// roundStats accumulates one round's protocol-hygiene counters across the
+// server and client goroutines.
+type roundStats struct {
+	stale   atomic.Int64
+	dup     atomic.Int64
+	corrupt atomic.Int64
+	retries atomic.Int64
+}
+
+func (rs *roundStats) reset() {
+	rs.stale.Store(0)
+	rs.dup.Store(0)
+	rs.corrupt.Store(0)
+	rs.retries.Store(0)
+}
+
+// recordRobustness folds one tolerant round's failure profile into the
+// cumulative history (partial cohorts only) and the obs trace (always, so
+// healthy chaos rounds are visible too).
+func recordRobustness(t, n int, runner *engine.Runner, rec *obs.Recorder, opts *Options, rp *roundReport, rs *roundStats, injected int64) {
+	var crashed, timedOut []int
+	for _, c := range rp.missing {
+		if opts.Faults.CrashesAt(c, t) {
+			crashed = append(crashed, c)
+		} else {
+			timedOut = append(timedOut, c)
+		}
 	}
-	if total < runner.CurrentRound() {
-		return nil, fmt.Errorf("distrib: RunAlgorithmUntil(%d) but %d rounds already completed", total, runner.CurrentRound())
+	if rp.cohort < n {
+		runner.RecordDegraded(fl.DegradedRound{Round: t, Cohort: rp.cohort, Expected: n, Missing: rp.missing})
 	}
-	return RunAlgorithm(algo, mode, total-runner.CurrentRound(), rec)
+	rec.SetRobustness(obs.Robustness{
+		Cohort:         rp.cohort,
+		Expected:       n,
+		TimedOut:       timedOut,
+		Crashed:        crashed,
+		StaleDropped:   int(rs.stale.Load()),
+		DupDropped:     int(rs.dup.Load()),
+		CorruptDropped: int(rs.corrupt.Load()),
+		Retries:        int(rs.retries.Load()),
+		FaultsInjected: injected,
+	})
+}
+
+// roundReport summarizes who the server heard from in one round.
+type roundReport struct {
+	// cohort is the number of distinct clients whose uploads arrived in
+	// time; missing lists the rest, sorted ascending.
+	cohort  int
+	missing []int
 }
 
 // serverRound runs the server side of one round: fan out RoundStart, collect
-// every upload, aggregate, fan out RoundEnd. A client-reported error aborts
-// the round but still produces a RoundEnd so no peer blocks forever.
-func serverRound(t int, runner *engine.Runner, conn transport.Conn, n int) error {
+// uploads (all of them in strict mode, whatever beats the deadline in
+// tolerant mode), aggregate, fan out RoundEnd. A client-reported error
+// aborts the round but still produces a RoundEnd so no peer blocks forever.
+//
+// Round framing is billed for every client regardless of delivery — billing
+// driven by Send outcomes would make traffic totals depend on crash timing,
+// breaking the same-seed-same-history guarantee.
+func serverRound(t int, runner *engine.Runner, conn transport.Conn, rx *receiver, n int, opts *Options, tolerant bool, rs *roundStats) (*roundReport, error) {
 	hooks := runner.Hooks()
 	ledger := runner.Ledger()
 	rc := runner.Context(t)
 
 	global := hooks.GlobalState(t)
-	rs := transport.RoundStart{Round: t, HasGlobal: global != nil, Global: transport.PayloadToWire(global)}
-	payload, err := transport.Encode(rs)
+	startMsg := transport.RoundStart{Round: t, HasGlobal: global != nil, Global: transport.PayloadToWire(global)}
+	payload, err := transport.Encode(startMsg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	for c := 0; c < n; c++ {
 		e := &transport.Envelope{Kind: transport.KindRoundStart, From: -1, To: c, Round: t, Payload: payload}
-		if err := conn.Send(e); err != nil {
-			return err
-		}
-		if rs.HasGlobal {
+		sendErr := conn.Send(e)
+		if startMsg.HasGlobal {
 			ledger.AddDownload(e.WireSize())
+		} else {
+			ledger.AddControl(e.WireSize())
+		}
+		if sendErr != nil && !tolerant {
+			return nil, sendErr
 		}
 	}
 
-	uploads := make([]engine.Upload, 0, n)
-	seen := make([]bool, n)
-	var roundErr error
-	for i := 0; i < n && roundErr == nil; i++ {
-		e, err := conn.Recv()
-		if err != nil {
-			return fmt.Errorf("server recv: %w", err)
-		}
-		roundErr = func() error {
-			if e.Kind != transport.KindUpload {
-				return fmt.Errorf("distrib: unexpected message kind %v", e.Kind)
-			}
-			var ru transport.RoundUpload
-			if err := transport.Decode(e.Payload, &ru); err != nil {
-				return err
-			}
-			if err := ru.Validate(); err != nil {
-				return err
-			}
-			if ru.Client >= n {
-				return fmt.Errorf("distrib: client id %d out of range (%d clients)", ru.Client, n)
-			}
-			if seen[ru.Client] {
-				return fmt.Errorf("distrib: duplicate upload from client %d", ru.Client)
-			}
-			seen[ru.Client] = true
-			if ru.Err != "" {
-				return fmt.Errorf("distrib: client %d: %s", ru.Client, ru.Err)
-			}
-			if !ru.HasPayload {
-				return nil
-			}
-			p, err := ru.Payload.ToPayload()
-			if err != nil {
-				return err
-			}
-			ledger.AddUpload(e.WireSize())
-			uploads = append(uploads, engine.Upload{Client: ru.Client, Payload: p})
-			return nil
-		}()
+	uploads, report, roundErr, err := collectUploads(t, runner, rx, n, opts, tolerant, rs)
+	if err != nil {
+		return report, err
+	}
+	if roundErr == nil && opts.MinQuorum > 0 && len(uploads) < opts.MinQuorum {
+		roundErr = fmt.Errorf("%w: round %d aggregated %d of %d required uploads", ErrQuorumNotMet, t, len(uploads), opts.MinQuorum)
 	}
 
 	var bcast *engine.Payload
@@ -242,186 +402,447 @@ func serverRound(t int, runner *engine.Runner, conn transport.Conn, n int) error
 	}
 	payload, err = transport.Encode(re)
 	if err != nil {
-		return err
+		if roundErr != nil {
+			return report, roundErr
+		}
+		return report, err
 	}
 	for c := 0; c < n; c++ {
 		e := &transport.Envelope{Kind: transport.KindRoundEnd, From: -1, To: c, Round: t, Payload: payload}
-		if err := conn.Send(e); err != nil {
-			return err
-		}
+		sendErr := conn.Send(e)
 		if re.HasBroadcast {
 			ledger.AddDownload(e.WireSize())
+		} else {
+			ledger.AddControl(e.WireSize())
+		}
+		if sendErr != nil && !tolerant && roundErr == nil {
+			return report, sendErr
 		}
 	}
-	return roundErr
+	return report, roundErr
+}
+
+// collectUploads drains the server inbox until every awaited client has
+// contributed, the deadline passes (tolerant), or a protocol violation is
+// found (strict). roundErr is a protocol-level failure that still gets a
+// RoundEnd; err is a transport-level failure that aborts the run.
+//
+// Clients the shared fault schedule crashes this round are not awaited at
+// all — the deterministic equivalent of a failure detector, so a
+// crash-heavy round does not have to burn the whole deadline.
+func collectUploads(t int, runner *engine.Runner, rx *receiver, n int, opts *Options, tolerant bool, rs *roundStats) (uploads []engine.Upload, report *roundReport, roundErr, err error) {
+	ledger := runner.Ledger()
+	uploads = make([]engine.Upload, 0, n)
+	seen := make([]bool, n)
+	await := 0
+	for c := 0; c < n; c++ {
+		if !opts.Faults.CrashesAt(c, t) {
+			await++
+		}
+	}
+	var deadline time.Time
+	if opts.ClientTimeout > 0 {
+		deadline = time.Now().Add(opts.ClientTimeout)
+	}
+	for await > 0 && roundErr == nil {
+		wait := time.Duration(0)
+		if !deadline.IsZero() {
+			wait = time.Until(deadline)
+			if wait <= 0 {
+				break
+			}
+		}
+		e, rerr := rx.recv(wait)
+		if errors.Is(rerr, errRecvTimeout) {
+			break
+		}
+		var gone *peerGoneError
+		if errors.As(rerr, &gone) && tolerant {
+			// A dead connection is not a dead client: a crash-restarting
+			// peer redials and its upload (if any) arrives on the new conn.
+			continue
+		}
+		if rerr != nil {
+			return nil, report, nil, fmt.Errorf("server recv: %w", rerr)
+		}
+		if e.Kind != transport.KindUpload {
+			if tolerant {
+				rs.stale.Add(1)
+				continue
+			}
+			roundErr = fmt.Errorf("distrib: unexpected message kind %v", e.Kind)
+			continue
+		}
+		if e.Round != t {
+			if tolerant {
+				rs.stale.Add(1)
+				continue
+			}
+			roundErr = fmt.Errorf("%w: upload for round %d during round %d", ErrStaleEnvelope, e.Round, t)
+			continue
+		}
+		if e.From < 0 || e.From >= n {
+			if tolerant {
+				rs.stale.Add(1)
+				continue
+			}
+			roundErr = fmt.Errorf("%w: upload from unknown peer %d", ErrPeerMismatch, e.From)
+			continue
+		}
+		var ru transport.RoundUpload
+		if derr := transport.Decode(e.Payload, &ru); derr != nil {
+			if tolerant {
+				rs.corrupt.Add(1)
+				continue
+			}
+			roundErr = derr
+			continue
+		}
+		if verr := ru.Validate(); verr != nil {
+			if tolerant {
+				rs.corrupt.Add(1)
+				continue
+			}
+			roundErr = verr
+			continue
+		}
+		if ru.Client < 0 || ru.Client >= n {
+			if tolerant {
+				rs.corrupt.Add(1)
+				continue
+			}
+			roundErr = fmt.Errorf("distrib: client id %d out of range (%d clients)", ru.Client, n)
+			continue
+		}
+		if ru.Client != e.From {
+			if tolerant {
+				rs.corrupt.Add(1)
+				continue
+			}
+			roundErr = fmt.Errorf("%w: upload labeled client %d arrived from peer %d", ErrPeerMismatch, ru.Client, e.From)
+			continue
+		}
+		if ru.Round != t {
+			if tolerant {
+				rs.stale.Add(1)
+				continue
+			}
+			roundErr = fmt.Errorf("%w: upload payload stamped round %d during round %d", ErrStaleEnvelope, ru.Round, t)
+			continue
+		}
+		if seen[ru.Client] {
+			if tolerant {
+				rs.dup.Add(1)
+				continue
+			}
+			roundErr = fmt.Errorf("%w: client %d", ErrDuplicateUpload, ru.Client)
+			continue
+		}
+		seen[ru.Client] = true
+		await--
+		if ru.Err != "" {
+			// A client-side hook failure aborts the round in both modes: the
+			// failure model covers the infrastructure, not the algorithm.
+			roundErr = fmt.Errorf("distrib: client %d: %s", ru.Client, ru.Err)
+			continue
+		}
+		if !ru.HasPayload {
+			continue
+		}
+		p, perr := ru.Payload.ToPayload()
+		if perr != nil {
+			if tolerant {
+				rs.corrupt.Add(1)
+				continue
+			}
+			roundErr = perr
+			continue
+		}
+		ledger.AddUpload(e.WireSize())
+		uploads = append(uploads, engine.Upload{Client: ru.Client, Payload: p})
+	}
+	missing := make([]int, 0)
+	for c := 0; c < n; c++ {
+		if !seen[c] {
+			missing = append(missing, c)
+		}
+	}
+	return uploads, &roundReport{cohort: n - len(missing), missing: missing}, roundErr, nil
+}
+
+// clientPeer is one client worker's connection state: the fault-wrapped
+// conn, its receiver pump, and the transport's reconnect hook.
+type clientPeer struct {
+	id     int
+	conn   *faults.Conn
+	rx     *receiver
+	stats  *faults.Stats
+	redial func(id int) (transport.Conn, error) // nil when the transport cannot reconnect (bus)
+}
+
+// restart simulates a crash-restart. On TCP the connection is torn down and
+// redialed through the join handshake, exactly like a restarted process; the
+// fault wrapper persists across the swap so injection streams stay aligned.
+// On the bus there is no connection to drop — the restarted client instead
+// loses its queued inbox, and whatever arrives later is discarded by round
+// gating.
+func (p *clientPeer) restart() error {
+	if p.redial == nil {
+		p.rx.drain()
+		return nil
+	}
+	p.rx.stop()
+	p.conn.Inner().Close()
+	conn, err := p.redial(p.id)
+	if err != nil {
+		return fmt.Errorf("distrib: client %d rejoin: %w", p.id, err)
+	}
+	p.conn.SetInner(conn)
+	p.rx = newReceiver(p.conn)
+	return nil
 }
 
 // clientWorker runs one client's per-round protocol until its start channel
-// closes.
-func clientWorker(id int, runner *engine.Runner, conn transport.Conn, rec *obs.Recorder, start <-chan int, done chan<- error) {
+// closes. Closing the conn on the way out unblocks the receiver pump, so
+// worker shutdown never leaks a goroutine stuck in Recv.
+func clientWorker(p *clientPeer, runner *engine.Runner, rec *obs.Recorder, opts *Options, tolerant bool, rs *roundStats, start <-chan int, done chan<- error) {
+	defer func() {
+		p.rx.stop()
+		p.conn.Close()
+	}()
 	for t := range start {
-		done <- clientRound(id, t, runner, conn, rec)
+		done <- clientRound(p, t, runner, rec, opts, tolerant, rs)
 	}
 }
 
+// gateClient validates a server→client envelope against the current round.
+// ok=false with a nil error means the envelope was counted and dropped
+// (tolerant mode).
+func gateClient(id, t int, e *transport.Envelope, tolerant bool, rs *roundStats) (ok bool, err error) {
+	if e.From != -1 || e.To != id {
+		if tolerant {
+			rs.stale.Add(1)
+			return false, nil
+		}
+		return false, fmt.Errorf("%w: client %d got envelope from %d to %d", ErrPeerMismatch, id, e.From, e.To)
+	}
+	if e.Round != t {
+		if tolerant {
+			rs.stale.Add(1)
+			return false, nil
+		}
+		return false, fmt.Errorf("%w: client %d got round %d envelope during round %d", ErrStaleEnvelope, id, e.Round, t)
+	}
+	if e.Kind != transport.KindRoundStart && e.Kind != transport.KindRoundEnd {
+		if tolerant {
+			rs.stale.Add(1)
+			return false, nil
+		}
+		return false, fmt.Errorf("client %d: unexpected message kind %v", id, e.Kind)
+	}
+	return true, nil
+}
+
 // clientRound runs one client round: receive RoundStart, train, upload,
-// receive RoundEnd, digest. A local failure is reported upstream in the
+// receive RoundEnd, digest. A local hook failure is reported upstream in the
 // upload's Err field — the protocol keeps flowing so neither side deadlocks.
-func clientRound(id, t int, runner *engine.Runner, conn transport.Conn, rec *obs.Recorder) error {
+// In tolerant mode the client also survives the round passing it by: a recv
+// timeout (2× the server's deadline, so the server always gives up first)
+// parks it until the next fan-out.
+func clientRound(p *clientPeer, t int, runner *engine.Runner, rec *obs.Recorder, opts *Options, tolerant bool, rs *roundStats) error {
+	if opts.Faults.CrashesAt(p.id, t) {
+		p.stats.CountCrash()
+		return p.restart()
+	}
 	hooks := runner.Hooks()
 	rc := runner.Context(t)
 
-	e, err := conn.Recv()
-	if err != nil {
-		return fmt.Errorf("client %d recv: %w", id, err)
+	var wait time.Duration
+	if opts.ClientTimeout > 0 {
+		wait = 2 * opts.ClientTimeout
 	}
-	roundErr := func() error {
-		if e.Kind != transport.KindRoundStart {
-			return fmt.Errorf("client %d: unexpected message kind %v", id, e.Kind)
+
+	var roundErr error
+	var endEnv *transport.Envelope
+	uploaded := false
+	for endEnv == nil && !uploaded {
+		e, err := p.rx.recv(wait)
+		if errors.Is(err, errRecvTimeout) {
+			return nil // the round passed this client by
 		}
-		var rs transport.RoundStart
-		if err := transport.Decode(e.Payload, &rs); err != nil {
-			return err
+		if err != nil {
+			return fmt.Errorf("client %d recv: %w", p.id, err)
 		}
-		if err := rs.Validate(); err != nil {
-			return err
+		ok, gerr := gateClient(p.id, t, e, tolerant, rs)
+		if gerr != nil {
+			return gerr
+		}
+		if !ok {
+			continue
+		}
+		if e.Kind == transport.KindRoundEnd {
+			// RoundStart was lost in transit: no training this round, go
+			// straight to the broadcast digest so local state stays current.
+			endEnv = e
+			break
+		}
+		var startMsg transport.RoundStart
+		if derr := transport.Decode(e.Payload, &startMsg); derr != nil {
+			if tolerant {
+				rs.corrupt.Add(1)
+				continue
+			}
+			return derr
+		}
+		if verr := startMsg.Validate(); verr != nil {
+			if tolerant {
+				rs.corrupt.Add(1)
+				continue
+			}
+			return verr
 		}
 		var global *engine.Payload
-		if rs.HasGlobal {
-			if global, err = rs.Global.ToPayload(); err != nil {
-				return err
+		if startMsg.HasGlobal {
+			var perr error
+			if global, perr = startMsg.Global.ToPayload(); perr != nil {
+				if tolerant {
+					rs.corrupt.Add(1)
+					continue
+				}
+				return perr
 			}
 		}
-		stopTrain := rec.ClientSpan(id)
-		up, err := hooks.LocalUpdate(rc, id, global)
+		stopTrain := rec.ClientSpan(p.id)
+		up, uerr := hooks.LocalUpdate(rc, p.id, global)
 		stopTrain()
-		if err != nil {
-			return err
-		}
-		ru := transport.RoundUpload{Round: t, Client: id}
-		if up != nil {
+		ru := transport.RoundUpload{Round: t, Client: p.id}
+		if uerr != nil {
+			roundErr = uerr
+			ru.Err = uerr.Error()
+		} else if up != nil {
 			ru.HasPayload = true
 			ru.Payload = transport.PayloadToWire(up)
 		}
-		return sendUpload(conn, id, t, ru)
-	}()
-	if roundErr != nil {
-		// Report the failure upstream so the server's collect loop is never
-		// short one upload; a send failure here means the transport itself
-		// is down and the server will notice on its own.
-		_ = sendUpload(conn, id, t, transport.RoundUpload{Round: t, Client: id, Err: roundErr.Error()})
+		if serr := p.sendUpload(t, ru, opts, tolerant, rs); serr != nil {
+			if tolerant && errors.Is(serr, faults.ErrTransient) {
+				// The upload was lost to chaos after exhausting retries;
+				// the server's deadline covers the gap.
+			} else if roundErr == nil {
+				roundErr = serr
+			}
+		}
+		uploaded = true
 	}
 
-	e, err = conn.Recv()
-	if err != nil {
-		if roundErr != nil {
+	for endEnv == nil {
+		e, err := p.rx.recv(wait)
+		if errors.Is(err, errRecvTimeout) {
 			return roundErr
 		}
-		return fmt.Errorf("client %d recv: %w", id, err)
+		if err != nil {
+			if roundErr != nil {
+				return roundErr
+			}
+			return fmt.Errorf("client %d recv: %w", p.id, err)
+		}
+		ok, gerr := gateClient(p.id, t, e, tolerant, rs)
+		if gerr != nil {
+			if roundErr != nil {
+				return roundErr
+			}
+			return gerr
+		}
+		if !ok {
+			continue
+		}
+		if e.Kind != transport.KindRoundEnd {
+			if tolerant {
+				rs.stale.Add(1) // duplicated RoundStart after upload
+				continue
+			}
+			return fmt.Errorf("client %d: unexpected message kind %v", p.id, e.Kind)
+		}
+		endEnv = e
 	}
-	if e.Kind != transport.KindRoundEnd {
-		return fmt.Errorf("client %d: unexpected message kind %v", id, e.Kind)
-	}
+
 	var re transport.RoundEnd
-	if err := transport.Decode(e.Payload, &re); err != nil {
+	if err := transport.Decode(endEnv.Payload, &re); err != nil {
+		if tolerant {
+			rs.corrupt.Add(1)
+			return roundErr
+		}
 		return err
 	}
 	if err := re.Validate(); err != nil {
+		if tolerant {
+			rs.corrupt.Add(1)
+			return roundErr
+		}
 		return err
 	}
 	if roundErr != nil {
 		return roundErr
 	}
 	if re.Err != "" {
-		return fmt.Errorf("client %d: server aborted round %d: %s", id, t, re.Err)
+		return fmt.Errorf("client %d: server aborted round %d: %s", p.id, t, re.Err)
 	}
 	if !re.HasBroadcast {
 		return nil
 	}
 	bcast, err := re.Broadcast.ToPayload()
 	if err != nil {
+		if tolerant {
+			rs.corrupt.Add(1)
+			return nil
+		}
 		return err
 	}
 	stopPublic := rec.Span(obs.PhaseClientPublic)
-	derr := hooks.Digest(rc, id, bcast)
+	derr := hooks.Digest(rc, p.id, bcast)
 	stopPublic()
 	return derr
 }
 
-// sendUpload encodes and sends one RoundUpload.
-func sendUpload(conn transport.Conn, id, t int, ru transport.RoundUpload) error {
+// sendUpload encodes and sends one RoundUpload, retrying transient failures
+// with deterministic exponential backoff. The jitter stream is keyed by
+// (seed, round, client) in a label band disjoint from every other RNG
+// consumer, so retry schedules never perturb training draws.
+func (p *clientPeer) sendUpload(t int, ru transport.RoundUpload, opts *Options, tolerant bool, rs *roundStats) error {
 	payload, err := transport.Encode(ru)
 	if err != nil {
 		return err
 	}
-	return conn.Send(&transport.Envelope{Kind: transport.KindUpload, From: id, To: -1, Round: t, Payload: payload})
-}
-
-// buildTransport wires one server conn and n client conns.
-func buildTransport(mode Mode, n int) (transport.Conn, []transport.Conn, func(), error) {
-	switch mode {
-	case ModeBus:
-		bus := transport.NewBus(n, n*2)
-		conns := make([]transport.Conn, n)
-		for c := range conns {
-			conns[c] = bus.ClientConn(c)
+	e := &transport.Envelope{Kind: transport.KindUpload, From: p.id, To: -1, Round: t, Payload: payload}
+	b := opts.Retry.WithDefaults()
+	var rng *stats.RNG
+	for attempt := 1; ; attempt++ {
+		err := p.conn.Send(e)
+		if err == nil {
+			return nil
 		}
-		return bus.ServerConn(), conns, bus.Close, nil
-	case ModeTCP:
-		srv, err := transport.Listen("127.0.0.1:0")
-		if err != nil {
-			return nil, nil, nil, err
+		if !tolerant || !errors.Is(err, faults.ErrTransient) || attempt >= b.Attempts {
+			return err
 		}
-		accepted := make(chan transport.Conn, n)
-		acceptErr := make(chan error, 1)
-		go func() {
-			for i := 0; i < n; i++ {
-				conn, err := srv.Accept()
-				if err != nil {
-					acceptErr <- err
-					return
-				}
-				accepted <- conn
+		if rng == nil {
+			var seed uint64
+			if opts.Faults != nil {
+				seed = opts.Faults.Seed
 			}
-			acceptErr <- nil
-		}()
-		conns := make([]transport.Conn, n)
-		for c := range conns {
-			conn, err := transport.Dial(srv.Addr())
-			if err != nil {
-				srv.Close()
-				return nil, nil, nil, err
-			}
-			conns[c] = conn
+			rng = stats.Split(seed, uint64(t)*1000+600+uint64(p.id))
 		}
-		if err := <-acceptErr; err != nil {
-			srv.Close()
-			return nil, nil, nil, err
-		}
-		// The server multiplexes over the accepted connections.
-		serverSide := make([]transport.Conn, 0, n)
-		for i := 0; i < n; i++ {
-			serverSide = append(serverSide, <-accepted)
-		}
-		mux := newMuxConn(serverSide)
-		cleanup := func() {
-			mux.Close()
-			for _, c := range conns {
-				c.Close()
-			}
-			srv.Close()
-		}
-		return mux, conns, cleanup, nil
-	default:
-		return nil, nil, nil, fmt.Errorf("distrib: unknown mode %q", mode)
+		rs.retries.Add(1)
+		time.Sleep(b.Delay(attempt, rng))
 	}
 }
 
-// muxConn fans a set of per-client server connections into one Conn: Recv
-// pulls from all peers, Send routes by Envelope.To.
-type muxConn struct {
-	conns []transport.Conn
-	inbox chan recvResult
+// receiver pumps a Conn into a channel so callers can apply deadlines to
+// Recv. stop() detaches the pump; the pump also exits when the conn errors
+// (including the close a worker issues on shutdown), so no goroutine is left
+// blocked on a channel send.
+type receiver struct {
+	ch   chan recvResult
+	done chan struct{}
+	once sync.Once
 }
 
 type recvResult struct {
@@ -429,43 +850,317 @@ type recvResult struct {
 	err error
 }
 
-func newMuxConn(conns []transport.Conn) *muxConn {
-	m := &muxConn{conns: conns, inbox: make(chan recvResult, len(conns))}
-	for _, c := range conns {
-		c := c
-		go func() {
-			for {
-				e, err := c.Recv()
-				m.inbox <- recvResult{e, err}
-				if err != nil {
+// errRecvTimeout reports a recv deadline expiring — a normal event in
+// tolerant mode, never surfaced to callers of the package.
+var errRecvTimeout = errors.New("distrib: recv timeout")
+
+func newReceiver(conn transport.Conn) *receiver {
+	r := &receiver{ch: make(chan recvResult, 4), done: make(chan struct{})}
+	go func() {
+		defer close(r.ch)
+		for {
+			e, err := conn.Recv()
+			select {
+			case r.ch <- recvResult{e, err}:
+			case <-r.done:
+				return
+			}
+			if err != nil {
+				// One peer's dead connection does not end a mux stream — the
+				// other peers are still talking and the dead one may redial.
+				var gone *peerGoneError
+				if !errors.As(err, &gone) {
 					return
 				}
 			}
-		}()
+		}
+	}()
+	return r
+}
+
+// recv returns the next envelope, waiting at most timeout (forever when
+// timeout <= 0). A stopped or exhausted receiver reports io.EOF.
+func (r *receiver) recv(timeout time.Duration) (*transport.Envelope, error) {
+	if timeout <= 0 {
+		res, ok := <-r.ch
+		if !ok {
+			return nil, io.EOF
+		}
+		return res.e, res.err
 	}
-	return m
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case res, ok := <-r.ch:
+		if !ok {
+			return nil, io.EOF
+		}
+		return res.e, res.err
+	case <-timer.C:
+		return nil, errRecvTimeout
+	}
+}
+
+// drain discards everything currently buffered without blocking — the
+// bus-mode crash semantics (a restarted process has an empty inbox). Late
+// arrivals are caught by round gating instead.
+func (r *receiver) drain() {
+	for {
+		select {
+		case _, ok := <-r.ch:
+			if !ok {
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (r *receiver) stop() { r.once.Do(func() { close(r.done) }) }
+
+// transportParts is a built transport: the server's fan-in conn, one conn
+// per client, an optional reconnect hook, and the teardown.
+type transportParts struct {
+	server  transport.Conn
+	clients []transport.Conn
+	redial  func(id int) (transport.Conn, error)
+	cleanup func()
+}
+
+// buildTransport wires one server conn and n client conns. billControl is
+// invoked with the wire size of reconnect handshakes so mid-run rejoins are
+// accounted as control traffic.
+func buildTransport(mode Mode, n int, billControl func(int)) (*transportParts, error) {
+	switch mode {
+	case ModeBus:
+		bus := transport.NewBus(n, n*2)
+		conns := make([]transport.Conn, n)
+		for c := range conns {
+			conns[c] = bus.ClientConn(c)
+		}
+		return &transportParts{server: bus.ServerConn(), clients: conns, cleanup: bus.Close}, nil
+	case ModeTCP:
+		srv, err := transport.Listen("127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		mux := newMuxConn(n)
+		go acceptLoop(srv, mux, n, billControl)
+		conns := make([]transport.Conn, n)
+		for c := range conns {
+			conn, err := dialAndJoin(srv.Addr(), c)
+			if err != nil {
+				mux.Close()
+				srv.Close()
+				return nil, err
+			}
+			conns[c] = conn
+		}
+		if err := mux.waitRegistered(n, 10*time.Second); err != nil {
+			mux.Close()
+			srv.Close()
+			return nil, err
+		}
+		addr := srv.Addr()
+		cleanup := func() {
+			mux.Close()
+			for _, c := range conns {
+				c.Close()
+			}
+			srv.Close()
+		}
+		return &transportParts{
+			server:  mux,
+			clients: conns,
+			redial:  func(id int) (transport.Conn, error) { return dialAndJoin(addr, id) },
+			cleanup: cleanup,
+		}, nil
+	default:
+		return nil, fmt.Errorf("distrib: unknown mode %q", mode)
+	}
+}
+
+// acceptLoop serves join handshakes for the run's lifetime, not just the
+// initial fan-in, so a crash-restarting client can redial mid-run. Each
+// accepted conn must open with a control hello naming the client id; the
+// conn is registered with the mux before the ack is sent, so everything the
+// server sends after the client observes the ack lands on the new conn.
+func acceptLoop(srv *transport.Server, mux *muxConn, n int, billControl func(int)) {
+	for {
+		conn, err := srv.Accept()
+		if err != nil {
+			return
+		}
+		go func(conn transport.Conn) {
+			hello, err := conn.Recv()
+			if err != nil || hello.Kind != transport.KindControl || hello.From < 0 || hello.From >= n {
+				conn.Close()
+				return
+			}
+			ack := &transport.Envelope{Kind: transport.KindControl, From: -1, To: hello.From, Round: hello.Round}
+			billControl(hello.WireSize() + ack.WireSize())
+			mux.register(hello.From, conn)
+			// A failed ack means the client is already redialing; the next
+			// handshake will replace this registration.
+			_ = conn.Send(ack)
+		}(conn)
+	}
+}
+
+// dialAndJoin connects to the server and completes the join handshake:
+// send a control hello, wait for the control ack. Non-control envelopes
+// arriving before the ack are leftovers of the round the client abandoned
+// (the server registers the conn before acking), so they are discarded.
+func dialAndJoin(addr string, id int) (transport.Conn, error) {
+	conn, err := transport.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	hello := &transport.Envelope{Kind: transport.KindControl, From: id, To: -1, Round: -1}
+	if err := conn.Send(hello); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("distrib: client %d join: %w", id, err)
+	}
+	for {
+		e, err := conn.Recv()
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("distrib: client %d await join ack: %w", id, err)
+		}
+		if e.Kind == transport.KindControl && e.To == id {
+			return conn, nil
+		}
+	}
+}
+
+// peerGoneError reports that one client's server-side connection died. In
+// tolerant mode the collect loop skips it (the client may redial); in
+// strict mode it aborts the round.
+type peerGoneError struct {
+	id  int
+	err error
+}
+
+func (p *peerGoneError) Error() string {
+	return fmt.Sprintf("distrib: peer %d connection lost: %v", p.id, p.err)
+}
+
+func (p *peerGoneError) Unwrap() error { return p.err }
+
+// muxConn fans per-client server connections into one Conn: Recv pulls from
+// all peers, Send routes by Envelope.To. Registrations are dynamic —
+// acceptLoop rebinds a client id to a fresh conn when it redials, closing
+// the old one. Pump goroutines deliver through a select on the done channel,
+// so Close never strands a pump blocked on the inbox.
+type muxConn struct {
+	mu    sync.Mutex
+	conns map[int]transport.Conn
+	inbox chan recvResult
+	done  chan struct{}
+	once  sync.Once
 }
 
 var _ transport.Conn = (*muxConn)(nil)
 
+func newMuxConn(n int) *muxConn {
+	return &muxConn{
+		conns: make(map[int]transport.Conn, n),
+		inbox: make(chan recvResult, n+4),
+		done:  make(chan struct{}),
+	}
+}
+
+// register binds id to conn (replacing and closing any previous conn) and
+// starts its pump.
+func (m *muxConn) register(id int, conn transport.Conn) {
+	m.mu.Lock()
+	old := m.conns[id]
+	m.conns[id] = conn
+	m.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	go m.pump(id, conn)
+}
+
+func (m *muxConn) pump(id int, conn transport.Conn) {
+	for {
+		e, err := conn.Recv()
+		if err != nil {
+			m.mu.Lock()
+			current := m.conns[id] == conn
+			if current {
+				delete(m.conns, id)
+			}
+			m.mu.Unlock()
+			if current {
+				m.deliver(recvResult{nil, &peerGoneError{id, err}})
+			}
+			return
+		}
+		if !m.deliver(recvResult{e, nil}) {
+			return
+		}
+	}
+}
+
+func (m *muxConn) deliver(r recvResult) bool {
+	select {
+	case m.inbox <- r:
+		return true
+	case <-m.done:
+		return false
+	}
+}
+
 func (m *muxConn) Send(e *transport.Envelope) error {
-	if e.To < 0 || e.To >= len(m.conns) {
+	m.mu.Lock()
+	conn := m.conns[e.To]
+	m.mu.Unlock()
+	if conn == nil {
 		return fmt.Errorf("distrib: mux send to unknown client %d", e.To)
 	}
-	return m.conns[e.To].Send(e)
+	return conn.Send(e)
 }
 
 func (m *muxConn) Recv() (*transport.Envelope, error) {
-	r := <-m.inbox
-	return r.e, r.err
+	select {
+	case r := <-m.inbox:
+		return r.e, r.err
+	case <-m.done:
+		return nil, io.EOF
+	}
 }
 
 func (m *muxConn) Close() error {
-	var firstErr error
-	for _, c := range m.conns {
-		if err := c.Close(); err != nil && firstErr == nil && err != io.EOF {
-			firstErr = err
-		}
+	m.once.Do(func() { close(m.done) })
+	m.mu.Lock()
+	conns := make([]transport.Conn, 0, len(m.conns))
+	for id, c := range m.conns {
+		conns = append(conns, c)
+		delete(m.conns, id)
 	}
-	return firstErr
+	m.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	return nil
+}
+
+// waitRegistered blocks until n clients have completed the join handshake.
+func (m *muxConn) waitRegistered(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		m.mu.Lock()
+		got := len(m.conns)
+		m.mu.Unlock()
+		if got >= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("distrib: only %d of %d clients joined within %v", got, n, timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
 }

@@ -204,3 +204,17 @@ func TestRunFig1Micro(t *testing.T) {
 		t.Fatalf("fig1 rows = %d, want 8", len(res.Rows))
 	}
 }
+
+func TestRunFailuresMicro(t *testing.T) {
+	res, err := RunFailures(microScale, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline plus three crash levels.
+	if len(res.Rows) != 4 {
+		t.Fatalf("failures rows = %d, want 4", len(res.Rows))
+	}
+	if res.Rows[0][1] != "none" {
+		t.Fatalf("baseline faults label = %q, want none", res.Rows[0][1])
+	}
+}

@@ -36,6 +36,7 @@ func Runners() map[string]Runner {
 		"ablation-filter-signal": RunAblationFilterSignal,
 		"ablation-normalization": RunAblationNormalization,
 		"extra-fedproto":         RunExtraFedProto,
+		"failures":               RunFailures,
 	}
 }
 

@@ -1,0 +1,325 @@
+package faults
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"fedpkd/internal/stats"
+	"fedpkd/internal/transport"
+)
+
+// pipeConn is a loopback transport.Conn: everything sent is received back.
+type pipeConn struct {
+	ch     chan *transport.Envelope
+	closed bool
+}
+
+func newPipe() *pipeConn { return &pipeConn{ch: make(chan *transport.Envelope, 64)} }
+
+func (p *pipeConn) Send(e *transport.Envelope) error { p.ch <- e; return nil }
+func (p *pipeConn) Recv() (*transport.Envelope, error) {
+	e, ok := <-p.ch
+	if !ok {
+		return nil, io.EOF
+	}
+	return e, nil
+}
+func (p *pipeConn) Close() error {
+	if !p.closed {
+		p.closed = true
+		close(p.ch)
+	}
+	return nil
+}
+
+func env(kind transport.Kind, round int, payload []byte) *transport.Envelope {
+	return &transport.Envelope{Kind: kind, From: 1, To: -1, Round: round, Payload: payload}
+}
+
+func TestZeroPlanIsPassThrough(t *testing.T) {
+	pipe := newPipe()
+	c := Wrap(pipe, nil, 0, nil)
+	if err := c.Send(env(transport.KindUpload, 0, []byte{1, 2, 3})); err != nil {
+		t.Fatal(err)
+	}
+	e, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Payload) != 3 || e.Payload[0] != 1 {
+		t.Errorf("payload altered: %v", e.Payload)
+	}
+	var p *Plan
+	if p.Enabled() || p.Lossy() || p.CrashesAt(0, 0) {
+		t.Error("nil plan must inject nothing")
+	}
+}
+
+// sendPattern records which of n sequential upload sends survive to the
+// inner conn.
+func sendPattern(t *testing.T, plan *Plan, peer, n int) []bool {
+	t.Helper()
+	pipe := newPipe()
+	c := Wrap(pipe, plan, peer, &Stats{})
+	out := make([]bool, n)
+	for r := 0; r < n; r++ {
+		if err := c.Send(env(transport.KindUpload, r, []byte{9, 9})); err != nil && err != ErrTransient {
+			t.Fatal(err)
+		}
+		select {
+		case <-pipe.ch:
+			out[r] = true
+		default:
+		}
+	}
+	return out
+}
+
+func TestDropIsDeterministicAndSeedSensitive(t *testing.T) {
+	plan := &Plan{Seed: 7, DropProb: 0.4}
+	a := sendPattern(t, plan, 2, 40)
+	b := sendPattern(t, plan, 2, 40)
+	drops := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("send %d diverged between identical runs", i)
+		}
+		if !a[i] {
+			drops++
+		}
+	}
+	if drops == 0 || drops == 40 {
+		t.Fatalf("drop pattern degenerate: %d/40 dropped", drops)
+	}
+	other := sendPattern(t, &Plan{Seed: 8, DropProb: 0.4}, 2, 40)
+	same := 0
+	for i := range a {
+		if a[i] == other[i] {
+			same++
+		}
+	}
+	if same == 40 {
+		t.Error("different seeds produced identical fault patterns")
+	}
+}
+
+func TestDuplicationAndDedupKeys(t *testing.T) {
+	pipe := newPipe()
+	st := &Stats{}
+	c := Wrap(pipe, &Plan{Seed: 3, DupProb: 0.5}, 1, st)
+	total := 0
+	for r := 0; r < 30; r++ {
+		if err := c.Send(env(transport.KindUpload, r, []byte{1})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for {
+		select {
+		case <-pipe.ch:
+			total++
+			continue
+		default:
+		}
+		break
+	}
+	sn := st.Snapshot()
+	if sn.Dups == 0 {
+		t.Fatal("no duplications at p=0.5 over 30 sends")
+	}
+	if total != 30+int(sn.Dups) {
+		t.Errorf("inner saw %d envelopes, want %d", total, 30+sn.Dups)
+	}
+}
+
+func TestCorruptionFlipsPayloadOnly(t *testing.T) {
+	pipe := newPipe()
+	st := &Stats{}
+	c := Wrap(pipe, &Plan{Seed: 5, CorruptProb: 0.9}, 4, st)
+	orig := []byte{10, 20, 30, 40, 50, 60, 70, 80}
+	corrupted := 0
+	for r := 0; r < 20; r++ {
+		payload := append([]byte(nil), orig...)
+		if err := c.Send(env(transport.KindUpload, r, payload)); err != nil {
+			t.Fatal(err)
+		}
+		got := <-pipe.ch
+		if got.Kind != transport.KindUpload || got.From != 1 || got.Round != r {
+			t.Fatalf("header altered: %+v", got)
+		}
+		diff := false
+		for i := range orig {
+			if got.Payload[i] != orig[i] {
+				diff = true
+			}
+		}
+		if diff {
+			corrupted++
+			// The caller's buffer must be untouched (corruption copies).
+			for i := range payload {
+				if payload[i] != orig[i] {
+					t.Fatal("corruption mutated the sender's payload in place")
+				}
+			}
+		}
+	}
+	if corrupted == 0 {
+		t.Fatal("no corruption at p=0.9 over 20 sends")
+	}
+	if got := st.Snapshot().Corrupts; int(got) != corrupted {
+		t.Errorf("stats count %d corruptions, observed %d", got, corrupted)
+	}
+}
+
+func TestTransientSendFailureRetriesFreshDraws(t *testing.T) {
+	pipe := newPipe()
+	c := Wrap(pipe, &Plan{Seed: 11, SendFailProb: 0.6}, 0, &Stats{})
+	// Retrying the same (kind, round) must advance the attempt counter, so
+	// a bounded number of retries eventually gets through.
+	e := env(transport.KindUpload, 3, []byte{1})
+	delivered := false
+	for attempt := 0; attempt < 16; attempt++ {
+		if err := c.Send(e); err == nil {
+			delivered = true
+			break
+		} else if err != ErrTransient {
+			t.Fatal(err)
+		}
+	}
+	if !delivered {
+		t.Fatal("16 attempts at p=0.6 never succeeded — attempt counter not advancing")
+	}
+}
+
+func TestRecvDropConsumesMessage(t *testing.T) {
+	pipe := newPipe()
+	st := &Stats{}
+	c := Wrap(pipe, &Plan{Seed: 2, DropProb: 0.5}, 3, st)
+	// Feed distinct rounds directly into the inner conn (bypassing send
+	// faults) and count what survives the receive path.
+	const n = 30
+	for r := 0; r < n; r++ {
+		pipe.ch <- env(transport.KindRoundEnd, r, nil)
+	}
+	pipe.Close()
+	got := 0
+	for {
+		if _, err := c.Recv(); err != nil {
+			break
+		}
+		got++
+	}
+	if got == 0 || got == n {
+		t.Fatalf("recv drop degenerate: %d/%d survived", got, n)
+	}
+	if int(st.Snapshot().Drops)+got != n {
+		t.Errorf("drops %d + delivered %d != sent %d", st.Snapshot().Drops, got, n)
+	}
+}
+
+func TestCrashesAtDeterministicPerClientRound(t *testing.T) {
+	p := &Plan{Seed: 9, CrashProb: 0.3}
+	crashes := 0
+	for c := 0; c < 5; c++ {
+		for r := 0; r < 20; r++ {
+			a, b := p.CrashesAt(c, r), p.CrashesAt(c, r)
+			if a != b {
+				t.Fatalf("CrashesAt(%d,%d) not stable", c, r)
+			}
+			if a {
+				crashes++
+			}
+		}
+	}
+	if crashes == 0 || crashes == 100 {
+		t.Fatalf("crash pattern degenerate: %d/100", crashes)
+	}
+}
+
+func TestSetInnerKeepsStreams(t *testing.T) {
+	plan := &Plan{Seed: 13, DropProb: 0.5}
+	// Pattern with one conn throughout.
+	ref := sendPattern(t, plan, 1, 20)
+
+	// Same sends, swapping the inner conn halfway: decisions must not shift
+	// because they key on message identity, not decorator state.
+	p1, p2 := newPipe(), newPipe()
+	c := Wrap(p1, plan, 1, nil)
+	got := make([]bool, 20)
+	for r := 0; r < 20; r++ {
+		if r == 10 {
+			c.SetInner(p2)
+		}
+		if err := c.Send(env(transport.KindUpload, r, []byte{9, 9})); err != nil {
+			t.Fatal(err)
+		}
+		pipe := p1
+		if r >= 10 {
+			pipe = p2
+		}
+		select {
+		case <-pipe.ch:
+			got[r] = true
+		default:
+		}
+	}
+	for i := range ref {
+		if ref[i] != got[i] {
+			t.Fatalf("send %d decision changed after SetInner", i)
+		}
+	}
+}
+
+func TestBackoffSchedule(t *testing.T) {
+	b := Backoff{}.WithDefaults()
+	rng := stats.NewRNG(1)
+	prev := time.Duration(0)
+	for attempt := 1; attempt < b.Attempts; attempt++ {
+		d := b.Delay(attempt, rng)
+		if d <= 0 {
+			t.Fatalf("attempt %d: non-positive delay %v", attempt, d)
+		}
+		lo := time.Duration(float64(b.Max) * (1 + b.Jitter))
+		if d > lo {
+			t.Fatalf("attempt %d: delay %v above jittered cap", attempt, d)
+		}
+		_ = prev
+		prev = d
+	}
+	// Deterministic given the same stream.
+	r1, r2 := stats.NewRNG(42), stats.NewRNG(42)
+	for attempt := 1; attempt <= 6; attempt++ {
+		if b.Delay(attempt, r1) != b.Delay(attempt, r2) {
+			t.Fatal("backoff jitter not deterministic under a fixed stream")
+		}
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("drop=0.1, crash=0.2,dup=0.05,corrupt=0.01,delay=0.3,sendfail=0.1,maxdelay=5ms", 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 77 || p.DropProb != 0.1 || p.CrashProb != 0.2 || p.DupProb != 0.05 ||
+		p.CorruptProb != 0.01 || p.DelayProb != 0.3 || p.SendFailProb != 0.1 || p.MaxDelay != 5*time.Millisecond {
+		t.Errorf("parsed plan %+v", p)
+	}
+	if !p.Lossy() {
+		t.Error("plan with drop should be lossy")
+	}
+	if got, _ := ParsePlan("", 1); got != nil {
+		t.Error("empty spec should return nil plan")
+	}
+	for _, bad := range []string{"drop", "drop=x", "nope=0.1", "drop=1.5", "maxdelay=zzz"} {
+		if _, err := ParsePlan(bad, 1); err == nil {
+			t.Errorf("spec %q should fail", bad)
+		}
+	}
+	if got := p.String(); got == "none" || got == "" {
+		t.Errorf("String() = %q", got)
+	}
+	var nilPlan *Plan
+	if nilPlan.String() != "none" {
+		t.Error("nil plan String should be none")
+	}
+}

@@ -52,6 +52,7 @@ func (r *Runner) checkpointDict() (*ckpt.Dict, error) {
 		le.I64(int64(rt.Round))
 		le.I64(rt.Upload)
 		le.I64(rt.Download)
+		le.I64(rt.Control)
 	}
 	d.Put(secLedger, le.Buf())
 
@@ -128,7 +129,11 @@ func (r *Runner) restoreDict(d *ckpt.Dict) error {
 		if err != nil {
 			return fmt.Errorf("engine: decode ledger round %d download: %w", i, err)
 		}
-		ledgerRounds[i] = comm.RoundTraffic{Round: int(rd), Upload: up, Download: down}
+		ctrl, err := ld.I64()
+		if err != nil {
+			return fmt.Errorf("engine: decode ledger round %d control: %w", i, err)
+		}
+		ledgerRounds[i] = comm.RoundTraffic{Round: int(rd), Upload: up, Download: down, Control: ctrl}
 	}
 
 	// Algorithm state last: its Restore is the most likely to fail, and the

@@ -283,6 +283,16 @@ func (r *Runner) SetHistoryLabelSuffix(suffix string) { r.labelSuffix = suffix }
 // index).
 func (r *Runner) CurrentRound() int { return r.round }
 
+// RecordDegraded records a partial-cohort round in the cumulative history.
+// The engine calls it for simulated drop injection; internal/distrib calls
+// it when real timeouts or crashes shrank a round's cohort. Callers that
+// want the round's full failure profile in the obs trace pair it with
+// Recorder.SetRobustness.
+func (r *Runner) RecordDegraded(d fl.DegradedRound) {
+	r.ensureHistory()
+	r.hist.AddDegraded(d)
+}
+
 // History returns the cumulative run history, creating it if needed.
 func (r *Runner) History() *fl.History { return r.ensureHistory() }
 
@@ -395,10 +405,14 @@ func (r *Runner) Round() error {
 	// Drop injection, drawn in deterministic participant order (one draw per
 	// participant) after the fan-out so completion scheduling cannot perturb
 	// the stream. A dropped client trained but its upload is lost.
+	var dropped []int
 	if r.cfg.ClientDropProb > 0 {
 		dropRng := stats.Split(r.cfg.Seed, uint64(t)*1000+777)
 		for i := range participants {
 			if dropRng.Float64() < r.cfg.ClientDropProb {
+				if payloads[i] != nil {
+					dropped = append(dropped, participants[i])
+				}
 				payloads[i] = nil
 			}
 		}
@@ -410,6 +424,19 @@ func (r *Runner) Round() error {
 		}
 		r.ledger.AddUpload(payloads[i].WireBytes())
 		uploads = append(uploads, Upload{Client: c, Payload: payloads[i]})
+	}
+	if len(dropped) > 0 {
+		r.RecordDegraded(fl.DegradedRound{
+			Round:    t,
+			Cohort:   len(uploads),
+			Expected: len(uploads) + len(dropped),
+			Missing:  dropped,
+		})
+		r.rec.SetRobustness(obs.Robustness{
+			Cohort:   len(uploads),
+			Expected: len(uploads) + len(dropped),
+			Crashed:  dropped,
+		})
 	}
 	if len(uploads) == 0 {
 		// Every participant failed: nothing to aggregate this round.

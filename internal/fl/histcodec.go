@@ -22,6 +22,16 @@ func EncodeHistory(h *History) []byte {
 		e.F64(r.ClientAcc)
 		e.F64(r.CumulativeMB)
 	}
+	e.U32(uint32(len(h.Degraded)))
+	for _, d := range h.Degraded {
+		e.I64(int64(d.Round))
+		e.I64(int64(d.Cohort))
+		e.I64(int64(d.Expected))
+		e.U32(uint32(len(d.Missing)))
+		for _, c := range d.Missing {
+			e.I64(int64(c))
+		}
+	}
 	return e.Buf()
 }
 
@@ -60,6 +70,40 @@ func DecodeHistory(b []byte) (*History, error) {
 			return nil, fmt.Errorf("fl: decode history round %d traffic: %w", i, err)
 		}
 		h.Rounds = append(h.Rounds, m)
+	}
+	nd, err := d.U32()
+	if err != nil {
+		return nil, fmt.Errorf("fl: decode history degraded count: %w", err)
+	}
+	for i := uint32(0); i < nd; i++ {
+		var dr DegradedRound
+		round, err := d.I64()
+		if err != nil {
+			return nil, fmt.Errorf("fl: decode degraded round %d: %w", i, err)
+		}
+		dr.Round = int(round)
+		cohort, err := d.I64()
+		if err != nil {
+			return nil, fmt.Errorf("fl: decode degraded round %d cohort: %w", i, err)
+		}
+		dr.Cohort = int(cohort)
+		expected, err := d.I64()
+		if err != nil {
+			return nil, fmt.Errorf("fl: decode degraded round %d expected: %w", i, err)
+		}
+		dr.Expected = int(expected)
+		nm, err := d.U32()
+		if err != nil {
+			return nil, fmt.Errorf("fl: decode degraded round %d missing count: %w", i, err)
+		}
+		for j := uint32(0); j < nm; j++ {
+			c, err := d.I64()
+			if err != nil {
+				return nil, fmt.Errorf("fl: decode degraded round %d missing client %d: %w", i, j, err)
+			}
+			dr.Missing = append(dr.Missing, int(c))
+		}
+		h.Degraded = append(h.Degraded, dr)
 	}
 	return h, nil
 }

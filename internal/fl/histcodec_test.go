@@ -27,6 +27,44 @@ func TestHistoryCodecRoundTrip(t *testing.T) {
 	}
 }
 
+func TestHistoryCodecCarriesDegradedRounds(t *testing.T) {
+	h := &History{Algo: "FedPKD", Dataset: "SynthC10", Setting: "iid"}
+	h.Add(RoundMetrics{Round: 0, ServerAcc: 0.5, ClientAcc: 0.4, CumulativeMB: 1})
+	h.AddDegraded(DegradedRound{Round: 0, Cohort: 2, Expected: 3, Missing: []int{1}})
+	h.AddDegraded(DegradedRound{Round: 4, Cohort: 1, Expected: 3, Missing: []int{0, 2}})
+
+	got, err := DecodeHistory(EncodeHistory(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Degraded) != 2 {
+		t.Fatalf("degraded rounds = %d, want 2", len(got.Degraded))
+	}
+	for i, d := range h.Degraded {
+		g := got.Degraded[i]
+		if g.Round != d.Round || g.Cohort != d.Cohort || g.Expected != d.Expected || len(g.Missing) != len(d.Missing) {
+			t.Fatalf("degraded %d: %+v != %+v", i, g, d)
+		}
+		for j := range d.Missing {
+			if g.Missing[j] != d.Missing[j] {
+				t.Fatalf("degraded %d missing %d: %d != %d", i, j, g.Missing[j], d.Missing[j])
+			}
+		}
+	}
+
+	// A healthy history must not grow a Degraded slice through the codec
+	// (JSON goldens rely on the field staying nil/omitted).
+	clean := &History{Algo: "x"}
+	clean.Add(RoundMetrics{Round: 0})
+	rt, err := DecodeHistory(EncodeHistory(clean))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Degraded != nil {
+		t.Fatalf("clean history decoded with Degraded = %+v", rt.Degraded)
+	}
+}
+
 func TestDecodeHistoryRejectsTruncation(t *testing.T) {
 	h := &History{Algo: "x"}
 	h.Add(RoundMetrics{Round: 0})

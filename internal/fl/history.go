@@ -16,6 +16,21 @@ type RoundMetrics struct {
 	CumulativeMB float64
 }
 
+// DegradedRound records one round that aggregated fewer client uploads than
+// it expected — whether from the in-process engine's simulated dropout or
+// from real timeouts/crashes in the distributed runtime.
+type DegradedRound struct {
+	// Round is the round index.
+	Round int
+	// Cohort is the number of uploads aggregated; Expected is the cohort size
+	// the round started with.
+	Cohort   int
+	Expected int
+	// Missing lists the client ids whose uploads did not make the round,
+	// sorted ascending so records are deterministic.
+	Missing []int `json:",omitempty"`
+}
+
 // History is the per-round trace of one algorithm run.
 type History struct {
 	// Algo names the algorithm ("FedPKD", "FedAvg", ...).
@@ -25,12 +40,26 @@ type History struct {
 	// Setting describes the partition ("dirichlet(α=0.1)", ...).
 	Setting string
 	Rounds  []RoundMetrics
+	// Degraded lists rounds that completed with a partial cohort. Nil when
+	// every round aggregated its full cohort, so healthy runs serialize
+	// exactly as before the failure model existed.
+	Degraded []DegradedRound `json:",omitempty"`
 }
 
 // Add appends one round's metrics.
 func (h *History) Add(m RoundMetrics) {
 	h.Rounds = append(h.Rounds, m)
 }
+
+// AddDegraded records a partial-cohort round. Callers only invoke it when
+// Cohort < Expected, keeping healthy histories byte-identical to the
+// pre-failure-model format.
+func (h *History) AddDegraded(d DegradedRound) {
+	h.Degraded = append(h.Degraded, d)
+}
+
+// DegradedCount returns the number of partial-cohort rounds recorded.
+func (h *History) DegradedCount() int { return len(h.Degraded) }
 
 // Len returns the number of recorded rounds.
 func (h *History) Len() int { return len(h.Rounds) }

@@ -41,7 +41,7 @@ func WriteCSV(w io.Writer, traces []RoundTrace) error {
 	sort.Strings(phases)
 
 	cw := csv.NewWriter(w)
-	header := []string{"algo", "round", "wall_ns", "upload_bytes", "download_bytes", "batches", "workers", "clients_trained",
+	header := []string{"algo", "round", "wall_ns", "upload_bytes", "download_bytes", "control_bytes", "batches", "workers", "clients_trained",
 		"kernel_ops", "kernel_parallel_calls", "kernel_serial_calls", "kernel_matrix_allocs", "kernel_scratch_misses"}
 	for _, p := range phases {
 		header = append(header, "phase_"+p+"_ns")
@@ -56,6 +56,7 @@ func WriteCSV(w io.Writer, traces []RoundTrace) error {
 			strconv.FormatInt(t.WallNS, 10),
 			strconv.FormatInt(t.UploadBytes, 10),
 			strconv.FormatInt(t.DownloadBytes, 10),
+			strconv.FormatInt(t.ControlBytes, 10),
 			strconv.FormatInt(t.Batches, 10),
 			strconv.Itoa(t.Workers),
 			strconv.Itoa(len(t.ClientTrainNS)),

@@ -62,7 +62,28 @@ var (
 	checkpointBytes     = expvar.NewInt("fedpkd_checkpoint_bytes_total")
 	checkpointWriteNS   = expvar.NewInt("fedpkd_checkpoint_write_ns_total")
 	checkpointsTotal    = expvar.NewInt("fedpkd_checkpoints_total")
+
+	// Robustness counters: cumulative faults injected by the chaos layer,
+	// stale/duplicate envelopes the server discarded, client retries, and
+	// rounds that closed with a partial cohort. They aggregate across runs in
+	// the process; per-round attribution lives in RoundTrace.Robustness.
+	faultsInjectedTotal = expvar.NewInt("fedpkd_faults_injected_total")
+	staleDroppedTotal   = expvar.NewInt("fedpkd_stale_dropped_total")
+	retriesTotal        = expvar.NewInt("fedpkd_retries_total")
+	partialRoundsTotal  = expvar.NewInt("fedpkd_partial_rounds_total")
 )
+
+// AddFaultsInjected bumps the process-wide injected-fault counter.
+func AddFaultsInjected(n int64) { faultsInjectedTotal.Add(n) }
+
+// AddStaleDropped bumps the process-wide stale/duplicate-discard counter.
+func AddStaleDropped(n int64) { staleDroppedTotal.Add(n) }
+
+// AddRetries bumps the process-wide client-retry counter.
+func AddRetries(n int64) { retriesTotal.Add(n) }
+
+// AddPartialRound counts one round that closed with a partial cohort.
+func AddPartialRound() { partialRoundsTotal.Add(1) }
 
 func init() {
 	// Live kernel/arena counters from the tensor compute layer, exported as
@@ -118,6 +139,9 @@ type RoundTrace struct {
 	// this round (client→server and server→client respectively).
 	UploadBytes   int64 `json:"upload_bytes"`
 	DownloadBytes int64 `json:"download_bytes"`
+	// ControlBytes mirrors the ledger's control-plane category: payload-free
+	// round framing and reconnect handshakes. Zero for in-process runs.
+	ControlBytes int64 `json:"control_bytes,omitempty"`
 	// Batches is the number of minibatches processed during the round
 	// (process-wide counter delta; concurrent runs in one process share it).
 	Batches int64 `json:"batches"`
@@ -140,10 +164,39 @@ type RoundTrace struct {
 	// phases running concurrently across clients (client_train,
 	// client_public) this is summed CPU-side busy time, not wall time.
 	PhaseNS map[string]int64 `json:"phase_ns,omitempty"`
+	// Robustness carries the round's failure-tolerance profile when the
+	// distributed runtime ran with deadlines or fault injection; nil for
+	// healthy in-process rounds.
+	Robustness *Robustness `json:"robustness,omitempty"`
 }
 
-// TotalBytes returns upload + download bytes.
-func (t RoundTrace) TotalBytes() int64 { return t.UploadBytes + t.DownloadBytes }
+// Robustness is the failure-tolerance profile of one distributed round: how
+// many clients the round expected vs. aggregated, who was lost and why, and
+// how much chaos the fault layer injected while it ran.
+type Robustness struct {
+	// Cohort is the number of client uploads aggregated; Expected is the
+	// cohort size the round started with. Cohort < Expected marks a partial
+	// round.
+	Cohort   int `json:"cohort"`
+	Expected int `json:"expected"`
+	// TimedOut and Crashed list clients lost to the straggler deadline and to
+	// injected crashes, respectively.
+	TimedOut []int `json:"timed_out,omitempty"`
+	Crashed  []int `json:"crashed,omitempty"`
+	// StaleDropped, DupDropped, and CorruptDropped count envelopes the server
+	// discarded after validation (wrong round, replayed upload, undecodable
+	// payload).
+	StaleDropped   int `json:"stale_dropped,omitempty"`
+	DupDropped     int `json:"dup_dropped,omitempty"`
+	CorruptDropped int `json:"corrupt_dropped,omitempty"`
+	// Retries counts client-side send retries this round; FaultsInjected is
+	// the chaos layer's injection count delta for the round.
+	Retries        int   `json:"retries,omitempty"`
+	FaultsInjected int64 `json:"faults_injected,omitempty"`
+}
+
+// TotalBytes returns upload + download + control bytes.
+func (t RoundTrace) TotalBytes() int64 { return t.UploadBytes + t.DownloadBytes + t.ControlBytes }
 
 // Recorder collects RoundTraces for one algorithm run. It implements
 // internal/comm's Ledger observer contract (RoundStarted, UploadedBytes,
@@ -254,6 +307,34 @@ func (r *Recorder) DownloadedBytes(n int) {
 	r.mu.Lock()
 	r.cur.DownloadBytes += int64(n)
 	r.mu.Unlock()
+}
+
+// ControlBytes records control-plane traffic (comm.Observer hook).
+func (r *Recorder) ControlBytes(n int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.cur.ControlBytes += int64(n)
+	r.mu.Unlock()
+}
+
+// SetRobustness attaches the round's failure-tolerance profile to the open
+// trace and feeds the process-wide robustness counters. Call once per round,
+// before the next RoundStarted/Finish closes the trace.
+func (r *Recorder) SetRobustness(rb Robustness) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.cur.Robustness = &rb
+	r.mu.Unlock()
+	AddStaleDropped(int64(rb.StaleDropped + rb.DupDropped + rb.CorruptDropped))
+	AddRetries(int64(rb.Retries))
+	AddFaultsInjected(rb.FaultsInjected)
+	if rb.Cohort < rb.Expected {
+		AddPartialRound()
+	}
 }
 
 // SetWorkers records the parallel fan-out width of the current round.

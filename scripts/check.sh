@@ -23,6 +23,13 @@ go test -race ./...
 echo ">> go test -race -count=1 -run 'MatchesInProcess|RunOver' ./internal/distrib/"
 go test -race -count=1 -run 'MatchesInProcess|RunOver' ./internal/distrib/
 
+# Seeded chaos suite: deterministic fault injection (crash/drop/dup/corrupt/
+# sendfail) over bus and TCP with partial-cohort aggregation, retry, and
+# quorum aborts. Crash/restart churns connections and receiver goroutines, so
+# this too must hold under the race detector (DESIGN.md §9).
+echo ">> go test -race -count=1 -run 'Chaos' ./internal/distrib/"
+go test -race -count=1 -run 'Chaos' ./internal/distrib/
+
 # Structural invariant of the round-engine refactor: no algorithm owns a
 # round loop. The engine's Runner is the only Round() in the tree; algorithm
 # packages supply phase hooks exclusively.
