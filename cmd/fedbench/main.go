@@ -45,6 +45,7 @@ func run() error {
 		ckptDir   = flag.String("checkpoint-dir", "", "root directory for per-run checkpoints (each run gets its own subdirectory)")
 		ckptEvery = flag.Int("checkpoint-every", 1, "checkpoint cadence in rounds (with -checkpoint-dir)")
 		resume    = flag.Bool("resume", false, "continue interrupted runs from their newest valid checkpoint under -checkpoint-dir")
+		codecName = flag.String("codec", "", "payload wire codec for experiment runs: float64raw (default), float32, or int8; the compression experiment sweeps all of them regardless")
 		chaosSpec = flag.String("chaos", "", "failures experiment: replace the default crash sweep with this fault plan, e.g. drop=0.1,crash=0.2")
 		cliTmo    = flag.Duration("client-timeout", 0, "failures experiment: straggler deadline per distributed round (default 1m)")
 		minQuorum = flag.Int("min-quorum", 0, "failures experiment: abort distributed rounds that aggregate fewer uploads; 0 disables")
@@ -52,6 +53,9 @@ func run() error {
 	flag.Parse()
 
 	tensor.SetWorkers(*workers)
+	if err := expt.SetWireCodec(*codecName); err != nil {
+		return err
+	}
 	expt.SetCheckpointPolicy(*ckptDir, *ckptEvery, *resume)
 	plan, err := faults.ParsePlan(*chaosSpec, *seed)
 	if err != nil {

@@ -42,6 +42,7 @@ func run() error {
 		hetero    = flag.Bool("hetero", false, "heterogeneous client fleet (ResNet11/20/29)")
 		theta     = flag.Float64("theta", 0.7, "FedPKD select ratio θ")
 		delta     = flag.Float64("delta", 0.5, "FedPKD server loss mix δ")
+		codec     = flag.String("codec", "float64raw", "payload wire codec: "+strings.Join(fedpkd.WireCodecs(), ", "))
 		distMode  = flag.String("distributed", "", "run the algorithm over a transport: bus or tcp")
 		chaos     = flag.String("chaos", "", "inject deterministic faults into the distributed transport, e.g. drop=0.1,crash=0.2 (keys: drop, delay, dup, corrupt, sendfail, crash, maxdelay)")
 		cliTmo    = flag.Duration("client-timeout", 0, "distributed straggler deadline per round; 0 waits forever (required >0 for lossy -chaos plans)")
@@ -118,6 +119,9 @@ func run() error {
 	algo, err := fedpkd.BuildAlgorithm(*algoName, env, sc, *seed, *hetero,
 		fedpkd.AlgoOptions{Theta: *theta, Delta: *delta})
 	if err != nil {
+		return err
+	}
+	if err := fedpkd.SetWireCodec(algo, *codec); err != nil {
 		return err
 	}
 

@@ -120,3 +120,81 @@ func TestGoldenHistories(t *testing.T) {
 		})
 	}
 }
+
+// TestGoldenHistoriesExplicitFloat64Codec re-runs all nine algorithms with
+// the wire codec explicitly pinned to float64raw and compares against the
+// same goldens: selecting the default codec by name must be
+// indistinguishable — byte-for-byte, ledger accounting included — from never
+// touching the codec API at all.
+func TestGoldenHistoriesExplicitFloat64Codec(t *testing.T) {
+	env := goldenEnv(t)
+	for name, build := range goldenAlgos(env) {
+		name, build := name, build
+		t.Run(name, func(t *testing.T) {
+			algo, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := SetWireCodec(algo, "float64raw"); err != nil {
+				t.Fatal(err)
+			}
+			hist, err := algo.Run(goldenRounds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := json.MarshalIndent(hist, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			want, err := os.ReadFile(filepath.Join("testdata", "goldens", name+".json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("explicit float64raw codec diverged from golden for %s:\n got: %s\nwant: %s", name, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenFedPKDInt8 pins the quantized trajectory: FedPKD under the int8
+// wire codec at the golden seed, history and compressed-ledger totals
+// byte-for-byte. This is the regression fence for the codec's numerics —
+// any change to the quantization grid, the delta coding, or the pricing
+// formulas moves this golden.
+func TestGoldenFedPKDInt8(t *testing.T) {
+	env := goldenEnv(t)
+	algo, err := NewFedPKD(Config{
+		Env: env, ClientPrivateEpochs: 3, ClientPublicEpochs: 2, ServerEpochs: 4, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SetWireCodec(algo, "int8"); err != nil {
+		t.Fatal(err)
+	}
+	hist, err := algo.Run(goldenRounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(hist, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", "goldens", "fedpkd_int8.json")
+	if *updateGoldens {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run go test -run TestGoldenFedPKDInt8 -update-goldens): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("int8 history diverged from golden:\n got: %s\nwant: %s", got, want)
+	}
+}

@@ -1,0 +1,337 @@
+package comm
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"testing"
+
+	"fedpkd/internal/stats"
+)
+
+func TestCodecParseAndString(t *testing.T) {
+	for c := Codec(0); c < numCodecs; c++ {
+		got, err := ParseCodec(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseCodec(%q) = %v, %v; want %v", c.String(), got, err, c)
+		}
+		if !c.Valid() {
+			t.Errorf("codec %v not valid", c)
+		}
+	}
+	if _, err := ParseCodec("gzip"); err == nil {
+		t.Error("ParseCodec accepted unknown codec")
+	}
+	if Codec(99).Valid() {
+		t.Error("codec 99 reported valid")
+	}
+	if Codec(99).String() == "" {
+		t.Error("unknown codec has empty String")
+	}
+}
+
+func TestCodecSectionMapping(t *testing.T) {
+	cases := []struct {
+		codec                  Codec
+		logits, protos, params Section
+		paramsNoRef            Section
+	}{
+		{CodecFloat64, SectionF64, SectionF64, SectionF64, SectionF64},
+		{CodecFloat32, SectionF32, SectionF32, SectionDeltaF32, SectionF32},
+		{CodecInt8, SectionI8, SectionI8, SectionDeltaF32, SectionF32},
+	}
+	for _, tc := range cases {
+		if got := tc.codec.LogitsSection(); got != tc.logits {
+			t.Errorf("%v logits section = %v, want %v", tc.codec, got, tc.logits)
+		}
+		if got := tc.codec.ProtoSection(); got != tc.protos {
+			t.Errorf("%v proto section = %v, want %v", tc.codec, got, tc.protos)
+		}
+		if got := tc.codec.ParamsSection(true); got != tc.params {
+			t.Errorf("%v params section = %v, want %v", tc.codec, got, tc.params)
+		}
+		if got := tc.codec.ParamsSection(false); got != tc.paramsNoRef {
+			t.Errorf("%v params section (no ref) = %v, want %v", tc.codec, got, tc.paramsNoRef)
+		}
+	}
+}
+
+// TestSectionWireBytesMatchesEncodedLength pins the pricing contract: for
+// every packed section the analytic byte count is exactly the encoded
+// length, so ledger totals predict wire bytes with no slack.
+func TestSectionWireBytesMatchesEncodedLength(t *testing.T) {
+	rng := stats.NewRNG(7)
+	for _, shape := range [][2]int{{1, 1}, {1, 17}, {3, 5}, {8, 48}, {10, 10}} {
+		rows, cols := shape[0], shape[1]
+		vals := randVals(rng, rows*cols, 3)
+		ref := randVals(rng, rows*cols, 1)
+		for _, s := range []Section{SectionF32, SectionI8, SectionDeltaF32} {
+			enc, err := EncodeSection(s, vals, rows, cols, ref)
+			if err != nil {
+				t.Fatalf("encode %v %dx%d: %v", s, rows, cols, err)
+			}
+			if want := SectionWireBytes(s, rows, cols); len(enc) != want {
+				t.Errorf("%v %dx%d: encoded %d bytes, SectionWireBytes says %d", s, rows, cols, len(enc), want)
+			}
+		}
+	}
+	if got := SectionWireBytes(SectionF64, 3, 5); got != 15*BytesPerValue {
+		t.Errorf("F64 pricing = %d, want %d", got, 15*BytesPerValue)
+	}
+	for _, s := range []Section{SectionF64, SectionF32, SectionI8, SectionDeltaF32} {
+		if got := SectionWireBytes(s, 0, 5); got != 0 {
+			t.Errorf("%v empty section priced at %d", s, got)
+		}
+	}
+}
+
+// TestSectionRoundTripExact: float32-representable values survive F32 and
+// DeltaF32 exactly, and ApplySection under SectionF64 is a no-op — the
+// per-codec exactness half of the round-trip property.
+func TestSectionRoundTripExact(t *testing.T) {
+	vals := []float64{0, 1, -1, 0.5, -0.25, 0.001953125, float64(float32(math.Pi)), 3e8, -7.75}
+	rows, cols := 3, 3
+	ref := []float64{1, 2, 3, -4, 0.5, 0, 100, -0.125, 8}
+
+	enc, err := EncodeSection(SectionF32, vals, rows, cols, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, s, err := DecodeSection(enc, rows, cols, nil)
+	if err != nil || s != SectionF32 {
+		t.Fatalf("decode: %v (section %v)", err, s)
+	}
+	for i := range vals {
+		if dec[i] != vals[i] {
+			t.Errorf("F32 roundtrip [%d] = %v, want exact %v", i, dec[i], vals[i])
+		}
+	}
+
+	// DeltaF32 is exact when the delta is float32-representable.
+	dvals := make([]float64, len(ref))
+	for i := range dvals {
+		dvals[i] = ref[i] + float64(float32(vals[i]))
+	}
+	enc, err = EncodeSection(SectionDeltaF32, dvals, rows, cols, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, s, err = DecodeSection(enc, rows, cols, ref)
+	if err != nil || s != SectionDeltaF32 {
+		t.Fatalf("decode delta: %v (section %v)", err, s)
+	}
+	for i := range dvals {
+		if dec[i] != dvals[i] {
+			t.Errorf("DeltaF32 roundtrip [%d] = %v, want exact %v", i, dec[i], dvals[i])
+		}
+	}
+
+	f64 := append([]float64(nil), vals...)
+	if err := ApplySection(SectionF64, f64, rows, cols, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if f64[i] != vals[i] {
+			t.Errorf("F64 ApplySection changed value [%d]", i)
+		}
+	}
+}
+
+// int8Tolerance is the documented reconstruction bound for one int8 row:
+// half a quantization step plus float32 rounding of the row's lo/scale
+// header and the clamp at the range edge.
+func int8Tolerance(row []float64) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range row {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	step := float64(float32((hi - lo) / 255))
+	const eps32 = 1.0 / (1 << 24)
+	return step/2 + 2*step*eps32 + (math.Abs(lo)+math.Abs(hi)+(hi-lo))*2*eps32
+}
+
+// TestSectionInt8WithinBound: the randomized round-trip property for the
+// lossy codec — every reconstructed value stays within the documented
+// per-row error bound, across scales, signs, and degenerate rows.
+func TestSectionInt8WithinBound(t *testing.T) {
+	rng := stats.NewRNG(42)
+	shapes := [][2]int{{1, 1}, {1, 256}, {4, 10}, {16, 48}, {7, 33}}
+	scales := []float64{1e-6, 1e-2, 1, 1e3, 1e8}
+	for _, shape := range shapes {
+		rows, cols := shape[0], shape[1]
+		for _, scale := range scales {
+			vals := randVals(rng, rows*cols, scale)
+			enc, err := EncodeSection(SectionI8, vals, rows, cols, nil)
+			if err != nil {
+				t.Fatalf("encode %dx%d scale %g: %v", rows, cols, scale, err)
+			}
+			dec, s, err := DecodeSection(enc, rows, cols, nil)
+			if err != nil || s != SectionI8 {
+				t.Fatalf("decode %dx%d scale %g: %v (section %v)", rows, cols, scale, err, s)
+			}
+			for r := 0; r < rows; r++ {
+				row := vals[r*cols : (r+1)*cols]
+				tol := int8Tolerance(row)
+				for j, v := range row {
+					got := dec[r*cols+j]
+					if diff := math.Abs(got - v); diff > tol {
+						t.Fatalf("%dx%d scale %g row %d col %d: |%v - %v| = %g > bound %g",
+							rows, cols, scale, r, j, got, v, diff, tol)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSectionInt8Idempotent: re-quantizing already-quantized values is a
+// fixed point, so applying the codec in-process then shipping the result
+// over the wire cannot drift values a second time.
+func TestSectionInt8Idempotent(t *testing.T) {
+	rng := stats.NewRNG(9)
+	rows, cols := 6, 20
+	vals := randVals(rng, rows*cols, 5)
+	if err := ApplySection(SectionI8, vals, rows, cols, nil); err != nil {
+		t.Fatal(err)
+	}
+	once := append([]float64(nil), vals...)
+	if err := ApplySection(SectionI8, vals, rows, cols, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if vals[i] != once[i] {
+			t.Fatalf("int8 re-quantization moved value [%d]: %v -> %v", i, once[i], vals[i])
+		}
+	}
+}
+
+func TestSectionInt8ConstantAndTinyRows(t *testing.T) {
+	// A constant row has zero range: scale 0, every value reconstructs
+	// exactly (to float32 rounding of lo).
+	vals := []float64{3.25, 3.25, 3.25, 3.25}
+	enc, err := EncodeSection(SectionI8, vals, 1, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, err := DecodeSection(enc, 1, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range dec {
+		if v != 3.25 {
+			t.Errorf("constant row [%d] = %v, want 3.25", i, v)
+		}
+	}
+
+	// Denormal-range rows: (hi-lo)/255 underflows float32 to 0; the row
+	// collapses to lo, which is within the (vacuous) bound.
+	tiny := []float64{1, 1 + 1e-40}
+	enc, err = EncodeSection(SectionI8, tiny, 1, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeSection(enc, 1, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeSectionRejectsBadInput(t *testing.T) {
+	if _, err := EncodeSection(SectionF64, []float64{1}, 1, 1, nil); !errors.Is(err, ErrSectionTag) {
+		t.Errorf("packing F64 = %v, want ErrSectionTag", err)
+	}
+	if _, err := EncodeSection(Section(9), []float64{1}, 1, 1, nil); !errors.Is(err, ErrSectionTag) {
+		t.Errorf("packing unknown section = %v, want ErrSectionTag", err)
+	}
+	if _, err := EncodeSection(SectionF32, []float64{1, 2}, 1, 1, nil); !errors.Is(err, ErrSectionSize) {
+		t.Errorf("shape mismatch = %v, want ErrSectionSize", err)
+	}
+	if _, err := EncodeSection(SectionDeltaF32, []float64{1, 2}, 1, 2, []float64{1}); !errors.Is(err, ErrSectionRef) {
+		t.Errorf("short ref = %v, want ErrSectionRef", err)
+	}
+	if _, err := EncodeSection(SectionI8, []float64{1, math.NaN()}, 1, 2, nil); !errors.Is(err, ErrSectionValue) {
+		t.Errorf("NaN input = %v, want ErrSectionValue", err)
+	}
+	if _, err := EncodeSection(SectionI8, []float64{math.Inf(1), 0}, 1, 2, nil); !errors.Is(err, ErrSectionValue) {
+		t.Errorf("Inf input = %v, want ErrSectionValue", err)
+	}
+}
+
+// TestDecodeSectionRejectsCorruption: every corruption mode maps to its
+// named error — the contract the chaos suite leans on.
+func TestDecodeSectionRejectsCorruption(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6}
+	enc, err := EncodeSection(SectionI8, vals, 2, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := DecodeSection(nil, 2, 3, nil); !errors.Is(err, ErrSectionSize) {
+		t.Errorf("nil data = %v, want ErrSectionSize", err)
+	}
+	if _, _, err := DecodeSection(enc[:3], 2, 3, nil); !errors.Is(err, ErrSectionSize) {
+		t.Errorf("truncated header = %v, want ErrSectionSize", err)
+	}
+	if _, _, err := DecodeSection(enc[:len(enc)-1], 2, 3, nil); !errors.Is(err, ErrSectionSize) {
+		t.Errorf("truncated body = %v, want ErrSectionSize", err)
+	}
+	if _, _, err := DecodeSection(enc, 3, 3, nil); !errors.Is(err, ErrSectionSize) {
+		t.Errorf("wrong shape = %v, want ErrSectionSize", err)
+	}
+	if _, _, err := DecodeSection(enc, -1, 3, nil); !errors.Is(err, ErrSectionSize) {
+		t.Errorf("negative shape = %v, want ErrSectionSize", err)
+	}
+
+	bad := append([]byte(nil), enc...)
+	bad[0] = 0xEE
+	if _, _, err := DecodeSection(bad, 2, 3, nil); !errors.Is(err, ErrSectionTag) {
+		t.Errorf("bad tag = %v, want ErrSectionTag", err)
+	}
+	bad[0] = byte(SectionF64)
+	if _, _, err := DecodeSection(bad, 2, 3, nil); !errors.Is(err, ErrSectionTag) {
+		t.Errorf("raw tag in packed section = %v, want ErrSectionTag", err)
+	}
+
+	bad = append([]byte(nil), enc...)
+	bad[len(bad)-1] ^= 0x40 // flip a quantized value bit
+	if _, _, err := DecodeSection(bad, 2, 3, nil); !errors.Is(err, ErrSectionChecksum) {
+		t.Errorf("flipped body bit = %v, want ErrSectionChecksum", err)
+	}
+
+	bad = append([]byte(nil), enc...)
+	bad[2] ^= 0x01 // corrupt the stored CRC itself
+	if _, _, err := DecodeSection(bad, 2, 3, nil); !errors.Is(err, ErrSectionChecksum) {
+		t.Errorf("flipped crc bit = %v, want ErrSectionChecksum", err)
+	}
+
+	// A corrupted scale header that still CRCs must be rejected by the
+	// finite-header check: rebuild the CRC over a NaN scale.
+	bad = append([]byte(nil), enc...)
+	body := bad[sectionHeaderBytes:]
+	binary.LittleEndian.PutUint32(body[4:], math.Float32bits(float32(math.NaN())))
+	binary.LittleEndian.PutUint32(bad[1:], crc32.ChecksumIEEE(body))
+	if _, _, err := DecodeSection(bad, 2, 3, nil); !errors.Is(err, ErrSectionValue) {
+		t.Errorf("NaN scale = %v, want ErrSectionValue", err)
+	}
+
+	// Delta sections demand a matching reference.
+	denc, err := EncodeSection(SectionDeltaF32, vals, 2, 3, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeSection(denc, 2, 3, nil); !errors.Is(err, ErrSectionRef) {
+		t.Errorf("delta without ref = %v, want ErrSectionRef", err)
+	}
+	if _, _, err := DecodeSection(denc, 2, 3, vals[:2]); !errors.Is(err, ErrSectionRef) {
+		t.Errorf("delta with short ref = %v, want ErrSectionRef", err)
+	}
+}
+
+func randVals(rng *stats.RNG, n int, scale float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = (rng.Float64()*2 - 1) * scale
+	}
+	return out
+}

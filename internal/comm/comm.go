@@ -55,6 +55,13 @@ type RoundTraffic struct {
 	// pure knowledge); the distributed runtime bills every control envelope
 	// here so wire totals stay honest.
 	Control int64
+	// RawUpload and RawDownload are the uncompressed-equivalent bytes of the
+	// same traffic: what Upload/Download would have been under the
+	// float64raw codec. Zero when no compressing codec is active (the
+	// compressed and raw prices coincide, and nothing tracks them
+	// separately). They are informational — Total() never includes them.
+	RawUpload   int64
+	RawDownload int64
 }
 
 // Total returns upload + download + control.
@@ -73,6 +80,19 @@ type Observer interface {
 	DownloadedBytes(bytes int)
 	// ControlBytes fires for every control-plane recording.
 	ControlBytes(bytes int)
+}
+
+// RawObserver is an optional extension of Observer: when a compressing
+// codec is active, observers implementing it also see the
+// uncompressed-equivalent bytes of every transfer (the UploadedBytes /
+// DownloadedBytes callbacks still fire with the wire bytes).
+type RawObserver interface {
+	// UploadedRawBytes fires alongside UploadedBytes with the raw-equivalent
+	// size of the same transfer.
+	UploadedRawBytes(raw int)
+	// DownloadedRawBytes fires alongside DownloadedBytes with the
+	// raw-equivalent size of the same transfer.
+	DownloadedRawBytes(raw int)
 }
 
 // Ledger accumulates traffic measurements across rounds. It is safe for
@@ -131,6 +151,33 @@ func (l *Ledger) AddControl(bytes int) {
 	}
 }
 
+// AddUploadRaw records client→server traffic of wire bytes on the wire that
+// a float64raw encoding would have priced at raw bytes — the pair a
+// compressing codec reports so compression ratios stay auditable per round.
+func (l *Ledger) AddUploadRaw(wire, raw int) {
+	o := l.addRaw(wire, raw, dirUpload)
+	if o == nil {
+		return
+	}
+	o.UploadedBytes(wire)
+	if ro, ok := o.(RawObserver); ok {
+		ro.UploadedRawBytes(raw)
+	}
+}
+
+// AddDownloadRaw records server→client traffic with its raw-equivalent
+// size, like AddUploadRaw.
+func (l *Ledger) AddDownloadRaw(wire, raw int) {
+	o := l.addRaw(wire, raw, dirDownload)
+	if o == nil {
+		return
+	}
+	o.DownloadedBytes(wire)
+	if ro, ok := o.(RawObserver); ok {
+		ro.DownloadedRawBytes(raw)
+	}
+}
+
 type direction int
 
 const (
@@ -151,6 +198,23 @@ func (l *Ledger) add(bytes int, dir direction) Observer {
 		l.mustCurrent().Download += int64(bytes)
 	case dirControl:
 		l.mustCurrent().Control += int64(bytes)
+	}
+	return l.obs
+}
+
+// addRaw records wire bytes in the directional total and raw bytes in the
+// matching raw-equivalent column, returning the observer to notify.
+func (l *Ledger) addRaw(wire, raw int, dir direction) Observer {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cur := l.mustCurrent()
+	switch dir {
+	case dirUpload:
+		cur.Upload += int64(wire)
+		cur.RawUpload += int64(raw)
+	case dirDownload:
+		cur.Download += int64(wire)
+		cur.RawDownload += int64(raw)
 	}
 	return l.obs
 }

@@ -9,11 +9,15 @@ import (
 	"time"
 
 	"fedpkd/internal/baselines"
+	"fedpkd/internal/comm"
 	"fedpkd/internal/core"
 	"fedpkd/internal/dataset"
 	"fedpkd/internal/faults"
 	"fedpkd/internal/fl"
 	"fedpkd/internal/fl/engine"
+	"fedpkd/internal/proto"
+	"fedpkd/internal/stats"
+	"fedpkd/internal/tensor"
 	"fedpkd/internal/transport"
 )
 
@@ -245,7 +249,7 @@ func TestChaosServerRejectsStaleAndDuplicate(t *testing.T) {
 		rx := newReceiver(bus.ServerConn())
 		defer rx.stop()
 		sendRaw(bus.ClientConn(0), 0, round+5, round+5, 0) // stale round stamp
-		_, _, roundErr, err := collectUploads(round, runner, rx, 3, &Options{}, false, &roundStats{})
+		_, _, roundErr, err := collectUploads(round, runner, rx, 3, &Options{}, comm.CodecFloat64, nil, false, &roundStats{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -260,7 +264,7 @@ func TestChaosServerRejectsStaleAndDuplicate(t *testing.T) {
 		rx := newReceiver(bus.ServerConn())
 		defer rx.stop()
 		sendRaw(bus.ClientConn(0), 0, round, round, 1) // payload claims client 1, conn is client 0
-		_, _, roundErr, err := collectUploads(round, runner, rx, 3, &Options{}, false, &roundStats{})
+		_, _, roundErr, err := collectUploads(round, runner, rx, 3, &Options{}, comm.CodecFloat64, nil, false, &roundStats{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -279,7 +283,7 @@ func TestChaosServerRejectsStaleAndDuplicate(t *testing.T) {
 		sendRaw(bus.ClientConn(1), 1, round, round, 1)     // duplicate: dropped
 		rs := &roundStats{}
 		opts := &Options{ClientTimeout: 300 * time.Millisecond}
-		_, report, roundErr, err := collectUploads(round, runner, rx, 3, opts, true, rs)
+		_, report, roundErr, err := collectUploads(round, runner, rx, 3, opts, comm.CodecFloat64, nil, true, rs)
 		if err != nil || roundErr != nil {
 			t.Fatalf("errs = %v, %v", err, roundErr)
 		}
@@ -310,5 +314,164 @@ func TestChaosTCPGoroutineLeakFree(t *testing.T) {
 			t.Fatalf("goroutines: %d before run, %d five seconds after", before, now)
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// int8Upload builds one deterministic upload payload and returns its wire
+// encoding under the given codec/ref, after an optional corruption hook. The
+// payload is rebuilt from the same seed on every call, so a clean encode can
+// be compared against an independent ApplyCodec of the same values.
+func int8Upload(t *testing.T, round, client int, codec comm.Codec, ref []float64, corrupt func(*transport.WirePayload)) ([]byte, *engine.Payload) {
+	t.Helper()
+	rng := stats.NewRNG(77)
+	up := &engine.Payload{
+		Logits:     tensor.Randn(rng, 2, 5, 1),
+		Protos:     proto.NewSet(3, 4),
+		Params:     []float64{0.5, -1.25, 2},
+		NumSamples: 7,
+	}
+	up.Protos.Vectors[1] = []float64{1, -2, 3, -4}
+	up.Protos.Counts[1] = 5
+	w, err := transport.PayloadToWireIn(up, codec, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrupt != nil {
+		corrupt(&w)
+	}
+	payload, err := transport.Encode(transport.RoundUpload{Round: round, Client: client, HasPayload: true, Payload: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return payload, up
+}
+
+// TestChaosInt8UploadValidation drives collectUploads against int8-coded
+// uploads: a bit-flipped quantized section fails the per-section CRC below
+// the gob layer with the named comm error, a raw-float64 upload into an int8
+// round is a codec mismatch, and a delta-coded section arriving in a round
+// without a parameter reference is rejected rather than mis-decoded — in
+// every case an error, never a panic or silently-wrong values.
+func TestChaosInt8UploadValidation(t *testing.T) {
+	env := chaosEnv(t)
+	runner, err := engine.Of(chaosFedAvg(t, env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	round := runner.BeginRound()
+	ref := []float64{0.25, -0.5, 1.5}
+
+	send := func(conn transport.Conn, from int, payload []byte) {
+		t.Helper()
+		if err := conn.Send(&transport.Envelope{Kind: transport.KindUpload, From: from, To: -1, Round: round, Payload: payload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	strictCase := func(name string, wantErr error, ref []float64, payload []byte) {
+		t.Run(name, func(t *testing.T) {
+			bus := transport.NewBus(3, 6)
+			defer bus.Close()
+			rx := newReceiver(bus.ServerConn())
+			defer rx.stop()
+			send(bus.ClientConn(0), 0, payload)
+			_, _, roundErr, err := collectUploads(round, runner, rx, 3, &Options{}, comm.CodecInt8, ref, false, &roundStats{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !errors.Is(roundErr, wantErr) {
+				t.Fatalf("roundErr = %v, want %v", roundErr, wantErr)
+			}
+		})
+	}
+
+	flipped, _ := int8Upload(t, round, 0, comm.CodecInt8, ref, func(w *transport.WirePayload) {
+		w.LogitsEnc[len(w.LogitsEnc)-1] ^= 0x01
+	})
+	strictCase("strict-bitflip", comm.ErrSectionChecksum, ref, flipped)
+
+	rawUpload, _ := int8Upload(t, round, 0, comm.CodecFloat64, nil, nil)
+	strictCase("strict-codec-mismatch", ErrCodecMismatch, ref, rawUpload)
+
+	deltaUpload, _ := int8Upload(t, round, 0, comm.CodecInt8, ref, nil)
+	strictCase("strict-delta-without-ref", comm.ErrSectionRef, nil, deltaUpload)
+
+	t.Run("tolerant", func(t *testing.T) {
+		bus := transport.NewBus(3, 6)
+		defer bus.Close()
+		rx := newReceiver(bus.ServerConn())
+		defer rx.stop()
+		send(bus.ClientConn(0), 0, flipped)   // CRC reject
+		send(bus.ClientConn(2), 2, rawUpload) // codec mismatch reject (checked before peer identity)
+		clean, orig := int8Upload(t, round, 1, comm.CodecInt8, ref, nil)
+		send(bus.ClientConn(1), 1, clean)
+		rs := &roundStats{}
+		opts := &Options{ClientTimeout: 300 * time.Millisecond}
+		uploads, _, roundErr, err := collectUploads(round, runner, rx, 3, opts, comm.CodecInt8, ref, true, rs)
+		if err != nil || roundErr != nil {
+			t.Fatalf("errs = %v, %v", err, roundErr)
+		}
+		if got := rs.corrupt.Load(); got != 2 {
+			t.Fatalf("corrupt = %d, want 2", got)
+		}
+		if len(uploads) != 1 || uploads[0].Client != 1 {
+			t.Fatalf("uploads = %+v, want exactly client 1", uploads)
+		}
+		want := orig.ApplyCodec(comm.CodecInt8, ref)
+		got := uploads[0].Payload
+		if !reflect.DeepEqual(got.Params, want.Params) {
+			t.Errorf("decoded params %v, want quantized %v", got.Params, want.Params)
+		}
+		if !reflect.DeepEqual(got.Logits.Data, want.Logits.Data) {
+			t.Errorf("decoded logits diverge from ApplyCodec")
+		}
+		if !reflect.DeepEqual(got.Protos.Vectors, want.Protos.Vectors) {
+			t.Errorf("decoded protos diverge from ApplyCodec")
+		}
+	})
+}
+
+// TestChaosInt8CorruptionRun is the run-level half of the quantized-chaos
+// contract: the full tolerant runtime with the int8 wire codec under payload
+// corruption completes every round (CRC-failed sections are counted drops,
+// never panics or poisoned aggregates), and the same seed reproduces the
+// same degraded history.
+func TestChaosInt8CorruptionRun(t *testing.T) {
+	plan := &faults.Plan{Seed: 31, CorruptProb: 0.3}
+	const rounds = 3
+	run := func() *fl.History {
+		var fs faults.Stats
+		env := chaosEnv(t)
+		algo := chaosFedPKD(t, env)
+		r, err := engine.Of(algo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.SetCodec(comm.CodecInt8); err != nil {
+			t.Fatal(err)
+		}
+		hist, err := RunAlgorithmOpts(algo, rounds, Options{
+			Mode:          ModeBus,
+			ClientTimeout: chaosTimeout,
+			Faults:        plan,
+			FaultStats:    &fs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fs.Snapshot().Corrupts == 0 {
+			t.Fatal("no corruption injected; this plan+seed is known to corrupt payloads")
+		}
+		return hist
+	}
+	h1 := run()
+	if h1.Len() != rounds {
+		t.Fatalf("history rounds = %d, want %d (corrupt int8 payloads must not abort the run)", h1.Len(), rounds)
+	}
+	h2 := run()
+	j1, _ := json.Marshal(h1)
+	j2, _ := json.Marshal(h2)
+	if string(j1) != string(j2) {
+		t.Fatalf("same-seed int8 chaos runs diverged:\n%s\nvs\n%s", j1, j2)
 	}
 }

@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fedpkd/internal/comm"
 	"fedpkd/internal/core"
 	"fedpkd/internal/faults"
 	"fedpkd/internal/fl"
@@ -62,6 +63,9 @@ var (
 	// ErrQuorumNotMet aborts a round that collected fewer uploads than
 	// Options.MinQuorum.
 	ErrQuorumNotMet = errors.New("distrib: quorum not met")
+	// ErrCodecMismatch marks an upload encoded under a codec other than the
+	// one the round's RoundStart negotiated.
+	ErrCodecMismatch = errors.New("distrib: upload codec mismatch")
 )
 
 // Mode selects the wire.
@@ -358,26 +362,49 @@ func serverRound(t int, runner *engine.Runner, conn transport.Conn, rx *receiver
 	ledger := runner.Ledger()
 	rc := runner.Context(t)
 
+	codec := runner.Codec()
+	coded := codec != comm.CodecFloat64
 	global := hooks.GlobalState(t)
-	startMsg := transport.RoundStart{Round: t, HasGlobal: global != nil, Global: transport.PayloadToWire(global)}
+	var refParams []float64
+	if coded && global != nil {
+		// Clients see decode(encode(global)); the server must hold the same
+		// bits so both sides agree on the delta reference for uploads and the
+		// distributed run stays bit-identical to the in-process engine.
+		global = global.ApplyCodec(codec, nil)
+		refParams = global.Params
+	}
+	gw, err := transport.PayloadToWireIn(global, codec, nil)
+	if err != nil {
+		return nil, err
+	}
+	startMsg := transport.RoundStart{Round: t, HasGlobal: global != nil, Global: gw, Codec: uint8(codec)}
 	payload, err := transport.Encode(startMsg)
 	if err != nil {
 		return nil, err
 	}
+	var startRaw int
+	if coded && startMsg.HasGlobal {
+		startRaw = rawWireSize(
+			transport.RoundStart{Round: t, HasGlobal: true, Global: transport.PayloadToWire(global)},
+			(&transport.Envelope{Payload: payload}).WireSize())
+	}
 	for c := 0; c < n; c++ {
 		e := &transport.Envelope{Kind: transport.KindRoundStart, From: -1, To: c, Round: t, Payload: payload}
 		sendErr := conn.Send(e)
-		if startMsg.HasGlobal {
-			ledger.AddDownload(e.WireSize())
-		} else {
+		switch {
+		case !startMsg.HasGlobal:
 			ledger.AddControl(e.WireSize())
+		case coded:
+			ledger.AddDownloadRaw(e.WireSize(), startRaw)
+		default:
+			ledger.AddDownload(e.WireSize())
 		}
 		if sendErr != nil && !tolerant {
 			return nil, sendErr
 		}
 	}
 
-	uploads, report, roundErr, err := collectUploads(t, runner, rx, n, opts, tolerant, rs)
+	uploads, report, roundErr, err := collectUploads(t, runner, rx, n, opts, codec, refParams, tolerant, rs)
 	if err != nil {
 		return report, err
 	}
@@ -394,7 +421,18 @@ func serverRound(t int, runner *engine.Runner, conn transport.Conn, rx *receiver
 		bcast, roundErr = hooks.Aggregate(rc, uploads)
 	}
 
-	re := transport.RoundEnd{Round: t, HasBroadcast: bcast != nil, Broadcast: transport.PayloadToWire(bcast)}
+	re := transport.RoundEnd{Round: t, Codec: uint8(codec)}
+	if roundErr == nil && bcast != nil {
+		// Broadcasts are never delta-coded: receivers that missed RoundStart
+		// must still be able to decode them ref-free.
+		bw, werr := transport.PayloadToWireIn(bcast, codec, nil)
+		if werr != nil {
+			roundErr = werr
+		} else {
+			re.HasBroadcast = true
+			re.Broadcast = bw
+		}
+	}
 	if roundErr != nil {
 		re.HasBroadcast = false
 		re.Broadcast = transport.WirePayload{}
@@ -407,19 +445,41 @@ func serverRound(t int, runner *engine.Runner, conn transport.Conn, rx *receiver
 		}
 		return report, err
 	}
+	var endRaw int
+	if coded && re.HasBroadcast {
+		endRaw = rawWireSize(
+			transport.RoundEnd{Round: t, HasBroadcast: true, Broadcast: transport.PayloadToWire(bcast)},
+			(&transport.Envelope{Payload: payload}).WireSize())
+	}
 	for c := 0; c < n; c++ {
 		e := &transport.Envelope{Kind: transport.KindRoundEnd, From: -1, To: c, Round: t, Payload: payload}
 		sendErr := conn.Send(e)
-		if re.HasBroadcast {
-			ledger.AddDownload(e.WireSize())
-		} else {
+		switch {
+		case !re.HasBroadcast:
 			ledger.AddControl(e.WireSize())
+		case coded:
+			ledger.AddDownloadRaw(e.WireSize(), endRaw)
+		default:
+			ledger.AddDownload(e.WireSize())
 		}
 		if sendErr != nil && !tolerant && roundErr == nil {
 			return report, sendErr
 		}
 	}
 	return report, roundErr
+}
+
+// rawWireSize returns the envelope wire size msg would occupy encoded as-is —
+// used to price the float64raw equivalent of a codec-compressed message into
+// the ledger's informational raw columns. Best effort: an encode failure
+// falls back to the given compressed size so raw totals never undercount the
+// wire.
+func rawWireSize(msg any, fallback int) int {
+	b, err := transport.Encode(msg)
+	if err != nil {
+		return fallback
+	}
+	return (&transport.Envelope{Payload: b}).WireSize()
 }
 
 // collectUploads drains the server inbox until every awaited client has
@@ -430,7 +490,7 @@ func serverRound(t int, runner *engine.Runner, conn transport.Conn, rx *receiver
 // Clients the shared fault schedule crashes this round are not awaited at
 // all — the deterministic equivalent of a failure detector, so a
 // crash-heavy round does not have to burn the whole deadline.
-func collectUploads(t int, runner *engine.Runner, rx *receiver, n int, opts *Options, tolerant bool, rs *roundStats) (uploads []engine.Upload, report *roundReport, roundErr, err error) {
+func collectUploads(t int, runner *engine.Runner, rx *receiver, n int, opts *Options, codec comm.Codec, refParams []float64, tolerant bool, rs *roundStats) (uploads []engine.Upload, report *roundReport, roundErr, err error) {
 	ledger := runner.Ledger()
 	uploads = make([]engine.Upload, 0, n)
 	seen := make([]bool, n)
@@ -506,6 +566,15 @@ func collectUploads(t int, runner *engine.Runner, rx *receiver, n int, opts *Opt
 			roundErr = verr
 			continue
 		}
+		if ru.HasPayload && ru.Payload.Codec != uint8(codec) {
+			if tolerant {
+				rs.corrupt.Add(1)
+				continue
+			}
+			roundErr = fmt.Errorf("%w: upload from peer %d coded %d, round %d negotiated %d",
+				ErrCodecMismatch, e.From, ru.Payload.Codec, t, uint8(codec))
+			continue
+		}
 		if ru.Client < 0 || ru.Client >= n {
 			if tolerant {
 				rs.corrupt.Add(1)
@@ -549,7 +618,7 @@ func collectUploads(t int, runner *engine.Runner, rx *receiver, n int, opts *Opt
 		if !ru.HasPayload {
 			continue
 		}
-		p, perr := ru.Payload.ToPayload()
+		p, perr := ru.Payload.ToPayloadRef(refParams)
 		if perr != nil {
 			if tolerant {
 				rs.corrupt.Add(1)
@@ -558,7 +627,14 @@ func collectUploads(t int, runner *engine.Runner, rx *receiver, n int, opts *Opt
 			roundErr = perr
 			continue
 		}
-		ledger.AddUpload(e.WireSize())
+		if codec == comm.CodecFloat64 {
+			ledger.AddUpload(e.WireSize())
+		} else {
+			raw := rawWireSize(
+				transport.RoundUpload{Round: ru.Round, Client: ru.Client, HasPayload: true, Payload: transport.PayloadToWire(p)},
+				e.WireSize())
+			ledger.AddUploadRaw(e.WireSize(), raw)
+		}
 		uploads = append(uploads, engine.Upload{Client: ru.Client, Payload: p})
 	}
 	missing := make([]int, 0)
@@ -701,9 +777,13 @@ func clientRound(p *clientPeer, t int, runner *engine.Runner, rec *obs.Recorder,
 			}
 			return verr
 		}
+		roundCodec := comm.Codec(startMsg.Codec)
 		var global *engine.Payload
 		if startMsg.HasGlobal {
 			var perr error
+			// Globals are never delta-coded, so the ref-free decode always
+			// applies; the decoded (quantized) params double as the delta
+			// reference for this client's upload.
 			if global, perr = startMsg.Global.ToPayload(); perr != nil {
 				if tolerant {
 					rs.corrupt.Add(1)
@@ -711,6 +791,10 @@ func clientRound(p *clientPeer, t int, runner *engine.Runner, rec *obs.Recorder,
 				}
 				return perr
 			}
+		}
+		var refParams []float64
+		if global != nil {
+			refParams = global.Params
 		}
 		stopTrain := rec.ClientSpan(p.id)
 		up, uerr := hooks.LocalUpdate(rc, p.id, global)
@@ -720,8 +804,13 @@ func clientRound(p *clientPeer, t int, runner *engine.Runner, rec *obs.Recorder,
 			roundErr = uerr
 			ru.Err = uerr.Error()
 		} else if up != nil {
-			ru.HasPayload = true
-			ru.Payload = transport.PayloadToWire(up)
+			if w, werr := transport.PayloadToWireIn(up, roundCodec, refParams); werr != nil {
+				roundErr = werr
+				ru.Err = werr.Error()
+			} else {
+				ru.HasPayload = true
+				ru.Payload = w
+			}
 		}
 		if serr := p.sendUpload(t, ru, opts, tolerant, rs); serr != nil {
 			if tolerant && errors.Is(serr, faults.ErrTransient) {

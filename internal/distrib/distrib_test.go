@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"fedpkd/internal/baselines"
+	"fedpkd/internal/comm"
 	"fedpkd/internal/core"
 	"fedpkd/internal/dataset"
 	"fedpkd/internal/fl"
@@ -172,5 +173,52 @@ func TestRunValidation(t *testing.T) {
 	env := distribEnv(t)
 	if _, err := Run(Config{Core: distribConfig(env), Mode: "carrier-pigeon"}, 1); err == nil {
 		t.Error("unknown mode should error")
+	}
+}
+
+// TestRunMatchesInProcessFedPKDInt8 pins the quantized-wire equivalence
+// contract: under the int8 codec both legs run decode(encode(x)) through
+// the same section machinery — the in-process engine via Payload.ApplyCodec,
+// the distributed runtime via the actual wire — so the accuracy trajectories
+// are still bit-identical, and the raw-equivalent ledger columns show real
+// upload compression.
+func TestRunMatchesInProcessFedPKDInt8(t *testing.T) {
+	env := distribEnv(t)
+	newRun := func() (*core.FedPKD, *engine.Runner) {
+		f, err := core.New(distribConfig(env))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := engine.Of(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.SetCodec(comm.CodecInt8); err != nil {
+			t.Fatal(err)
+		}
+		return f, r
+	}
+	algoD, runnerD := newRun()
+	d, err := RunAlgorithm(algoD, ModeBus, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algoP, _ := newRun()
+	inproc, err := algoP.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameAccuracies(t, d, inproc)
+
+	var up, rawUp int64
+	for _, rt := range runnerD.Ledger().Rounds() {
+		up += rt.Upload
+		rawUp += rt.RawUpload
+	}
+	if up == 0 || rawUp == 0 {
+		t.Fatalf("ledger upload=%d raw=%d; int8 runs must fill both columns", up, rawUp)
+	}
+	if rawUp < 3*up {
+		t.Errorf("raw-equivalent upload bytes %d vs wire %d: expected at least 3x compression", rawUp, up)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"fedpkd/internal/distrib"
 	"fedpkd/internal/faults"
 	"fedpkd/internal/fl"
+	"fedpkd/internal/fl/engine"
 )
 
 // Harness-wide failure model for the failures experiment, threaded from
@@ -73,6 +74,13 @@ func RunFailures(sc Scale, seed uint64) (*Result, error) {
 			Seed:                seed,
 		})
 		if err != nil {
+			return nil, err
+		}
+		runner, err := engine.Of(pkd)
+		if err != nil {
+			return nil, err
+		}
+		if err := applyCodecPolicy(runner); err != nil {
 			return nil, err
 		}
 		hist, err := distrib.RunAlgorithmOpts(pkd, sc.Rounds, distrib.Options{

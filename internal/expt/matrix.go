@@ -133,6 +133,9 @@ func RunOne(name string, task Task, setting Setting, sc Scale, seed uint64, hete
 	if err != nil {
 		return nil, err
 	}
+	if err := applyCodecPolicy(runner); err != nil {
+		return nil, err
+	}
 	if ckptPolicy.dir != "" && ckptPolicy.every > 0 {
 		warnings, err := applyCheckpointPolicy(runner, runCheckpointDir(name, task, setting, seed, hetero))
 		for _, w := range warnings {

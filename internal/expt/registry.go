@@ -37,6 +37,7 @@ func Runners() map[string]Runner {
 		"ablation-normalization": RunAblationNormalization,
 		"extra-fedproto":         RunExtraFedProto,
 		"failures":               RunFailures,
+		"compression":            RunCompression,
 	}
 }
 

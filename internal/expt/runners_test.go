@@ -100,6 +100,37 @@ func TestRunExtraFedProtoMicro(t *testing.T) {
 	}
 }
 
+func TestRunCompressionMicro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models over both transport legs")
+	}
+	res, err := RunCompression(microScale, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One row per codec; the runner's own contracts (predicted-vs-wire
+	// bit-equivalence, int8 >= 4x upload compression, 0.5pp accuracy
+	// budget) have already passed if err is nil.
+	if len(res.Rows) != 3 {
+		t.Fatalf("compression rows = %d, want 3", len(res.Rows))
+	}
+	codecs := map[string]bool{}
+	for _, row := range res.Rows {
+		codecs[row[0]] = true
+	}
+	for _, want := range []string{"float64raw", "float32", "int8"} {
+		if !codecs[want] {
+			t.Errorf("missing codec row %q", want)
+		}
+	}
+	// float64raw must not report raw-equivalent bytes (it IS the raw form).
+	for _, row := range res.Rows {
+		if row[0] == "float64raw" && row[5] != "0.000" {
+			t.Errorf("float64raw raw_up_MB = %s, want 0.000", row[5])
+		}
+	}
+}
+
 func TestRunAblationNormalizationMicro(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trains models")

@@ -53,6 +53,8 @@ func (r *Runner) checkpointDict() (*ckpt.Dict, error) {
 		le.I64(rt.Upload)
 		le.I64(rt.Download)
 		le.I64(rt.Control)
+		le.I64(rt.RawUpload)
+		le.I64(rt.RawDownload)
 	}
 	d.Put(secLedger, le.Buf())
 
@@ -133,7 +135,18 @@ func (r *Runner) restoreDict(d *ckpt.Dict) error {
 		if err != nil {
 			return fmt.Errorf("engine: decode ledger round %d control: %w", i, err)
 		}
-		ledgerRounds[i] = comm.RoundTraffic{Round: int(rd), Upload: up, Download: down, Control: ctrl}
+		rawUp, err := ld.I64()
+		if err != nil {
+			return fmt.Errorf("engine: decode ledger round %d raw upload: %w", i, err)
+		}
+		rawDown, err := ld.I64()
+		if err != nil {
+			return fmt.Errorf("engine: decode ledger round %d raw download: %w", i, err)
+		}
+		ledgerRounds[i] = comm.RoundTraffic{
+			Round: int(rd), Upload: up, Download: down, Control: ctrl,
+			RawUpload: rawUp, RawDownload: rawDown,
+		}
 	}
 
 	// Algorithm state last: its Restore is the most likely to fail, and the

@@ -191,6 +191,7 @@ type Runner struct {
 	rec    *obs.Recorder
 	round  int
 	hist   *fl.History
+	codec  comm.Codec
 
 	// labelSuffix decorates the history's Algo label (internal/distrib
 	// appends "(distributed)") without touching the algorithm name used for
@@ -242,8 +243,28 @@ func (r *Runner) SetRecorder(rec *obs.Recorder) {
 		r.ledger.SetObserver(nil)
 		return
 	}
+	rec.SetCodec(r.codec.String())
 	r.ledger.SetObserver(rec)
 }
+
+// SetCodec selects the wire codec for every subsequent round: payloads are
+// transcoded through it (the exact decode(encode(x)) the transport runs)
+// before pricing and delivery, so ledger totals are real compressed wire
+// bytes and in-process numerics match a distributed run under the same
+// codec. The default CodecFloat64 is the exact legacy behaviour. Call
+// before the first round; switching codecs mid-run would make cumulative
+// byte totals incomparable.
+func (r *Runner) SetCodec(c comm.Codec) error {
+	if !c.Valid() {
+		return fmt.Errorf("engine: invalid codec %d", uint8(c))
+	}
+	r.codec = c
+	r.rec.SetCodec(c.String())
+	return nil
+}
+
+// Codec returns the active wire codec.
+func (r *Runner) Codec() comm.Codec { return r.codec }
 
 // Context returns the hook context for the given round. Exposed for
 // internal/distrib, which drives the hooks round by round itself.
@@ -369,6 +390,25 @@ func (r *Runner) CompleteRound() error {
 	return nil
 }
 
+// addUpload ledgers one upload's wire bytes, tracking the raw-equivalent
+// price alongside when a compressing codec is active.
+func (r *Runner) addUpload(wire, raw int) {
+	if r.codec == comm.CodecFloat64 {
+		r.ledger.AddUpload(wire)
+		return
+	}
+	r.ledger.AddUploadRaw(wire, raw)
+}
+
+// addDownload is addUpload's download-side twin.
+func (r *Runner) addDownload(wire, raw int) {
+	if r.codec == comm.CodecFloat64 {
+		r.ledger.AddDownload(wire)
+		return
+	}
+	r.ledger.AddDownloadRaw(wire, raw)
+}
+
 // Round executes one communication round through the phase hooks.
 func (r *Runner) Round() error {
 	t := r.BeginRound()
@@ -377,11 +417,19 @@ func (r *Runner) Round() error {
 	participants := r.Participants(t)
 	r.rec.SetWorkers(fl.Workers(len(participants)))
 
-	// Front-loaded server state: every participant downloads it.
-	global := r.hooks.GlobalState(t)
-	if n := global.WireBytes(); n > 0 {
+	// Front-loaded server state: every participant downloads it. Under a
+	// compressing codec clients receive (and train against) the transcoded
+	// global; its params double as the delta reference for this round's
+	// uploads — both ends hold exactly these values.
+	global := r.hooks.GlobalState(t).ApplyCodec(r.codec, nil)
+	var refParams []float64
+	if global != nil {
+		refParams = global.Params
+	}
+	if n := global.WireBytesIn(r.codec); n > 0 {
+		raw := global.WireBytes()
 		for range participants {
-			r.ledger.AddDownload(n)
+			r.addDownload(n, raw)
 		}
 	}
 
@@ -422,8 +470,12 @@ func (r *Runner) Round() error {
 		if payloads[i] == nil {
 			continue
 		}
-		r.ledger.AddUpload(payloads[i].WireBytes())
-		uploads = append(uploads, Upload{Client: c, Payload: payloads[i]})
+		// The server aggregates what it decodes off the wire: the upload
+		// after codec transcoding, params delta-coded against the global
+		// reference both ends share.
+		up := payloads[i].ApplyCodec(r.codec, refParams)
+		r.addUpload(up.WireBytesIn(r.codec), up.WireBytes())
+		uploads = append(uploads, Upload{Client: c, Payload: up})
 	}
 	if len(dropped) > 0 {
 		r.RecordDegraded(fl.DegradedRound{
@@ -453,10 +505,14 @@ func (r *Runner) Round() error {
 
 	// Broadcast and digest fan-out, to every participant — a client that
 	// dropped before uploading still receives the round's knowledge.
-	bcastBytes := bcast.WireBytes()
+	// Broadcasts are never delta-coded: they define the next reference
+	// rather than diffing against one.
+	bcast = bcast.ApplyCodec(r.codec, nil)
+	bcastBytes := bcast.WireBytesIn(r.codec)
+	bcastRaw := bcast.WireBytes()
 	return fl.ForEachClient(len(participants), func(i int) error {
 		c := participants[i]
-		r.ledger.AddDownload(bcastBytes)
+		r.addDownload(bcastBytes, bcastRaw)
 		stopPublic := r.rec.Span(obs.PhaseClientPublic)
 		err := r.hooks.Digest(rc, c, bcast)
 		stopPublic()

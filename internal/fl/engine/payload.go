@@ -51,23 +51,83 @@ type Payload struct {
 //
 // A nil payload (no message) costs nothing.
 func (p *Payload) WireBytes() int {
+	return p.WireBytesIn(comm.CodecFloat64)
+}
+
+// WireBytesIn prices the payload under wire codec c. It extends the
+// WireBytes contract to compressed encodings: packed sections are charged
+// their exact encoded byte length (tag + checksum + packed body, see
+// comm.SectionWireBytes), so ledger totals equal real wire bytes; the
+// float64raw codec keeps the analytic BytesPerValue pricing above. The
+// delta-vs-reference question does not change the price (delta and plain
+// float32 sections are the same size), so pricing needs no reference.
+func (p *Payload) WireBytesIn(c comm.Codec) int {
 	if p == nil {
 		return 0
 	}
 	n := 0
 	if p.Logits != nil && !p.LogitsLocal {
-		n += comm.LogitsBytes(p.Logits.Rows, p.Logits.Cols)
+		n += comm.SectionWireBytes(c.LogitsSection(), p.Logits.Rows, p.Logits.Cols)
 	}
 	if len(p.Indices) > 0 {
 		n += comm.SampleIndexBytes(len(p.Indices))
 	}
 	if p.Protos != nil {
-		n += comm.PrototypeBytes(p.Protos.Len(), p.Protos.Dim)
+		n += comm.SectionWireBytes(c.ProtoSection(), p.Protos.Len(), p.Protos.Dim)
 	}
 	if len(p.Params) > 0 {
-		n += comm.ModelBytes(len(p.Params))
+		n += comm.SectionWireBytes(c.ParamsSection(true), 1, len(p.Params))
 	} else if p.ParamsCounted > 0 {
-		n += comm.ModelBytes(p.ParamsCounted)
+		n += comm.SectionWireBytes(c.ParamsSection(false), 1, p.ParamsCounted)
 	}
 	return n
+}
+
+// ApplyCodec returns the payload as its receiver observes it after a wire
+// round-trip under codec c: logits and prototype values carry the codec's
+// quantization, params carry float32 (delta-vs-ref when ref matches their
+// length) rounding. It runs the same encode/decode the transport runs, so
+// in-process rounds are bit-identical to distributed ones under the same
+// codec. CodecFloat64 is exact and returns p unchanged (as does a nil
+// payload). Logits marked LogitsLocal stay exact: the receiver recomputes
+// them locally, they never really cross the wire.
+func (p *Payload) ApplyCodec(c comm.Codec, ref []float64) *Payload {
+	if p == nil || c == comm.CodecFloat64 {
+		return p
+	}
+	out := *p
+	if p.Logits != nil && !p.LogitsLocal {
+		m := p.Logits.Clone()
+		mustApplySection(c.LogitsSection(), m.Data, m.Rows, m.Cols, nil)
+		out.Logits = m
+	}
+	if p.Protos != nil {
+		s := proto.NewSet(p.Protos.Classes, p.Protos.Dim)
+		for class, vec := range p.Protos.Vectors {
+			v := append([]float64(nil), vec...)
+			// Each class vector is one quantization row on the wire, so
+			// per-class application here matches the packed encoding exactly.
+			mustApplySection(c.ProtoSection(), v, 1, p.Protos.Dim, nil)
+			s.Vectors[class] = v
+			s.Counts[class] = p.Protos.Counts[class]
+		}
+		out.Protos = s
+	}
+	if len(p.Params) > 0 {
+		hasRef := len(ref) == len(p.Params)
+		v := append([]float64(nil), p.Params...)
+		mustApplySection(c.ParamsSection(hasRef), v, 1, len(v), ref)
+		out.Params = v
+	}
+	return &out
+}
+
+// mustApplySection applies a wire round-trip in place. Payload values come
+// from training arithmetic and are finite; a failure here is a programming
+// error, not a wire condition, so it panics like the kernels do on shape
+// errors.
+func mustApplySection(s comm.Section, vals []float64, rows, cols int, ref []float64) {
+	if err := comm.ApplySection(s, vals, rows, cols, ref); err != nil {
+		panic("engine: payload codec application failed: " + err.Error())
+	}
 }

@@ -142,6 +142,13 @@ type RoundTrace struct {
 	// ControlBytes mirrors the ledger's control-plane category: payload-free
 	// round framing and reconnect handshakes. Zero for in-process runs.
 	ControlBytes int64 `json:"control_bytes,omitempty"`
+	// Codec names the wire codec the run negotiated, when it is not the
+	// default float64raw. UploadRawBytes / DownloadRawBytes then carry the
+	// uncompressed-equivalent sizes of the same traffic, so a trace shows
+	// the round's compression ratio directly.
+	Codec            string `json:"codec,omitempty"`
+	UploadRawBytes   int64  `json:"upload_raw_bytes,omitempty"`
+	DownloadRawBytes int64  `json:"download_raw_bytes,omitempty"`
 	// Batches is the number of minibatches processed during the round
 	// (process-wide counter delta; concurrent runs in one process share it).
 	Batches int64 `json:"batches"`
@@ -206,6 +213,7 @@ func (t RoundTrace) TotalBytes() int64 { return t.UploadBytes + t.DownloadBytes 
 type Recorder struct {
 	mu         sync.Mutex
 	algo       string
+	codec      string
 	open       bool
 	cur        RoundTrace
 	start      time.Time
@@ -246,6 +254,7 @@ func (r *Recorder) RoundStarted(round int) {
 	r.kernelMark = tensor.ReadKernelStats()
 	r.cur = RoundTrace{
 		Algo:          r.algo,
+		Codec:         r.codec,
 		Round:         round,
 		ClientTrainNS: make(map[int]int64),
 		PhaseNS:       make(map[string]int64),
@@ -316,6 +325,45 @@ func (r *Recorder) ControlBytes(n int) {
 	}
 	r.mu.Lock()
 	r.cur.ControlBytes += int64(n)
+	r.mu.Unlock()
+}
+
+// SetCodec labels subsequent traces with the run's wire codec. Pass the
+// empty string (or the default codec's name, "float64raw") to clear: the
+// default is left implicit in traces, matching the ledger's convention of
+// only tracking raw-equivalent bytes under a compressing codec.
+func (r *Recorder) SetCodec(codec string) {
+	if r == nil {
+		return
+	}
+	if codec == "float64raw" {
+		codec = ""
+	}
+	r.mu.Lock()
+	r.codec = codec
+	r.cur.Codec = codec
+	r.mu.Unlock()
+}
+
+// UploadedRawBytes records the raw-equivalent size of a compressed upload
+// (comm.RawObserver hook).
+func (r *Recorder) UploadedRawBytes(n int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.cur.UploadRawBytes += int64(n)
+	r.mu.Unlock()
+}
+
+// DownloadedRawBytes records the raw-equivalent size of a compressed
+// download (comm.RawObserver hook).
+func (r *Recorder) DownloadedRawBytes(n int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.cur.DownloadRawBytes += int64(n)
 	r.mu.Unlock()
 }
 

@@ -33,10 +33,11 @@ func BenchmarkMatMulTN(b *testing.B) {
 			rng := stats.NewRNG(1)
 			x := Randn(rng, n, n, 1)
 			y := Randn(rng, n, n, 1)
+			out := New(n, n)
 			b.SetBytes(int64(n * n * n * 8))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				_ = MatMulTN(x, y)
+				MatMulTNInto(out, x, y)
 			}
 		})
 	}
@@ -48,10 +49,29 @@ func BenchmarkMatMulNT(b *testing.B) {
 			rng := stats.NewRNG(1)
 			x := Randn(rng, n, n, 1)
 			y := Randn(rng, n, n, 1)
+			out := New(n, n)
 			b.SetBytes(int64(n * n * n * 8))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				_ = MatMulNT(x, y)
+				MatMulNTInto(out, x, y)
+			}
+		})
+	}
+}
+
+// BenchmarkMatMulF32 measures the opt-in float32 compute path on the same
+// shapes as the float64 kernels.
+func BenchmarkMatMulF32(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("%dx%d", n, n), func(b *testing.B) {
+			rng := stats.NewRNG(1)
+			x := Randn(rng, n, n, 1)
+			y := Randn(rng, n, n, 1)
+			out := New(n, n)
+			b.SetBytes(int64(n * n * n * 4))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulF32Into(out, x, y)
 			}
 		})
 	}

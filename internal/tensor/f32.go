@@ -1,0 +1,140 @@
+package tensor
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// The float32 compute path — the arithmetic-side counterpart of the wire
+// codec's float32 tier. MatMulF32Into demotes both operands to float32,
+// runs the GEMM hot loop entirely in float32 (half the memory traffic per
+// value, so cache-bound shapes stream twice the elements per line), and
+// promotes the product back to float64.
+//
+// This path is OPT-IN and is not called from training: float32 accumulation
+// changes results, and the repo's determinism and golden contracts are
+// defined over the float64 kernels. Callers that accept the precision trade
+// (inference sweeps, experiment-side what-if passes) reach for it
+// explicitly. Like every kernel in this package, serial and parallel
+// launches are bit-identical: panels partition the output and the reduction
+// runs in one fixed ascending-k order.
+
+// f32buf is a pooled float32 backing array, pooled by pointer so a get/put
+// cycle never re-boxes the slice header — the steady state allocates
+// nothing.
+type f32buf struct{ s []float32 }
+
+var f32Pools [maxScratchClass + 1]sync.Pool
+
+// getF32 returns a pooled buffer with len n and ARBITRARY contents.
+func getF32(n int) *f32buf {
+	if n == 0 {
+		return &f32buf{}
+	}
+	class := bits.Len(uint(n - 1))
+	if class > maxScratchClass {
+		return &f32buf{s: make([]float32, n)}
+	}
+	if v := f32Pools[class].Get(); v != nil {
+		b := v.(*f32buf)
+		b.s = b.s[:n]
+		return b
+	}
+	return &f32buf{s: make([]float32, n, 1<<class)}
+}
+
+// putF32 returns a buffer to its size-class pool. Only exact power-of-two
+// capacities (the ones getF32 hands out) are pooled.
+func putF32(b *f32buf) {
+	if b == nil || b.s == nil {
+		return
+	}
+	c := cap(b.s)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	class := bits.Len(uint(c - 1))
+	if class > maxScratchClass {
+		return
+	}
+	b.s = b.s[:0]
+	f32Pools[class].Put(b)
+}
+
+// MatMulF32 returns a·b computed in float32. See MatMulF32Into.
+func MatMulF32(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	MatMulF32Into(out, a, b)
+	return out
+}
+
+// MatMulF32Into computes out = a·b with float32 inner arithmetic, reusing
+// out's storage. Shapes and aliasing rules match MatMulInto. The result
+// differs from the float64 kernels by float32 rounding, bounded by the usual
+// k·eps32 accumulation error; it does not feed any golden-checked path.
+func MatMulF32Into(out, a, b *Matrix) {
+	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulF32Into shape mismatch out=%dx%d a=%dx%d b=%dx%d",
+			out.Rows, out.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	mustNotAlias("MatMulF32Into", out, a, b)
+	m, kDim, n := a.Rows, a.Cols, b.Cols
+	ab := getF32(m * kDim)
+	bb := getF32(kDim * n)
+	ob := getF32(m * n)
+	for i, v := range a.Data {
+		ab.s[i] = float32(v)
+	}
+	for i, v := range b.Data {
+		bb.s[i] = float32(v)
+	}
+	ops := int64(m) * int64(kDim) * int64(n)
+	if !useParallel(m, ops) {
+		gemmNNPanelF32(ob.s, ab.s, bb.s, kDim, n, 0, m)
+		noteSerial(ops)
+	} else {
+		parallelFor(m, ops, func(lo, hi int) { gemmNNPanelF32(ob.s, ab.s, bb.s, kDim, n, lo, hi) })
+	}
+	for i, v := range ob.s {
+		out.Data[i] = float64(v)
+	}
+	putF32(ab)
+	putF32(bb)
+	putF32(ob)
+}
+
+// gemmNNPanelF32 is the float32 GEMM hot loop over output rows [lo, hi):
+// the NN kernel's saxpy structure (4-wide ascending-k groups, fixed
+// accumulation order) without the zero-skip branches — demoted operands are
+// dense, so the branches would only cost.
+func gemmNNPanelF32(of, af, bf []float32, kDim, n, lo, hi int) {
+	if n == 0 {
+		return
+	}
+	for i := lo; i < hi; i++ {
+		orow := of[i*n:][:n]
+		for j := range orow {
+			orow[j] = 0
+		}
+		arow := af[i*kDim:][:kDim]
+		k := 0
+		for ; k+3 < kDim; k += 4 {
+			a0, a1, a2, a3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+			b0 := bf[k*n:][:n]
+			b1 := bf[(k+1)*n:][:n]
+			b2 := bf[(k+2)*n:][:n]
+			b3 := bf[(k+3)*n:][:n]
+			for j, v0 := range b0 {
+				orow[j] += a0*v0 + a1*b1[j] + a2*b2[j] + a3*b3[j]
+			}
+		}
+		for ; k < kDim; k++ {
+			av := arow[k]
+			brow := bf[k*n:][:n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}

@@ -102,6 +102,10 @@ func MatMulNTInto(out, a, b *Matrix) {
 	}
 	mustNotAlias("MatMulNTInto", out, a, b)
 	ops := int64(a.Rows) * int64(a.Cols) * int64(b.Rows)
+	if ops >= minPackNTOps {
+		matMulNTPacked(out, a, b, ops)
+		return
+	}
 	if !useParallel(out.Rows, ops) {
 		gemmNTPanel(out, a, b, 0, out.Rows)
 		noteSerial(ops)

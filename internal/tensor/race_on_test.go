@@ -1,0 +1,9 @@
+//go:build race
+
+package tensor
+
+// raceEnabled reports whether the race detector is active. The allocation
+// regression tests skip under it: the runtime deliberately makes sync.Pool
+// drop cached items when racing, so scratch reuse — and therefore
+// steady-state allocation counts — are not meaningful.
+const raceEnabled = true

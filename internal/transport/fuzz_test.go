@@ -1,8 +1,16 @@
 package transport
 
 import (
+	"bytes"
+	"errors"
+	"reflect"
 	"strings"
 	"testing"
+
+	"fedpkd/internal/comm"
+	"fedpkd/internal/fl/engine"
+	"fedpkd/internal/proto"
+	"fedpkd/internal/tensor"
 )
 
 // seedCorpus returns valid encoded round messages so the fuzzer starts from
@@ -40,8 +48,41 @@ func seedCorpus(t testing.TB) [][]byte {
 			Indices: []int32{0, 4},
 		},
 	}
+	// Coded variants: the same knowledge shapes under the compressing
+	// codecs, so the fuzzer starts from valid packed sections too.
+	logits := tensor.New(2, 3)
+	copy(logits.Data, []float64{1, 2, 3, 4, 5, 6})
+	protos := proto.NewSet(3, 2)
+	protos.Vectors[0] = []float64{0.1, 0.2}
+	protos.Counts[0] = 5
+	protos.Vectors[2] = []float64{0.3, 0.4}
+	protos.Counts[2] = 7
+	up := &engine.Payload{Logits: logits, Protos: protos, NumSamples: 10}
+	params := &engine.Payload{Params: []float64{1, 2, 3}}
+	ref := []float64{0.5, 1.5, 2.5}
+
+	var coded []any
+	for _, c := range []comm.Codec{comm.CodecFloat32, comm.CodecInt8} {
+		wUp, err := PayloadToWireIn(up, c, nil)
+		if err != nil {
+			t.Fatalf("PayloadToWireIn(%v): %v", c, err)
+		}
+		coded = append(coded, RoundUpload{Round: 2, Client: 1, HasPayload: true, Payload: wUp})
+		wDelta, err := PayloadToWireIn(params, c, ref)
+		if err != nil {
+			t.Fatalf("PayloadToWireIn(%v, delta): %v", c, err)
+		}
+		coded = append(coded, RoundUpload{Round: 2, Client: 2, HasPayload: true, Payload: wDelta})
+		wGlobal, err := PayloadToWireIn(params, c, nil)
+		if err != nil {
+			t.Fatalf("PayloadToWireIn(%v, global): %v", c, err)
+		}
+		coded = append(coded, RoundStart{Round: 2, HasGlobal: true, Global: wGlobal, Codec: uint8(c)})
+		coded = append(coded, RoundEnd{Round: 2, HasBroadcast: true, Broadcast: wUp, Codec: uint8(c)})
+	}
+
 	var out [][]byte
-	for _, v := range []any{rs, ru, re} {
+	for _, v := range append([]any{rs, ru, re}, coded...) {
 		b, err := Encode(v)
 		if err != nil {
 			t.Fatalf("Encode(%T): %v", v, err)
@@ -51,10 +92,51 @@ func seedCorpus(t testing.TB) [][]byte {
 	return out
 }
 
+// checkReconstruct rebuilds an engine.Payload from a validated wire
+// payload. The only error a validated payload may produce is the named
+// delta-without-reference rejection: the decoder cannot know the round's
+// reference vector, but it must fail that case cleanly, never panic or
+// fabricate values.
+func checkReconstruct(t *testing.T, kind string, w *WirePayload) {
+	t.Helper()
+	if _, err := w.ToPayload(); err != nil && !errors.Is(err, comm.ErrSectionRef) {
+		t.Fatalf("validated %s failed reconstruction: %v", kind, err)
+	}
+}
+
+// checkReencode pins the canonical-encoding invariant on a validated
+// message: re-encoding the decoded value is a gob fixed point — one
+// normalization pass, then bytes are stable. (Arbitrary fuzzed bytes may be
+// a non-canonical gob stream for the same value, so the invariant is
+// phrased on the re-encoded form; envelopes our own encoder produced
+// satisfy it immediately.)
+func checkReencode[T any](t *testing.T, v T) {
+	t.Helper()
+	enc1, err := Encode(v)
+	if err != nil {
+		t.Fatalf("re-encode %T: %v", v, err)
+	}
+	var v2 T
+	if err := Decode(enc1, &v2); err != nil {
+		t.Fatalf("decode of re-encoded %T: %v", v, err)
+	}
+	if !reflect.DeepEqual(v, v2) {
+		t.Fatalf("re-encode round-trip changed %T: %+v vs %+v", v, v, v2)
+	}
+	enc2, err := Encode(v2)
+	if err != nil {
+		t.Fatalf("second encode %T: %v", v, err)
+	}
+	if !bytes.Equal(enc1, enc2) {
+		t.Fatalf("%T does not re-encode to identical bytes", v)
+	}
+}
+
 // FuzzDecode feeds arbitrary bytes through Decode + Validate for every round
-// message type. Malformed input must surface as an error, never a panic, and
-// any payload that passes Validate must survive reconstruction into an
-// engine.Payload.
+// message type. Malformed input must surface as an error, never a panic; any
+// payload that passes Validate must survive reconstruction into an
+// engine.Payload (packed sections included); and every validated message
+// re-encodes to identical bytes once in canonical form.
 func FuzzDecode(f *testing.F) {
 	for _, b := range seedCorpus(f) {
 		f.Add(b)
@@ -65,26 +147,29 @@ func FuzzDecode(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var rs RoundStart
 		if err := Decode(data, &rs); err == nil {
-			if err := rs.Validate(); err == nil && rs.HasGlobal {
-				if _, err := rs.Global.ToPayload(); err != nil {
-					t.Fatalf("validated RoundStart failed reconstruction: %v", err)
+			if err := rs.Validate(); err == nil {
+				if rs.HasGlobal {
+					checkReconstruct(t, "RoundStart", &rs.Global)
 				}
+				checkReencode(t, rs)
 			}
 		}
 		var ru RoundUpload
 		if err := Decode(data, &ru); err == nil {
-			if err := ru.Validate(); err == nil && ru.HasPayload {
-				if _, err := ru.Payload.ToPayload(); err != nil {
-					t.Fatalf("validated RoundUpload failed reconstruction: %v", err)
+			if err := ru.Validate(); err == nil {
+				if ru.HasPayload {
+					checkReconstruct(t, "RoundUpload", &ru.Payload)
 				}
+				checkReencode(t, ru)
 			}
 		}
 		var re RoundEnd
 		if err := Decode(data, &re); err == nil {
-			if err := re.Validate(); err == nil && re.HasBroadcast {
-				if _, err := re.Broadcast.ToPayload(); err != nil {
-					t.Fatalf("validated RoundEnd failed reconstruction: %v", err)
+			if err := re.Validate(); err == nil {
+				if re.HasBroadcast {
+					checkReconstruct(t, "RoundEnd", &re.Broadcast)
 				}
+				checkReencode(t, re)
 			}
 		}
 	})
@@ -122,6 +207,29 @@ func TestDecodeRoundTrip(t *testing.T) {
 	if err := re.Validate(); err != nil {
 		t.Fatalf("valid RoundEnd rejected: %v", err)
 	}
+}
+
+// codedPayload is the engine payload behind codedWire.
+func codedPayload() *engine.Payload {
+	logits := tensor.New(2, 3)
+	copy(logits.Data, []float64{1, 2, 3, 4, 5, 6})
+	protos := proto.NewSet(3, 2)
+	protos.Vectors[1] = []float64{0.5, -0.5}
+	protos.Counts[1] = 4
+	return &engine.Payload{Logits: logits, Protos: protos, Params: []float64{1, 2, 3}, NumSamples: 9}
+}
+
+// codedWire builds a valid int8-coded wire payload and applies an optional
+// corruption before returning it.
+func codedWire(corrupt func(*WirePayload)) *WirePayload {
+	w, err := PayloadToWireIn(codedPayload(), comm.CodecInt8, nil)
+	if err != nil {
+		panic(err)
+	}
+	if corrupt != nil {
+		corrupt(&w)
+	}
+	return &w
 }
 
 func TestValidateRejectsMalformed(t *testing.T) {
@@ -190,6 +298,73 @@ func TestValidateRejectsMalformed(t *testing.T) {
 		}},
 		{"nested bad payload in round start", func() error {
 			return (&RoundStart{HasGlobal: true, Global: WirePayload{Indices: []int32{-1}}}).Validate()
+		}},
+		{"unknown payload codec", func() error {
+			return (&WirePayload{Codec: 99}).Validate()
+		}},
+		{"packed section under raw codec", func() error {
+			return (&WirePayload{LogitsEnc: []byte{1, 2, 3, 4, 5}}).Validate()
+		}},
+		{"raw logits under compressing codec", func() error {
+			w := codedWire(nil)
+			w.Logits = []float64{1, 2, 3, 4, 5, 6}
+			return w.Validate()
+		}},
+		{"truncated packed logits", func() error {
+			w := codedWire(nil)
+			w.LogitsEnc = w.LogitsEnc[:len(w.LogitsEnc)-1]
+			return w.Validate()
+		}},
+		{"bit-flipped packed logits", func() error {
+			w := codedWire(func(w *WirePayload) { w.LogitsEnc[len(w.LogitsEnc)-1] ^= 0x10 })
+			return w.Validate()
+		}},
+		{"bit-flipped packed protos", func() error {
+			w := codedWire(func(w *WirePayload) { w.ProtosEnc[len(w.ProtosEnc)-1] ^= 0x01 })
+			return w.Validate()
+		}},
+		{"wrong section tag for codec", func() error {
+			// A float32 logits section inside an int8 payload: well-formed
+			// bytes, wrong encoding for the negotiated codec.
+			w := codedWire(nil)
+			f32, err := PayloadToWireIn(codedPayload(), comm.CodecFloat32, nil)
+			if err != nil {
+				return nil
+			}
+			w.LogitsEnc = f32.LogitsEnc
+			return w.Validate()
+		}},
+		{"packed params length mismatch", func() error {
+			w := codedWire(func(w *WirePayload) { w.ParamsN++ })
+			return w.Validate()
+		}},
+		{"negative packed params length", func() error {
+			w := codedWire(func(w *WirePayload) { w.ParamsN = -1 })
+			return w.Validate()
+		}},
+		{"raw and packed params together", func() error {
+			w := codedWire(func(w *WirePayload) { w.Params = []float64{1, 2, 3} })
+			return w.Validate()
+		}},
+		{"orphan packed proto section", func() error {
+			w := codedWire(nil)
+			w.HasProtos = false
+			w.ProtoClasses, w.ProtoCounts = nil, nil
+			return w.Validate()
+		}},
+		{"codec mismatch between round start and global", func() error {
+			w := codedWire(nil)
+			return (&RoundStart{HasGlobal: true, Global: *w, Codec: uint8(comm.CodecFloat32)}).Validate()
+		}},
+		{"unknown round start codec", func() error {
+			return (&RoundStart{Codec: 42}).Validate()
+		}},
+		{"unknown round end codec", func() error {
+			return (&RoundEnd{Codec: 42}).Validate()
+		}},
+		{"codec mismatch between round end and broadcast", func() error {
+			w := codedWire(nil)
+			return (&RoundEnd{HasBroadcast: true, Broadcast: *w, Codec: uint8(comm.CodecFloat64)}).Validate()
 		}},
 	}
 	for _, tc := range cases {

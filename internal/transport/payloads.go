@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 
+	"fedpkd/internal/comm"
 	"fedpkd/internal/fl/engine"
 	"fedpkd/internal/proto"
 	"fedpkd/internal/tensor"
@@ -10,10 +11,14 @@ import (
 
 // WirePayload is the serialized form of an engine.Payload — the one
 // knowledge container every algorithm exchanges, so one wire struct serves
-// all of them. Values travel as float64: a distributed run then produces
-// bit-identical histories to the in-process engine (the analytic byte
-// accounting in internal/comm still prices scalars at 4 bytes, modelling a
-// float32 deployment; see engine.Payload.WireBytes).
+// all of them. Under the default float64raw codec, values travel as raw
+// float64 slices: a distributed run then produces bit-identical histories
+// to the in-process engine (the analytic byte accounting in internal/comm
+// still prices scalars at 4 bytes, modelling a float32 deployment; see
+// engine.Payload.WireBytes). Under a compressing codec the value slices
+// stay empty and the *Enc sections carry the packed bytes instead; gob
+// omits zero-valued fields, so float64raw payloads encode byte-identically
+// to the pre-codec wire format.
 type WirePayload struct {
 	// Logits block (row-major Rows x Cols), present when HasLogits.
 	HasLogits   bool
@@ -34,35 +39,54 @@ type WirePayload struct {
 	ParamsCounted int
 	// NumSamples is the sender's aggregation weight.
 	NumSamples int
+
+	// Codec is the comm.Codec the packed sections below are encoded under;
+	// 0 is float64raw (raw slices above, no packed sections). Each non-empty
+	// section is one comm.EncodeSection block (tag + CRC + packed body).
+	// Logits marked LogitsLocal always travel raw: they are free on the wire
+	// and the receiver recomputes them, so quantizing them would only hurt.
+	// ParamsN is the decoded length of ParamsEnc (packed sections do not
+	// carry their own shape; raw Params carries its length implicitly).
+	Codec     uint8
+	LogitsEnc []byte
+	ProtosEnc []byte
+	ParamsEnc []byte
+	ParamsN   int
 }
 
 // RoundStart opens a round, server → client: it carries the front-loaded
-// global state (engine.Hooks.GlobalState) when the algorithm has one.
+// global state (engine.Hooks.GlobalState) when the algorithm has one, and
+// announces the round's wire codec — the negotiation: clients encode their
+// uploads under the codec the server declared here. 0 (float64raw) keeps
+// the message byte-identical to the pre-codec format.
 type RoundStart struct {
 	Round     int
 	HasGlobal bool
 	Global    WirePayload
+	Codec     uint8
 }
 
 // RoundUpload is a client's upload (engine.Hooks.LocalUpdate result),
 // client → server. A client whose local update failed reports Err instead
 // of a payload, so the server never blocks waiting for a crashed phase.
 type RoundUpload struct {
-	Round  int
-	Client int
-	Err    string
+	Round      int
+	Client     int
+	Err        string
 	HasPayload bool
 	Payload    WirePayload
 }
 
 // RoundEnd closes a round, server → client: it carries the aggregation
 // broadcast (engine.Hooks.Aggregate result) when there is one, or the
-// server-side error that aborted the round.
+// server-side error that aborted the round. Codec echoes the round's
+// negotiated codec (the broadcast is encoded under it).
 type RoundEnd struct {
 	Round        int
 	Err          string
 	HasBroadcast bool
 	Broadcast    WirePayload
+	Codec        uint8
 }
 
 // maxWireDim bounds any single dimension decoded off the wire. Gob happily
@@ -108,13 +132,42 @@ func checkProtos(classes, counts []int32, dim, nvals int) error {
 
 // Validate rejects structurally inconsistent payloads. Decode only checks
 // gob framing; every field a peer controls must pass here before it sizes
-// an allocation or indexes a slice.
+// an allocation or indexes a slice. For packed sections this includes the
+// comm.CheckSection validation — tag legality against the declared codec,
+// exact length against the declared shape, and the body CRC — so a
+// bit-flipped quantized section is rejected here with a named comm error,
+// never silently dequantized into wrong values.
 func (w *WirePayload) Validate() error {
-	if w.HasLogits {
+	c := comm.Codec(w.Codec)
+	if !c.Valid() {
+		return fmt.Errorf("transport: unknown payload codec %d", w.Codec)
+	}
+	if c == comm.CodecFloat64 && (len(w.LogitsEnc) > 0 || len(w.ProtosEnc) > 0 || len(w.ParamsEnc) > 0) {
+		return fmt.Errorf("transport: packed sections under the float64raw codec")
+	}
+	codedLogits := c != comm.CodecFloat64 && w.HasLogits && !w.LogitsLocal
+	if codedLogits {
+		if len(w.Logits) > 0 {
+			return fmt.Errorf("transport: raw logit values under codec %s", c)
+		}
+		if w.Rows < 0 || w.Rows > maxWireDim || w.Cols < 0 || w.Cols > maxWireDim {
+			return fmt.Errorf("transport: logits %dx%d out of range", w.Rows, w.Cols)
+		}
+		s, err := comm.CheckSection(w.LogitsEnc, w.Rows, w.Cols)
+		if err != nil {
+			return fmt.Errorf("transport: logits section: %w", err)
+		}
+		if s != c.LogitsSection() {
+			return fmt.Errorf("transport: logits section %d under codec %s: %w", s, c, comm.ErrSectionTag)
+		}
+	} else if len(w.LogitsEnc) > 0 {
+		return fmt.Errorf("transport: unexpected packed logits section")
+	}
+	if w.HasLogits && !codedLogits {
 		if err := checkLogits(w.Rows, w.Cols, len(w.Logits)); err != nil {
 			return err
 		}
-	} else if len(w.Logits) > 0 {
+	} else if !w.HasLogits && len(w.Logits) > 0 {
 		return fmt.Errorf("transport: %d logit values without a logits block", len(w.Logits))
 	}
 	for _, v := range w.Indices {
@@ -122,20 +175,60 @@ func (w *WirePayload) Validate() error {
 			return fmt.Errorf("transport: negative sample index %d", v)
 		}
 	}
+	codedProtos := c != comm.CodecFloat64 && w.HasProtos
 	if w.HasProtos {
 		if w.ProtoNumClasses < 0 || w.ProtoNumClasses > maxWireDim {
 			return fmt.Errorf("transport: proto class count %d out of range", w.ProtoNumClasses)
 		}
-		if err := checkProtos(w.ProtoClasses, w.ProtoCounts, w.ProtoDim, len(w.ProtoValues)); err != nil {
+		nvals := len(w.ProtoValues)
+		if codedProtos {
+			if nvals > 0 {
+				return fmt.Errorf("transport: raw proto values under codec %s", c)
+			}
+			if w.ProtoDim < 0 || w.ProtoDim > maxWireDim {
+				return fmt.Errorf("transport: proto dim %d out of range", w.ProtoDim)
+			}
+			s, err := comm.CheckSection(w.ProtosEnc, len(w.ProtoClasses), w.ProtoDim)
+			if err != nil {
+				return fmt.Errorf("transport: proto section: %w", err)
+			}
+			if s != c.ProtoSection() {
+				return fmt.Errorf("transport: proto section %d under codec %s: %w", s, c, comm.ErrSectionTag)
+			}
+			nvals = len(w.ProtoClasses) * w.ProtoDim
+		}
+		if err := checkProtos(w.ProtoClasses, w.ProtoCounts, w.ProtoDim, nvals); err != nil {
 			return err
 		}
-		for _, c := range w.ProtoClasses {
-			if int(c) >= w.ProtoNumClasses {
-				return fmt.Errorf("transport: proto class %d out of range (%d classes)", c, w.ProtoNumClasses)
+		for _, class := range w.ProtoClasses {
+			if int(class) >= w.ProtoNumClasses {
+				return fmt.Errorf("transport: proto class %d out of range (%d classes)", class, w.ProtoNumClasses)
 			}
 		}
 	} else if len(w.ProtoValues) > 0 {
 		return fmt.Errorf("transport: %d proto values without a proto block", len(w.ProtoValues))
+	} else if len(w.ProtosEnc) > 0 {
+		return fmt.Errorf("transport: packed proto section without a proto block")
+	}
+	if w.ParamsN < 0 || w.ParamsN > maxWireDim {
+		return fmt.Errorf("transport: packed params length %d out of range", w.ParamsN)
+	}
+	if len(w.ParamsEnc) > 0 {
+		if len(w.Params) > 0 {
+			return fmt.Errorf("transport: raw and packed params together")
+		}
+		s, err := comm.CheckSection(w.ParamsEnc, 1, w.ParamsN)
+		if err != nil {
+			return fmt.Errorf("transport: params section: %w", err)
+		}
+		// Either float32 encoding is legal: delta when the sender had the
+		// round's reference, plain otherwise. The decoder enforces that a
+		// delta section actually gets its reference.
+		if s != comm.SectionF32 && s != comm.SectionDeltaF32 {
+			return fmt.Errorf("transport: params section %d under codec %s: %w", s, c, comm.ErrSectionTag)
+		}
+	} else if c != comm.CodecFloat64 && len(w.Params) > 0 {
+		return fmt.Errorf("transport: raw param values under codec %s", c)
 	}
 	if w.ParamsCounted < 0 {
 		return fmt.Errorf("transport: negative counted params %d", w.ParamsCounted)
@@ -151,7 +244,13 @@ func (rs *RoundStart) Validate() error {
 	if rs.Round < 0 {
 		return fmt.Errorf("transport: negative round %d", rs.Round)
 	}
+	if !comm.Codec(rs.Codec).Valid() {
+		return fmt.Errorf("transport: unknown round codec %d", rs.Codec)
+	}
 	if rs.HasGlobal {
+		if rs.Global.Codec != rs.Codec {
+			return fmt.Errorf("transport: global payload codec %d under round codec %d", rs.Global.Codec, rs.Codec)
+		}
 		return rs.Global.Validate()
 	}
 	return nil
@@ -176,10 +275,80 @@ func (re *RoundEnd) Validate() error {
 	if re.Round < 0 {
 		return fmt.Errorf("transport: negative round %d", re.Round)
 	}
+	if !comm.Codec(re.Codec).Valid() {
+		return fmt.Errorf("transport: unknown round codec %d", re.Codec)
+	}
 	if re.HasBroadcast {
+		if re.Broadcast.Codec != re.Codec {
+			return fmt.Errorf("transport: broadcast payload codec %d under round codec %d", re.Broadcast.Codec, re.Codec)
+		}
 		return re.Broadcast.Validate()
 	}
 	return nil
+}
+
+// PayloadToWireIn serializes an engine payload under wire codec c: logits
+// and prototypes as the codec's packed sections, params as a float32 delta
+// against ref when ref matches their length (plain float32 otherwise).
+// CodecFloat64 yields the raw float64 format of PayloadToWire. Encoding can
+// only fail on non-finite values, which training arithmetic never produces.
+func PayloadToWireIn(p *engine.Payload, c comm.Codec, ref []float64) (WirePayload, error) {
+	if c == comm.CodecFloat64 || p == nil {
+		return PayloadToWire(p), nil
+	}
+	var w WirePayload
+	w.Codec = uint8(c)
+	w.LogitsLocal = p.LogitsLocal
+	if p.Logits != nil {
+		w.HasLogits = true
+		w.Rows, w.Cols = p.Logits.Rows, p.Logits.Cols
+		if p.LogitsLocal {
+			// Free on the wire and receiver-recomputable: never quantized.
+			w.Logits = append([]float64(nil), p.Logits.Data...)
+		} else {
+			enc, err := comm.EncodeSection(c.LogitsSection(), p.Logits.Data, w.Rows, w.Cols, nil)
+			if err != nil {
+				return WirePayload{}, fmt.Errorf("transport: encode logits: %w", err)
+			}
+			w.LogitsEnc = enc
+		}
+	}
+	for _, i := range p.Indices {
+		w.Indices = append(w.Indices, int32(i))
+	}
+	if p.Protos != nil {
+		w.HasProtos = true
+		w.ProtoNumClasses = p.Protos.Classes
+		w.ProtoDim = p.Protos.Dim
+		var vals []float64
+		for class := 0; class < p.Protos.Classes; class++ {
+			vec, ok := p.Protos.Vectors[class]
+			if !ok {
+				continue
+			}
+			w.ProtoClasses = append(w.ProtoClasses, int32(class))
+			w.ProtoCounts = append(w.ProtoCounts, int32(p.Protos.Counts[class]))
+			vals = append(vals, vec...)
+		}
+		enc, err := comm.EncodeSection(c.ProtoSection(), vals, len(w.ProtoClasses), w.ProtoDim, nil)
+		if err != nil {
+			return WirePayload{}, fmt.Errorf("transport: encode protos: %w", err)
+		}
+		w.ProtosEnc = enc
+	}
+	if len(p.Params) > 0 {
+		hasRef := len(ref) == len(p.Params)
+		s := c.ParamsSection(hasRef)
+		enc, err := comm.EncodeSection(s, p.Params, 1, len(p.Params), ref)
+		if err != nil {
+			return WirePayload{}, fmt.Errorf("transport: encode params: %w", err)
+		}
+		w.ParamsEnc = enc
+		w.ParamsN = len(p.Params)
+	}
+	w.ParamsCounted = p.ParamsCounted
+	w.NumSamples = p.NumSamples
+	return w, nil
 }
 
 // PayloadToWire serializes an engine payload (nil yields the zero wire
@@ -221,7 +390,18 @@ func PayloadToWire(p *engine.Payload) WirePayload {
 }
 
 // ToPayload validates the wire payload and reconstructs the engine payload.
+// It decodes without a delta reference, so payloads whose params section is
+// delta-encoded (uploads under a compressing codec) need ToPayloadRef.
 func (w *WirePayload) ToPayload() (*engine.Payload, error) {
+	return w.ToPayloadRef(nil)
+}
+
+// ToPayloadRef validates the wire payload and reconstructs the engine
+// payload, decoding a delta-encoded params section against ref (the round's
+// global params as both ends decoded them). A delta section without a
+// matching reference fails with comm.ErrSectionRef — an error, never a
+// panic or a silently wrong vector.
+func (w *WirePayload) ToPayloadRef(ref []float64) (*engine.Payload, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
@@ -232,7 +412,15 @@ func (w *WirePayload) ToPayload() (*engine.Payload, error) {
 	}
 	if w.HasLogits {
 		m := tensor.New(w.Rows, w.Cols)
-		copy(m.Data, w.Logits)
+		if len(w.LogitsEnc) > 0 {
+			vals, _, err := comm.DecodeSection(w.LogitsEnc, w.Rows, w.Cols, nil)
+			if err != nil {
+				return nil, fmt.Errorf("transport: decode logits: %w", err)
+			}
+			copy(m.Data, vals)
+		} else {
+			copy(m.Data, w.Logits)
+		}
 		p.Logits = m
 	}
 	for _, i := range w.Indices {
@@ -240,15 +428,29 @@ func (w *WirePayload) ToPayload() (*engine.Payload, error) {
 	}
 	if w.HasProtos {
 		s := proto.NewSet(w.ProtoNumClasses, w.ProtoDim)
+		vals := w.ProtoValues
+		if len(w.ProtosEnc) > 0 {
+			var err error
+			vals, _, err = comm.DecodeSection(w.ProtosEnc, len(w.ProtoClasses), w.ProtoDim, nil)
+			if err != nil {
+				return nil, fmt.Errorf("transport: decode protos: %w", err)
+			}
+		}
 		for i, class := range w.ProtoClasses {
 			vec := make([]float64, w.ProtoDim)
-			copy(vec, w.ProtoValues[i*w.ProtoDim:(i+1)*w.ProtoDim])
+			copy(vec, vals[i*w.ProtoDim:(i+1)*w.ProtoDim])
 			s.Vectors[int(class)] = vec
 			s.Counts[int(class)] = int(w.ProtoCounts[i])
 		}
 		p.Protos = s
 	}
-	if len(w.Params) > 0 {
+	if len(w.ParamsEnc) > 0 {
+		vals, _, err := comm.DecodeSection(w.ParamsEnc, 1, w.ParamsN, ref)
+		if err != nil {
+			return nil, fmt.Errorf("transport: decode params: %w", err)
+		}
+		p.Params = vals
+	} else if len(w.Params) > 0 {
 		p.Params = append([]float64(nil), w.Params...)
 	}
 	return p, nil

@@ -1,10 +1,12 @@
 package transport
 
 import (
+	"errors"
 	"io"
 	"sync"
 	"testing"
 
+	"fedpkd/internal/comm"
 	"fedpkd/internal/fl/engine"
 	"fedpkd/internal/proto"
 	"fedpkd/internal/stats"
@@ -197,7 +199,9 @@ func TestWireSizeMatchesHeader(t *testing.T) {
 	}
 }
 
-func TestPayloadWireRoundtrip(t *testing.T) {
+// testPayload builds the knowledge payload the roundtrip tests share:
+// logits, a sparse prototype set, indices, params, and metadata.
+func testPayload() *engine.Payload {
 	rng := stats.NewRNG(1)
 	logits := tensor.Randn(rng, 3, 4, 1)
 	protos := proto.NewSet(5, 3)
@@ -205,21 +209,28 @@ func TestPayloadWireRoundtrip(t *testing.T) {
 	protos.Counts[1] = 4
 	protos.Vectors[4] = []float64{-1, 0, 1}
 	protos.Counts[4] = 9
-	in := &engine.Payload{
+	return &engine.Payload{
 		Logits:     logits,
 		Indices:    []int{0, 7, 2},
 		Protos:     protos,
 		Params:     []float64{0.5, -0.25},
 		NumSamples: 11,
 	}
+}
+
+// TestPayloadWireRoundtripFloat64Raw pins the default codec's contract:
+// float64 on the wire, the roundtrip is exact — which is what makes
+// distributed histories bit-identical to in-process runs. The compressing
+// codecs are lossy by design and have their own roundtrip contracts below.
+func TestPayloadWireRoundtripFloat64Raw(t *testing.T) {
+	in := testPayload()
+	logits := in.Logits
 
 	w := PayloadToWire(in)
 	back, err := w.ToPayload()
 	if err != nil {
 		t.Fatal(err)
 	}
-	// float64 on the wire: the roundtrip must be exact, which is what makes
-	// distributed histories bit-identical to in-process runs.
 	if !logits.Equal(back.Logits, 0) {
 		t.Error("logits roundtrip not exact")
 	}
@@ -243,6 +254,143 @@ func TestPayloadWireRoundtrip(t *testing.T) {
 
 	if got := PayloadToWire(nil); got.HasLogits || got.HasProtos || len(got.Params) != 0 {
 		t.Errorf("nil payload serialized to %+v", got)
+	}
+}
+
+// TestPayloadWireRoundtripCoded pins the compressing codecs' contract: the
+// wire roundtrip reproduces engine.Payload.ApplyCodec bit for bit — the
+// transport and the in-process engine run the same encode/decode, so a
+// distributed run under a codec matches its in-process twin exactly — and
+// re-applying the roundtrip is a fixed point (quantization happens once).
+func TestPayloadWireRoundtripCoded(t *testing.T) {
+	for _, c := range []comm.Codec{comm.CodecFloat32, comm.CodecInt8} {
+		t.Run(c.String(), func(t *testing.T) {
+			in := testPayload()
+			ref := []float64{0.5009765625, -0.25} // close to params: small deltas
+			want := in.ApplyCodec(c, ref)
+
+			w, err := PayloadToWireIn(in, c, ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(w.Logits) != 0 || len(w.ProtoValues) != 0 || len(w.Params) != 0 {
+				t.Fatalf("raw value slices populated under codec %s", c)
+			}
+			back, err := w.ToPayloadRef(ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !want.Logits.Equal(back.Logits, 0) {
+				t.Error("wire logits differ from ApplyCodec")
+			}
+			for _, class := range []int{1, 4} {
+				for j := range want.Protos.Vectors[class] {
+					if want.Protos.Vectors[class][j] != back.Protos.Vectors[class][j] {
+						t.Errorf("proto class %d dim %d: wire %v vs ApplyCodec %v",
+							class, j, back.Protos.Vectors[class][j], want.Protos.Vectors[class][j])
+					}
+				}
+			}
+			if len(back.Params) != 2 || back.Params[0] != want.Params[0] || back.Params[1] != want.Params[1] {
+				t.Errorf("wire params %v differ from ApplyCodec %v", back.Params, want.Params)
+			}
+			if back.NumSamples != 11 || len(back.Indices) != 3 {
+				t.Errorf("metadata mangled: %+v", back)
+			}
+
+			// Quantization is a fixed point: shipping the received payload
+			// again changes nothing.
+			w2, err := PayloadToWireIn(back, c, ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			again, err := w2.ToPayloadRef(ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !back.Logits.Equal(again.Logits, 0) {
+				t.Error("second roundtrip moved logits")
+			}
+
+			// Pricing: WireBytesIn is exactly the packed section bytes plus
+			// the 4-byte-per-entry index block — ledger totals are real wire
+			// payload bytes, with zero slack.
+			wirePriced := in.WireBytesIn(c)
+			packed := len(w.LogitsEnc) + len(w.ProtosEnc) + len(w.ParamsEnc) + 4*len(w.Indices)
+			if wirePriced != packed {
+				t.Errorf("WireBytesIn(%s) = %d, packed sections total %d", c, wirePriced, packed)
+			}
+			// And the compressing codecs actually compress vs the raw pricing.
+			if wirePriced >= in.WireBytes()*2 {
+				t.Errorf("codec %s priced %d vs raw %d", c, wirePriced, in.WireBytes())
+			}
+		})
+	}
+}
+
+// TestPayloadWireDeltaParamsNeedRef pins the delta discipline: an upload's
+// params section decodes only against the round's reference vector, and
+// decoding without it is a named error, never silent damage.
+func TestPayloadWireDeltaParamsNeedRef(t *testing.T) {
+	in := &engine.Payload{Params: []float64{1.5, 2.5, -3}, NumSamples: 2}
+	ref := []float64{1, 2, -2.5}
+	w, err := PayloadToWireIn(in, comm.CodecInt8, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.ToPayload(); !errors.Is(err, comm.ErrSectionRef) {
+		t.Errorf("delta decode without ref = %v, want ErrSectionRef", err)
+	}
+	if _, err := w.ToPayloadRef(ref[:2]); !errors.Is(err, comm.ErrSectionRef) {
+		t.Errorf("delta decode with short ref = %v, want ErrSectionRef", err)
+	}
+	back, err := w.ToPayloadRef(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := in.ApplyCodec(comm.CodecInt8, ref)
+	for i := range want.Params {
+		if back.Params[i] != want.Params[i] {
+			t.Errorf("delta params [%d] = %v, want %v", i, back.Params[i], want.Params[i])
+		}
+	}
+
+	// Without a reference the sender falls back to plain float32, which
+	// decodes ref-free.
+	w2, err := PayloadToWireIn(in, comm.CodecInt8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w2.ToPayload(); err != nil {
+		t.Errorf("ref-free params decode failed: %v", err)
+	}
+}
+
+// TestPayloadWireLogitsLocalStayRaw: receiver-recomputable logits are free
+// on the wire and must not be quantized by any codec.
+func TestPayloadWireLogitsLocalStayRaw(t *testing.T) {
+	rng := stats.NewRNG(3)
+	in := &engine.Payload{
+		Logits:      tensor.Randn(rng, 2, 5, 1),
+		LogitsLocal: true,
+		Params:      []float64{0.125, -2},
+	}
+	w, err := PayloadToWireIn(in, comm.CodecInt8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.LogitsEnc) != 0 || len(w.Logits) != 10 {
+		t.Fatalf("LogitsLocal block was packed: %+v", w)
+	}
+	back, err := w.ToPayload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Logits.Equal(back.Logits, 0) {
+		t.Error("LogitsLocal roundtrip not exact")
+	}
+	if !back.LogitsLocal {
+		t.Error("LogitsLocal flag lost")
 	}
 }
 

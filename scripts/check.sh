@@ -64,12 +64,19 @@ for ty in $types; do
     done
 done
 
+# Wire-codec suite: packed-section round-trip/corruption properties in comm,
+# and the transport-level codec negotiation + per-codec exactness split —
+# under the race detector because coded payloads cross the concurrent
+# client fan-out (DESIGN.md §10).
+echo ">> go test -race -count=1 -run 'Codec|Section' ./internal/comm/ ./internal/transport/"
+go test -race -count=1 -run 'Codec|Section' ./internal/comm/ ./internal/transport/
+
 # The kernel determinism contract (parallel == serial, bit for bit) must hold
-# under real interleaving, so the equivalence and property suites run again
-# with the race detector and two scheduler threads forcing the worker pool to
-# actually overlap panels.
-echo ">> GOMAXPROCS=2 go test -race ./internal/tensor/ (equivalence + property)"
-GOMAXPROCS=2 go test -race -count=1 -run 'Equivalence|Property|Aliased|Parallel' ./internal/tensor/
+# under real interleaving, so the equivalence, property, and packed-NT/f32
+# suites run again with the race detector and two scheduler threads forcing
+# the worker pool to actually overlap panels.
+echo ">> GOMAXPROCS=2 go test -race ./internal/tensor/ (equivalence + property + packed)"
+GOMAXPROCS=2 go test -race -count=1 -run 'Equivalence|Property|Aliased|Parallel|Packed|F32' ./internal/tensor/
 
 # Compile-and-run every kernel benchmark once so perf-path-only code (panel
 # kernels at benchmark shapes, scratch arena reuse) cannot rot unnoticed.
