@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race check chaos bench fuzz
+.PHONY: build test race check chaos bench fuzz cover
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,11 @@ race:
 check:
 	sh scripts/check.sh
 
+# cover prints per-package statement coverage. scripts/check.sh separately
+# enforces the engine+distrib floor on a merged cross-package profile.
+cover:
+	$(GO) test -cover ./...
+
 # chaos runs the seeded fault-injection suite (crash/drop/dup/corrupt over
 # bus and TCP, multiple algorithms) under the race detector.
 chaos:
@@ -24,8 +29,10 @@ bench:
 	$(GO) test -bench=. -benchmem ./internal/tensor/
 	$(GO) test -run=XXX -bench='BenchmarkFedPKDRound' -benchtime=2x .
 
-# fuzz runs the transport decode fuzzer for a short budget; raise FUZZTIME
-# for deeper exploration.
+# fuzz runs the decode fuzzers (transport round messages and comm packed
+# sections) for a short budget each; raise FUZZTIME for deeper exploration.
+# Both start from the checked-in seed corpora under testdata/fuzz/.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test ./internal/transport/ -run=XXX -fuzz=FuzzDecode -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/comm/ -run=XXX -fuzz=FuzzDecodeSection -fuzztime=$(FUZZTIME)

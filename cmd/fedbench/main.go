@@ -47,6 +47,9 @@ func run() error {
 		resume    = flag.Bool("resume", false, "continue interrupted runs from their newest valid checkpoint under -checkpoint-dir")
 		codecName = flag.String("codec", "", "payload wire codec for experiment runs: float64raw (default), float32, or int8; the compression experiment sweeps all of them regardless")
 		chaosSpec = flag.String("chaos", "", "failures experiment: replace the default crash sweep with this fault plan, e.g. drop=0.1,crash=0.2")
+		asyncMode = flag.Bool("async", false, "run the generic matrix experiments in barrier-free async mode (the async experiment compares sync vs async regardless)")
+		bufSize   = flag.Int("buffer-size", 0, "async buffer size K; 0 defaults to half the fleet (with -async)")
+		stalAlpha = flag.Float64("staleness-alpha", 0, "async staleness exponent α in 1/(1+s)^α; 0 keeps the engine default (with -async)")
 		cliTmo    = flag.Duration("client-timeout", 0, "failures experiment: straggler deadline per distributed round (default 1m)")
 		minQuorum = flag.Int("min-quorum", 0, "failures experiment: abort distributed rounds that aggregate fewer uploads; 0 disables")
 	)
@@ -62,6 +65,10 @@ func run() error {
 		return err
 	}
 	expt.SetFailureModel(plan, *cliTmo, *minQuorum)
+	if !*asyncMode && (*bufSize != 0 || *stalAlpha != 0) {
+		return fmt.Errorf("-buffer-size and -staleness-alpha require -async")
+	}
+	expt.SetAsyncMode(*asyncMode, *bufSize, *stalAlpha)
 
 	if *debugAddr != "" {
 		dbg, err := obs.StartDebugServer(*debugAddr)

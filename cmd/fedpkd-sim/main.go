@@ -56,6 +56,9 @@ func run() error {
 		ckptDir   = flag.String("checkpoint-dir", "", "write a durable run checkpoint into this directory every -checkpoint-every rounds")
 		ckptEvery = flag.Int("checkpoint-every", 1, "checkpoint cadence in rounds (with -checkpoint-dir)")
 		resume    = flag.String("resume", "", "resume from a checkpoint file, or from the newest valid checkpoint in a directory")
+		async     = flag.Bool("async", false, "barrier-free rounds: each round flushes a buffer of the K earliest arrivals, staleness-weighted")
+		bufSize   = flag.Int("buffer-size", 0, "async buffer size K; 0 defaults to half the fleet (requires -async)")
+		stalAlpha = flag.Float64("staleness-alpha", 0.5, "async staleness exponent α in 1/(1+s)^α (requires -async)")
 	)
 	flag.Parse()
 
@@ -123,6 +126,24 @@ func run() error {
 	}
 	if err := fedpkd.SetWireCodec(algo, *codec); err != nil {
 		return err
+	}
+
+	if !*async && (*bufSize != 0 || *stalAlpha != 0.5) {
+		return fmt.Errorf("-buffer-size and -staleness-alpha require -async")
+	}
+	if *async {
+		k := *bufSize
+		if k <= 0 {
+			k = (*clients + 1) / 2
+		}
+		err := fedpkd.SetAsync(algo, fedpkd.AsyncOptions{
+			BufferSize:     k,
+			StalenessAlpha: *stalAlpha,
+			Schedule:       fedpkd.ArrivalSchedule{Seed: *seed},
+		})
+		if err != nil {
+			return err
+		}
 	}
 
 	if *resume != "" {
@@ -200,6 +221,10 @@ func run() error {
 			c = fmt.Sprintf("%5.1f%%", r.ClientAcc*100)
 		}
 		fmt.Printf("%5d  %s  %s  %10.2f\n", r.Round, s, c, r.CumulativeMB)
+	}
+	if len(history.Flushes) > 0 {
+		fmt.Printf("\nasync: %d buffer flush(es), simulated wall-clock %d ticks\n",
+			len(history.Flushes), history.FinalClock())
 	}
 	if n := history.DegradedCount(); n > 0 {
 		fmt.Printf("\n%d partial round(s):\n", n)

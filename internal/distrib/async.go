@@ -1,0 +1,369 @@
+package distrib
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"fedpkd/internal/comm"
+	"fedpkd/internal/faults"
+	"fedpkd/internal/fl"
+	"fedpkd/internal/fl/engine"
+	"fedpkd/internal/obs"
+	"fedpkd/internal/transport"
+)
+
+// Asynchronous barrier-free rounds over the transport. The engine owns the
+// whole scheduling problem — which clients' updates arrive at each flush,
+// with what staleness, against which retained global — through the shared
+// AsyncPlanFlush/AsyncWeightUploads/AsyncCommitFlush surface, so the
+// transport driver below cannot diverge from the in-process one: it only
+// moves the planned bytes. The wire protocol is the synchronous one reused
+// per flush: every RoundStart/RoundUpload/RoundEnd is stamped with the flush
+// index, which keeps PR 5's envelope validation ladder (stale, duplicate,
+// misattributed, corrupt) intact. Staleness is a property of the *model
+// version* a client trained against, not of the envelope — a contribution
+// built on an old global arrives as a perfectly current envelope and is
+// weighted by 1/(1+s)^α instead of rejected, while a genuinely stale
+// envelope (crash leftovers from a previous flush) is still transport
+// hygiene and is dropped exactly as in the synchronous runtime.
+//
+// The client side is clientRound unchanged: a chosen client receives the
+// RoundStart carrying *its* dispatched global (its last refresh), trains,
+// uploads (delta-coded against that same global), and digests the flush's
+// broadcast. Non-chosen clients never see a start signal and stay parked.
+
+// runAsyncRounds is RunAlgorithmOpts' flush loop: one iteration per buffer
+// flush, with the same worker-barrier structure as the synchronous loop but
+// fanned out only to the flush's chosen clients.
+func runAsyncRounds(runner *engine.Runner, rounds int, tr *transportParts, srx *receiver, start []chan int, done chan error, rs *roundStats, fstats *faults.Stats, rec *obs.Recorder, opts *Options, tolerant bool, roundOpen *atomic.Bool, closeTransport func()) error {
+	var firstErr error
+	for i := 0; i < rounds; i++ {
+		t := runner.BeginRound()
+		plan, err := runner.AsyncPlanFlush(t)
+		if err != nil {
+			return err
+		}
+		roundOpen.Store(true)
+		rs.reset()
+		faultBase := fstats.Snapshot().Total()
+		rec.SetWorkers(len(plan.Chosen))
+		for _, c := range plan.Chosen {
+			start[c] <- t
+		}
+		contributors, report, serverErr := asyncServerFlush(t, runner, plan, tr.server, srx, opts, tolerant, rs)
+		if serverErr != nil {
+			// Unblock any client still parked on Recv before fanning in.
+			closeTransport()
+		}
+		for range plan.Chosen {
+			if err := <-done; err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		roundOpen.Store(false)
+		if serverErr != nil {
+			firstErr = serverErr
+		}
+		if firstErr != nil {
+			break
+		}
+		runner.AsyncCommitFlush(plan, contributors)
+		if tolerant {
+			recordAsyncRobustness(t, runner, rec, opts, plan, report, rs, fstats.Snapshot().Total()-faultBase)
+		}
+		if err := runner.CompleteRound(); err != nil {
+			firstErr = err
+			break
+		}
+	}
+	return firstErr
+}
+
+// recordAsyncRobustness is recordRobustness scoped to the flush's chosen
+// cohort: expected is the buffer's planned contributor count, not the fleet.
+func recordAsyncRobustness(t int, runner *engine.Runner, rec *obs.Recorder, opts *Options, plan *engine.AsyncFlushPlan, rp *roundReport, rs *roundStats, injected int64) {
+	var crashed, timedOut []int
+	for _, c := range rp.missing {
+		if opts.Faults.CrashesAt(c, t) {
+			crashed = append(crashed, c)
+		} else {
+			timedOut = append(timedOut, c)
+		}
+	}
+	if rp.cohort < len(plan.Chosen) {
+		runner.RecordDegraded(fl.DegradedRound{Round: t, Cohort: rp.cohort, Expected: len(plan.Chosen), Missing: rp.missing})
+	}
+	rec.SetRobustness(obs.Robustness{
+		Cohort:         rp.cohort,
+		Expected:       len(plan.Chosen),
+		TimedOut:       timedOut,
+		Crashed:        crashed,
+		StaleDropped:   int(rs.stale.Load()),
+		DupDropped:     int(rs.dup.Load()),
+		CorruptDropped: int(rs.corrupt.Load()),
+		Retries:        int(rs.retries.Load()),
+		FaultsInjected: injected,
+	})
+}
+
+// asyncServerFlush runs the server side of one buffer flush: fan the chosen
+// clients their (per-client, possibly stale-versioned) dispatched globals,
+// collect their uploads, staleness-weight, aggregate, and fan out RoundEnd.
+// It mirrors serverRound; the structural difference is that RoundStart is
+// per-client (each chosen client gets its own retained global and delta
+// reference) rather than one broadcast message.
+func asyncServerFlush(t int, runner *engine.Runner, plan *engine.AsyncFlushPlan, conn transport.Conn, rx *receiver, opts *Options, tolerant bool, rs *roundStats) (contributors []int, report *roundReport, err error) {
+	hooks := runner.Hooks()
+	ledger := runner.Ledger()
+	rc := runner.Context(t)
+	codec := runner.Codec()
+	coded := codec != comm.CodecFloat64
+
+	refByClient := make(map[int][]float64, len(plan.Chosen))
+	for i, c := range plan.Chosen {
+		// The dispatched payload was codec-applied at retention, so both ends
+		// hold the same (quantized) values — the client's delta reference.
+		g := plan.Dispatched[i]
+		if g != nil {
+			refByClient[c] = g.Params
+		}
+		gw, werr := transport.PayloadToWireIn(g, codec, nil)
+		if werr != nil {
+			return nil, nil, werr
+		}
+		startMsg := transport.RoundStart{Round: t, HasGlobal: g != nil, Global: gw, Codec: uint8(codec)}
+		payload, werr := transport.Encode(startMsg)
+		if werr != nil {
+			return nil, nil, werr
+		}
+		var startRaw int
+		if coded && startMsg.HasGlobal {
+			startRaw = rawWireSize(
+				transport.RoundStart{Round: t, HasGlobal: true, Global: transport.PayloadToWire(g)},
+				(&transport.Envelope{Payload: payload}).WireSize())
+		}
+		e := &transport.Envelope{Kind: transport.KindRoundStart, From: -1, To: c, Round: t, Payload: payload}
+		sendErr := conn.Send(e)
+		switch {
+		case !startMsg.HasGlobal:
+			ledger.AddControl(e.WireSize())
+		case coded:
+			ledger.AddDownloadRaw(e.WireSize(), startRaw)
+		default:
+			ledger.AddDownload(e.WireSize())
+		}
+		if sendErr != nil && !tolerant {
+			return nil, nil, sendErr
+		}
+	}
+
+	uploads, report, roundErr, err := asyncCollectUploads(t, runner, rx, plan.Chosen, opts, codec, refByClient, tolerant, rs)
+	if err != nil {
+		return nil, report, err
+	}
+	if roundErr == nil && opts.MinQuorum > 0 && len(uploads) < opts.MinQuorum {
+		roundErr = fmt.Errorf("%w: flush %d aggregated %d of %d required uploads", ErrQuorumNotMet, t, len(uploads), opts.MinQuorum)
+	}
+
+	var bcast *engine.Payload
+	if roundErr == nil && len(uploads) > 0 {
+		sort.Slice(uploads, func(i, j int) bool { return uploads[i].Client < uploads[j].Client })
+		for _, u := range uploads {
+			contributors = append(contributors, u.Client)
+		}
+		bcast, roundErr = hooks.Aggregate(rc, runner.AsyncWeightUploads(rc, plan, uploads))
+	}
+
+	re := transport.RoundEnd{Round: t, Codec: uint8(codec)}
+	if roundErr == nil && bcast != nil {
+		bw, werr := transport.PayloadToWireIn(bcast, codec, nil)
+		if werr != nil {
+			roundErr = werr
+		} else {
+			re.HasBroadcast = true
+			re.Broadcast = bw
+		}
+	}
+	if roundErr != nil {
+		re.HasBroadcast = false
+		re.Broadcast = transport.WirePayload{}
+		re.Err = roundErr.Error()
+	}
+	payload, err := transport.Encode(re)
+	if err != nil {
+		if roundErr != nil {
+			return nil, report, roundErr
+		}
+		return nil, report, err
+	}
+	var endRaw int
+	if coded && re.HasBroadcast {
+		endRaw = rawWireSize(
+			transport.RoundEnd{Round: t, HasBroadcast: true, Broadcast: transport.PayloadToWire(bcast)},
+			(&transport.Envelope{Payload: payload}).WireSize())
+	}
+	for _, c := range plan.Chosen {
+		e := &transport.Envelope{Kind: transport.KindRoundEnd, From: -1, To: c, Round: t, Payload: payload}
+		sendErr := conn.Send(e)
+		switch {
+		case !re.HasBroadcast:
+			ledger.AddControl(e.WireSize())
+		case coded:
+			ledger.AddDownloadRaw(e.WireSize(), endRaw)
+		default:
+			ledger.AddDownload(e.WireSize())
+		}
+		if sendErr != nil && !tolerant && roundErr == nil {
+			return contributors, report, sendErr
+		}
+	}
+	return contributors, report, roundErr
+}
+
+// asyncCollectUploads is collectUploads for a flush: it awaits only the
+// chosen clients (minus those the fault schedule crashes this flush), and
+// each upload's params delta-decode against that client's own dispatched
+// global rather than one shared round reference.
+func asyncCollectUploads(t int, runner *engine.Runner, rx *receiver, chosen []int, opts *Options, codec comm.Codec, refByClient map[int][]float64, tolerant bool, rs *roundStats) (uploads []engine.Upload, report *roundReport, roundErr, err error) {
+	ledger := runner.Ledger()
+	n := runner.Config().Env.Cfg.NumClients
+	uploads = make([]engine.Upload, 0, len(chosen))
+	seen := make([]bool, n)
+	isChosen := make([]bool, n)
+	await := 0
+	for _, c := range chosen {
+		isChosen[c] = true
+		if !opts.Faults.CrashesAt(c, t) {
+			await++
+		}
+	}
+	var deadline time.Time
+	if opts.ClientTimeout > 0 {
+		deadline = time.Now().Add(opts.ClientTimeout)
+	}
+	for await > 0 && roundErr == nil {
+		wait := time.Duration(0)
+		if !deadline.IsZero() {
+			wait = time.Until(deadline)
+			if wait <= 0 {
+				break
+			}
+		}
+		e, rerr := rx.recv(wait)
+		if errors.Is(rerr, errRecvTimeout) {
+			break
+		}
+		var gone *peerGoneError
+		if errors.As(rerr, &gone) && tolerant {
+			// A dead connection is not a dead client: a crash-restarting peer
+			// redials and its upload (if any) arrives on the new conn.
+			continue
+		}
+		if rerr != nil {
+			return nil, report, nil, fmt.Errorf("server recv: %w", rerr)
+		}
+		if e.Kind != transport.KindUpload || e.Round != t || e.From < 0 || e.From >= n {
+			if tolerant {
+				rs.stale.Add(1)
+				continue
+			}
+			roundErr = fmt.Errorf("%w: flush %d got kind %v round %d from %d", ErrStaleEnvelope, t, e.Kind, e.Round, e.From)
+			continue
+		}
+		var ru transport.RoundUpload
+		if derr := transport.Decode(e.Payload, &ru); derr != nil {
+			if tolerant {
+				rs.corrupt.Add(1)
+				continue
+			}
+			roundErr = derr
+			continue
+		}
+		if verr := ru.Validate(); verr != nil {
+			if tolerant {
+				rs.corrupt.Add(1)
+				continue
+			}
+			roundErr = verr
+			continue
+		}
+		if ru.HasPayload && ru.Payload.Codec != uint8(codec) {
+			if tolerant {
+				rs.corrupt.Add(1)
+				continue
+			}
+			roundErr = fmt.Errorf("%w: upload from peer %d coded %d, flush %d negotiated %d",
+				ErrCodecMismatch, e.From, ru.Payload.Codec, t, uint8(codec))
+			continue
+		}
+		if ru.Client < 0 || ru.Client >= n || !isChosen[ru.Client] {
+			if tolerant {
+				rs.corrupt.Add(1)
+				continue
+			}
+			roundErr = fmt.Errorf("distrib: client %d is not in flush %d's buffer", ru.Client, t)
+			continue
+		}
+		if ru.Client != e.From {
+			if tolerant {
+				rs.corrupt.Add(1)
+				continue
+			}
+			roundErr = fmt.Errorf("%w: upload labeled client %d arrived from peer %d", ErrPeerMismatch, ru.Client, e.From)
+			continue
+		}
+		if ru.Round != t {
+			if tolerant {
+				rs.stale.Add(1)
+				continue
+			}
+			roundErr = fmt.Errorf("%w: upload payload stamped round %d during flush %d", ErrStaleEnvelope, ru.Round, t)
+			continue
+		}
+		if seen[ru.Client] {
+			if tolerant {
+				rs.dup.Add(1)
+				continue
+			}
+			roundErr = fmt.Errorf("%w: client %d", ErrDuplicateUpload, ru.Client)
+			continue
+		}
+		seen[ru.Client] = true
+		await--
+		if ru.Err != "" {
+			roundErr = fmt.Errorf("distrib: client %d: %s", ru.Client, ru.Err)
+			continue
+		}
+		if !ru.HasPayload {
+			continue
+		}
+		p, perr := ru.Payload.ToPayloadRef(refByClient[ru.Client])
+		if perr != nil {
+			if tolerant {
+				rs.corrupt.Add(1)
+				continue
+			}
+			roundErr = perr
+			continue
+		}
+		if codec == comm.CodecFloat64 {
+			ledger.AddUpload(e.WireSize())
+		} else {
+			raw := rawWireSize(
+				transport.RoundUpload{Round: ru.Round, Client: ru.Client, HasPayload: true, Payload: transport.PayloadToWire(p)},
+				e.WireSize())
+			ledger.AddUploadRaw(e.WireSize(), raw)
+		}
+		uploads = append(uploads, engine.Upload{Client: ru.Client, Payload: p})
+	}
+	missing := make([]int, 0)
+	for _, c := range chosen {
+		if !seen[c] {
+			missing = append(missing, c)
+		}
+	}
+	return uploads, &roundReport{cohort: len(chosen) - len(missing), missing: missing}, roundErr, nil
+}

@@ -253,6 +253,17 @@ func RunAlgorithmOpts(algo fl.Algorithm, rounds int, opts Options) (*fl.History,
 	srx := newReceiver(tr.server)
 	defer srx.stop()
 
+	if runner.Async() != nil {
+		// Barrier-free mode: each iteration is one buffer flush, fanned out
+		// only to the flush's chosen clients (async.go).
+		firstErr := runAsyncRounds(runner, rounds, tr, srx, start, done, rs, fstats, rec, &opts, tolerant, &roundOpen, closeTransport)
+		for c := range start {
+			close(start[c])
+		}
+		rec.Finish()
+		return hist, firstErr
+	}
+
 	var firstErr error
 	for i := 0; i < rounds; i++ {
 		t := runner.BeginRound()

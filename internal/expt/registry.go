@@ -38,6 +38,7 @@ func Runners() map[string]Runner {
 		"extra-fedproto":         RunExtraFedProto,
 		"failures":               RunFailures,
 		"compression":            RunCompression,
+		"async":                  RunAsync,
 	}
 }
 

@@ -147,3 +147,28 @@ func TestRunAblationNormalizationMicro(t *testing.T) {
 		t.Errorf("title = %q", res.Title)
 	}
 }
+
+func TestRunAsyncMicro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains both legs over a seed ensemble")
+	}
+	res, err := RunAsync(microScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two rows (sync, async); the runner's own contracts (1pp ensemble
+	// fidelity budget, async wall-clock < sync barrier wall-clock) have
+	// already passed if err is nil.
+	if len(res.Rows) != 2 {
+		t.Fatalf("async rows = %d, want 2", len(res.Rows))
+	}
+	if res.Rows[0][0] != "sync" || res.Rows[1][0] != "async" {
+		t.Fatalf("async row modes = %s/%s", res.Rows[0][0], res.Rows[1][0])
+	}
+	if res.Rows[1][8] == "1.00x" {
+		t.Errorf("async speedup column reads %s, expected a real speedup", res.Rows[1][8])
+	}
+	if len(res.Series["async_S_acc"]) == 0 || len(res.Series["sync_S_acc"]) == 0 {
+		t.Error("missing accuracy series")
+	}
+}

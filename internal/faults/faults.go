@@ -413,9 +413,14 @@ func (b Backoff) WithDefaults() Backoff {
 
 // Delay returns the pause before retry number attempt (1-based: the delay
 // between attempt n and attempt n+1). Jitter is drawn from rng, so a caller
-// holding a deterministic stream gets a deterministic schedule.
+// holding a deterministic stream gets a deterministic schedule. Attempts
+// below 1 are clamped to the first retry rather than shifting by a negative
+// count.
 func (b Backoff) Delay(attempt int, rng *stats.RNG) time.Duration {
 	b = b.WithDefaults()
+	if attempt < 1 {
+		attempt = 1
+	}
 	d := b.Base << (attempt - 1)
 	if d > b.Max || d <= 0 {
 		d = b.Max

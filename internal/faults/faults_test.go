@@ -2,6 +2,7 @@ package faults
 
 import (
 	"io"
+	"strings"
 	"testing"
 	"time"
 
@@ -321,5 +322,84 @@ func TestParsePlan(t *testing.T) {
 	var nilPlan *Plan
 	if nilPlan.String() != "none" {
 		t.Error("nil plan String should be none")
+	}
+}
+
+// TestBackoffDelayEdgeCases pins the Delay contract at the boundaries of the
+// attempt range: a below-range attempt clamps to the first retry instead of
+// shifting by a negative count, and huge attempts saturate at Max rather
+// than overflowing into a negative or microscopic duration.
+func TestBackoffDelayEdgeCases(t *testing.T) {
+	b := Backoff{}.WithDefaults()
+	cases := []struct {
+		name    string
+		attempt int
+		want    time.Duration // exact expected delay with jitter disabled
+	}{
+		{"attempt-0-clamps-to-first", 0, b.Base},
+		{"negative-attempt-clamps", -3, b.Base},
+		{"first-retry", 1, b.Base},
+		{"second-retry-doubles", 2, 2 * b.Base},
+		{"past-cap-saturates", 10, b.Max},
+		{"shift-width-62", 63, b.Max}, // Base<<62 overflows int64
+		{"shift-width-80", 81, b.Max}, // shift count past the word size
+		{"huge-attempt", 1 << 20, b.Max},
+	}
+	noJitter := Backoff{Attempts: b.Attempts, Base: b.Base, Max: b.Max, Jitter: -1}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if got := noJitter.Delay(tc.attempt, nil); got != tc.want {
+				t.Errorf("Delay(%d) = %v, want %v", tc.attempt, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestBackoffJitterWithinBounds checks every jittered delay lands inside
+// d*[1-J, 1+J] around its deterministic base value.
+func TestBackoffJitterWithinBounds(t *testing.T) {
+	b := Backoff{}.WithDefaults()
+	noJitter := Backoff{Attempts: b.Attempts, Base: b.Base, Max: b.Max, Jitter: -1}
+	rng := stats.NewRNG(7)
+	for attempt := 0; attempt <= 12; attempt++ {
+		base := noJitter.Delay(attempt, nil)
+		d := b.Delay(attempt, rng)
+		lo := time.Duration(float64(base) * (1 - b.Jitter))
+		hi := time.Duration(float64(base) * (1 + b.Jitter))
+		if d < lo || d > hi {
+			t.Errorf("attempt %d: delay %v outside jitter window [%v, %v]", attempt, d, lo, hi)
+		}
+	}
+}
+
+// TestParsePlanRejectsMalformedSpecs is the table-driven negative suite for
+// the CLI chaos grammar: every malformed spec must fail with the named
+// error, never a zero-value plan.
+func TestParsePlanRejectsMalformedSpecs(t *testing.T) {
+	cases := []struct {
+		name, spec, wantErr string
+	}{
+		{"bare-key", "drop", `faults: bad chaos term "drop" (want key=prob)`},
+		{"empty-term", "drop=0.1,,crash=0.2", `faults: bad chaos term "" (want key=prob)`},
+		{"unknown-key", "nope=0.1", `faults: unknown chaos key "nope" (have corrupt, crash, delay, drop, dup, maxdelay, sendfail)`},
+		{"non-numeric-prob", "drop=x", `faults: bad probability "x" for drop`},
+		{"prob-at-one", "crash=1", `faults: CrashProb must be in [0,1), got 1`},
+		{"prob-above-one", "drop=1.5", `faults: DropProb must be in [0,1), got 1.5`},
+		{"negative-prob", "dup=-0.1", `faults: DupProb must be in [0,1), got -0.1`},
+		{"bad-maxdelay", "maxdelay=zzz", `faults: bad maxdelay "zzz"`},
+		{"negative-maxdelay", "drop=0.1,maxdelay=-5ms", `faults: MaxDelay must be >= 0, got -5ms`},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := ParsePlan(tc.spec, 1)
+			if err == nil {
+				t.Fatalf("ParsePlan(%q) = %+v, want error", tc.spec, p)
+			}
+			if !strings.HasPrefix(err.Error(), tc.wantErr) {
+				t.Errorf("ParsePlan(%q) error = %q, want prefix %q", tc.spec, err, tc.wantErr)
+			}
+		})
 	}
 }

@@ -58,6 +58,10 @@ func (r *Runner) checkpointDict() (*ckpt.Dict, error) {
 	}
 	d.Put(secLedger, le.Buf())
 
+	if r.async != nil {
+		d.Put(secAsync, r.async.asyncSnapshot())
+	}
+
 	if err := r.hooks.Snapshot(d); err != nil {
 		return nil, fmt.Errorf("%s: snapshot algorithm state: %w", r.hooks.Name(), err)
 	}
@@ -149,6 +153,30 @@ func (r *Runner) restoreDict(d *ckpt.Dict) error {
 		}
 	}
 
+	// The async section must agree with the runner's mode: an async
+	// checkpoint needs SetAsync (with the same options) before Resume, and a
+	// synchronous checkpoint cannot seed an async runner's buffer state.
+	ab, haveAsync := d.Get(secAsync)
+	var async *asyncState
+	switch {
+	case haveAsync && r.async == nil:
+		return fmt.Errorf("engine: checkpoint is from an async run; call SetAsync with the original options before Resume")
+	case !haveAsync && r.async != nil:
+		return fmt.Errorf("engine: checkpoint is from a synchronous run; it cannot resume in async mode")
+	case haveAsync:
+		n := len(r.async.dispatchVersion)
+		async = &asyncState{
+			opts:            r.async.opts,
+			dispatchVersion: make([]int, n),
+			ready:           make([]uint64, n),
+			attempts:        make([]int, n),
+			dispatched:      make([]*Payload, n),
+		}
+		if err := async.asyncRestore(ab); err != nil {
+			return err
+		}
+	}
+
 	// Algorithm state last: its Restore is the most likely to fail, and the
 	// engine-owned fields are only committed together with it.
 	if err := r.hooks.Restore(d); err != nil {
@@ -157,6 +185,9 @@ func (r *Runner) restoreDict(d *ckpt.Dict) error {
 	r.round = int(round)
 	r.hist = hist
 	r.ledger.Restore(ledgerRounds)
+	if async != nil {
+		r.async = async
+	}
 	return nil
 }
 

@@ -202,6 +202,10 @@ type Runner struct {
 	// CompleteRound writes a durable checkpoint every ckptEvery rounds.
 	ckptDir   string
 	ckptEvery int
+
+	// async, when non-nil, switches Round() to barrier-free buffer flushes
+	// (see async.go). Nil is the default synchronous mode.
+	async *asyncState
 }
 
 var _ fl.Algorithm = (*Runner)(nil)
@@ -409,9 +413,13 @@ func (r *Runner) addDownload(wire, raw int) {
 	r.ledger.AddDownloadRaw(wire, raw)
 }
 
-// Round executes one communication round through the phase hooks.
+// Round executes one communication round through the phase hooks — or, in
+// async mode, one buffer flush (async.go).
 func (r *Runner) Round() error {
 	t := r.BeginRound()
+	if r.async != nil {
+		return r.asyncFlush(t)
+	}
 
 	rc := r.Context(t)
 	participants := r.Participants(t)

@@ -32,6 +32,25 @@ func EncodeHistory(h *History) []byte {
 			e.I64(int64(c))
 		}
 	}
+	// The async flush block is a trailing extension written only when flushes
+	// exist: synchronous histories keep the exact pre-async encoding, and the
+	// decoder reads the block only when bytes remain — so blobs written before
+	// the async mode existed still decode.
+	if len(h.Flushes) > 0 {
+		e.U32(uint32(len(h.Flushes)))
+		for _, f := range h.Flushes {
+			e.I64(int64(f.Flush))
+			e.U64(f.Clock)
+			e.U32(uint32(len(f.Contributors)))
+			for _, c := range f.Contributors {
+				e.I64(int64(c))
+			}
+			e.U32(uint32(len(f.Staleness)))
+			for _, s := range f.Staleness {
+				e.I64(int64(s))
+			}
+		}
+	}
 	return e.Buf()
 }
 
@@ -104,6 +123,46 @@ func DecodeHistory(b []byte) (*History, error) {
 			dr.Missing = append(dr.Missing, int(c))
 		}
 		h.Degraded = append(h.Degraded, dr)
+	}
+	if d.Remaining() > 0 {
+		nf, err := d.U32()
+		if err != nil {
+			return nil, fmt.Errorf("fl: decode history flush count: %w", err)
+		}
+		for i := uint32(0); i < nf; i++ {
+			var f AsyncFlush
+			flush, err := d.I64()
+			if err != nil {
+				return nil, fmt.Errorf("fl: decode flush %d: %w", i, err)
+			}
+			f.Flush = int(flush)
+			if f.Clock, err = d.U64(); err != nil {
+				return nil, fmt.Errorf("fl: decode flush %d clock: %w", i, err)
+			}
+			nc, err := d.U32()
+			if err != nil {
+				return nil, fmt.Errorf("fl: decode flush %d contributor count: %w", i, err)
+			}
+			for j := uint32(0); j < nc; j++ {
+				c, err := d.I64()
+				if err != nil {
+					return nil, fmt.Errorf("fl: decode flush %d contributor %d: %w", i, j, err)
+				}
+				f.Contributors = append(f.Contributors, int(c))
+			}
+			ns, err := d.U32()
+			if err != nil {
+				return nil, fmt.Errorf("fl: decode flush %d staleness count: %w", i, err)
+			}
+			for j := uint32(0); j < ns; j++ {
+				s, err := d.I64()
+				if err != nil {
+					return nil, fmt.Errorf("fl: decode flush %d staleness %d: %w", i, j, err)
+				}
+				f.Staleness = append(f.Staleness, int(s))
+			}
+			h.Flushes = append(h.Flushes, f)
+		}
 	}
 	return h, nil
 }

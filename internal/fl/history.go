@@ -31,6 +31,22 @@ type DegradedRound struct {
 	Missing []int `json:",omitempty"`
 }
 
+// AsyncFlush records one buffer flush of an asynchronous run: which clients'
+// updates the server aggregated, how stale each was, and the logical time at
+// which the flush completed (the run's simulated wall-clock).
+type AsyncFlush struct {
+	// Flush is the flush index (async runs reuse the round counter).
+	Flush int
+	// Clock is the logical arrival-schedule time the flush completed at.
+	Clock uint64
+	// Contributors lists the client ids whose uploads were aggregated, sorted
+	// ascending.
+	Contributors []int `json:",omitempty"`
+	// Staleness[i] is Contributors[i]'s staleness s = flush − version of the
+	// global it trained against (0 = fresh).
+	Staleness []int `json:",omitempty"`
+}
+
 // History is the per-round trace of one algorithm run.
 type History struct {
 	// Algo names the algorithm ("FedPKD", "FedAvg", ...).
@@ -44,6 +60,10 @@ type History struct {
 	// every round aggregated its full cohort, so healthy runs serialize
 	// exactly as before the failure model existed.
 	Degraded []DegradedRound `json:",omitempty"`
+	// Flushes lists an async run's buffer flushes, one per round entry. Nil
+	// for synchronous runs, so their histories serialize exactly as before
+	// the async mode existed.
+	Flushes []AsyncFlush `json:",omitempty"`
 }
 
 // Add appends one round's metrics.
@@ -56,6 +76,20 @@ func (h *History) Add(m RoundMetrics) {
 // pre-failure-model format.
 func (h *History) AddDegraded(d DegradedRound) {
 	h.Degraded = append(h.Degraded, d)
+}
+
+// AddFlush records one async buffer flush.
+func (h *History) AddFlush(f AsyncFlush) {
+	h.Flushes = append(h.Flushes, f)
+}
+
+// FinalClock returns the logical completion time of the last recorded flush
+// — an async run's simulated wall-clock. Zero for synchronous histories.
+func (h *History) FinalClock() uint64 {
+	if len(h.Flushes) == 0 {
+		return 0
+	}
+	return h.Flushes[len(h.Flushes)-1].Clock
 }
 
 // DegradedCount returns the number of partial-cohort rounds recorded.

@@ -71,6 +71,15 @@ var (
 	staleDroppedTotal   = expvar.NewInt("fedpkd_stale_dropped_total")
 	retriesTotal        = expvar.NewInt("fedpkd_retries_total")
 	partialRoundsTotal  = expvar.NewInt("fedpkd_partial_rounds_total")
+
+	// Async counters: buffer flushes completed, cumulative buffer occupancy
+	// (contributors aggregated), cumulative and maximum contribution
+	// staleness. Mean occupancy and mean staleness read directly off
+	// /debug/vars as the ratios occupancy/flushes and staleness/flushes.
+	asyncFlushesTotal   = expvar.NewInt("fedpkd_async_flushes_total")
+	asyncOccupancyTotal = expvar.NewInt("fedpkd_async_occupancy_total")
+	asyncStalenessTotal = expvar.NewInt("fedpkd_async_staleness_total")
+	asyncStalenessMax   = expvar.NewInt("fedpkd_async_staleness_max")
 )
 
 // AddFaultsInjected bumps the process-wide injected-fault counter.
@@ -84,6 +93,24 @@ func AddRetries(n int64) { retriesTotal.Add(n) }
 
 // AddPartialRound counts one round that closed with a partial cohort.
 func AddPartialRound() { partialRoundsTotal.Add(1) }
+
+// RecordAsyncFlush publishes one async buffer flush: its occupancy (uploads
+// aggregated) and the staleness of each contribution.
+func RecordAsyncFlush(occupancy int, staleness []int) {
+	asyncFlushesTotal.Add(1)
+	asyncOccupancyTotal.Add(int64(occupancy))
+	for _, s := range staleness {
+		asyncStalenessTotal.Add(int64(s))
+		// expvar.Int has no CAS; a concurrent larger max can win the race,
+		// which only ever leaves the gauge at a legitimate observed value.
+		if int64(s) > asyncStalenessMax.Value() {
+			asyncStalenessMax.Set(int64(s))
+		}
+	}
+}
+
+// AsyncFlushesTotal returns the process-wide flush count (for tests).
+func AsyncFlushesTotal() int64 { return asyncFlushesTotal.Value() }
 
 func init() {
 	// Live kernel/arena counters from the tensor compute layer, exported as
@@ -175,6 +202,23 @@ type RoundTrace struct {
 	// distributed runtime ran with deadlines or fault injection; nil for
 	// healthy in-process rounds.
 	Robustness *Robustness `json:"robustness,omitempty"`
+	// Async carries the buffer-flush profile when the run executed in the
+	// barrier-free async mode; nil for synchronous rounds.
+	Async *AsyncTrace `json:"async,omitempty"`
+}
+
+// AsyncTrace is the buffer-flush profile of one async round: the configured
+// buffer size, how many uploads actually arrived, the logical clock at flush
+// completion, and the staleness of each aggregated contribution.
+type AsyncTrace struct {
+	// Buffer is the configured flush size K; Occupancy is the number of
+	// uploads the flush aggregated (< K when the failure model lost some).
+	Buffer    int `json:"buffer"`
+	Occupancy int `json:"occupancy"`
+	// Clock is the logical arrival-schedule time the flush completed at.
+	Clock uint64 `json:"clock"`
+	// Staleness lists each contribution's staleness, in contributor order.
+	Staleness []int `json:"staleness,omitempty"`
 }
 
 // Robustness is the failure-tolerance profile of one distributed round: how
@@ -383,6 +427,17 @@ func (r *Recorder) SetRobustness(rb Robustness) {
 	if rb.Cohort < rb.Expected {
 		AddPartialRound()
 	}
+}
+
+// SetAsync attaches the round's async buffer-flush profile to the open
+// trace. Call once per flush, before the next RoundStarted/Finish closes it.
+func (r *Recorder) SetAsync(a AsyncTrace) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.cur.Async = &a
+	r.mu.Unlock()
 }
 
 // SetWorkers records the parallel fan-out width of the current round.

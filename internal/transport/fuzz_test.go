@@ -3,7 +3,12 @@ package transport
 import (
 	"bytes"
 	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
 	"reflect"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -370,6 +375,53 @@ func TestValidateRejectsMalformed(t *testing.T) {
 	for _, tc := range cases {
 		if err := tc.err(); err == nil {
 			t.Errorf("%s: Validate accepted malformed payload", tc.name)
+		}
+	}
+}
+
+var updateCorpus = flag.Bool("update-corpus", false, "regenerate the checked-in fuzz seed corpus under testdata/fuzz")
+
+// fuzzCorpusEntries is the full checked-in seed set for FuzzDecode: every
+// encoded round message seedCorpus produces, plus the raw byte edge cases
+// the fuzz target registers inline.
+func fuzzCorpusEntries(t testing.TB) [][]byte {
+	t.Helper()
+	entries := seedCorpus(t)
+	entries = append(entries, []byte{}, []byte{0x00}, []byte(strings.Repeat("\xff", 64)))
+	return entries
+}
+
+// TestFuzzSeedCorpusFiles pins the checked-in corpus under
+// testdata/fuzz/FuzzDecode to the live encoder, so `go test` replays valid
+// gob streams for every round message type even without -fuzz, and a wire
+// struct change shows up as a stale corpus instead of silently fuzzing
+// yesterday's format. Regenerate with -update-corpus.
+func TestFuzzSeedCorpusFiles(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecode")
+	entries := fuzzCorpusEntries(t)
+	render := func(b []byte) string {
+		return fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(b)))
+	}
+	if *updateCorpus {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, b := range entries {
+			path := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+			if err := os.WriteFile(path, []byte(render(b)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return
+	}
+	for i, b := range entries {
+		path := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing corpus file (regenerate with -update-corpus): %v", err)
+		}
+		if string(got) != render(b) {
+			t.Errorf("corpus file %s is stale (regenerate with -update-corpus)", path)
 		}
 	}
 }

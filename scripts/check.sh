@@ -30,6 +30,32 @@ go test -race -count=1 -run 'MatchesInProcess|RunOver' ./internal/distrib/
 echo ">> go test -race -count=1 -run 'Chaos' ./internal/distrib/"
 go test -race -count=1 -run 'Chaos' ./internal/distrib/
 
+# Async determinism gate: same-seed barrier-free runs must replay to
+# byte-identical histories and ledger totals — in-process at the root, and
+# over the bus transport — while the flush fan-out runs under the race
+# detector (DESIGN.md §11).
+echo ">> go test -race -count=1 -run 'TestAsyncSameSeedReplay' ."
+go test -race -count=1 -run 'TestAsyncSameSeedReplay' .
+echo ">> go test -race -count=1 -run 'Async' ./internal/fl/engine/ ./internal/distrib/"
+go test -race -count=1 -run 'Async' ./internal/fl/engine/ ./internal/distrib/
+
+# Coverage floor for the round engine and the distributed driver: their
+# statements must stay >= 80% covered by the merged profile of the suites
+# that exercise them (root package + their own). Async buffer selection,
+# staleness weighting, and the validation ladder all live here; an uncovered
+# branch in either package is where replay divergence hides.
+echo ">> coverage floor: engine+distrib >= 80%"
+covprof=$(mktemp)
+go test -coverpkg=fedpkd/internal/fl/engine,fedpkd/internal/distrib \
+    -coverprofile="$covprof" . ./internal/fl/engine/ ./internal/distrib/ > /dev/null
+total=$(go tool cover -func="$covprof" | awk 'END { sub(/%/, "", $NF); print $NF }')
+rm -f "$covprof"
+echo "   engine+distrib merged coverage: ${total}%"
+if awk "BEGIN { exit !($total < 80) }"; then
+    echo "FAIL: engine+distrib coverage ${total}% is below the 80% floor" >&2
+    exit 1
+fi
+
 # Structural invariant of the round-engine refactor: no algorithm owns a
 # round loop. The engine's Runner is the only Round() in the tree; algorithm
 # packages supply phase hooks exclusively.
