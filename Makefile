@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race check chaos bench fuzz cover
+.PHONY: build test race check chaos bench fuzz cover serve-smoke
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,12 @@ cover:
 # bus and TCP, multiple algorithms) under the race detector.
 chaos:
 	$(GO) test -race -count=1 -run 'Chaos' ./internal/distrib/
+
+# serve-smoke drives the long-lived service end to end: wire registration,
+# the pause/ping/save/resume/quit control plane, a kill -9 mid-experiment,
+# and a restart from the rolling checkpoint with a different population.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem ./internal/tensor/

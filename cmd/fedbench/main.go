@@ -52,6 +52,7 @@ func run() error {
 		stalAlpha = flag.Float64("staleness-alpha", 0, "async staleness exponent α in 1/(1+s)^α; 0 keeps the engine default (with -async)")
 		cliTmo    = flag.Duration("client-timeout", 0, "failures experiment: straggler deadline per distributed round (default 1m)")
 		minQuorum = flag.Int("min-quorum", 0, "failures experiment: abort distributed rounds that aggregate fewer uploads; 0 disables")
+		availSpec = flag.String("availability", "", "run the generic matrix experiments under a seeded diurnal availability trace, e.g. period=24,min=0.5,max=0.9 (the churn experiment compares fixed vs diurnal regardless)")
 	)
 	flag.Parse()
 
@@ -69,6 +70,9 @@ func run() error {
 		return fmt.Errorf("-buffer-size and -staleness-alpha require -async")
 	}
 	expt.SetAsyncMode(*asyncMode, *bufSize, *stalAlpha)
+	if err := expt.SetAvailabilityModel(*availSpec); err != nil {
+		return err
+	}
 
 	if *debugAddr != "" {
 		dbg, err := obs.StartDebugServer(*debugAddr)

@@ -11,10 +11,14 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"sync"
+	"time"
 
 	"fedpkd"
 )
@@ -59,8 +63,42 @@ func run() error {
 		async     = flag.Bool("async", false, "barrier-free rounds: each round flushes a buffer of the K earliest arrivals, staleness-weighted")
 		bufSize   = flag.Int("buffer-size", 0, "async buffer size K; 0 defaults to half the fleet (requires -async)")
 		stalAlpha = flag.Float64("staleness-alpha", 0.5, "async staleness exponent α in 1/(1+s)^α (requires -async)")
+		serveMode = flag.Bool("serve", false, "run as a long-lived service with an operator control plane (requires -distributed, -checkpoint-dir, -ctl-addr)")
+		ctlAddr   = flag.String("ctl-addr", "", "control-plane socket: a unix socket path (contains /) or a TCP host:port")
+		ctlCmd    = flag.String("ctl-cmd", "", "send one command (pause, ping, status, resume, save, quit) to the service at -ctl-addr and exit")
+		availSpec = flag.String("availability", "", "seeded diurnal availability trace, e.g. period=24,min=0.5,max=0.9,seed=7; cohorts sample from online clients")
+		popSpec   = flag.String("population", "", "comma-separated client ids registered at start, e.g. 0,1,2 (requires -distributed); others may join mid-run")
 	)
 	flag.Parse()
+
+	// Client mode: talk to a running service's control plane and exit.
+	if *ctlCmd != "" {
+		if *ctlAddr == "" {
+			return fmt.Errorf("-ctl-cmd requires -ctl-addr")
+		}
+		resp, err := fedpkd.ControlSend(*ctlAddr, *ctlCmd, 10*time.Second)
+		if err != nil {
+			return err
+		}
+		out, err := json.Marshal(resp)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		if !resp.OK {
+			return fmt.Errorf("control command %q failed: %s", *ctlCmd, resp.Err)
+		}
+		return nil
+	}
+	if *serveMode && (*distMode == "" || *ckptDir == "" || *ctlAddr == "") {
+		return fmt.Errorf("-serve requires -distributed, -checkpoint-dir, and -ctl-addr")
+	}
+	if *ctlAddr != "" && !*serveMode {
+		return fmt.Errorf("-ctl-addr requires -serve (or -ctl-cmd)")
+	}
+	if *popSpec != "" && *distMode == "" {
+		return fmt.Errorf("-population requires -distributed")
+	}
 
 	fedpkd.SetKernelWorkers(*workers)
 
@@ -163,6 +201,24 @@ func run() error {
 		}
 	}
 
+	// The availability trace is run configuration, not checkpointed state, so
+	// it is (re)applied after any resume.
+	avail, err := fedpkd.ParseAvailability(*availSpec, *seed)
+	if err != nil {
+		return err
+	}
+	if avail != nil {
+		if err := fedpkd.SetAvailability(algo, avail); err != nil {
+			return err
+		}
+	}
+	var population []int
+	if *popSpec != "" {
+		if population, err = fedpkd.ParsePopulation(*popSpec, *clients); err != nil {
+			return err
+		}
+	}
+
 	var rec *fedpkd.Recorder
 	if *traceDir != "" {
 		rec = fedpkd.NewRecorder(*algoName)
@@ -179,13 +235,58 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		history, err = fedpkd.RunAlgorithmDistributedUntilOpts(algo, *rounds, fedpkd.DistributedOptions{
+		opts := fedpkd.DistributedOptions{
 			Mode:          fedpkd.DistributedMode(*distMode),
 			Recorder:      rec,
 			ClientTimeout: *cliTmo,
 			MinQuorum:     *minQuorum,
 			Faults:        plan,
-		})
+			Population:    population,
+		}
+		var gate *fedpkd.ControlGate
+		if *serveMode {
+			// Serve mode: registration arrives as observable wire traffic, the
+			// control gate runs at every round barrier, and the operator's save
+			// command writes through the same rolling-checkpoint path the
+			// -checkpoint-every policy uses.
+			gate = fedpkd.NewControlGate(func() (string, error) {
+				return fedpkd.SaveCheckpoint(algo, *ckptDir)
+			})
+			opts.Barrier = gate.Barrier
+			opts.WireRegistration = true
+			var svcMu sync.Mutex
+			var svc *fedpkd.Service
+			opts.OnService = func(s *fedpkd.Service) {
+				svcMu.Lock()
+				svc = s
+				svcMu.Unlock()
+			}
+			srv, err := fedpkd.ServeControl(*ctlAddr, gate, func() fedpkd.ControlStatus {
+				svcMu.Lock()
+				s := svc
+				svcMu.Unlock()
+				st := fedpkd.ControlStatus{Algo: *algoName, Rounds: *rounds}
+				if s != nil {
+					ss := s.Status()
+					st.Algo, st.Round = ss.Algo, ss.Round
+					st.Registered, st.Online, st.Cohort = ss.Registered, ss.Online, ss.Cohort
+				}
+				return st
+			})
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "serving %s with control plane on %s\n", *algoName, srv.Addr())
+		}
+		history, err = fedpkd.RunAlgorithmDistributedUntilOpts(algo, *rounds, opts)
+		if gate != nil {
+			gate.Finish()
+		}
+		if errors.Is(err, fedpkd.ErrControlQuit) {
+			fmt.Fprintln(os.Stderr, "stopped by operator quit; resume later with -resume")
+			err = nil
+		}
 		if err != nil {
 			return err
 		}

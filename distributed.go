@@ -30,6 +30,7 @@ var (
 	ErrPeerMismatch    = distrib.ErrPeerMismatch
 	ErrDuplicateUpload = distrib.ErrDuplicateUpload
 	ErrQuorumNotMet    = distrib.ErrQuorumNotMet
+	ErrUnknownClient   = distrib.ErrUnknownClient
 )
 
 // ParseFaultPlan parses a CLI chaos spec like

@@ -4,11 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"sync/atomic"
 	"time"
 
 	"fedpkd/internal/comm"
-	"fedpkd/internal/faults"
 	"fedpkd/internal/fl"
 	"fedpkd/internal/fl/engine"
 	"fedpkd/internal/obs"
@@ -35,51 +33,84 @@ import (
 // uploads (delta-coded against that same global), and digests the flush's
 // broadcast. Non-chosen clients never see a start signal and stay parked.
 
-// runAsyncRounds is RunAlgorithmOpts' flush loop: one iteration per buffer
-// flush, with the same worker-barrier structure as the synchronous loop but
-// fanned out only to the flush's chosen clients.
-func runAsyncRounds(runner *engine.Runner, rounds int, tr *transportParts, srx *receiver, start []chan int, done chan error, rs *roundStats, fstats *faults.Stats, rec *obs.Recorder, opts *Options, tolerant bool, roundOpen *atomic.Bool, closeTransport func()) error {
+// runAsync is the service's flush loop: one iteration per buffer flush, with
+// the same worker-barrier structure as the synchronous loop but fanned out
+// only to the flush's chosen clients. Under a dynamic population the planner
+// is restricted to the registered clients (and the availability trace
+// filters it further inside AsyncPlanFlushFrom); the legacy path passes nil
+// eligibility and stays byte-identical to the fixed-fleet flushes.
+func (s *Service) runAsync(rounds int) error {
 	var firstErr error
 	for i := 0; i < rounds; i++ {
-		t := runner.BeginRound()
-		plan, err := runner.AsyncPlanFlush(t)
+		tNext := s.runner.CurrentRound()
+		// Same two-phase apply as runSync: pre-gate so a paused service's
+		// status is current, post-gate so pause-window arrivals make this
+		// flush.
+		joins, leaves := s.reg.ApplyPending()
+		s.setStatus(tNext)
+		if s.opts.Barrier != nil {
+			if err := s.opts.Barrier(tNext); err != nil {
+				return err
+			}
+		}
+		j2, l2 := s.reg.ApplyPending()
+		joins, leaves = joins+j2, leaves+l2
+		var eligible []int
+		if s.dynamic {
+			eligible = s.reg.Active()
+		}
+		t := s.runner.BeginRound()
+		plan, err := s.runner.AsyncPlanFlushFrom(t, eligible)
 		if err != nil {
 			return err
 		}
-		roundOpen.Store(true)
-		rs.reset()
-		faultBase := fstats.Snapshot().Total()
-		rec.SetWorkers(len(plan.Chosen))
-		for _, c := range plan.Chosen {
-			start[c] <- t
+		s.setStatus(t)
+		if s.opts.MinQuorum > 0 && len(plan.Chosen) < s.opts.MinQuorum {
+			return fmt.Errorf("%w: flush %d planned %d contributors, quorum %d",
+				ErrQuorumNotMet, t, len(plan.Chosen), s.opts.MinQuorum)
 		}
-		contributors, report, serverErr := asyncServerFlush(t, runner, plan, tr.server, srx, opts, tolerant, rs)
+		s.roundOpen.Store(true)
+		s.rs.reset()
+		faultBase := s.fstats.Snapshot().Total()
+		s.rec.SetWorkers(len(plan.Chosen))
+		for _, c := range plan.Chosen {
+			s.start[c] <- t
+		}
+		contributors, report, serverErr := asyncServerFlush(t, s.runner, plan, s.tr.server, s.srx, s.reg, &s.opts, s.tolerant, s.rs)
 		if serverErr != nil {
 			// Unblock any client still parked on Recv before fanning in.
-			closeTransport()
+			s.closeTransport()
 		}
 		for range plan.Chosen {
-			if err := <-done; err != nil && firstErr == nil {
+			if err := <-s.done; err != nil && firstErr == nil {
 				firstErr = err
 			}
 		}
-		roundOpen.Store(false)
+		s.roundOpen.Store(false)
 		if serverErr != nil {
 			firstErr = serverErr
 		}
 		if firstErr != nil {
-			break
+			return firstErr
 		}
-		runner.AsyncCommitFlush(plan, contributors)
-		if tolerant {
-			recordAsyncRobustness(t, runner, rec, opts, plan, report, rs, fstats.Snapshot().Total()-faultBase)
+		s.runner.AsyncCommitFlush(plan, contributors)
+		if s.tolerant {
+			recordAsyncRobustness(t, s.runner, s.rec, &s.opts, plan, report, s.rs, s.fstats.Snapshot().Total()-faultBase)
 		}
-		if err := runner.CompleteRound(); err != nil {
-			firstErr = err
-			break
+		if s.dynamic {
+			s.rec.SetChurn(obs.Churn{
+				Registered: s.reg.Size(),
+				Online:     len(s.runner.Online(t)),
+				Cohort:     len(plan.Chosen),
+				Joins:      joins,
+				Leaves:     leaves,
+			})
+		}
+		if err := s.runner.CompleteRound(); err != nil {
+			return err
 		}
 	}
-	return firstErr
+	return nil
 }
 
 // recordAsyncRobustness is recordRobustness scoped to the flush's chosen
@@ -104,6 +135,7 @@ func recordAsyncRobustness(t int, runner *engine.Runner, rec *obs.Recorder, opts
 		StaleDropped:   int(rs.stale.Load()),
 		DupDropped:     int(rs.dup.Load()),
 		CorruptDropped: int(rs.corrupt.Load()),
+		UnknownDropped: int(rs.unknown.Load()),
 		Retries:        int(rs.retries.Load()),
 		FaultsInjected: injected,
 	})
@@ -115,7 +147,7 @@ func recordAsyncRobustness(t int, runner *engine.Runner, rec *obs.Recorder, opts
 // It mirrors serverRound; the structural difference is that RoundStart is
 // per-client (each chosen client gets its own retained global and delta
 // reference) rather than one broadcast message.
-func asyncServerFlush(t int, runner *engine.Runner, plan *engine.AsyncFlushPlan, conn transport.Conn, rx *receiver, opts *Options, tolerant bool, rs *roundStats) (contributors []int, report *roundReport, err error) {
+func asyncServerFlush(t int, runner *engine.Runner, plan *engine.AsyncFlushPlan, conn transport.Conn, rx *receiver, reg *Registry, opts *Options, tolerant bool, rs *roundStats) (contributors []int, report *roundReport, err error) {
 	hooks := runner.Hooks()
 	ledger := runner.Ledger()
 	rc := runner.Context(t)
@@ -160,7 +192,7 @@ func asyncServerFlush(t int, runner *engine.Runner, plan *engine.AsyncFlushPlan,
 		}
 	}
 
-	uploads, report, roundErr, err := asyncCollectUploads(t, runner, rx, plan.Chosen, opts, codec, refByClient, tolerant, rs)
+	uploads, report, roundErr, err := asyncCollectUploads(t, runner, rx, plan.Chosen, reg, opts, codec, refByClient, tolerant, rs)
 	if err != nil {
 		return nil, report, err
 	}
@@ -227,12 +259,12 @@ func asyncServerFlush(t int, runner *engine.Runner, plan *engine.AsyncFlushPlan,
 // chosen clients (minus those the fault schedule crashes this flush), and
 // each upload's params delta-decode against that client's own dispatched
 // global rather than one shared round reference.
-func asyncCollectUploads(t int, runner *engine.Runner, rx *receiver, chosen []int, opts *Options, codec comm.Codec, refByClient map[int][]float64, tolerant bool, rs *roundStats) (uploads []engine.Upload, report *roundReport, roundErr, err error) {
+func asyncCollectUploads(t int, runner *engine.Runner, rx *receiver, chosen []int, reg *Registry, opts *Options, codec comm.Codec, refByClient map[int][]float64, tolerant bool, rs *roundStats) (uploads []engine.Upload, report *roundReport, roundErr, err error) {
 	ledger := runner.Ledger()
 	n := runner.Config().Env.Cfg.NumClients
 	uploads = make([]engine.Upload, 0, len(chosen))
-	seen := make([]bool, n)
-	isChosen := make([]bool, n)
+	seen := make(map[int]bool, len(chosen))
+	isChosen := make(map[int]bool, len(chosen))
 	await := 0
 	for _, c := range chosen {
 		isChosen[c] = true
@@ -265,12 +297,32 @@ func asyncCollectUploads(t int, runner *engine.Runner, rx *receiver, chosen []in
 		if rerr != nil {
 			return nil, report, nil, fmt.Errorf("server recv: %w", rerr)
 		}
+		if e.Kind == transport.KindHello || e.Kind == transport.KindGoodbye {
+			// A client may register (or leave) during a flush: queue it for
+			// the next barrier and account the bytes, exactly like the
+			// synchronous collect loop.
+			if e.Kind == transport.KindHello {
+				reg.QueueJoin(e.From)
+			} else {
+				reg.QueueLeave(e.From)
+			}
+			ledger.AddControl(e.WireSize())
+			continue
+		}
 		if e.Kind != transport.KindUpload || e.Round != t || e.From < 0 || e.From >= n {
 			if tolerant {
 				rs.stale.Add(1)
 				continue
 			}
 			roundErr = fmt.Errorf("%w: flush %d got kind %v round %d from %d", ErrStaleEnvelope, t, e.Kind, e.Round, e.From)
+			continue
+		}
+		if !reg.Has(e.From) {
+			if tolerant {
+				rs.unknown.Add(1)
+				continue
+			}
+			roundErr = fmt.Errorf("%w: upload from unregistered peer %d in flush %d", ErrUnknownClient, e.From, t)
 			continue
 		}
 		var ru transport.RoundUpload

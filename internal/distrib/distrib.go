@@ -118,6 +118,26 @@ type Options struct {
 	// FaultStats, when non-nil, accumulates the run's injected-fault
 	// counters for the caller to inspect.
 	FaultStats *faults.Stats
+	// Population lists the client ids registered before the first round; nil
+	// registers the whole fleet up front (the legacy fixed-cohort behavior).
+	// Clients outside the initial population may still register mid-run via
+	// hello envelopes — their workers park until a round schedules them.
+	Population []int
+	// WireRegistration makes the initial population register through real
+	// hello envelopes instead of being pre-seeded into the registry: the
+	// service starts with nobody registered and blocks until every
+	// Population member's hello arrives, the path `serve` mode uses so that
+	// registration is observable wire traffic.
+	WireRegistration bool
+	// Barrier, when non-nil, runs at every round barrier before the round
+	// opens — the control plane's pause/save/quit hook. All workers are
+	// parked while it runs, so it may checkpoint safely; a returned error
+	// stops the run with that error.
+	Barrier func(round int) error
+	// OnService, when non-nil, receives the run's Service handle before the
+	// first round, giving the caller live status and the Join/Leave
+	// registration API.
+	OnService func(*Service)
 }
 
 func (o *Options) validate(n int) error {
@@ -129,6 +149,16 @@ func (o *Options) validate(n int) error {
 	}
 	if o.MinQuorum < 0 || o.MinQuorum > n {
 		return fmt.Errorf("distrib: MinQuorum %d out of range [0,%d]", o.MinQuorum, n)
+	}
+	seen := make(map[int]bool, len(o.Population))
+	for _, id := range o.Population {
+		if id < 0 || id >= n {
+			return fmt.Errorf("distrib: population id %d out of range [0,%d)", id, n)
+		}
+		if seen[id] {
+			return fmt.Errorf("distrib: duplicate population id %d", id)
+		}
+		seen[id] = true
 	}
 	return nil
 }
@@ -190,122 +220,15 @@ func RunAlgorithmUntilOpts(algo fl.Algorithm, total int, opts Options) (*fl.Hist
 // back into the worker goroutines exactly as a real deployment would re-seed
 // clients from the next RoundStart.
 func RunAlgorithmOpts(algo fl.Algorithm, rounds int, opts Options) (*fl.History, error) {
-	runner, err := engine.Of(algo)
+	s, err := NewService(algo, opts)
 	if err != nil {
 		return nil, err
 	}
-	if opts.Mode == "" {
-		opts.Mode = ModeBus
+	defer s.Close()
+	if opts.OnService != nil {
+		opts.OnService(s)
 	}
-	env := runner.Config().Env
-	n := env.Cfg.NumClients
-	if err := opts.validate(n); err != nil {
-		return nil, err
-	}
-	tolerant := opts.ClientTimeout > 0 || opts.Faults.Enabled()
-	rec := opts.Recorder
-	runner.SetRecorder(rec)
-	ledger := runner.Ledger()
-
-	// Reconnect handshakes are control traffic; they are only billable while
-	// a round is open (the ledger has no row before the first StartRound, and
-	// the setup handshakes happen before the run's first round).
-	var roundOpen atomic.Bool
-	billControl := func(bytes int) {
-		if roundOpen.Load() {
-			ledger.AddControl(bytes)
-		}
-	}
-
-	tr, err := buildTransport(opts.Mode, n, billControl)
-	if err != nil {
-		return nil, err
-	}
-	var once sync.Once
-	closeTransport := func() { once.Do(tr.cleanup) }
-	defer closeTransport()
-
-	runner.SetHistoryLabelSuffix("(distributed)")
-	hist := runner.History()
-
-	fstats := opts.FaultStats
-	if fstats == nil {
-		fstats = &faults.Stats{}
-	}
-
-	// Round barriers: start signals fan out, done signals fan in.
-	peers := make([]*clientPeer, n)
-	start := make([]chan int, n)
-	done := make(chan error, n)
-	rs := &roundStats{}
-	for c := 0; c < n; c++ {
-		p := &clientPeer{
-			id:     c,
-			conn:   faults.Wrap(tr.clients[c], opts.Faults, c, fstats),
-			stats:  fstats,
-			redial: tr.redial,
-		}
-		p.rx = newReceiver(p.conn)
-		peers[c] = p
-		start[c] = make(chan int, 1)
-		go clientWorker(p, runner, rec, &opts, tolerant, rs, start[c], done)
-	}
-	srx := newReceiver(tr.server)
-	defer srx.stop()
-
-	if runner.Async() != nil {
-		// Barrier-free mode: each iteration is one buffer flush, fanned out
-		// only to the flush's chosen clients (async.go).
-		firstErr := runAsyncRounds(runner, rounds, tr, srx, start, done, rs, fstats, rec, &opts, tolerant, &roundOpen, closeTransport)
-		for c := range start {
-			close(start[c])
-		}
-		rec.Finish()
-		return hist, firstErr
-	}
-
-	var firstErr error
-	for i := 0; i < rounds; i++ {
-		t := runner.BeginRound()
-		roundOpen.Store(true)
-		rs.reset()
-		faultBase := fstats.Snapshot().Total()
-		// Every client runs in its own goroutine: full fan-out.
-		rec.SetWorkers(n)
-		for c := range start {
-			start[c] <- t
-		}
-		report, serverErr := serverRound(t, runner, tr.server, srx, n, &opts, tolerant, rs)
-		if serverErr != nil {
-			// Unblock any client still parked on Recv before fanning in.
-			closeTransport()
-		}
-		for j := 0; j < n; j++ {
-			if err := <-done; err != nil && firstErr == nil {
-				firstErr = err
-			}
-		}
-		roundOpen.Store(false)
-		if serverErr != nil {
-			firstErr = serverErr
-		}
-		if firstErr != nil {
-			break
-		}
-		if tolerant {
-			recordRobustness(t, n, runner, rec, &opts, report, rs, fstats.Snapshot().Total()-faultBase)
-		}
-		// All workers parked: evaluate (and checkpoint) safely.
-		if err := runner.CompleteRound(); err != nil {
-			firstErr = err
-			break
-		}
-	}
-	for c := range start {
-		close(start[c])
-	}
-	rec.Finish()
-	return hist, firstErr
+	return s.Run(rounds)
 }
 
 // roundStats accumulates one round's protocol-hygiene counters across the
@@ -315,6 +238,7 @@ type roundStats struct {
 	dup     atomic.Int64
 	corrupt atomic.Int64
 	retries atomic.Int64
+	unknown atomic.Int64
 }
 
 func (rs *roundStats) reset() {
@@ -322,12 +246,13 @@ func (rs *roundStats) reset() {
 	rs.dup.Store(0)
 	rs.corrupt.Store(0)
 	rs.retries.Store(0)
+	rs.unknown.Store(0)
 }
 
 // recordRobustness folds one tolerant round's failure profile into the
 // cumulative history (partial cohorts only) and the obs trace (always, so
 // healthy chaos rounds are visible too).
-func recordRobustness(t, n int, runner *engine.Runner, rec *obs.Recorder, opts *Options, rp *roundReport, rs *roundStats, injected int64) {
+func recordRobustness(t, expected int, runner *engine.Runner, rec *obs.Recorder, opts *Options, rp *roundReport, rs *roundStats, injected int64) {
 	var crashed, timedOut []int
 	for _, c := range rp.missing {
 		if opts.Faults.CrashesAt(c, t) {
@@ -336,17 +261,18 @@ func recordRobustness(t, n int, runner *engine.Runner, rec *obs.Recorder, opts *
 			timedOut = append(timedOut, c)
 		}
 	}
-	if rp.cohort < n {
-		runner.RecordDegraded(fl.DegradedRound{Round: t, Cohort: rp.cohort, Expected: n, Missing: rp.missing})
+	if rp.cohort < expected {
+		runner.RecordDegraded(fl.DegradedRound{Round: t, Cohort: rp.cohort, Expected: expected, Missing: rp.missing})
 	}
 	rec.SetRobustness(obs.Robustness{
 		Cohort:         rp.cohort,
-		Expected:       n,
+		Expected:       expected,
 		TimedOut:       timedOut,
 		Crashed:        crashed,
 		StaleDropped:   int(rs.stale.Load()),
 		DupDropped:     int(rs.dup.Load()),
 		CorruptDropped: int(rs.corrupt.Load()),
+		UnknownDropped: int(rs.unknown.Load()),
 		Retries:        int(rs.retries.Load()),
 		FaultsInjected: injected,
 	})
@@ -360,15 +286,16 @@ type roundReport struct {
 	missing []int
 }
 
-// serverRound runs the server side of one round: fan out RoundStart, collect
-// uploads (all of them in strict mode, whatever beats the deadline in
-// tolerant mode), aggregate, fan out RoundEnd. A client-reported error
-// aborts the round but still produces a RoundEnd so no peer blocks forever.
+// serverRound runs the server side of one round: fan out RoundStart to the
+// round's cohort, collect uploads (all of them in strict mode, whatever
+// beats the deadline in tolerant mode), aggregate, fan out RoundEnd. A
+// client-reported error aborts the round but still produces a RoundEnd so no
+// peer blocks forever.
 //
-// Round framing is billed for every client regardless of delivery — billing
-// driven by Send outcomes would make traffic totals depend on crash timing,
-// breaking the same-seed-same-history guarantee.
-func serverRound(t int, runner *engine.Runner, conn transport.Conn, rx *receiver, n int, opts *Options, tolerant bool, rs *roundStats) (*roundReport, error) {
+// Round framing is billed for every cohort member regardless of delivery —
+// billing driven by Send outcomes would make traffic totals depend on crash
+// timing, breaking the same-seed-same-history guarantee.
+func serverRound(t int, runner *engine.Runner, conn transport.Conn, rx *receiver, cohort []int, reg *Registry, opts *Options, tolerant bool, rs *roundStats) (*roundReport, error) {
 	hooks := runner.Hooks()
 	ledger := runner.Ledger()
 	rc := runner.Context(t)
@@ -399,7 +326,7 @@ func serverRound(t int, runner *engine.Runner, conn transport.Conn, rx *receiver
 			transport.RoundStart{Round: t, HasGlobal: true, Global: transport.PayloadToWire(global)},
 			(&transport.Envelope{Payload: payload}).WireSize())
 	}
-	for c := 0; c < n; c++ {
+	for _, c := range cohort {
 		e := &transport.Envelope{Kind: transport.KindRoundStart, From: -1, To: c, Round: t, Payload: payload}
 		sendErr := conn.Send(e)
 		switch {
@@ -415,7 +342,7 @@ func serverRound(t int, runner *engine.Runner, conn transport.Conn, rx *receiver
 		}
 	}
 
-	uploads, report, roundErr, err := collectUploads(t, runner, rx, n, opts, codec, refParams, tolerant, rs)
+	uploads, report, roundErr, err := collectUploads(t, runner, rx, cohort, reg, opts, codec, refParams, tolerant, rs)
 	if err != nil {
 		return report, err
 	}
@@ -462,7 +389,7 @@ func serverRound(t int, runner *engine.Runner, conn transport.Conn, rx *receiver
 			transport.RoundEnd{Round: t, HasBroadcast: true, Broadcast: transport.PayloadToWire(bcast)},
 			(&transport.Envelope{Payload: payload}).WireSize())
 	}
-	for c := 0; c < n; c++ {
+	for _, c := range cohort {
 		e := &transport.Envelope{Kind: transport.KindRoundEnd, From: -1, To: c, Round: t, Payload: payload}
 		sendErr := conn.Send(e)
 		switch {
@@ -493,20 +420,29 @@ func rawWireSize(msg any, fallback int) int {
 	return (&transport.Envelope{Payload: b}).WireSize()
 }
 
-// collectUploads drains the server inbox until every awaited client has
-// contributed, the deadline passes (tolerant), or a protocol violation is
-// found (strict). roundErr is a protocol-level failure that still gets a
+// collectUploads drains the server inbox until every awaited cohort member
+// has contributed, the deadline passes (tolerant), or a protocol violation
+// is found (strict). roundErr is a protocol-level failure that still gets a
 // RoundEnd; err is a transport-level failure that aborts the run.
 //
 // Clients the shared fault schedule crashes this round are not awaited at
 // all — the deterministic equivalent of a failure detector, so a
 // crash-heavy round does not have to burn the whole deadline.
-func collectUploads(t int, runner *engine.Runner, rx *receiver, n int, opts *Options, codec comm.Codec, refParams []float64, tolerant bool, rs *roundStats) (uploads []engine.Upload, report *roundReport, roundErr, err error) {
+//
+// Registration traffic flows through here too: hello/goodbye envelopes
+// arriving mid-round are queued into the registry (applied at the next
+// barrier) and billed as control bytes. Uploads from peers the registry does
+// not know surface ErrUnknownClient; uploads from registered peers outside
+// this round's cohort (offline per the availability trace) are stale.
+func collectUploads(t int, runner *engine.Runner, rx *receiver, cohort []int, reg *Registry, opts *Options, codec comm.Codec, refParams []float64, tolerant bool, rs *roundStats) (uploads []engine.Upload, report *roundReport, roundErr, err error) {
 	ledger := runner.Ledger()
-	uploads = make([]engine.Upload, 0, n)
-	seen := make([]bool, n)
+	n := runner.Config().Env.Cfg.NumClients
+	uploads = make([]engine.Upload, 0, len(cohort))
+	seen := make(map[int]bool, len(cohort))
+	inCohort := make(map[int]bool, len(cohort))
 	await := 0
-	for c := 0; c < n; c++ {
+	for _, c := range cohort {
+		inCohort[c] = true
 		if !opts.Faults.CrashesAt(c, t) {
 			await++
 		}
@@ -536,6 +472,17 @@ func collectUploads(t int, runner *engine.Runner, rx *receiver, n int, opts *Opt
 		if rerr != nil {
 			return nil, report, nil, fmt.Errorf("server recv: %w", rerr)
 		}
+		if e.Kind == transport.KindHello || e.Kind == transport.KindGoodbye {
+			// Registration is legitimate mid-round traffic in both modes:
+			// queue it for the next barrier and account the bytes.
+			if e.Kind == transport.KindHello {
+				reg.QueueJoin(e.From)
+			} else {
+				reg.QueueLeave(e.From)
+			}
+			ledger.AddControl(e.WireSize())
+			continue
+		}
 		if e.Kind != transport.KindUpload {
 			if tolerant {
 				rs.stale.Add(1)
@@ -558,6 +505,14 @@ func collectUploads(t int, runner *engine.Runner, rx *receiver, n int, opts *Opt
 				continue
 			}
 			roundErr = fmt.Errorf("%w: upload from unknown peer %d", ErrPeerMismatch, e.From)
+			continue
+		}
+		if !reg.Has(e.From) {
+			if tolerant {
+				rs.unknown.Add(1)
+				continue
+			}
+			roundErr = fmt.Errorf("%w: upload from unregistered peer %d in round %d", ErrUnknownClient, e.From, t)
 			continue
 		}
 		var ru transport.RoundUpload
@@ -600,6 +555,17 @@ func collectUploads(t int, runner *engine.Runner, rx *receiver, n int, opts *Opt
 				continue
 			}
 			roundErr = fmt.Errorf("%w: upload labeled client %d arrived from peer %d", ErrPeerMismatch, ru.Client, e.From)
+			continue
+		}
+		if !inCohort[ru.Client] {
+			// Registered but not scheduled this round (offline per the
+			// availability trace, or joined after the barrier): the upload is
+			// out-of-round traffic.
+			if tolerant {
+				rs.stale.Add(1)
+				continue
+			}
+			roundErr = fmt.Errorf("%w: upload from client %d outside round %d's cohort", ErrStaleEnvelope, ru.Client, t)
 			continue
 		}
 		if ru.Round != t {
@@ -649,12 +615,12 @@ func collectUploads(t int, runner *engine.Runner, rx *receiver, n int, opts *Opt
 		uploads = append(uploads, engine.Upload{Client: ru.Client, Payload: p})
 	}
 	missing := make([]int, 0)
-	for c := 0; c < n; c++ {
+	for _, c := range cohort {
 		if !seen[c] {
 			missing = append(missing, c)
 		}
 	}
-	return uploads, &roundReport{cohort: n - len(missing), missing: missing}, roundErr, nil
+	return uploads, &roundReport{cohort: len(cohort) - len(missing), missing: missing}, roundErr, nil
 }
 
 // clientPeer is one client worker's connection state: the fault-wrapped
@@ -1018,121 +984,6 @@ func (r *receiver) drain() {
 }
 
 func (r *receiver) stop() { r.once.Do(func() { close(r.done) }) }
-
-// transportParts is a built transport: the server's fan-in conn, one conn
-// per client, an optional reconnect hook, and the teardown.
-type transportParts struct {
-	server  transport.Conn
-	clients []transport.Conn
-	redial  func(id int) (transport.Conn, error)
-	cleanup func()
-}
-
-// buildTransport wires one server conn and n client conns. billControl is
-// invoked with the wire size of reconnect handshakes so mid-run rejoins are
-// accounted as control traffic.
-func buildTransport(mode Mode, n int, billControl func(int)) (*transportParts, error) {
-	switch mode {
-	case ModeBus:
-		bus := transport.NewBus(n, n*2)
-		conns := make([]transport.Conn, n)
-		for c := range conns {
-			conns[c] = bus.ClientConn(c)
-		}
-		return &transportParts{server: bus.ServerConn(), clients: conns, cleanup: bus.Close}, nil
-	case ModeTCP:
-		srv, err := transport.Listen("127.0.0.1:0")
-		if err != nil {
-			return nil, err
-		}
-		mux := newMuxConn(n)
-		go acceptLoop(srv, mux, n, billControl)
-		conns := make([]transport.Conn, n)
-		for c := range conns {
-			conn, err := dialAndJoin(srv.Addr(), c)
-			if err != nil {
-				mux.Close()
-				srv.Close()
-				return nil, err
-			}
-			conns[c] = conn
-		}
-		if err := mux.waitRegistered(n, 10*time.Second); err != nil {
-			mux.Close()
-			srv.Close()
-			return nil, err
-		}
-		addr := srv.Addr()
-		cleanup := func() {
-			mux.Close()
-			for _, c := range conns {
-				c.Close()
-			}
-			srv.Close()
-		}
-		return &transportParts{
-			server:  mux,
-			clients: conns,
-			redial:  func(id int) (transport.Conn, error) { return dialAndJoin(addr, id) },
-			cleanup: cleanup,
-		}, nil
-	default:
-		return nil, fmt.Errorf("distrib: unknown mode %q", mode)
-	}
-}
-
-// acceptLoop serves join handshakes for the run's lifetime, not just the
-// initial fan-in, so a crash-restarting client can redial mid-run. Each
-// accepted conn must open with a control hello naming the client id; the
-// conn is registered with the mux before the ack is sent, so everything the
-// server sends after the client observes the ack lands on the new conn.
-func acceptLoop(srv *transport.Server, mux *muxConn, n int, billControl func(int)) {
-	for {
-		conn, err := srv.Accept()
-		if err != nil {
-			return
-		}
-		go func(conn transport.Conn) {
-			hello, err := conn.Recv()
-			if err != nil || hello.Kind != transport.KindControl || hello.From < 0 || hello.From >= n {
-				conn.Close()
-				return
-			}
-			ack := &transport.Envelope{Kind: transport.KindControl, From: -1, To: hello.From, Round: hello.Round}
-			billControl(hello.WireSize() + ack.WireSize())
-			mux.register(hello.From, conn)
-			// A failed ack means the client is already redialing; the next
-			// handshake will replace this registration.
-			_ = conn.Send(ack)
-		}(conn)
-	}
-}
-
-// dialAndJoin connects to the server and completes the join handshake:
-// send a control hello, wait for the control ack. Non-control envelopes
-// arriving before the ack are leftovers of the round the client abandoned
-// (the server registers the conn before acking), so they are discarded.
-func dialAndJoin(addr string, id int) (transport.Conn, error) {
-	conn, err := transport.Dial(addr)
-	if err != nil {
-		return nil, err
-	}
-	hello := &transport.Envelope{Kind: transport.KindControl, From: id, To: -1, Round: -1}
-	if err := conn.Send(hello); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("distrib: client %d join: %w", id, err)
-	}
-	for {
-		e, err := conn.Recv()
-		if err != nil {
-			conn.Close()
-			return nil, fmt.Errorf("distrib: client %d await join ack: %w", id, err)
-		}
-		if e.Kind == transport.KindControl && e.To == id {
-			return conn, nil
-		}
-	}
-}
 
 // peerGoneError reports that one client's server-side connection died. In
 // tolerant mode the collect loop skips it (the client may redial); in

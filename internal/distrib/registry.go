@@ -1,0 +1,138 @@
+package distrib
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrUnknownClient marks an upload from a peer that never registered with
+// the server (or already deregistered). Strict mode returns it wrapped with
+// context; tolerant mode counts the envelope in the round's Robustness trace
+// and drops it.
+var ErrUnknownClient = errors.New("distrib: unknown client")
+
+// Registry tracks the live client population of a long-running service: who
+// is registered right now, and the hello/goodbye registrations queued since
+// the last round barrier. Registrations are not applied the instant they
+// arrive — a client joining mid-round would change that round's cohort
+// depending on message timing, breaking same-seed replay — but queued and
+// folded in at the next round barrier by ApplyPending, so population changes
+// land at deterministic points exactly like the engine's round skeleton.
+//
+// The id universe is fixed at [0, n): ids address pre-built transport
+// endpoints and per-client data shards. What changes at runtime is which of
+// those ids are registered, not how many could ever exist.
+type Registry struct {
+	mu           sync.Mutex
+	n            int
+	active       map[int]bool
+	pendingJoin  map[int]bool
+	pendingLeave map[int]bool
+}
+
+// NewRegistry returns a registry over the id universe [0, n). initial lists
+// the ids registered before the first round: nil registers the whole fleet
+// (the legacy fixed-cohort behavior), an empty non-nil slice registers
+// nobody (wire-registration mode, where the population arrives as hello
+// envelopes). Out-of-range initial ids are an error.
+func NewRegistry(n int, initial []int) (*Registry, error) {
+	r := &Registry{
+		n:            n,
+		active:       make(map[int]bool, n),
+		pendingJoin:  make(map[int]bool),
+		pendingLeave: make(map[int]bool),
+	}
+	if initial == nil {
+		for id := 0; id < n; id++ {
+			r.active[id] = true
+		}
+		return r, nil
+	}
+	for _, id := range initial {
+		if id < 0 || id >= n {
+			return nil, fmt.Errorf("distrib: population id %d out of range [0,%d)", id, n)
+		}
+		r.active[id] = true
+	}
+	return r, nil
+}
+
+// QueueJoin queues a registration (a hello) for the next barrier.
+// Out-of-range ids are ignored — the caller's validation ladder already
+// counts them. Idempotent: double-registering a client that is already
+// active (the PR5 crash/rejoin path re-registering after a restart) is a
+// no-op at apply time, not an error.
+func (r *Registry) QueueJoin(id int) {
+	if id < 0 || id >= r.n {
+		return
+	}
+	r.mu.Lock()
+	r.pendingJoin[id] = true
+	r.mu.Unlock()
+}
+
+// QueueLeave queues a deregistration (a goodbye) for the next barrier.
+// Idempotent like QueueJoin.
+func (r *Registry) QueueLeave(id int) {
+	if id < 0 || id >= r.n {
+		return
+	}
+	r.mu.Lock()
+	r.pendingLeave[id] = true
+	r.mu.Unlock()
+}
+
+// ApplyPending folds the queued registrations into the active set — joins
+// first, then leaves, so a hello and a goodbye queued in the same window
+// resolve to "left" regardless of arrival order. It returns the number of
+// state transitions actually applied (re-registering an active client or
+// deregistering an absent one transitions nothing). Call at round barriers
+// only.
+func (r *Registry) ApplyPending() (joins, leaves int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for id := range r.pendingJoin {
+		if !r.active[id] {
+			r.active[id] = true
+			joins++
+		}
+		delete(r.pendingJoin, id)
+	}
+	for id := range r.pendingLeave {
+		if r.active[id] {
+			delete(r.active, id)
+			leaves++
+		}
+		delete(r.pendingLeave, id)
+	}
+	return joins, leaves
+}
+
+// Has reports whether id is currently registered.
+func (r *Registry) Has(id int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.active[id]
+}
+
+// Size returns the registered population count.
+func (r *Registry) Size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.active)
+}
+
+// Active returns the registered ids, sorted ascending — the deterministic
+// iteration order every cohort computation starts from.
+func (r *Registry) Active() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]int, 0, len(r.active))
+	for id := range r.active {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,403 @@
+package distrib
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fedpkd/internal/faults"
+	"fedpkd/internal/fl"
+	"fedpkd/internal/fl/engine"
+	"fedpkd/internal/obs"
+	"fedpkd/internal/transport"
+)
+
+// Service is the long-lived form of the distributed runtime: where
+// RunAlgorithmOpts used to be one monolithic batch loop over a fixed peer
+// list, the service owns a client Registry, samples each round's cohort from
+// the currently registered population intersected with the availability
+// trace, and exposes the hooks a control plane needs — a Barrier callback at
+// every round boundary (all workers parked, safe to checkpoint), a live
+// Status snapshot, and the Join/Leave registration API. The legacy batch
+// entry points are thin wrappers: a service with the full fleet pre-seeded
+// into its registry and no availability trace runs byte-identically to the
+// old fixed-cohort loop.
+type Service struct {
+	runner   *engine.Runner
+	opts     Options
+	n        int
+	tolerant bool
+	// dynamic marks a run whose population can differ from the fixed full
+	// fleet: a partial initial population, wire registration, or an
+	// availability trace. Only dynamic runs record churn traces, so legacy
+	// runs keep their golden trace schema.
+	dynamic bool
+	rec     *obs.Recorder
+	tr      *transportParts
+	srx     *receiver
+	reg     *Registry
+	peers   map[int]*clientPeer
+	start   map[int]chan int
+	done    chan error
+	rs      *roundStats
+	fstats  *faults.Stats
+
+	roundOpen atomic.Bool
+	trOnce    sync.Once
+	shutOnce  sync.Once
+
+	mu     sync.Mutex
+	status Status
+}
+
+// Status is a point-in-time snapshot of the service, refreshed at every
+// round barrier (and once more at teardown, after pending registrations are
+// drained).
+type Status struct {
+	// Algo names the running algorithm.
+	Algo string `json:"algo"`
+	// Round is the next round index the service will run (equals the number
+	// of completed rounds).
+	Round int `json:"round"`
+	// Registered is the registry population; Online is the number of clients
+	// the availability trace puts online fleet-wide at Round; Cohort is the
+	// number the round actually schedules (registered ∩ online).
+	Registered int `json:"registered"`
+	Online     int `json:"online"`
+	Cohort     int `json:"cohort"`
+}
+
+// NewService builds the transport fabric, registry, and parked client
+// workers for an engine-backed algorithm. The caller must Close the service;
+// Run may be called at most once.
+func NewService(algo fl.Algorithm, opts Options) (*Service, error) {
+	runner, err := engine.Of(algo)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Mode == "" {
+		opts.Mode = ModeBus
+	}
+	n := runner.Config().Env.Cfg.NumClients
+	if err := opts.validate(n); err != nil {
+		return nil, err
+	}
+	s := &Service{
+		runner:   runner,
+		opts:     opts,
+		n:        n,
+		tolerant: opts.ClientTimeout > 0 || opts.Faults.Enabled(),
+		dynamic:  opts.Population != nil || opts.WireRegistration || runner.Availability() != nil,
+		rec:      opts.Recorder,
+		rs:       &roundStats{},
+		peers:    make(map[int]*clientPeer),
+		start:    make(map[int]chan int),
+		done:     make(chan error, n),
+	}
+	runner.SetRecorder(s.rec)
+	ledger := runner.Ledger()
+
+	// Reconnect handshakes are control traffic; they are only billable while
+	// a round is open (the ledger has no row before the first StartRound, and
+	// the setup handshakes happen before the run's first round).
+	billControl := func(bytes int) {
+		if s.roundOpen.Load() {
+			ledger.AddControl(bytes)
+		}
+	}
+	if s.tr, err = buildTransport(opts.Mode, n, billControl); err != nil {
+		return nil, err
+	}
+
+	initial := opts.Population
+	if opts.WireRegistration {
+		// Nobody pre-seeded: the population arrives as hello envelopes.
+		initial = []int{}
+	}
+	if s.reg, err = NewRegistry(n, initial); err != nil {
+		s.tr.cleanup()
+		return nil, err
+	}
+
+	runner.SetHistoryLabelSuffix("(distributed)")
+	s.fstats = opts.FaultStats
+	if s.fstats == nil {
+		s.fstats = &faults.Stats{}
+	}
+
+	// One worker per universe id, registered or not: a client that joins
+	// mid-run already has its endpoint parked on the start channel, the
+	// in-process equivalent of a fleet larger than any one cohort.
+	for c := 0; c < n; c++ {
+		p := &clientPeer{
+			id:     c,
+			conn:   faults.Wrap(s.tr.clients[c], opts.Faults, c, s.fstats),
+			stats:  s.fstats,
+			redial: s.tr.redial,
+		}
+		p.rx = newReceiver(p.conn)
+		s.peers[c] = p
+		s.start[c] = make(chan int, 1)
+		go clientWorker(p, runner, s.rec, &s.opts, s.tolerant, s.rs, s.start[c], s.done)
+	}
+	s.srx = newReceiver(s.tr.server)
+	s.setStatus(runner.CurrentRound())
+	return s, nil
+}
+
+// Run executes rounds additional rounds (or async flushes) and returns the
+// cumulative history. Call at most once per service.
+func (s *Service) Run(rounds int) (*fl.History, error) {
+	hist := s.runner.History()
+	defer s.rec.Finish()
+	if s.opts.WireRegistration {
+		if err := s.registerPopulation(); err != nil {
+			return hist, err
+		}
+	}
+	var err error
+	if s.runner.Async() != nil {
+		err = s.runAsync(rounds)
+	} else {
+		err = s.runSync(rounds)
+	}
+	// Shutdown drain (see drainRegistrations): registrations still queued in
+	// the receiver must not be lost on quit.
+	s.drainRegistrations()
+	return hist, err
+}
+
+// runSync is the synchronous round loop: barrier hook, fold in pending
+// registrations, sample the cohort, fan out, serve the round, fan in.
+func (s *Service) runSync(rounds int) error {
+	var firstErr error
+	for i := 0; i < rounds; i++ {
+		t := s.runner.CurrentRound()
+		// Fold registrations in before the gate runs, so a paused service's
+		// status reports who is registered; apply again after it, so arrivals
+		// during a long pause join this round rather than the next.
+		joins, leaves := s.reg.ApplyPending()
+		s.setStatus(t)
+		if s.opts.Barrier != nil {
+			if err := s.opts.Barrier(t); err != nil {
+				return err
+			}
+		}
+		j2, l2 := s.reg.ApplyPending()
+		joins, leaves = joins+j2, leaves+l2
+		cohort := s.cohortAt(t)
+		s.setStatus(t)
+		// Fail fast on a hopeless population instead of opening a round that
+		// can only time out: quorum is checked before any fan-out.
+		if s.opts.MinQuorum > 0 && len(cohort) < s.opts.MinQuorum {
+			return fmt.Errorf("%w: round %d has %d registered online clients, quorum %d",
+				ErrQuorumNotMet, t, len(cohort), s.opts.MinQuorum)
+		}
+		s.runner.BeginRound()
+		s.roundOpen.Store(true)
+		s.rs.reset()
+		faultBase := s.fstats.Snapshot().Total()
+		s.rec.SetWorkers(len(cohort))
+		for _, c := range cohort {
+			s.start[c] <- t
+		}
+		report, serverErr := serverRound(t, s.runner, s.tr.server, s.srx, cohort, s.reg, &s.opts, s.tolerant, s.rs)
+		if serverErr != nil {
+			// Unblock any client still parked on Recv before fanning in.
+			s.closeTransport()
+		}
+		for range cohort {
+			if err := <-s.done; err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		s.roundOpen.Store(false)
+		if serverErr != nil {
+			firstErr = serverErr
+		}
+		if firstErr != nil {
+			return firstErr
+		}
+		if s.tolerant {
+			recordRobustness(t, len(cohort), s.runner, s.rec, &s.opts, report, s.rs, s.fstats.Snapshot().Total()-faultBase)
+		}
+		if s.dynamic {
+			s.rec.SetChurn(obs.Churn{
+				Registered: s.reg.Size(),
+				Online:     len(s.runner.Online(t)),
+				Cohort:     len(cohort),
+				Joins:      joins,
+				Leaves:     leaves,
+			})
+		}
+		// All workers parked: evaluate (and checkpoint) safely.
+		if err := s.runner.CompleteRound(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cohortAt returns round t's cohort: the registered population intersected
+// with the clients the availability trace puts online, sorted ascending.
+func (s *Service) cohortAt(t int) []int {
+	active := s.reg.Active()
+	tr := s.runner.Availability()
+	if tr == nil {
+		return active
+	}
+	kept := make([]int, 0, len(active))
+	for _, c := range active {
+		if tr.Online(c, t) {
+			kept = append(kept, c)
+		}
+	}
+	return kept
+}
+
+// Join registers client id with the service over the wire: a hello envelope
+// travels the client's own connection (beneath the chaos wrapper, so
+// registration is never lost to injected faults) and lands in the registry
+// at the next round barrier. Safe to call from another goroutine mid-run.
+func (s *Service) Join(id int) error {
+	return s.sendRegistration(id, transport.KindHello)
+}
+
+// Leave deregisters client id: the goodbye takes effect at the next round
+// barrier, after which the client is no longer scheduled into cohorts.
+func (s *Service) Leave(id int) error {
+	return s.sendRegistration(id, transport.KindGoodbye)
+}
+
+func (s *Service) sendRegistration(id int, kind transport.Kind) error {
+	p := s.peers[id]
+	if p == nil {
+		return fmt.Errorf("distrib: %v for id %d outside universe [0,%d)", kind, id, s.n)
+	}
+	e := &transport.Envelope{Kind: kind, From: id, To: -1, Round: -1}
+	if err := p.conn.Inner().Send(e); err != nil {
+		return fmt.Errorf("distrib: client %d %v: %w", id, kind, err)
+	}
+	return nil
+}
+
+// registerPopulation performs wire registration: every initial-population
+// client sends a real hello, and the server blocks until all of them have
+// arrived (pre-round, so the handshakes are unbilled — the ledger has no
+// open row yet).
+func (s *Service) registerPopulation() error {
+	pop := s.opts.Population
+	if pop == nil {
+		pop = make([]int, s.n)
+		for c := range pop {
+			pop[c] = c
+		}
+	}
+	for _, id := range pop {
+		if err := s.Join(id); err != nil {
+			return err
+		}
+	}
+	joined := make(map[int]bool, len(pop))
+	deadline := time.Now().Add(10 * time.Second)
+	for len(joined) < len(pop) {
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			return fmt.Errorf("distrib: only %d of %d clients registered within 10s", len(joined), len(pop))
+		}
+		e, err := s.srx.recv(wait)
+		if errors.Is(err, errRecvTimeout) {
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("distrib: await registrations: %w", err)
+		}
+		switch e.Kind {
+		case transport.KindHello:
+			s.reg.QueueJoin(e.From)
+			if e.From >= 0 && e.From < s.n {
+				joined[e.From] = true
+			}
+		case transport.KindGoodbye:
+			s.reg.QueueLeave(e.From)
+		}
+		// Anything else arriving before the first round is leftover traffic;
+		// round gating would discard it anyway.
+	}
+	return nil
+}
+
+// drainRegistrations empties whatever the server receiver already buffered,
+// keeping only registration messages, then folds them in — the shutdown
+// drain: a hello that reached the server before quit is reflected in the
+// final status (and in the registry a save would capture) instead of being
+// dropped with the receiver. Non-blocking.
+func (s *Service) drainRegistrations() {
+	for {
+		select {
+		case res, ok := <-s.srx.ch:
+			if !ok {
+				s.applyFinal()
+				return
+			}
+			if res.err != nil || res.e == nil {
+				continue
+			}
+			switch res.e.Kind {
+			case transport.KindHello:
+				s.reg.QueueJoin(res.e.From)
+			case transport.KindGoodbye:
+				s.reg.QueueLeave(res.e.From)
+			}
+		default:
+			s.applyFinal()
+			return
+		}
+	}
+}
+
+func (s *Service) applyFinal() {
+	s.reg.ApplyPending()
+	s.setStatus(s.runner.CurrentRound())
+}
+
+// Status returns the latest barrier snapshot. Safe from any goroutine — the
+// control plane's ping/status handler reads it while the round loop runs.
+func (s *Service) Status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.status
+}
+
+func (s *Service) setStatus(t int) {
+	cohort := s.cohortAt(t)
+	st := Status{
+		Algo:       s.runner.Name(),
+		Round:      t,
+		Registered: s.reg.Size(),
+		Online:     len(s.runner.Online(t)),
+		Cohort:     len(cohort),
+	}
+	s.mu.Lock()
+	s.status = st
+	s.mu.Unlock()
+}
+
+// Registry exposes the live registry (tests and the control plane).
+func (s *Service) Registry() *Registry { return s.reg }
+
+func (s *Service) closeTransport() { s.trOnce.Do(s.tr.cleanup) }
+
+// Close tears the service down: parks no more rounds, stops every worker,
+// and closes the transport. Idempotent.
+func (s *Service) Close() {
+	s.shutOnce.Do(func() {
+		for _, ch := range s.start {
+			close(ch)
+		}
+		s.srx.stop()
+	})
+	s.closeTransport()
+}

@@ -139,6 +139,9 @@ func RunOne(name string, task Task, setting Setting, sc Scale, seed uint64, hete
 	if err := applyAsyncPolicy(runner, seed, sc.NumClients); err != nil {
 		return nil, err
 	}
+	if err := applyAvailabilityPolicy(runner, seed); err != nil {
+		return nil, err
+	}
 	if ckptPolicy.dir != "" && ckptPolicy.every > 0 {
 		warnings, err := applyCheckpointPolicy(runner, runCheckpointDir(name, task, setting, seed, hetero))
 		for _, w := range warnings {

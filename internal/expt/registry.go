@@ -39,6 +39,7 @@ func Runners() map[string]Runner {
 		"failures":               RunFailures,
 		"compression":            RunCompression,
 		"async":                  RunAsync,
+		"churn":                  RunChurn,
 	}
 }
 

@@ -322,13 +322,24 @@ func retainPayload(p *Payload) *Payload {
 	return &out
 }
 
-// AsyncPlanFlush plans flush t: on the first call it performs the initial
-// dispatch (version-0 global to every client, arrivals drawn from the
-// schedule), then selects the K clients whose pending updates arrive
-// earliest — ties broken by client id — and computes their staleness
-// weights. Pure given the async state; it mutates nothing but the one-time
-// initial dispatch. Exposed for internal/distrib.
+// AsyncPlanFlush plans flush t over the full population: AsyncPlanFlushFrom
+// with no eligibility restriction.
 func (r *Runner) AsyncPlanFlush(t int) (*AsyncFlushPlan, error) {
+	return r.AsyncPlanFlushFrom(t, nil)
+}
+
+// AsyncPlanFlushFrom plans flush t: on the first call it performs the
+// initial dispatch (version-0 global to every client, arrivals drawn from
+// the schedule), then selects the K eligible clients whose pending updates
+// arrive earliest — ties broken by client id — and computes their staleness
+// weights. eligible restricts the candidates (internal/distrib passes its
+// registry's live population; nil means everyone), and an availability
+// trace further filters them to the clients online at flush t. When fewer
+// than K candidates remain the flush shrinks to match; zero candidates is
+// an error — a server with nobody registered and online cannot flush. Pure
+// given the async state; it mutates nothing but the one-time initial
+// dispatch. Exposed for internal/distrib.
+func (r *Runner) AsyncPlanFlushFrom(t int, eligible []int) (*AsyncFlushPlan, error) {
 	st := r.async
 	if st == nil {
 		return nil, fmt.Errorf("engine: AsyncPlanFlush without SetAsync")
@@ -343,9 +354,26 @@ func (r *Runner) AsyncPlanFlush(t int) (*AsyncFlushPlan, error) {
 			st.ready[c] = st.opts.Schedule.Delay(c, 0, 0)
 		}
 	}
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
+	var order []int
+	if eligible == nil {
+		order = make([]int, 0, n)
+		for c := 0; c < n; c++ {
+			order = append(order, c)
+		}
+	} else {
+		order = append([]int(nil), eligible...)
+	}
+	if r.avail != nil {
+		kept := order[:0]
+		for _, c := range order {
+			if r.avail.Online(c, t) {
+				kept = append(kept, c)
+			}
+		}
+		order = kept
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("engine: flush %d has no eligible online clients", t)
 	}
 	sort.Slice(order, func(i, j int) bool {
 		a, b := order[i], order[j]
@@ -355,6 +383,9 @@ func (r *Runner) AsyncPlanFlush(t int) (*AsyncFlushPlan, error) {
 		return a < b
 	})
 	k := st.opts.BufferSize
+	if k > len(order) {
+		k = len(order)
+	}
 	chosen := append([]int(nil), order[:k]...)
 	sort.Ints(chosen)
 	plan := &AsyncFlushPlan{
@@ -465,6 +496,10 @@ func (r *Runner) asyncFlush(t int) error {
 	rc := r.Context(t)
 	k := len(plan.Chosen)
 	r.rec.SetWorkers(fl.Workers(k))
+	if r.avail != nil {
+		n := r.cfg.Env.Cfg.NumClients
+		r.rec.SetChurn(obs.Churn{Registered: n, Online: len(r.Online(t)), Cohort: k})
+	}
 
 	// The contributors' globals were minted at their dispatch flush but are
 	// billed here, at delivery: the wire carries them together with the

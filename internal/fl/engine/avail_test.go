@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"testing"
+)
+
+func TestAvailabilityTracePureAndBounded(t *testing.T) {
+	tr := &AvailabilityTrace{Seed: 11, Period: 8, MinDuty: 0.5, MaxDuty: 0.9}
+	for c := 0; c < 10; c++ {
+		// Online is pure and periodic: the same (c, t) always answers the
+		// same, and t and t+Period agree.
+		for ti := 0; ti < 2*tr.Period; ti++ {
+			if tr.Online(c, ti) != tr.Online(c, ti) {
+				t.Fatalf("Online(%d,%d) not pure", c, ti)
+			}
+			if tr.Online(c, ti) != tr.Online(c, ti+tr.Period) {
+				t.Fatalf("Online(%d,%d) != Online(%d,%d): trace must be periodic", c, ti, c, ti+tr.Period)
+			}
+		}
+		// Over one full period, a client is online for its duty window:
+		// between MinDuty and MaxDuty of the period (rounded), never zero.
+		online := 0
+		for ti := 0; ti < tr.Period; ti++ {
+			if tr.Online(c, ti) {
+				online++
+			}
+		}
+		lo := int(tr.MinDuty*float64(tr.Period) + 0.5)
+		hi := int(tr.MaxDuty*float64(tr.Period) + 0.5)
+		if online < lo || online > hi {
+			t.Fatalf("client %d online %d/%d rounds, outside duty window [%d,%d]", c, online, tr.Period, lo, hi)
+		}
+	}
+}
+
+func TestAvailabilityTracePinnedDuty(t *testing.T) {
+	// MinDuty == MaxDuty pins every client to the same window width; only
+	// phases differ.
+	tr := &AvailabilityTrace{Seed: 3, Period: 10, MinDuty: 0.7, MaxDuty: 0.7}
+	want := 7
+	for c := 0; c < 6; c++ {
+		online := 0
+		for ti := 0; ti < tr.Period; ti++ {
+			if tr.Online(c, ti) {
+				online++
+			}
+		}
+		if online != want {
+			t.Fatalf("client %d online %d rounds at pinned duty 0.7 of 10, want %d", c, online, want)
+		}
+	}
+}
+
+func TestAvailabilityTraceNilAlwaysOnline(t *testing.T) {
+	var tr *AvailabilityTrace
+	for c := 0; c < 4; c++ {
+		for ti := 0; ti < 4; ti++ {
+			if !tr.Online(c, ti) {
+				t.Fatalf("nil trace must keep client %d online at round %d", c, ti)
+			}
+		}
+	}
+}
+
+func TestAvailabilityTraceValidate(t *testing.T) {
+	if err := (AvailabilityTrace{Period: -1}).Validate(); err == nil {
+		t.Error("negative period accepted")
+	}
+	if err := (AvailabilityTrace{MinDuty: -0.2}).Validate(); err == nil {
+		t.Error("negative MinDuty accepted")
+	}
+	if err := (AvailabilityTrace{MinDuty: 0.8, MaxDuty: 0.4}).Validate(); err == nil {
+		t.Error("MaxDuty < MinDuty accepted")
+	}
+	if err := (AvailabilityTrace{MinDuty: 0.5, MaxDuty: 1.5}).Validate(); err == nil {
+		t.Error("MaxDuty > 1 accepted")
+	}
+	// The zero trace is valid: every field defaults.
+	if err := (AvailabilityTrace{}).Validate(); err != nil {
+		t.Errorf("zero trace rejected: %v", err)
+	}
+}
+
+func TestParseAvailability(t *testing.T) {
+	tr, err := ParseAvailability("period=12,min=0.4,max=0.8,seed=7", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Period != 12 || tr.MinDuty != 0.4 || tr.MaxDuty != 0.8 || tr.Seed != 7 {
+		t.Fatalf("parsed trace = %+v", tr)
+	}
+
+	// An omitted seed takes the default (the run seed).
+	tr, err = ParseAvailability("period=6", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Seed != 42 || tr.Period != 6 {
+		t.Fatalf("defaulted trace = %+v, want seed 42 period 6", tr)
+	}
+
+	// The empty spec is "no churn".
+	if tr, err := ParseAvailability("", 42); err != nil || tr != nil {
+		t.Fatalf("empty spec = %+v, %v; want nil, nil", tr, err)
+	}
+
+	for _, bad := range []string{
+		"perod=12",        // unknown key
+		"period=abc",      // unparsable value
+		"period",          // not key=value
+		"min=0.9,max=0.1", // fails validation
+	} {
+		if _, err := ParseAvailability(bad, 42); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}

@@ -206,6 +206,11 @@ type Runner struct {
 	// async, when non-nil, switches Round() to barrier-free buffer flushes
 	// (see async.go). Nil is the default synchronous mode.
 	async *asyncState
+
+	// avail, when non-nil, is the seeded availability trace (avail.go):
+	// rounds and flushes sample their cohort from the clients it puts
+	// online. Nil is the always-online legacy behavior.
+	avail *AvailabilityTrace
 }
 
 var _ fl.Algorithm = (*Runner)(nil)
@@ -276,25 +281,27 @@ func (r *Runner) Context(round int) *RoundContext {
 	return &RoundContext{r: r, round: round}
 }
 
-// Participants returns the given round's participating client ids: everyone
-// when ClientFraction is 0 or 1, otherwise a deterministic random sample of
-// ceil(fraction·n) clients (at least one), sorted ascending.
+// Participants returns the given round's participating client ids: the
+// online population (everyone without an availability trace) when
+// ClientFraction is 0 or 1, otherwise a deterministic random sample of
+// ceil(fraction·n) of them (at least one), sorted ascending. With a trace
+// set, fraction sampling draws within the online set, so churn composes
+// with partial participation.
 func (r *Runner) Participants(round int) []int {
-	n := r.cfg.Env.Cfg.NumClients
-	all := make([]int, n)
-	for i := range all {
-		all[i] = i
+	base := r.Online(round)
+	if r.cfg.ClientFraction == 0 || r.cfg.ClientFraction == 1 || len(base) == 0 {
+		return base
 	}
-	if r.cfg.ClientFraction == 0 || r.cfg.ClientFraction == 1 {
-		return all
-	}
-	k := int(math.Ceil(r.cfg.ClientFraction * float64(n)))
+	k := int(math.Ceil(r.cfg.ClientFraction * float64(len(base))))
 	if k < 1 {
 		k = 1
 	}
+	if k > len(base) {
+		k = len(base)
+	}
 	rng := stats.Split(r.cfg.Seed, uint64(round)*1000+888)
-	stats.Shuffle(rng, all)
-	picked := all[:k]
+	stats.Shuffle(rng, base)
+	picked := base[:k]
 	sort.Ints(picked)
 	return picked
 }
@@ -424,6 +431,10 @@ func (r *Runner) Round() error {
 	rc := r.Context(t)
 	participants := r.Participants(t)
 	r.rec.SetWorkers(fl.Workers(len(participants)))
+	if r.avail != nil {
+		n := r.cfg.Env.Cfg.NumClients
+		r.rec.SetChurn(obs.Churn{Registered: n, Online: len(r.Online(t)), Cohort: len(participants)})
+	}
 
 	// Front-loaded server state: every participant downloads it. Under a
 	// compressing codec clients receive (and train against) the transcoded

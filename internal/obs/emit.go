@@ -42,6 +42,7 @@ func WriteCSV(w io.Writer, traces []RoundTrace) error {
 
 	cw := csv.NewWriter(w)
 	header := []string{"algo", "round", "wall_ns", "upload_bytes", "download_bytes", "control_bytes", "batches", "workers", "clients_trained",
+		"registered", "online", "cohort",
 		"kernel_ops", "kernel_parallel_calls", "kernel_serial_calls", "kernel_matrix_allocs", "kernel_scratch_misses"}
 	for _, p := range phases {
 		header = append(header, "phase_"+p+"_ns")
@@ -60,6 +61,9 @@ func WriteCSV(w io.Writer, traces []RoundTrace) error {
 			strconv.FormatInt(t.Batches, 10),
 			strconv.Itoa(t.Workers),
 			strconv.Itoa(len(t.ClientTrainNS)),
+			churnCol(t.Churn, func(c *Churn) int { return c.Registered }),
+			churnCol(t.Churn, func(c *Churn) int { return c.Online }),
+			churnCol(t.Churn, func(c *Churn) int { return c.Cohort }),
 			strconv.FormatInt(t.KernelOps, 10),
 			strconv.FormatInt(t.KernelParallelCalls, 10),
 			strconv.FormatInt(t.KernelSerialCalls, 10),
@@ -75,6 +79,15 @@ func WriteCSV(w io.Writer, traces []RoundTrace) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// churnCol renders one churn column: empty for rounds without a population
+// profile, so fixed-cohort traces keep blank cells rather than fake zeros.
+func churnCol(c *Churn, get func(*Churn) int) string {
+	if c == nil {
+		return ""
+	}
+	return strconv.Itoa(get(c))
 }
 
 // DumpFiles finishes the recorder and writes <prefix>_trace.jsonl and

@@ -80,6 +80,13 @@ var (
 	asyncOccupancyTotal = expvar.NewInt("fedpkd_async_occupancy_total")
 	asyncStalenessTotal = expvar.NewInt("fedpkd_async_staleness_total")
 	asyncStalenessMax   = expvar.NewInt("fedpkd_async_staleness_max")
+
+	// Registry/churn counters: the currently registered population (gauge),
+	// cumulative joins and leaves applied at round barriers. Per-round
+	// attribution lives in RoundTrace.Churn.
+	registrySize        = expvar.NewInt("fedpkd_registry_size")
+	registryJoinsTotal  = expvar.NewInt("fedpkd_registry_joins_total")
+	registryLeavesTotal = expvar.NewInt("fedpkd_registry_leaves_total")
 )
 
 // AddFaultsInjected bumps the process-wide injected-fault counter.
@@ -205,6 +212,27 @@ type RoundTrace struct {
 	// Async carries the buffer-flush profile when the run executed in the
 	// barrier-free async mode; nil for synchronous rounds.
 	Async *AsyncTrace `json:"async,omitempty"`
+	// Churn carries the round's population profile when the run sampled its
+	// cohort from a live registry or an availability trace; nil for the
+	// legacy fixed-cohort path.
+	Churn *Churn `json:"churn,omitempty"`
+}
+
+// Churn is the population profile of one round under live cohort churn: how
+// many clients were registered when the round opened, how many of those the
+// availability trace put online, how many the round actually scheduled, and
+// the registrations applied at the opening barrier.
+type Churn struct {
+	// Registered is the size of the registered population at the round
+	// barrier; Online is the subset the availability trace put online;
+	// Cohort is the number of clients the round scheduled.
+	Registered int `json:"registered"`
+	Online     int `json:"online"`
+	Cohort     int `json:"cohort"`
+	// Joins and Leaves count the registrations and deregistrations applied
+	// at this round's opening barrier.
+	Joins  int `json:"joins,omitempty"`
+	Leaves int `json:"leaves,omitempty"`
 }
 
 // AsyncTrace is the buffer-flush profile of one async round: the configured
@@ -240,6 +268,10 @@ type Robustness struct {
 	StaleDropped   int `json:"stale_dropped,omitempty"`
 	DupDropped     int `json:"dup_dropped,omitempty"`
 	CorruptDropped int `json:"corrupt_dropped,omitempty"`
+	// UnknownDropped counts uploads from peers that never registered (or had
+	// already deregistered) — the tolerant-mode counterpart of
+	// ErrUnknownClient.
+	UnknownDropped int `json:"unknown_dropped,omitempty"`
 	// Retries counts client-side send retries this round; FaultsInjected is
 	// the chaos layer's injection count delta for the round.
 	Retries        int   `json:"retries,omitempty"`
@@ -438,6 +470,21 @@ func (r *Recorder) SetAsync(a AsyncTrace) {
 	r.mu.Lock()
 	r.cur.Async = &a
 	r.mu.Unlock()
+}
+
+// SetChurn attaches the round's population profile to the open trace and
+// feeds the process-wide registry counters. Call once per round, before the
+// next RoundStarted/Finish closes the trace.
+func (r *Recorder) SetChurn(c Churn) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.cur.Churn = &c
+	r.mu.Unlock()
+	registrySize.Set(int64(c.Registered))
+	registryJoinsTotal.Add(int64(c.Joins))
+	registryLeavesTotal.Add(int64(c.Leaves))
 }
 
 // SetWorkers records the parallel fan-out width of the current round.

@@ -32,6 +32,15 @@ const (
 	KindRoundEnd
 	// KindControl carries round-control messages (start, stop).
 	KindControl
+	// KindHello registers a client with the server's registry (client →
+	// server). It doubles as the TCP attach handshake: a dialing client opens
+	// with a hello naming its id and the server acks with a hello addressed
+	// back. Round -1 marks registration traffic outside any round.
+	KindHello
+	// KindGoodbye deregisters a client (client → server): the peer leaves the
+	// registered population at the next round barrier and is no longer
+	// scheduled into cohorts.
+	KindGoodbye
 )
 
 // String returns the kind name for logs.
@@ -45,6 +54,10 @@ func (k Kind) String() string {
 		return "round-end"
 	case KindControl:
 		return "control"
+	case KindHello:
+		return "hello"
+	case KindGoodbye:
+		return "goodbye"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -39,6 +39,13 @@ go test -race -count=1 -run 'TestAsyncSameSeedReplay' .
 echo ">> go test -race -count=1 -run 'Async' ./internal/fl/engine/ ./internal/distrib/"
 go test -race -count=1 -run 'Async' ./internal/fl/engine/ ./internal/distrib/
 
+# Churn determinism gate: same seed + same availability trace must replay to
+# byte-identical histories, ledger totals, and per-round cohorts — in-process
+# and over the bus — while the registration fan-in runs under the race
+# detector (DESIGN.md §12).
+echo ">> go test -race -count=1 -run 'TestChurnSameSeedReplay|ServiceLeave|ServiceJoin|ServicePopulation' ./internal/distrib/"
+go test -race -count=1 -run 'TestChurnSameSeedReplay|ServiceLeave|ServiceJoin|ServicePopulation' ./internal/distrib/
+
 # Coverage floor for the round engine and the distributed driver: their
 # statements must stay >= 80% covered by the merged profile of the suites
 # that exercise them (root package + their own). Async buffer selection,
@@ -72,6 +79,25 @@ fi
 # because resume re-enters the concurrent fan-out mid-run.
 echo ">> go test -race -count=1 -run 'TestResumeEquivalenceGoldens|TestResumeFallsBack|TestDistributedResume' ."
 go test -race -count=1 -run 'TestResumeEquivalenceGoldens|TestResumeFallsBack|TestDistributedResume' .
+
+# Structural invariant of the service refactor: the distributed runtime
+# samples cohorts from the live registry, so no type under internal/distrib
+# may construct a fixed-size peer/conn/channel array keyed by fleet size —
+# that shape is exactly the old fixed peer list. population.go is the one
+# documented compatibility path (transport fabric construction); tests are
+# exempt.
+echo ">> structural check: no fixed-size peer arrays in internal/distrib"
+if grep -rnE 'make\(\[\](\*clientPeer|transport\.Conn|chan ) ' internal/distrib/ \
+    | grep -v 'population\.go' | grep -v '_test\.go'; then
+    echo "FAIL: internal/distrib must key peers by registry membership (maps), not fixed-size arrays; only population.go (strict-mode transport fabric) is exempt (DESIGN.md §12)" >&2
+    exit 1
+fi
+
+# The service's operator control plane must survive its full command cycle —
+# wire registration, pause/ping/save/resume/quit, kill -9, restart from the
+# rolling checkpoint with a different population (DESIGN.md §12).
+echo ">> sh scripts/serve_smoke.sh"
+sh scripts/serve_smoke.sh
 
 # Structural invariant of the run-state contract: every nn.Layer and
 # nn.Optimizer implementation must declare Snapshot/Restore. New types are

@@ -1,0 +1,134 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke test of the long-lived service: start
+# fedpkd-sim in serve mode over the bus transport (4 clients registering via
+# wire hellos), drive the operator control plane (pause / ping / save /
+# resume), kill -9 the service mid-experiment, restart it from the rolling
+# checkpoint against a *different* registered population (3 clients), quit it
+# cleanly, and finally resume once more in plain batch mode and assert the
+# run completes. `make serve-smoke` and scripts/check.sh both run this.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TMP=$(mktemp -d)
+SRV_PID=""
+cleanup() {
+    [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+BIN="$TMP/fedpkd-sim"
+SOCK="$TMP/ctl.sock"
+CKPT="$TMP/ckpt"
+
+echo ">> building fedpkd-sim"
+go build -o "$BIN" ./cmd/fedpkd-sim
+
+ctl() { "$BIN" -ctl-addr "$SOCK" -ctl-cmd "$1"; }
+
+# field NAME JSON — extract a numeric field from a one-line JSON response.
+field() { printf '%s' "$2" | grep -o "\"$1\":[0-9]*" | head -1 | cut -d: -f2; }
+# boolfield NAME JSON — extract a true/false field.
+boolfield() { printf '%s' "$2" | grep -o "\"$1\":\(true\|false\)" | head -1 | cut -d: -f2; }
+
+# poll DESC CMD — retry CMD (a shell snippet evaluating to success) for ~20s.
+poll() {
+    desc=$1 i=0
+    shift
+    until "$@" 2>/dev/null; do
+        i=$((i + 1))
+        if [ "$i" -ge 100 ]; then
+            echo "FAIL: timed out waiting for: $desc" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+}
+
+ctl_up() { ctl ping >/dev/null; }
+registered_is() { [ "$(field registered "$(ctl ping)")" = "$1" ]; }
+at_barrier() { [ "$(boolfield at_barrier "$(ctl ping)")" = "true" ]; }
+
+# Flags shared by every leg: a small, fast FedAvg fleet over the bus.
+run_flags() {
+    echo "-algo FedAvg -task c10 -clients 4 -train 240 -public 80 -test 80 \
+          -local-epochs 1 -server-epochs 1 -seed 7 -distributed bus \
+          -trace-dir= -checkpoint-dir $CKPT"
+}
+
+echo ">> run 1: serve mode, 4 clients register over the bus"
+# shellcheck disable=SC2046
+"$BIN" $(run_flags) -rounds 500 -serve -ctl-addr "$SOCK" 2>"$TMP/run1.log" &
+SRV_PID=$!
+
+poll "control plane to come up" ctl_up
+poll "all 4 wire registrations" registered_is 4
+echo "   4 clients registered"
+
+ctl pause >/dev/null
+poll "service parked at a round barrier" at_barrier
+out=$(ctl save)
+ck=$(printf '%s' "$out" | grep -o '"checkpoint":"[^"]*"' | cut -d'"' -f4)
+if [ -z "$ck" ] || [ ! -f "$ck" ]; then
+    echo "FAIL: save returned no checkpoint (response: $out)" >&2
+    exit 1
+fi
+echo "   paused at barrier, saved $ck"
+ctl resume >/dev/null
+
+# Let it train past the saved round, then kill it without ceremony: the
+# rolling checkpoints are the only thing run 2 gets to restart from.
+round_advanced() { [ "$(field round "$(ctl ping)")" -ge 2 ]; }
+poll "a couple of rounds to complete" round_advanced
+kill -9 "$SRV_PID"
+wait "$SRV_PID" 2>/dev/null || true
+SRV_PID=""
+echo "   killed mid-experiment"
+
+echo ">> run 2: restart from the rolling checkpoint with a different population"
+# shellcheck disable=SC2046
+"$BIN" $(run_flags) -rounds 500 -serve -ctl-addr "$SOCK" -resume "$CKPT" \
+    -population 0,1,2 2>"$TMP/run2.log" &
+SRV_PID=$!
+
+poll "control plane to come up" ctl_up
+poll "the 3-client population to register" registered_is 3
+ctl pause >/dev/null
+poll "service parked at a round barrier" at_barrier
+out=$(ctl ping)
+ROUND=$(field round "$out")
+if [ "$ROUND" -lt 1 ]; then
+    echo "FAIL: restarted service reports round $ROUND; the checkpoint restore went missing" >&2
+    exit 1
+fi
+echo "   resumed at round $ROUND with 3 registered clients"
+ctl quit >/dev/null
+if ! wait "$SRV_PID"; then
+    echo "FAIL: operator quit must be a clean exit (see $TMP/run2.log)" >&2
+    cat "$TMP/run2.log" >&2
+    exit 1
+fi
+SRV_PID=""
+grep -q "stopped by operator quit" "$TMP/run2.log" || {
+    echo "FAIL: run 2 did not acknowledge the quit" >&2
+    exit 1
+}
+echo "   quit cleanly at round $ROUND"
+
+echo ">> run 3: batch resume to completion"
+TOTAL=$((ROUND + 2))
+# shellcheck disable=SC2046
+"$BIN" $(run_flags) -rounds "$TOTAL" -resume "$CKPT" >"$TMP/run3.out" 2>"$TMP/run3.log"
+grep -q "resumed FedAvg at round" "$TMP/run3.log" || {
+    echo "FAIL: run 3 did not resume from the checkpoint" >&2
+    exit 1
+}
+grep -qE "^[[:space:]]*$((TOTAL - 1)) " "$TMP/run3.out" || {
+    echo "FAIL: run 3 never reached round $((TOTAL - 1))" >&2
+    cat "$TMP/run3.out" >&2
+    exit 1
+}
+echo "   completed $TOTAL rounds"
+
+echo "serve smoke passed"
