@@ -53,6 +53,8 @@ func run() error {
 		cliTmo    = flag.Duration("client-timeout", 0, "failures experiment: straggler deadline per distributed round (default 1m)")
 		minQuorum = flag.Int("min-quorum", 0, "failures experiment: abort distributed rounds that aggregate fewer uploads; 0 disables")
 		availSpec = flag.String("availability", "", "run the generic matrix experiments under a seeded diurnal availability trace, e.g. period=24,min=0.5,max=0.9 (the churn experiment compares fixed vs diurnal regardless)")
+		shards    = flag.Int("shards", 0, "reduce distributed experiment runs through an aggregator tree with this many leaves; 0/1 keeps the flat server (the hierarchy experiment compares flat vs tree regardless)")
+		treeDepth = flag.Int("tree-depth", 0, "aggregator-tree depth; 0 defaults to 2 when -shards > 1 (only 2 is supported by the runtime)")
 	)
 	flag.Parse()
 
@@ -73,6 +75,7 @@ func run() error {
 	if err := expt.SetAvailabilityModel(*availSpec); err != nil {
 		return err
 	}
+	expt.SetTreePolicy(*shards, *treeDepth)
 
 	if *debugAddr != "" {
 		dbg, err := obs.StartDebugServer(*debugAddr)

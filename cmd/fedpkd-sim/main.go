@@ -68,6 +68,8 @@ func run() error {
 		ctlCmd    = flag.String("ctl-cmd", "", "send one command (pause, ping, status, resume, save, quit) to the service at -ctl-addr and exit")
 		availSpec = flag.String("availability", "", "seeded diurnal availability trace, e.g. period=24,min=0.5,max=0.9,seed=7; cohorts sample from online clients")
 		popSpec   = flag.String("population", "", "comma-separated client ids registered at start, e.g. 0,1,2 (requires -distributed); others may join mid-run")
+		shards    = flag.Int("shards", 0, "aggregator-tree leaf count; >1 reduces uploads through a two-tier tree (requires -distributed), 0/1 keeps the flat server")
+		treeDepth = flag.Int("tree-depth", 0, "aggregator-tree depth; 0 defaults to 2 when -shards > 1 (only 2 is supported by the runtime)")
 	)
 	flag.Parse()
 
@@ -98,6 +100,12 @@ func run() error {
 	}
 	if *popSpec != "" && *distMode == "" {
 		return fmt.Errorf("-population requires -distributed")
+	}
+	if (*shards > 1 || *treeDepth != 0) && *distMode == "" {
+		return fmt.Errorf("-shards and -tree-depth require -distributed")
+	}
+	if *shards > 1 && *serveMode {
+		return fmt.Errorf("-shards is incompatible with -serve: wire registration reads the fan-in socket the tree's demultiplexer owns")
 	}
 
 	fedpkd.SetKernelWorkers(*workers)
@@ -242,6 +250,7 @@ func run() error {
 			MinQuorum:     *minQuorum,
 			Faults:        plan,
 			Population:    population,
+			Topology:      fedpkd.Topology{Shards: *shards, Depth: *treeDepth},
 		}
 		var gate *fedpkd.ControlGate
 		if *serveMode {

@@ -21,6 +21,10 @@ type (
 	FaultStats = faults.Stats
 	// RetryBackoff configures the clients' upload retry schedule.
 	RetryBackoff = faults.Backoff
+	// Topology shapes the aggregator tree a distributed run reduces
+	// through: Shards > 1 enables two-tier reduction (leaf aggregators
+	// over contiguous client-id ranges, a root merging shard digests).
+	Topology = distrib.Topology
 )
 
 // Named protocol-robustness errors, for errors.Is against a distributed

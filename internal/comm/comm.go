@@ -62,6 +62,16 @@ type RoundTraffic struct {
 	// separately). They are informational — Total() never includes them.
 	RawUpload   int64
 	RawDownload int64
+	// TierUp and TierDown are aggregator-tree backhaul: leaf→root shard
+	// digests and root→leaf shard assignments when the run uses a
+	// hierarchical topology. They are a separate billing plane from the
+	// client↔leaf columns above — a tree run bills its client traffic in
+	// Upload/Download/Control exactly as a flat run bills client↔server —
+	// so Total() excludes them and the legacy ledger stays byte-identical
+	// between flat and tree runs of the same configuration. Zero for flat
+	// runs.
+	TierUp   int64
+	TierDown int64
 }
 
 // Total returns upload + download + control.
@@ -93,6 +103,16 @@ type RawObserver interface {
 	// DownloadedRawBytes fires alongside DownloadedBytes with the
 	// raw-equivalent size of the same transfer.
 	DownloadedRawBytes(raw int)
+}
+
+// TierObserver is an optional extension of Observer: when a run executes
+// over an aggregator tree, observers implementing it also see the backhaul
+// bytes moving between tiers (shard digests up, shard assignments down).
+type TierObserver interface {
+	// TierUpBytes fires for every leaf→root recording.
+	TierUpBytes(bytes int)
+	// TierDownBytes fires for every root→leaf recording.
+	TierDownBytes(bytes int)
 }
 
 // Ledger accumulates traffic measurements across rounds. It is safe for
@@ -178,12 +198,40 @@ func (l *Ledger) AddDownloadRaw(wire, raw int) {
 	}
 }
 
+// AddTierUp records leaf→root backhaul (a shard digest) in the current
+// round's tier columns. Tier traffic never enters Total(): it is the
+// additional wire a hierarchy spends, reported next to — not inside — the
+// client-plane totals.
+func (l *Ledger) AddTierUp(bytes int) {
+	o := l.addTier(bytes, dirTierUp)
+	if o == nil {
+		return
+	}
+	if to, ok := o.(TierObserver); ok {
+		to.TierUpBytes(bytes)
+	}
+}
+
+// AddTierDown records root→leaf backhaul (a shard assignment or shard end)
+// in the current round's tier columns, like AddTierUp.
+func (l *Ledger) AddTierDown(bytes int) {
+	o := l.addTier(bytes, dirTierDown)
+	if o == nil {
+		return
+	}
+	if to, ok := o.(TierObserver); ok {
+		to.TierDownBytes(bytes)
+	}
+}
+
 type direction int
 
 const (
 	dirUpload direction = iota
 	dirDownload
 	dirControl
+	dirTierUp
+	dirTierDown
 )
 
 // add records the bytes under the lock and returns the observer to notify
@@ -215,6 +263,21 @@ func (l *Ledger) addRaw(wire, raw int, dir direction) Observer {
 	case dirDownload:
 		cur.Download += int64(wire)
 		cur.RawDownload += int64(raw)
+	}
+	return l.obs
+}
+
+// addTier records backhaul bytes in the matching tier column, returning the
+// observer to notify.
+func (l *Ledger) addTier(bytes int, dir direction) Observer {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cur := l.mustCurrent()
+	switch dir {
+	case dirTierUp:
+		cur.TierUp += int64(bytes)
+	case dirTierDown:
+		cur.TierDown += int64(bytes)
 	}
 	return l.obs
 }

@@ -26,6 +26,22 @@ import (
 // clean shutdown, not a failure.
 var ErrQuit = errors.New("ctl: quit requested")
 
+// ErrTimeout marks a Send whose per-command deadline expired — dialing,
+// writing the command, or awaiting the response line took longer than the
+// caller's budget. Operators match it with errors.Is to distinguish a hung
+// or unreachable service from a protocol failure.
+var ErrTimeout = errors.New("ctl: command deadline exceeded")
+
+// wrapTimeout rewrites deadline-shaped transport errors to wrap ErrTimeout,
+// preserving the underlying error text.
+func wrapTimeout(err error) error {
+	var ne net.Error
+	if errors.Is(err, os.ErrDeadlineExceeded) || (errors.As(err, &ne) && ne.Timeout()) {
+		return fmt.Errorf("%w: %v", ErrTimeout, err)
+	}
+	return err
+}
+
 // Gate coordinates the control plane with the training loop. The loop calls
 // Barrier at every round boundary; operators flip state through
 // Pause/Resume/Quit/Save from other goroutines. All methods are safe for
@@ -320,17 +336,17 @@ func Send(addr, cmd string, timeout time.Duration) (Response, error) {
 	}
 	conn, err := net.DialTimeout(network, addr, timeout)
 	if err != nil {
-		return Response{}, fmt.Errorf("ctl: dial %s: %w", addr, err)
+		return Response{}, fmt.Errorf("ctl: dial %s: %w", addr, wrapTimeout(err))
 	}
 	defer conn.Close()
 	conn.SetDeadline(time.Now().Add(timeout))
 	if _, err := fmt.Fprintln(conn, cmd); err != nil {
-		return Response{}, fmt.Errorf("ctl: send %q: %w", cmd, err)
+		return Response{}, fmt.Errorf("ctl: send %q: %w", cmd, wrapTimeout(err))
 	}
 	sc := bufio.NewScanner(conn)
 	if !sc.Scan() {
 		if err := sc.Err(); err != nil {
-			return Response{}, fmt.Errorf("ctl: read response: %w", err)
+			return Response{}, fmt.Errorf("ctl: read response: %w", wrapTimeout(err))
 		}
 		return Response{}, errors.New("ctl: connection closed before response")
 	}

@@ -2,6 +2,7 @@ package ctl
 
 import (
 	"errors"
+	"net"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -142,5 +143,63 @@ func TestServerProtocol(t *testing.T) {
 		}
 	case <-time.After(2 * time.Second):
 		t.Fatal("loop did not observe quit")
+	}
+}
+
+// TestSendTimeout pins the per-command deadline: a server that accepts the
+// connection but never answers must fail Send within the budget with an
+// error matching ErrTimeout, not hang the operator's console.
+func TestSendTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, aerr := ln.Accept()
+		if aerr == nil {
+			accepted <- conn // hold the connection open, never respond
+		}
+	}()
+	defer func() {
+		select {
+		case conn := <-accepted:
+			conn.Close()
+		default:
+		}
+	}()
+
+	start := time.Now()
+	_, err = Send(ln.Addr().String(), "ping", 300*time.Millisecond)
+	if err == nil {
+		t.Fatal("Send against a mute server succeeded")
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Send error %v does not match ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Send took %v; the deadline did not bound the command", elapsed)
+	}
+}
+
+// TestSendDialTimeout pins the dial half of the deadline: an address that
+// never completes the handshake must also surface ErrTimeout. A firewalled
+// blackhole address is not portable, so this uses a listener with a full
+// backlog only as best effort — connection-refused (dead listener) is the
+// reliable cross-platform case and must NOT be labeled a timeout.
+func TestSendDialTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	_, err = Send(addr, "ping", 200*time.Millisecond)
+	if err == nil {
+		t.Fatal("Send against a dead listener succeeded")
+	}
+	if errors.Is(err, ErrTimeout) {
+		t.Fatalf("connection refused mislabeled as ErrTimeout: %v", err)
 	}
 }

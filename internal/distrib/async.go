@@ -76,10 +76,28 @@ func (s *Service) runAsync(rounds int) error {
 		for _, c := range plan.Chosen {
 			s.start[c] <- t
 		}
-		contributors, report, serverErr := asyncServerFlush(t, s.runner, plan, s.tr.server, s.srx, s.reg, &s.opts, s.tolerant, s.rs)
+		var contributors []int
+		var report *roundReport
+		var serverErr error
+		if s.tree != nil {
+			for _, ch := range s.leafStart {
+				ch <- t
+			}
+			contributors, report, serverErr = s.rootFlush(t, plan)
+		} else {
+			contributors, report, serverErr = asyncServerFlush(t, s.runner, plan, s.tr.server, s.srx, s.reg, &s.opts, s.tolerant, s.rs)
+		}
 		if serverErr != nil {
 			// Unblock any client still parked on Recv before fanning in.
 			s.closeTransport()
+		}
+		if s.tree != nil {
+			// Same ordering as runSync: leaves report in before their clients
+			// can finish, and a leaf failure must close the transport first.
+			s.drainLeafDone(&firstErr)
+			if firstErr != nil {
+				s.closeTransport()
+			}
 		}
 		for range plan.Chosen {
 			if err := <-s.done; err != nil && firstErr == nil {
@@ -162,31 +180,13 @@ func asyncServerFlush(t int, runner *engine.Runner, plan *engine.AsyncFlushPlan,
 		if g != nil {
 			refByClient[c] = g.Params
 		}
-		gw, werr := transport.PayloadToWireIn(g, codec, nil)
+		payload, hasGlobal, startRaw, werr := encodeRoundStart(t, codec, g)
 		if werr != nil {
 			return nil, nil, werr
-		}
-		startMsg := transport.RoundStart{Round: t, HasGlobal: g != nil, Global: gw, Codec: uint8(codec)}
-		payload, werr := transport.Encode(startMsg)
-		if werr != nil {
-			return nil, nil, werr
-		}
-		var startRaw int
-		if coded && startMsg.HasGlobal {
-			startRaw = rawWireSize(
-				transport.RoundStart{Round: t, HasGlobal: true, Global: transport.PayloadToWire(g)},
-				(&transport.Envelope{Payload: payload}).WireSize())
 		}
 		e := &transport.Envelope{Kind: transport.KindRoundStart, From: -1, To: c, Round: t, Payload: payload}
 		sendErr := conn.Send(e)
-		switch {
-		case !startMsg.HasGlobal:
-			ledger.AddControl(e.WireSize())
-		case coded:
-			ledger.AddDownloadRaw(e.WireSize(), startRaw)
-		default:
-			ledger.AddDownload(e.WireSize())
-		}
+		billFraming(ledger, hasGlobal, coded, e.WireSize(), startRaw)
 		if sendErr != nil && !tolerant {
 			return nil, nil, sendErr
 		}
@@ -209,45 +209,14 @@ func asyncServerFlush(t int, runner *engine.Runner, plan *engine.AsyncFlushPlan,
 		bcast, roundErr = hooks.Aggregate(rc, runner.AsyncWeightUploads(rc, plan, uploads))
 	}
 
-	re := transport.RoundEnd{Round: t, Codec: uint8(codec)}
-	if roundErr == nil && bcast != nil {
-		bw, werr := transport.PayloadToWireIn(bcast, codec, nil)
-		if werr != nil {
-			roundErr = werr
-		} else {
-			re.HasBroadcast = true
-			re.Broadcast = bw
-		}
-	}
-	if roundErr != nil {
-		re.HasBroadcast = false
-		re.Broadcast = transport.WirePayload{}
-		re.Err = roundErr.Error()
-	}
-	payload, err := transport.Encode(re)
-	if err != nil {
-		if roundErr != nil {
-			return nil, report, roundErr
-		}
-		return nil, report, err
-	}
-	var endRaw int
-	if coded && re.HasBroadcast {
-		endRaw = rawWireSize(
-			transport.RoundEnd{Round: t, HasBroadcast: true, Broadcast: transport.PayloadToWire(bcast)},
-			(&transport.Envelope{Payload: payload}).WireSize())
+	payload, hasBroadcast, endRaw, roundErr, fatal := buildRoundEnd(t, codec, bcast, roundErr)
+	if fatal != nil {
+		return nil, report, fatal
 	}
 	for _, c := range plan.Chosen {
 		e := &transport.Envelope{Kind: transport.KindRoundEnd, From: -1, To: c, Round: t, Payload: payload}
 		sendErr := conn.Send(e)
-		switch {
-		case !re.HasBroadcast:
-			ledger.AddControl(e.WireSize())
-		case coded:
-			ledger.AddDownloadRaw(e.WireSize(), endRaw)
-		default:
-			ledger.AddDownload(e.WireSize())
-		}
+		billFraming(ledger, hasBroadcast, coded, e.WireSize(), endRaw)
 		if sendErr != nil && !tolerant && roundErr == nil {
 			return contributors, report, sendErr
 		}

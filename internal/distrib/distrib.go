@@ -138,6 +138,12 @@ type Options struct {
 	// first round, giving the caller live status and the Join/Leave
 	// registration API.
 	OnService func(*Service)
+	// Topology, when enabled (Shards > 1), runs the round over a two-tier
+	// aggregator tree: leaf aggregators own contiguous client id shards and
+	// the root merges shard digests only. The client-plane protocol, history,
+	// and ledger totals are byte-identical to the flat runtime; the tree's
+	// leaf↔root backhaul is billed separately in the tier columns.
+	Topology Topology
 }
 
 func (o *Options) validate(n int) error {
@@ -149,6 +155,12 @@ func (o *Options) validate(n int) error {
 	}
 	if o.MinQuorum < 0 || o.MinQuorum > n {
 		return fmt.Errorf("distrib: MinQuorum %d out of range [0,%d]", o.MinQuorum, n)
+	}
+	if err := o.Topology.validate(n); err != nil {
+		return err
+	}
+	if o.Topology.Enabled() && o.WireRegistration {
+		return fmt.Errorf("distrib: WireRegistration is not supported with an aggregator tree: wire registration reads the fan-in socket the tree's demultiplexer owns")
 	}
 	seen := make(map[int]bool, len(o.Population))
 	for _, id := range o.Population {
@@ -302,47 +314,21 @@ func serverRound(t int, runner *engine.Runner, conn transport.Conn, rx *receiver
 
 	codec := runner.Codec()
 	coded := codec != comm.CodecFloat64
-	global := hooks.GlobalState(t)
-	var refParams []float64
-	if coded && global != nil {
-		// Clients see decode(encode(global)); the server must hold the same
-		// bits so both sides agree on the delta reference for uploads and the
-		// distributed run stays bit-identical to the in-process engine.
-		global = global.ApplyCodec(codec, nil)
-		refParams = global.Params
-	}
-	gw, err := transport.PayloadToWireIn(global, codec, nil)
+	global, refParams := roundGlobal(t, runner)
+	payload, hasGlobal, startRaw, err := encodeRoundStart(t, codec, global)
 	if err != nil {
 		return nil, err
-	}
-	startMsg := transport.RoundStart{Round: t, HasGlobal: global != nil, Global: gw, Codec: uint8(codec)}
-	payload, err := transport.Encode(startMsg)
-	if err != nil {
-		return nil, err
-	}
-	var startRaw int
-	if coded && startMsg.HasGlobal {
-		startRaw = rawWireSize(
-			transport.RoundStart{Round: t, HasGlobal: true, Global: transport.PayloadToWire(global)},
-			(&transport.Envelope{Payload: payload}).WireSize())
 	}
 	for _, c := range cohort {
 		e := &transport.Envelope{Kind: transport.KindRoundStart, From: -1, To: c, Round: t, Payload: payload}
 		sendErr := conn.Send(e)
-		switch {
-		case !startMsg.HasGlobal:
-			ledger.AddControl(e.WireSize())
-		case coded:
-			ledger.AddDownloadRaw(e.WireSize(), startRaw)
-		default:
-			ledger.AddDownload(e.WireSize())
-		}
+		billFraming(ledger, hasGlobal, coded, e.WireSize(), startRaw)
 		if sendErr != nil && !tolerant {
 			return nil, sendErr
 		}
 	}
 
-	uploads, report, roundErr, err := collectUploads(t, runner, rx, cohort, reg, opts, codec, refParams, tolerant, rs)
+	uploads, report, roundErr, err := collectUploads(t, runner, rx, cohort, reg, opts, codec, refParams, tolerant, rs, nil)
 	if err != nil {
 		return report, err
 	}
@@ -359,10 +345,67 @@ func serverRound(t int, runner *engine.Runner, conn transport.Conn, rx *receiver
 		bcast, roundErr = hooks.Aggregate(rc, uploads)
 	}
 
+	payload, hasBroadcast, endRaw, roundErr, fatal := buildRoundEnd(t, codec, bcast, roundErr)
+	if fatal != nil {
+		return report, fatal
+	}
+	for _, c := range cohort {
+		e := &transport.Envelope{Kind: transport.KindRoundEnd, From: -1, To: c, Round: t, Payload: payload}
+		sendErr := conn.Send(e)
+		billFraming(ledger, hasBroadcast, coded, e.WireSize(), endRaw)
+		if sendErr != nil && !tolerant && roundErr == nil {
+			return report, sendErr
+		}
+	}
+	return report, roundErr
+}
+
+// roundGlobal returns round t's front-loaded global with the active codec
+// applied, plus the delta reference cohort uploads decode against. Clients
+// see decode(encode(global)); the server must hold the same bits so both
+// sides agree on the reference and the distributed run stays bit-identical
+// to the in-process engine.
+func roundGlobal(t int, runner *engine.Runner) (global *engine.Payload, refParams []float64) {
+	codec := runner.Codec()
+	global = runner.Hooks().GlobalState(t)
+	if codec != comm.CodecFloat64 && global != nil {
+		global = global.ApplyCodec(codec, nil)
+		refParams = global.Params
+	}
+	return global, refParams
+}
+
+// encodeRoundStart encodes one round-opening message carrying global (which
+// must already be codec-applied) and prices its raw-equivalent billing size
+// under a compressing codec. The flat server fans the result to the whole
+// cohort; a leaf aggregator fans the same bytes to its shard.
+func encodeRoundStart(t int, codec comm.Codec, global *engine.Payload) (payload []byte, hasGlobal bool, startRaw int, err error) {
+	gw, err := transport.PayloadToWireIn(global, codec, nil)
+	if err != nil {
+		return nil, false, 0, err
+	}
+	msg := transport.RoundStart{Round: t, HasGlobal: global != nil, Global: gw, Codec: uint8(codec)}
+	payload, err = transport.Encode(msg)
+	if err != nil {
+		return nil, false, 0, err
+	}
+	if codec != comm.CodecFloat64 && msg.HasGlobal {
+		startRaw = rawWireSize(
+			transport.RoundStart{Round: t, HasGlobal: true, Global: transport.PayloadToWire(global)},
+			(&transport.Envelope{Payload: payload}).WireSize())
+	}
+	return payload, msg.HasGlobal, startRaw, nil
+}
+
+// buildRoundEnd encodes one round-close message from an aggregation outcome:
+// the broadcast when the round succeeded, the error text when it did not
+// (broadcasts are never delta-coded — receivers that missed RoundStart must
+// still decode them ref-free). Encode failures fold into the returned
+// roundErr; a non-nil fatal aborts the round with no close message, matching
+// the flat server's historical behavior.
+func buildRoundEnd(t int, codec comm.Codec, bcast *engine.Payload, roundErr error) (payload []byte, hasBroadcast bool, endRaw int, outRoundErr, fatal error) {
 	re := transport.RoundEnd{Round: t, Codec: uint8(codec)}
 	if roundErr == nil && bcast != nil {
-		// Broadcasts are never delta-coded: receivers that missed RoundStart
-		// must still be able to decode them ref-free.
 		bw, werr := transport.PayloadToWireIn(bcast, codec, nil)
 		if werr != nil {
 			roundErr = werr
@@ -376,35 +419,34 @@ func serverRound(t int, runner *engine.Runner, conn transport.Conn, rx *receiver
 		re.Broadcast = transport.WirePayload{}
 		re.Err = roundErr.Error()
 	}
-	payload, err = transport.Encode(re)
+	payload, err := transport.Encode(re)
 	if err != nil {
 		if roundErr != nil {
-			return report, roundErr
+			return nil, false, 0, roundErr, roundErr
 		}
-		return report, err
+		return nil, false, 0, nil, err
 	}
-	var endRaw int
-	if coded && re.HasBroadcast {
+	if codec != comm.CodecFloat64 && re.HasBroadcast {
 		endRaw = rawWireSize(
 			transport.RoundEnd{Round: t, HasBroadcast: true, Broadcast: transport.PayloadToWire(bcast)},
 			(&transport.Envelope{Payload: payload}).WireSize())
 	}
-	for _, c := range cohort {
-		e := &transport.Envelope{Kind: transport.KindRoundEnd, From: -1, To: c, Round: t, Payload: payload}
-		sendErr := conn.Send(e)
-		switch {
-		case !re.HasBroadcast:
-			ledger.AddControl(e.WireSize())
-		case coded:
-			ledger.AddDownloadRaw(e.WireSize(), endRaw)
-		default:
-			ledger.AddDownload(e.WireSize())
-		}
-		if sendErr != nil && !tolerant && roundErr == nil {
-			return report, sendErr
-		}
+	return payload, re.HasBroadcast, endRaw, roundErr, nil
+}
+
+// billFraming bills one round-framing envelope exactly as the flat server
+// does: control traffic when it carries no knowledge, a wire/raw pair under
+// a compressing codec, a plain download otherwise. Leaves reuse it so a tree
+// run's client-plane ledger stays byte-identical to the flat run's.
+func billFraming(ledger *comm.Ledger, hasPayload, coded bool, wire, raw int) {
+	switch {
+	case !hasPayload:
+		ledger.AddControl(wire)
+	case coded:
+		ledger.AddDownloadRaw(wire, raw)
+	default:
+		ledger.AddDownload(wire)
 	}
-	return report, roundErr
 }
 
 // rawWireSize returns the envelope wire size msg would occupy encoded as-is —
@@ -434,7 +476,13 @@ func rawWireSize(msg any, fallback int) int {
 // barrier) and billed as control bytes. Uploads from peers the registry does
 // not know surface ErrUnknownClient; uploads from registered peers outside
 // this round's cohort (offline per the availability trace) are stale.
-func collectUploads(t int, runner *engine.Runner, rx *receiver, cohort []int, reg *Registry, opts *Options, codec comm.Codec, refParams []float64, tolerant bool, rs *roundStats) (uploads []engine.Upload, report *roundReport, roundErr, err error) {
+//
+// sink, when non-nil, streams each surviving upload out instead of retaining
+// it (the returned uploads slice stays empty) — the compact tree reduction,
+// where a leaf folds uploads as they arrive and holds no per-client state. A
+// sink failure is an algorithm-level error and aborts the round like a
+// client-reported hook failure.
+func collectUploads(t int, runner *engine.Runner, rx *receiver, cohort []int, reg *Registry, opts *Options, codec comm.Codec, refParams []float64, tolerant bool, rs *roundStats, sink func(engine.Upload) error) (uploads []engine.Upload, report *roundReport, roundErr, err error) {
 	ledger := runner.Ledger()
 	n := runner.Config().Env.Cfg.NumClients
 	uploads = make([]engine.Upload, 0, len(cohort))
@@ -611,6 +659,12 @@ func collectUploads(t int, runner *engine.Runner, rx *receiver, cohort []int, re
 				transport.RoundUpload{Round: ru.Round, Client: ru.Client, HasPayload: true, Payload: transport.PayloadToWire(p)},
 				e.WireSize())
 			ledger.AddUploadRaw(e.WireSize(), raw)
+		}
+		if sink != nil {
+			if serr := sink(engine.Upload{Client: ru.Client, Payload: p}); serr != nil {
+				roundErr = serr
+			}
+			continue
 		}
 		uploads = append(uploads, engine.Upload{Client: ru.Client, Payload: p})
 	}

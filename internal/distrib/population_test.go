@@ -1,0 +1,68 @@
+package distrib
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParsePopulationEmpty pins the legacy default: the empty spec means the
+// whole fleet registers up front, signaled by a nil (not empty) list.
+func TestParsePopulationEmpty(t *testing.T) {
+	ids, err := ParsePopulation("", 5)
+	if err != nil {
+		t.Fatalf("empty spec: %v", err)
+	}
+	if ids != nil {
+		t.Fatalf("empty spec returned %v, want nil", ids)
+	}
+}
+
+// TestParsePopulationSortsAndTrims pins the normalization contract: ids come
+// back sorted regardless of spec order, and blank fields (stray commas,
+// whitespace) are skipped rather than rejected.
+func TestParsePopulationSortsAndTrims(t *testing.T) {
+	ids, err := ParsePopulation(" 4,0 , 2,, 1 ,3", 5)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if want := []int{0, 1, 2, 3, 4}; !reflect.DeepEqual(ids, want) {
+		t.Fatalf("got %v, want %v", ids, want)
+	}
+}
+
+// TestParsePopulationRejects pins every malformed-spec class as an error, so
+// typos fail at flag time instead of corrupting the registry.
+func TestParsePopulationRejects(t *testing.T) {
+	cases := []struct {
+		name, spec string
+		n          int
+	}{
+		{"duplicate", "0,1,1", 3},
+		{"negative", "-1", 3},
+		{"beyond fleet", "3", 3},
+		{"far beyond fleet", "100", 3},
+		{"not a number", "0,x", 3},
+		{"float", "1.5", 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if ids, err := ParsePopulation(tc.spec, tc.n); err == nil {
+				t.Fatalf("spec %q parsed to %v, want error", tc.spec, ids)
+			}
+		})
+	}
+}
+
+// TestParsePopulationOnlyBlanks pins the degenerate spec of nothing but
+// separators: it parses to an empty (but allocated) population, meaning
+// nobody is registered at start — distinct from the nil everyone-registers
+// default.
+func TestParsePopulationOnlyBlanks(t *testing.T) {
+	ids, err := ParsePopulation(" , ,", 3)
+	if err != nil {
+		t.Fatalf("blank fields: %v", err)
+	}
+	if ids == nil || len(ids) != 0 {
+		t.Fatalf("got %v (nil=%v), want an empty non-nil list", ids, ids == nil)
+	}
+}

@@ -119,7 +119,7 @@ func TestUploadFromUnregisteredClient(t *testing.T) {
 		rx := newReceiver(bus.ServerConn())
 		defer rx.stop()
 		send(bus.ClientConn(2), 2) // never registered
-		_, _, roundErr, err := collectUploads(round, runner, rx, []int{0, 1}, reg, &Options{}, comm.CodecFloat64, nil, false, &roundStats{})
+		_, _, roundErr, err := collectUploads(round, runner, rx, []int{0, 1}, reg, &Options{}, comm.CodecFloat64, nil, false, &roundStats{}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -138,7 +138,7 @@ func TestUploadFromUnregisteredClient(t *testing.T) {
 		send(bus.ClientConn(1), 1) // valid
 		rs := &roundStats{}
 		opts := &Options{ClientTimeout: 2 * time.Second}
-		uploads, report, roundErr, err := collectUploads(round, runner, rx, []int{0, 1}, reg, opts, comm.CodecFloat64, nil, true, rs)
+		uploads, report, roundErr, err := collectUploads(round, runner, rx, []int{0, 1}, reg, opts, comm.CodecFloat64, nil, true, rs, nil)
 		if err != nil || roundErr != nil {
 			t.Fatalf("errs = %v, %v", err, roundErr)
 		}
@@ -184,7 +184,7 @@ func TestRegistrationQueuedMidRound(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	_, report, roundErr, err := collectUploads(round, runner, rx, []int{0, 1}, reg, &Options{}, comm.CodecFloat64, nil, false, &roundStats{})
+	_, report, roundErr, err := collectUploads(round, runner, rx, []int{0, 1}, reg, &Options{}, comm.CodecFloat64, nil, false, &roundStats{}, nil)
 	if err != nil || roundErr != nil {
 		t.Fatalf("errs = %v, %v", err, roundErr)
 	}

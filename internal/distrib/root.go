@@ -1,0 +1,275 @@
+package distrib
+
+import (
+	"errors"
+	"fmt"
+
+	"fedpkd/internal/fl/engine"
+	"fedpkd/internal/obs"
+	"fedpkd/internal/transport"
+)
+
+// Root aggregator: the top of the two-tier tree. The root never touches
+// per-client connections or uploads — it partitions the round's cohort into
+// contiguous shard slices (index ranges over the cohort, no copies), encodes
+// the round framing ONCE, hands each leaf its assignment, collects exactly
+// one digest per shard, merges the per-shard partials, and runs the
+// algorithm's Aggregate over the merged result. Every structure the root
+// allocates is sized by the shard count, never the population — the
+// structural gate in scripts/check.sh holds this file to that invariant.
+//
+// Because shards are contiguous id ranges, concatenating the per-shard
+// sorted uploads in shard order reproduces the globally client-sorted slice,
+// so the root's Aggregate call is bit-identical to the flat server's — the
+// equivalence the tree goldens pin.
+
+// rootRound runs the root's side of one synchronous tree round, returning
+// the merged membership report and the round error exactly as serverRound
+// does for the flat path.
+func (s *Service) rootRound(t int, cohort []int) (*roundReport, error) {
+	runner := s.runner
+	hooks := runner.Hooks()
+	rc := runner.Context(t)
+	codec := runner.Codec()
+	topo := s.tree.topo
+
+	global, refParams := roundGlobal(t, runner)
+	startPayload, hasGlobal, startRaw, err := encodeRoundStart(t, codec, global)
+	if err != nil {
+		return nil, err
+	}
+	for i, members := range shardCohorts(cohort, s.n, topo.Shards) {
+		sa := transport.ShardAssign{
+			Round: t, Shard: i, Compact: topo.Compact,
+			Start: startPayload, HasGlobal: hasGlobal, StartRaw: startRaw, Ref: refParams,
+			Clients: make([]transport.ClientStart, len(members)),
+		}
+		for j, c := range members {
+			sa.Clients[j] = transport.ClientStart{Client: c}
+		}
+		if err := s.sendAssign(&sa); err != nil {
+			return nil, err
+		}
+	}
+
+	digests, err := s.collectDigests(t)
+	if err != nil {
+		return nil, err
+	}
+	report, parts, count, roundErr := s.mergeDigests(digests)
+
+	if roundErr == nil && s.opts.MinQuorum > 0 && count < s.opts.MinQuorum {
+		roundErr = fmt.Errorf("%w: round %d aggregated %d of %d required uploads", ErrQuorumNotMet, t, count, s.opts.MinQuorum)
+	}
+	var bcast *engine.Payload
+	if roundErr == nil && count > 0 {
+		if topo.Compact {
+			bcast, roundErr = runner.MergeCompact(rc, parts)
+		} else {
+			uploads, merr := runner.MergePartials(parts)
+			if merr != nil {
+				roundErr = merr
+			} else {
+				bcast, roundErr = hooks.Aggregate(rc, uploads)
+			}
+		}
+	}
+	payload, hasBroadcast, endRaw, roundErr, fatal := buildRoundEnd(t, codec, bcast, roundErr)
+	if fatal != nil {
+		return report, fatal
+	}
+	if err := s.sendShardEnds(t, payload, hasBroadcast, endRaw); err != nil {
+		return report, err
+	}
+	return report, roundErr
+}
+
+// rootFlush is the root's side of one async flush: per-client retained
+// globals ride inside the shard assignments, and staleness weighting runs at
+// the root over the merged uploads — the exact computation asyncServerFlush
+// performs on the flat path.
+func (s *Service) rootFlush(t int, plan *engine.AsyncFlushPlan) (contributors []int, report *roundReport, err error) {
+	runner := s.runner
+	hooks := runner.Hooks()
+	rc := runner.Context(t)
+	codec := runner.Codec()
+	topo := s.tree.topo
+
+	idx := 0
+	for i, members := range shardCohorts(plan.Chosen, s.n, topo.Shards) {
+		sa := transport.ShardAssign{Round: t, Shard: i, Flush: true,
+			Clients: make([]transport.ClientStart, len(members))}
+		for j, c := range members {
+			// The dispatched payload was codec-applied at retention, so both
+			// ends hold the same (quantized) values — the client's delta
+			// reference.
+			g := plan.Dispatched[idx]
+			payload, hasGlobal, startRaw, werr := encodeRoundStart(t, codec, g)
+			if werr != nil {
+				return nil, nil, werr
+			}
+			cs := transport.ClientStart{Client: c, Start: payload, HasGlobal: hasGlobal, StartRaw: startRaw}
+			if g != nil {
+				cs.Ref = g.Params
+			}
+			sa.Clients[j] = cs
+			idx++
+		}
+		if err := s.sendAssign(&sa); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	digests, err := s.collectDigests(t)
+	if err != nil {
+		return nil, nil, err
+	}
+	report, parts, count, roundErr := s.mergeDigests(digests)
+	if roundErr == nil && s.opts.MinQuorum > 0 && count < s.opts.MinQuorum {
+		roundErr = fmt.Errorf("%w: flush %d aggregated %d of %d required uploads", ErrQuorumNotMet, t, count, s.opts.MinQuorum)
+	}
+	var bcast *engine.Payload
+	if roundErr == nil && count > 0 {
+		uploads, merr := runner.MergePartials(parts)
+		if merr != nil {
+			roundErr = merr
+		} else {
+			for _, u := range uploads {
+				contributors = append(contributors, u.Client)
+			}
+			bcast, roundErr = hooks.Aggregate(rc, runner.AsyncWeightUploads(rc, plan, uploads))
+		}
+	}
+	payload, hasBroadcast, endRaw, roundErr, fatal := buildRoundEnd(t, codec, bcast, roundErr)
+	if fatal != nil {
+		return contributors, report, fatal
+	}
+	if err := s.sendShardEnds(t, payload, hasBroadcast, endRaw); err != nil {
+		return contributors, report, err
+	}
+	return contributors, report, roundErr
+}
+
+// sendAssign ships one shard assignment down and bills the tier backhaul.
+func (s *Service) sendAssign(sa *transport.ShardAssign) error {
+	payload, err := transport.Encode(sa)
+	if err != nil {
+		return err
+	}
+	env := &transport.Envelope{Kind: transport.KindShardAssign, From: -1, To: sa.Shard, Round: sa.Round, Payload: payload}
+	if err := s.tree.upper.server.Send(env); err != nil {
+		return fmt.Errorf("distrib: root assign shard %d: %w", sa.Shard, err)
+	}
+	s.runner.Ledger().AddTierDown(env.WireSize())
+	return nil
+}
+
+// sendShardEnds fans the encoded round close to every leaf with its billing
+// facts, so each leaf can close its shard exactly as the flat server would
+// have.
+func (s *Service) sendShardEnds(t int, end []byte, hasBroadcast bool, endRaw int) error {
+	for i := 0; i < s.tree.topo.Shards; i++ {
+		se := transport.ShardEnd{Round: t, Shard: i, End: end, HasBroadcast: hasBroadcast, EndRaw: endRaw}
+		payload, err := transport.Encode(se)
+		if err != nil {
+			return err
+		}
+		env := &transport.Envelope{Kind: transport.KindShardEnd, From: -1, To: i, Round: t, Payload: payload}
+		if err := s.tree.upper.server.Send(env); err != nil {
+			return fmt.Errorf("distrib: root close shard %d: %w", i, err)
+		}
+		s.runner.Ledger().AddTierDown(env.WireSize())
+	}
+	return nil
+}
+
+// collectDigests awaits exactly one digest per shard. Leaves are
+// infrastructure, not chaos subjects: the root waits without a deadline
+// (every leaf digests every round, failed ones included) and any protocol
+// violation on a tier link is an error even in tolerant runs.
+func (s *Service) collectDigests(t int) ([]*transport.ShardDigest, error) {
+	shards := s.tree.topo.Shards
+	digests := make([]*transport.ShardDigest, shards)
+	for got := 0; got < shards; {
+		e, err := s.tree.rootRx.recv(0)
+		if err != nil {
+			return nil, fmt.Errorf("distrib: root recv: %w", err)
+		}
+		if e.Kind != transport.KindShardDigest || e.Round != t {
+			return nil, fmt.Errorf("distrib: root got kind %v round %d during round %d", e.Kind, e.Round, t)
+		}
+		var d transport.ShardDigest
+		if derr := transport.Decode(e.Payload, &d); derr != nil {
+			return nil, derr
+		}
+		if verr := d.Validate(); verr != nil {
+			return nil, verr
+		}
+		if d.Shard < 0 || d.Shard >= shards || d.Shard != e.From {
+			return nil, fmt.Errorf("distrib: digest labeled shard %d arrived from leaf %d", d.Shard, e.From)
+		}
+		if digests[d.Shard] != nil {
+			return nil, fmt.Errorf("distrib: duplicate digest from shard %d in round %d", d.Shard, t)
+		}
+		digests[d.Shard] = &d
+		got++
+	}
+	return digests, nil
+}
+
+// mergeDigests folds the shard digests into engine partials plus the
+// round's merged membership report (Σ heard, concatenated missing — already
+// ascending because shards are ascending contiguous ranges). The first
+// shard-order Err becomes the round error with its text intact, so the
+// round close a tree run fans on failure carries the same message a flat
+// run's would.
+func (s *Service) mergeDigests(digests []*transport.ShardDigest) (*roundReport, []*engine.Partial, int, error) {
+	stop := s.rec.Span(obs.PhaseRootMerge)
+	defer stop()
+	parts := make([]*engine.Partial, len(digests))
+	report := &roundReport{missing: make([]int, 0)}
+	count := 0
+	var roundErr error
+	for i, d := range digests {
+		report.cohort += d.Heard
+		report.missing = append(report.missing, d.Missing...)
+		if d.Err != "" {
+			if roundErr == nil {
+				roundErr = errors.New(d.Err)
+			}
+			continue
+		}
+		if s.tree.topo.Compact {
+			p := &engine.Partial{Shard: i, Compact: true, Weight: d.Weight, Count: d.Count}
+			if d.HasSum {
+				sum, perr := d.Sum.ToPayload()
+				if perr != nil {
+					if roundErr == nil {
+						roundErr = perr
+					}
+					continue
+				}
+				p.Sum = sum
+			}
+			parts[i] = p
+			count += d.Count
+			continue
+		}
+		p := engine.NewExactPartial(i)
+		for _, su := range d.Uploads {
+			pay, perr := su.Payload.ToPayload()
+			if perr == nil {
+				perr = s.runner.PartialReduce(p, engine.Upload{Client: su.Client, Payload: pay})
+			}
+			if perr != nil {
+				if roundErr == nil {
+					roundErr = perr
+				}
+				break
+			}
+		}
+		parts[i] = p
+		count += len(p.Uploads)
+	}
+	return report, parts, count, roundErr
+}

@@ -43,6 +43,11 @@ type Service struct {
 	done    chan error
 	rs      *roundStats
 	fstats  *faults.Stats
+	// tree is the aggregator-tree state when Options.Topology is enabled
+	// (nil for the flat runtime); leafStart fans round indices to the leaf
+	// workers exactly as start fans them to client workers.
+	tree      *treeParts
+	leafStart []chan int
 
 	roundOpen atomic.Bool
 	trOnce    sync.Once
@@ -80,9 +85,18 @@ func NewService(algo fl.Algorithm, opts Options) (*Service, error) {
 	if opts.Mode == "" {
 		opts.Mode = ModeBus
 	}
+	opts.Topology = opts.Topology.withDefaults()
 	n := runner.Config().Env.Cfg.NumClients
 	if err := opts.validate(n); err != nil {
 		return nil, err
+	}
+	if opts.Topology.Compact {
+		if runner.Async() != nil {
+			return nil, fmt.Errorf("distrib: compact tree reduction is incompatible with asynchronous flushes: staleness weighting needs per-client uploads at the root")
+		}
+		if _, ok := runner.CompactReducer(); !ok {
+			return nil, fmt.Errorf("distrib: %s does not implement engine.CompactReducer; compact tree reduction needs a streaming fold", runner.Name())
+		}
 	}
 	s := &Service{
 		runner:   runner,
@@ -143,6 +157,13 @@ func NewService(algo fl.Algorithm, opts Options) (*Service, error) {
 		go clientWorker(p, runner, s.rec, &s.opts, s.tolerant, s.rs, s.start[c], s.done)
 	}
 	s.srx = newReceiver(s.tr.server)
+	if opts.Topology.Enabled() {
+		if err := s.setupTree(); err != nil {
+			s.srx.stop()
+			s.tr.cleanup()
+			return nil, err
+		}
+	}
 	s.setStatus(runner.CurrentRound())
 	return s, nil
 }
@@ -203,10 +224,28 @@ func (s *Service) runSync(rounds int) error {
 		for _, c := range cohort {
 			s.start[c] <- t
 		}
-		report, serverErr := serverRound(t, s.runner, s.tr.server, s.srx, cohort, s.reg, &s.opts, s.tolerant, s.rs)
+		var report *roundReport
+		var serverErr error
+		if s.tree != nil {
+			for _, ch := range s.leafStart {
+				ch <- t
+			}
+			report, serverErr = s.rootRound(t, cohort)
+		} else {
+			report, serverErr = serverRound(t, s.runner, s.tr.server, s.srx, cohort, s.reg, &s.opts, s.tolerant, s.rs)
+		}
 		if serverErr != nil {
 			// Unblock any client still parked on Recv before fanning in.
 			s.closeTransport()
+		}
+		if s.tree != nil {
+			// Leaves finish (fan the round close, report in) before their
+			// clients can; drain them first so a leaf-side failure closes the
+			// transport before the client fan-in would deadlock on it.
+			s.drainLeafDone(&firstErr)
+			if firstErr != nil {
+				s.closeTransport()
+			}
 		}
 		for range cohort {
 			if err := <-s.done; err != nil && firstErr == nil {
@@ -335,11 +374,26 @@ func (s *Service) registerPopulation() error {
 // final status (and in the registry a save would capture) instead of being
 // dropped with the receiver. Non-blocking.
 func (s *Service) drainRegistrations() {
+	// In tree mode the demultiplexer owns the server receiver, so inbound
+	// registrations may sit either there (not yet routed) or in a leaf's
+	// inbox; drain both planes.
+	chans := []chan recvResult{s.srx.ch}
+	if s.tree != nil {
+		for _, lr := range s.tree.leafRx {
+			chans = append(chans, lr.ch)
+		}
+	}
+	for _, ch := range chans {
+		s.drainRegistrationChan(ch)
+	}
+	s.applyFinal()
+}
+
+func (s *Service) drainRegistrationChan(ch chan recvResult) {
 	for {
 		select {
-		case res, ok := <-s.srx.ch:
+		case res, ok := <-ch:
 			if !ok {
-				s.applyFinal()
 				return
 			}
 			if res.err != nil || res.e == nil {
@@ -352,7 +406,6 @@ func (s *Service) drainRegistrations() {
 				s.reg.QueueLeave(res.e.From)
 			}
 		default:
-			s.applyFinal()
 			return
 		}
 	}
@@ -388,16 +441,29 @@ func (s *Service) setStatus(t int) {
 // Registry exposes the live registry (tests and the control plane).
 func (s *Service) Registry() *Registry { return s.reg }
 
-func (s *Service) closeTransport() { s.trOnce.Do(s.tr.cleanup) }
+func (s *Service) closeTransport() {
+	s.trOnce.Do(func() {
+		s.tr.cleanup()
+		if s.tree != nil {
+			s.tree.upper.cleanup()
+		}
+	})
+}
 
-// Close tears the service down: parks no more rounds, stops every worker,
-// and closes the transport. Idempotent.
+// Close tears the service down: parks no more rounds, stops every worker
+// (client and leaf), and closes both transport fabrics. Idempotent.
 func (s *Service) Close() {
 	s.shutOnce.Do(func() {
 		for _, ch := range s.start {
 			close(ch)
 		}
+		for _, ch := range s.leafStart {
+			close(ch)
+		}
 		s.srx.stop()
+		if s.tree != nil {
+			s.tree.rootRx.stop()
+		}
 	})
 	s.closeTransport()
 }

@@ -1,0 +1,89 @@
+package distrib
+
+import "fmt"
+
+// Topology configures the aggregator tree. The zero value is the flat
+// runtime: one server endpoint owns every client. With Shards > 1 the
+// service builds a two-tier tree instead — one leaf aggregator per shard
+// owning a contiguous client id range, stream-reducing its shard's uploads
+// into a compact partial, and forwarding one shard digest to the root, which
+// merges digests only and never touches per-client state. The client-side
+// protocol and its ledger columns are byte-identical between the two shapes;
+// the tree's leaf↔root backhaul is billed separately as tier traffic.
+type Topology struct {
+	// Shards is the number of leaf aggregators; values below 2 mean flat.
+	Shards int
+	// Depth is the tree depth including the root. Zero defaults to 2 when
+	// Shards enables the tree. The distributed runtime builds depth-2 trees
+	// (leaves + root); deeper trees are modeled by the hierarchy experiment,
+	// which composes the same PartialReduce/MergePartials contract level by
+	// level.
+	Depth int
+	// Compact opts into streaming reduction at the leaves: uploads are folded
+	// into the algorithm's CompactReducer as they arrive and never retained
+	// per client, making leaf memory O(1) in shard size. Floating-point
+	// addition is not associative, so compact mode matches the flat fold to
+	// ~1e-9 rather than bit-for-bit; leave it off (the exact mode) when
+	// byte-identical replay matters. Requires the algorithm to implement
+	// engine.CompactReducer and is incompatible with asynchronous flushes.
+	Compact bool
+}
+
+// Enabled reports whether the options request a tree at all.
+func (tp Topology) Enabled() bool { return tp.Shards > 1 }
+
+// withDefaults resolves the zero Depth to the runtime's native two tiers.
+func (tp Topology) withDefaults() Topology {
+	if tp.Enabled() && tp.Depth == 0 {
+		tp.Depth = 2
+	}
+	return tp
+}
+
+// validate rejects topologies the runtime cannot build for an n-client
+// universe. Call after withDefaults.
+func (tp Topology) validate(n int) error {
+	if tp.Shards < 0 {
+		return fmt.Errorf("distrib: negative shard count %d", tp.Shards)
+	}
+	if !tp.Enabled() {
+		if tp.Compact {
+			return fmt.Errorf("distrib: Compact reduction needs an aggregator tree (Shards > 1)")
+		}
+		return nil
+	}
+	if tp.Shards > n {
+		return fmt.Errorf("distrib: %d shards for %d clients; each leaf needs a non-empty id range", tp.Shards, n)
+	}
+	if tp.Depth != 2 {
+		return fmt.Errorf("distrib: tree depth %d unsupported: the distributed runtime builds two-tier trees (leaves + root); deeper hierarchies are modeled by the hierarchy experiment", tp.Depth)
+	}
+	return nil
+}
+
+// ShardOf maps a client id to its owning shard. Shards are contiguous id
+// ranges — shard s owns [ceil(s·n/S), ceil((s+1)·n/S)) — which is the
+// load-balanced partition with the property the exact reduction mode relies
+// on: concatenating per-shard sorted uploads in ascending shard order yields
+// the globally client-sorted list, so tree-reduce ≡ flat Aggregate
+// bit-for-bit.
+func ShardOf(id, n, shards int) int {
+	return id * shards / n
+}
+
+// shardCohorts partitions a sorted cohort into per-shard sub-slices. The
+// sub-slices share the cohort's backing array — the root partitions by index
+// ranges and never copies per-client state.
+func shardCohorts(cohort []int, n, shards int) [][]int {
+	out := make([][]int, shards)
+	lo := 0
+	for s := 0; s < shards; s++ {
+		hi := lo
+		for hi < len(cohort) && ShardOf(cohort[hi], n, shards) == s {
+			hi++
+		}
+		out[s] = cohort[lo:hi]
+		lo = hi
+	}
+	return out
+}

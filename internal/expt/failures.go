@@ -88,6 +88,7 @@ func RunFailures(sc Scale, seed uint64) (*Result, error) {
 			ClientTimeout: timeout,
 			MinQuorum:     failurePolicy.quorum,
 			Faults:        plan,
+			Topology:      policyTopology(),
 		})
 		if err != nil {
 			return nil, err

@@ -40,6 +40,7 @@ func Runners() map[string]Runner {
 		"compression":            RunCompression,
 		"async":                  RunAsync,
 		"churn":                  RunChurn,
+		"hierarchy":              RunHierarchy,
 	}
 }
 

@@ -115,3 +115,51 @@ func TestParseAvailability(t *testing.T) {
 		}
 	}
 }
+
+// TestAvailabilityTraceBoundaryRounds pins the trace's behavior at the round
+// boundaries the modular-window arithmetic stresses: round 0 is a valid
+// query (no off-by-one at the start of a run), and the trace is exactly
+// periodic — round t and round t+Period agree for every client, so a run
+// crossing the phase wrap replays the first day verbatim.
+func TestAvailabilityTraceBoundaryRounds(t *testing.T) {
+	tr := &AvailabilityTrace{Seed: 9, Period: 8, MinDuty: 0.5, MaxDuty: 0.9}
+	const clients = 64
+	for c := 0; c < clients; c++ {
+		// Round 0 must answer without panicking and deterministically.
+		if tr.Online(c, 0) != tr.Online(c, 0) {
+			t.Fatalf("client %d round 0 not deterministic", c)
+		}
+		for _, t0 := range []int{0, 1, 7} { // start, interior, last-of-period
+			for k := 1; k <= 3; k++ {
+				if tr.Online(c, t0) != tr.Online(c, t0+k*8) {
+					t.Fatalf("client %d: round %d and round %d disagree across the phase wrap", c, t0, t0+k*8)
+				}
+			}
+		}
+		// Within one period the client is online exactly window rounds —
+		// the wrap can't double-count the boundary round.
+		online := 0
+		for round := 0; round < 8; round++ {
+			if tr.Online(c, round) {
+				online++
+			}
+		}
+		if online < 4 || online > 8 {
+			t.Fatalf("client %d online %d/8 rounds, outside the duty band [0.5,0.9] window", c, online)
+		}
+	}
+}
+
+// TestAvailabilityTracePeriodOne pins the degenerate single-round period:
+// the window clamps to at least one round, so every client is always online
+// and round 0 equals every later round.
+func TestAvailabilityTracePeriodOne(t *testing.T) {
+	tr := &AvailabilityTrace{Seed: 3, Period: 1, MinDuty: 0.5, MaxDuty: 0.9}
+	for c := 0; c < 16; c++ {
+		for _, round := range []int{0, 1, 2, 100} {
+			if !tr.Online(c, round) {
+				t.Fatalf("client %d offline at round %d under period 1; the >=1 window clamp must keep everyone online", c, round)
+			}
+		}
+	}
+}

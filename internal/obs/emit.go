@@ -41,7 +41,7 @@ func WriteCSV(w io.Writer, traces []RoundTrace) error {
 	sort.Strings(phases)
 
 	cw := csv.NewWriter(w)
-	header := []string{"algo", "round", "wall_ns", "upload_bytes", "download_bytes", "control_bytes", "batches", "workers", "clients_trained",
+	header := []string{"algo", "round", "wall_ns", "upload_bytes", "download_bytes", "control_bytes", "tier_up_bytes", "tier_down_bytes", "batches", "workers", "clients_trained",
 		"registered", "online", "cohort",
 		"kernel_ops", "kernel_parallel_calls", "kernel_serial_calls", "kernel_matrix_allocs", "kernel_scratch_misses"}
 	for _, p := range phases {
@@ -58,6 +58,8 @@ func WriteCSV(w io.Writer, traces []RoundTrace) error {
 			strconv.FormatInt(t.UploadBytes, 10),
 			strconv.FormatInt(t.DownloadBytes, 10),
 			strconv.FormatInt(t.ControlBytes, 10),
+			tierCol(t.TierUpBytes, t.TierDownBytes, t.TierUpBytes),
+			tierCol(t.TierUpBytes, t.TierDownBytes, t.TierDownBytes),
 			strconv.FormatInt(t.Batches, 10),
 			strconv.Itoa(t.Workers),
 			strconv.Itoa(len(t.ClientTrainNS)),
@@ -79,6 +81,16 @@ func WriteCSV(w io.Writer, traces []RoundTrace) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// tierCol renders one aggregator-tree backhaul column: empty for flat
+// rounds (no tier traffic either way), so legacy traces keep blank cells
+// rather than fake zeros — the churnCol convention.
+func tierCol(up, down, v int64) string {
+	if up == 0 && down == 0 {
+		return ""
+	}
+	return strconv.FormatInt(v, 10)
 }
 
 // churnCol renders one churn column: empty for rounds without a population

@@ -44,6 +44,15 @@ const (
 	// PhaseCheckpoint is the durable write of a run-state checkpoint, so
 	// traces show what checkpointing costs a round.
 	PhaseCheckpoint = "checkpoint"
+	// PhaseLeafReduce is a leaf aggregator's share of a hierarchical round:
+	// fanning the shard's round framing and reducing its uploads into the
+	// shard digest. Summed across leaves (they run concurrently), like the
+	// client phases.
+	PhaseLeafReduce = "leaf_reduce"
+	// PhaseRootMerge is the root aggregator's digest merge in a hierarchical
+	// round (the flat server's aggregate step is still PhaseAggregate,
+	// recorded inside it).
+	PhaseRootMerge = "root_merge"
 )
 
 // Process-wide counters, published via expvar so the -debug-addr endpoint
@@ -183,6 +192,11 @@ type RoundTrace struct {
 	Codec            string `json:"codec,omitempty"`
 	UploadRawBytes   int64  `json:"upload_raw_bytes,omitempty"`
 	DownloadRawBytes int64  `json:"download_raw_bytes,omitempty"`
+	// TierUpBytes and TierDownBytes mirror the ledger's aggregator-tree
+	// backhaul columns (leaf→root digests, root→leaf assignments). Zero —
+	// and omitted, so legacy trace schemas are unchanged — for flat runs.
+	TierUpBytes   int64 `json:"tier_up_bytes,omitempty"`
+	TierDownBytes int64 `json:"tier_down_bytes,omitempty"`
 	// Batches is the number of minibatches processed during the round
 	// (process-wide counter delta; concurrent runs in one process share it).
 	Batches int64 `json:"batches"`
@@ -440,6 +454,28 @@ func (r *Recorder) DownloadedRawBytes(n int) {
 	}
 	r.mu.Lock()
 	r.cur.DownloadRawBytes += int64(n)
+	r.mu.Unlock()
+}
+
+// TierUpBytes records leaf→root aggregator-tree backhaul
+// (comm.TierObserver hook).
+func (r *Recorder) TierUpBytes(n int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.cur.TierUpBytes += int64(n)
+	r.mu.Unlock()
+}
+
+// TierDownBytes records root→leaf aggregator-tree backhaul
+// (comm.TierObserver hook).
+func (r *Recorder) TierDownBytes(n int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.cur.TierDownBytes += int64(n)
 	r.mu.Unlock()
 }
 

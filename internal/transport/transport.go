@@ -41,6 +41,17 @@ const (
 	// registered population at the next round barrier and is no longer
 	// scheduled into cohorts.
 	KindGoodbye
+	// KindShardAssign hands a leaf aggregator its shard's round assignment
+	// (root → leaf): the round framing each shard member must receive, plus
+	// the delta references their uploads decode against.
+	KindShardAssign
+	// KindShardDigest carries a leaf's reduced shard — its surviving uploads
+	// (exact mode) or streaming sum (compact mode) plus the shard's
+	// membership report — upward (leaf → root).
+	KindShardDigest
+	// KindShardEnd closes a shard's round (root → leaf), carrying the
+	// encoded RoundEnd the leaf fans to its clients.
+	KindShardEnd
 )
 
 // String returns the kind name for logs.
@@ -58,6 +69,12 @@ func (k Kind) String() string {
 		return "hello"
 	case KindGoodbye:
 		return "goodbye"
+	case KindShardAssign:
+		return "shard-assign"
+	case KindShardDigest:
+		return "shard-digest"
+	case KindShardEnd:
+		return "shard-end"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -1,35 +1,33 @@
 #!/bin/sh
-# bench.sh regenerates BENCH_kernels.json: the kernel and round benchmarks
-# of the current tree, side by side with the frozen pre-kernel baseline.
+# bench.sh regenerates the benchmark snapshots.
 #
-# The baseline numbers were measured at the seed of this change (commit
-# 83a70b7, naive row-by-row kernels and per-minibatch allocation) on the
-# same host class the current numbers come from, using the best of three
-# interleaved runs (-benchtime=20x rounds, 50x kernels). Keeping them as
-# constants lets the script run without rebuilding the old commit; re-measure
-# them from that commit if the host changes.
+# Default mode writes BENCH_kernels.json: the kernel and round benchmarks of
+# the current tree, side by side with the frozen pre-kernel baseline. The
+# baseline numbers were measured at the seed of this change (commit 83a70b7,
+# naive row-by-row kernels and per-minibatch allocation) on the same host
+# class the current numbers come from, using the best of three interleaved
+# runs (-benchtime=20x rounds, 50x kernels). Keeping them as constants lets
+# the script run without rebuilding the old commit; re-measure them from that
+# commit if the host changes.
+#
+# `round` mode writes BENCH_round.json instead: the flat server's
+# collect-then-sort reduction against the aggregator tree's per-shard
+# inserts + validating merge, at 1k and 10k simulated clients — both
+# measured from the current tree, no frozen baseline.
 #
 #   BENCHTIME=20x REPS=3 sh scripts/bench.sh
+#   BENCHTIME=50x sh scripts/bench.sh round
 set -eu
 
 cd "$(dirname "$0")/.."
 
+MODE="${1:-kernels}"
 BENCHTIME="${BENCHTIME:-20x}"
 REPS="${REPS:-3}"
-OUT="${OUT:-BENCH_kernels.json}"
 
-# Frozen baselines (ns/op) from the seed commit.
-BASE_ROUND=174320969
-BASE_ROUND_INSTR=190940604
-BASE_MM_32=23575
-BASE_MM_128=1306229
-BASE_MM_256=11250245
-BASE_TN_32=18821
-BASE_TN_128=1224764
-BASE_TN_256=11764876
-BASE_NT_32=20259
-BASE_NT_128=1265843
-BASE_NT_256=11417507
+ratio() {
+	awk -v a="$1" -v b="$2" 'BEGIN {printf "%.2f", a / b}'
+}
 
 # best_of <bench regex> <pkg> — runs REPS times, prints the minimum ns/op.
 best_of() {
@@ -45,6 +43,51 @@ best_of() {
 	done
 	echo "$best"
 }
+
+if [ "$MODE" = "round" ]; then
+	OUT="${OUT:-BENCH_round.json}"
+	echo ">> round-reduction benchmarks, flat vs tree (best of $REPS at $BENCHTIME)" >&2
+	FLAT_1K=$(best_of 'BenchmarkReduceFlat1k$' ./internal/fl/engine/)
+	TREE_1K=$(best_of 'BenchmarkReduceTree1k$' ./internal/fl/engine/)
+	FLAT_10K=$(best_of 'BenchmarkReduceFlat10k$' ./internal/fl/engine/)
+	TREE_10K=$(best_of 'BenchmarkReduceTree10k$' ./internal/fl/engine/)
+	echo "   1k:  flat $FLAT_1K ns/op, tree $TREE_1K ns/op" >&2
+	echo "   10k: flat $FLAT_10K ns/op, tree $TREE_10K ns/op" >&2
+	{
+		echo '{'
+		echo '  "description": "Round reduction, flat single-server sort vs two-tier tree (per-shard sorted inserts + MergeExact), simulated cohorts. Regenerate with scripts/bench.sh round.",'
+		echo "  \"host\": \"$(go env GOOS)/$(go env GOARCH), $(nproc) cpu\","
+		echo "  \"benchtime\": \"$BENCHTIME, best of $REPS\","
+		echo '  "round": ['
+		printf '    {"name": "Reduce/1k", "flat_ns_per_op": %s, "tree_ns_per_op": %s, "flat_over_tree": %s},\n' \
+			"$FLAT_1K" "$TREE_1K" "$(ratio "$FLAT_1K" "$TREE_1K")"
+		printf '    {"name": "Reduce/10k", "flat_ns_per_op": %s, "tree_ns_per_op": %s, "flat_over_tree": %s}\n' \
+			"$FLAT_10K" "$TREE_10K" "$(ratio "$FLAT_10K" "$TREE_10K")"
+		echo '  ]'
+		echo '}'
+	} >"$OUT"
+	echo "wrote $OUT" >&2
+	exit 0
+fi
+if [ "$MODE" != "kernels" ]; then
+	echo "bench.sh: unknown mode '$MODE' (want kernels or round)" >&2
+	exit 2
+fi
+
+OUT="${OUT:-BENCH_kernels.json}"
+
+# Frozen baselines (ns/op) from the seed commit.
+BASE_ROUND=174320969
+BASE_ROUND_INSTR=190940604
+BASE_MM_32=23575
+BASE_MM_128=1306229
+BASE_MM_256=11250245
+BASE_TN_32=18821
+BASE_TN_128=1224764
+BASE_TN_256=11764876
+BASE_NT_32=20259
+BASE_NT_128=1265843
+BASE_NT_256=11417507
 
 echo ">> round benchmark (best of $REPS at $BENCHTIME)" >&2
 ROUND=$(best_of 'BenchmarkFedPKDRound$' .)
@@ -78,10 +121,6 @@ TN_256=$(kern_ns 'BenchmarkMatMulTN/256x256')
 NT_32=$(kern_ns 'BenchmarkMatMulNT/32x32')
 NT_128=$(kern_ns 'BenchmarkMatMulNT/128x128')
 NT_256=$(kern_ns 'BenchmarkMatMulNT/256x256')
-
-ratio() {
-	awk -v a="$1" -v b="$2" 'BEGIN {printf "%.2f", a / b}'
-}
 
 entry() {
 	printf '    {"name": "%s", "baseline_ns_per_op": %s, "current_ns_per_op": %s, "speedup": %s}' \

@@ -46,6 +46,28 @@ go test -race -count=1 -run 'Async' ./internal/fl/engine/ ./internal/distrib/
 echo ">> go test -race -count=1 -run 'TestChurnSameSeedReplay|ServiceLeave|ServiceJoin|ServicePopulation' ./internal/distrib/"
 go test -race -count=1 -run 'TestChurnSameSeedReplay|ServiceLeave|ServiceJoin|ServicePopulation' ./internal/distrib/
 
+# Tree-equivalence gate: every algorithm run through the depth-2 aggregator
+# tree must produce a byte-identical history and identical client-plane
+# ledger totals to the flat server (bus everywhere, TCP for the two
+# heavyweight paths), the compact mode must hold its 1e-9 tolerance, and the
+# combined async+churn+tree golden must replay — all under the race detector,
+# because the demultiplexer, leaf workers, and root collect are one more
+# concurrent fan-out (DESIGN.md §13).
+echo ">> go test -race -count=1 -run 'TestTreeMatchesFlat|TestTreeCompactFedAvgTolerance|TestTopologyValidation|TestGoldenAsyncChurnTree' ."
+go test -race -count=1 -run 'TestTreeMatchesFlat|TestTreeCompactFedAvgTolerance|TestTopologyValidation|TestGoldenAsyncChurnTree' .
+
+# Structural invariant of the aggregator tree: the root merges shard digests
+# and never allocates population-sized state — no make() in root.go may be
+# sized by the universe (s.n), the round cohort, or the flush plan; only
+# shard-count structures are allowed. O(cohort) work belongs to the leaves
+# (each O(shard)) or to engine.MergeExact, which reconstructs the flat
+# Aggregate input the algorithm itself requires (DESIGN.md §13).
+echo ">> structural check: root aggregator holds only per-shard state"
+if grep -nE 'make\([^)]*(s\.n|len\(cohort\)|plan\.(Chosen|Dispatched))' internal/distrib/root.go; then
+    echo "FAIL: internal/distrib/root.go allocated population-sized state; the root may only hold per-shard structures (DESIGN.md §13)" >&2
+    exit 1
+fi
+
 # Coverage floor for the round engine and the distributed driver: their
 # statements must stay >= 80% covered by the merged profile of the suites
 # that exercise them (root package + their own). Async buffer selection,

@@ -36,6 +36,10 @@ type (
 // quit command; treat it as a clean shutdown.
 var ErrControlQuit = ctl.ErrQuit
 
+// ErrControlTimeout marks a ControlSend whose per-command deadline expired —
+// the service is hung or unreachable rather than rejecting the command.
+var ErrControlTimeout = ctl.ErrTimeout
+
 // NewService builds a long-lived distributed service for an engine-backed
 // algorithm without running it: the caller wires a control plane to
 // Options.Barrier, then calls Run. Most callers want
