@@ -20,8 +20,10 @@ check:
 cover:
 	$(GO) test -cover ./...
 
-# chaos runs the seeded fault-injection suite (crash/drop/dup/corrupt over
-# bus and TCP, multiple algorithms) under the race detector.
+# chaos runs the seeded fault-injection suites under the race detector:
+# client-plane crash/drop/dup/corrupt over bus and TCP, and the TestTreeChaos*
+# tier suite (leaf crashes, digest faults, shard deadlines, degraded-tree
+# rounds with deterministic replay).
 chaos:
 	$(GO) test -race -count=1 -run 'Chaos' ./internal/distrib/
 

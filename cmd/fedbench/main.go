@@ -46,7 +46,7 @@ func run() error {
 		ckptEvery = flag.Int("checkpoint-every", 1, "checkpoint cadence in rounds (with -checkpoint-dir)")
 		resume    = flag.Bool("resume", false, "continue interrupted runs from their newest valid checkpoint under -checkpoint-dir")
 		codecName = flag.String("codec", "", "payload wire codec for experiment runs: float64raw (default), float32, or int8; the compression experiment sweeps all of them regardless")
-		chaosSpec = flag.String("chaos", "", "failures experiment: replace the default crash sweep with this fault plan, e.g. drop=0.1,crash=0.2")
+		chaosSpec = flag.String("chaos", "", "failures experiment: replace the default crash sweep with this fault plan, e.g. drop=0.1,crash=0.2 (tier keys tierdrop/tierdelay/tierdup/tiercorrupt/tiersendfail/leafcrash target the aggregator tree)")
 		asyncMode = flag.Bool("async", false, "run the generic matrix experiments in barrier-free async mode (the async experiment compares sync vs async regardless)")
 		bufSize   = flag.Int("buffer-size", 0, "async buffer size K; 0 defaults to half the fleet (with -async)")
 		stalAlpha = flag.Float64("staleness-alpha", 0, "async staleness exponent α in 1/(1+s)^α; 0 keeps the engine default (with -async)")
@@ -55,6 +55,8 @@ func run() error {
 		availSpec = flag.String("availability", "", "run the generic matrix experiments under a seeded diurnal availability trace, e.g. period=24,min=0.5,max=0.9 (the churn experiment compares fixed vs diurnal regardless)")
 		shards    = flag.Int("shards", 0, "reduce distributed experiment runs through an aggregator tree with this many leaves; 0/1 keeps the flat server (the hierarchy experiment compares flat vs tree regardless)")
 		treeDepth = flag.Int("tree-depth", 0, "aggregator-tree depth; 0 defaults to 2 when -shards > 1 (only 2 is supported by the runtime)")
+		leafTmo   = flag.Duration("leaf-timeout", 0, "treefaults experiment: root-side deadline per shard digest (default 1m)")
+		shardQ    = flag.Int("shard-quorum", 0, "treefaults experiment: abort tree rounds that merge fewer shard digests; 0 disables")
 	)
 	flag.Parse()
 
@@ -76,6 +78,7 @@ func run() error {
 		return err
 	}
 	expt.SetTreePolicy(*shards, *treeDepth)
+	expt.SetTreeFaultModel(*leafTmo, *shardQ)
 
 	if *debugAddr != "" {
 		dbg, err := obs.StartDebugServer(*debugAddr)

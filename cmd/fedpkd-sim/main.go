@@ -48,9 +48,11 @@ func run() error {
 		delta     = flag.Float64("delta", 0.5, "FedPKD server loss mix δ")
 		codec     = flag.String("codec", "float64raw", "payload wire codec: "+strings.Join(fedpkd.WireCodecs(), ", "))
 		distMode  = flag.String("distributed", "", "run the algorithm over a transport: bus or tcp")
-		chaos     = flag.String("chaos", "", "inject deterministic faults into the distributed transport, e.g. drop=0.1,crash=0.2 (keys: drop, delay, dup, corrupt, sendfail, crash, maxdelay)")
+		chaos     = flag.String("chaos", "", "inject deterministic faults into the distributed transport, e.g. drop=0.1,crash=0.2 (client keys: drop, delay, dup, corrupt, sendfail, crash, maxdelay; tier keys with -shards: tierdrop, tierdelay, tierdup, tiercorrupt, tiersendfail, leafcrash)")
 		cliTmo    = flag.Duration("client-timeout", 0, "distributed straggler deadline per round; 0 waits forever (required >0 for lossy -chaos plans)")
 		minQuorum = flag.Int("min-quorum", 0, "abort a distributed round that aggregated fewer uploads; 0 disables")
+		leafTmo   = flag.Duration("leaf-timeout", 0, "root-side deadline per shard digest in tree mode; 0 waits forever (required >0 for lossy tier -chaos plans)")
+		shardQ    = flag.Int("shard-quorum", 0, "abort a tree-mode round that merged fewer shard digests; 0 disables")
 		localEp   = flag.Int("local-epochs", 5, "baseline local epochs / FedPKD private epochs")
 		serverEp  = flag.Int("server-epochs", 8, "server / distill epochs")
 		traceDir  = flag.String("trace-dir", "results", "directory for round-trace JSONL/CSV output (empty disables tracing)")
@@ -104,8 +106,8 @@ func run() error {
 	if (*shards > 1 || *treeDepth != 0) && *distMode == "" {
 		return fmt.Errorf("-shards and -tree-depth require -distributed")
 	}
-	if *shards > 1 && *serveMode {
-		return fmt.Errorf("-shards is incompatible with -serve: wire registration reads the fan-in socket the tree's demultiplexer owns")
+	if (*leafTmo != 0 || *shardQ != 0) && *shards <= 1 {
+		return fmt.Errorf("-leaf-timeout and -shard-quorum require -shards > 1")
 	}
 
 	fedpkd.SetKernelWorkers(*workers)
@@ -248,6 +250,8 @@ func run() error {
 			Recorder:      rec,
 			ClientTimeout: *cliTmo,
 			MinQuorum:     *minQuorum,
+			LeafTimeout:   *leafTmo,
+			ShardQuorum:   *shardQ,
 			Faults:        plan,
 			Population:    population,
 			Topology:      fedpkd.Topology{Shards: *shards, Depth: *treeDepth},
@@ -263,6 +267,13 @@ func run() error {
 			})
 			opts.Barrier = gate.Barrier
 			opts.WireRegistration = true
+			if *shards > 1 {
+				// Tree mode: the demultiplexer owns the fan-in socket, so
+				// registration cannot arrive as wire traffic. The registry is
+				// seeded from -population (or the whole fleet) instead.
+				opts.WireRegistration = false
+				fmt.Fprintln(os.Stderr, "fedpkd-sim: tree-serve mode pre-registers the fleet (wire registration needs the flat fan-in)")
+			}
 			var svcMu sync.Mutex
 			var svc *fedpkd.Service
 			opts.OnService = func(s *fedpkd.Service) {
@@ -279,6 +290,14 @@ func run() error {
 					ss := s.Status()
 					st.Algo, st.Round = ss.Algo, ss.Round
 					st.Registered, st.Online, st.Cohort = ss.Registered, ss.Online, ss.Cohort
+					for _, sh := range ss.Shards {
+						st.Shards = append(st.Shards, fedpkd.ControlShardHealth{
+							Shard:           sh.Shard,
+							LastDigestRound: sh.LastDigestRound,
+							Retries:         sh.Retries,
+							Lost:            sh.Lost,
+						})
+					}
 				}
 				return st
 			})

@@ -30,16 +30,20 @@ type (
 // Named protocol-robustness errors, for errors.Is against a distributed
 // run's failure.
 var (
-	ErrStaleEnvelope   = distrib.ErrStaleEnvelope
-	ErrPeerMismatch    = distrib.ErrPeerMismatch
-	ErrDuplicateUpload = distrib.ErrDuplicateUpload
-	ErrQuorumNotMet    = distrib.ErrQuorumNotMet
-	ErrUnknownClient   = distrib.ErrUnknownClient
+	ErrStaleEnvelope     = distrib.ErrStaleEnvelope
+	ErrPeerMismatch      = distrib.ErrPeerMismatch
+	ErrDuplicateUpload   = distrib.ErrDuplicateUpload
+	ErrQuorumNotMet      = distrib.ErrQuorumNotMet
+	ErrShardQuorumNotMet = distrib.ErrShardQuorumNotMet
+	ErrUnknownClient     = distrib.ErrUnknownClient
 )
 
 // ParseFaultPlan parses a CLI chaos spec like
 // "drop=0.1,crash=0.2,dup=0.05,corrupt=0.01,delay=0.3,sendfail=0.1,maxdelay=5ms"
-// into a FaultPlan seeded with seed. An empty spec returns nil (no chaos).
+// into a FaultPlan seeded with seed. Tier-prefixed keys (tierdrop, tierdelay,
+// tierdup, tiercorrupt, tiersendfail) and leafcrash target the aggregator
+// tree's leaf↔root links and leaf processes instead of the client plane. An
+// empty spec returns nil (no chaos).
 func ParseFaultPlan(spec string, seed uint64) (*FaultPlan, error) {
 	return faults.ParsePlan(spec, seed)
 }

@@ -200,6 +200,21 @@ type Status struct {
 	Registered int    `json:"registered"`
 	Online     int    `json:"online"`
 	Cohort     int    `json:"cohort"`
+	// Shards reports per-leaf aggregator health when the service runs an
+	// aggregator tree (omitted for flat runs), so an operator polling status
+	// can spot a sick leaf: a stalled last_digest_round, climbing retries, or
+	// a growing lost count.
+	Shards []ShardHealth `json:"shards,omitempty"`
+}
+
+// ShardHealth mirrors the service's per-leaf liveness profile (the ctl
+// package cannot import internal/distrib — the dependency runs the other
+// way, so the wire type is declared on both sides of the socket).
+type ShardHealth struct {
+	Shard           int `json:"shard"`
+	LastDigestRound int `json:"last_digest_round"`
+	Retries         int `json:"retries"`
+	Lost            int `json:"lost"`
 }
 
 // Response is the single JSON line answering each command.

@@ -69,6 +69,9 @@ func (s *Service) runAsync(rounds int) error {
 			return fmt.Errorf("%w: flush %d planned %d contributors, quorum %d",
 				ErrQuorumNotMet, t, len(plan.Chosen), s.opts.MinQuorum)
 		}
+		if err := s.preRoundShardQuorum(t); err != nil {
+			return err
+		}
 		s.roundOpen.Store(true)
 		s.rs.reset()
 		faultBase := s.fstats.Snapshot().Total()
@@ -112,7 +115,7 @@ func (s *Service) runAsync(rounds int) error {
 			return firstErr
 		}
 		s.runner.AsyncCommitFlush(plan, contributors)
-		if s.tolerant {
+		if s.tolerant || s.treeTol {
 			recordAsyncRobustness(t, s.runner, s.rec, &s.opts, plan, report, s.rs, s.fstats.Snapshot().Total()-faultBase)
 		}
 		if s.dynamic {
@@ -135,15 +138,23 @@ func (s *Service) runAsync(rounds int) error {
 // cohort: expected is the buffer's planned contributor count, not the fleet.
 func recordAsyncRobustness(t int, runner *engine.Runner, rec *obs.Recorder, opts *Options, plan *engine.AsyncFlushPlan, rp *roundReport, rs *roundStats, injected int64) {
 	var crashed, timedOut []int
+	n := runner.Config().Env.Cfg.NumClients
+	inLost := make(map[int]bool, len(rp.lostShards))
+	for _, sh := range rp.lostShards {
+		inLost[sh] = true
+	}
 	for _, c := range rp.missing {
-		if opts.Faults.CrashesAt(c, t) {
+		switch {
+		case opts.Faults.CrashesAt(c, t):
 			crashed = append(crashed, c)
-		} else {
+		case opts.Topology.Enabled() && inLost[ShardOf(c, n, opts.Topology.Shards)]:
+			// Lost with its whole shard: LostShards already accounts for it.
+		default:
 			timedOut = append(timedOut, c)
 		}
 	}
-	if rp.cohort < len(plan.Chosen) {
-		runner.RecordDegraded(fl.DegradedRound{Round: t, Cohort: rp.cohort, Expected: len(plan.Chosen), Missing: rp.missing})
+	if rp.cohort < len(plan.Chosen) || len(rp.lostShards) > 0 {
+		runner.RecordDegraded(fl.DegradedRound{Round: t, Cohort: rp.cohort, Expected: len(plan.Chosen), Missing: rp.missing, LostShards: rp.lostShards})
 	}
 	rec.SetRobustness(obs.Robustness{
 		Cohort:         rp.cohort,
@@ -155,6 +166,10 @@ func recordAsyncRobustness(t int, runner *engine.Runner, rec *obs.Recorder, opts
 		CorruptDropped: int(rs.corrupt.Load()),
 		UnknownDropped: int(rs.unknown.Load()),
 		Retries:        int(rs.retries.Load()),
+		LeafTimeouts:   int(rs.leafTimeouts.Load()),
+		DigestRetries:  int(rs.digestRetries.Load()),
+		DigestDups:     int(rs.digestDups.Load()),
+		ShardsLost:     rp.lostShards,
 		FaultsInjected: injected,
 	})
 }

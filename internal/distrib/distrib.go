@@ -63,6 +63,9 @@ var (
 	// ErrQuorumNotMet aborts a round that collected fewer uploads than
 	// Options.MinQuorum.
 	ErrQuorumNotMet = errors.New("distrib: quorum not met")
+	// ErrShardQuorumNotMet aborts a tree round whose root merged fewer
+	// surviving shard digests than Options.ShardQuorum.
+	ErrShardQuorumNotMet = errors.New("distrib: shard quorum not met")
 	// ErrCodecMismatch marks an upload encoded under a codec other than the
 	// one the round's RoundStart negotiated.
 	ErrCodecMismatch = errors.New("distrib: upload codec mismatch")
@@ -144,6 +147,17 @@ type Options struct {
 	// and ledger totals are byte-identical to the flat runtime; the tree's
 	// leaf↔root backhaul is billed separately in the tier columns.
 	Topology Topology
+	// LeafTimeout bounds how long the root waits for each round's shard
+	// digests. Zero waits forever (strict tree mode). When positive, shards
+	// whose digest misses the deadline are marked lost and the round
+	// aggregates the surviving partials — the tier-plane analog of
+	// ClientTimeout. Tree mode only; lossy tier fault plans require it.
+	LeafTimeout time.Duration
+	// ShardQuorum is the minimum number of shard digests a tree round must
+	// merge; fewer aborts the round with ErrShardQuorumNotMet. Zero disables
+	// the check (a round that lost every shard skips aggregation, like a
+	// round that heard from nobody).
+	ShardQuorum int
 }
 
 func (o *Options) validate(n int) error {
@@ -161,6 +175,27 @@ func (o *Options) validate(n int) error {
 	}
 	if o.Topology.Enabled() && o.WireRegistration {
 		return fmt.Errorf("distrib: WireRegistration is not supported with an aggregator tree: wire registration reads the fan-in socket the tree's demultiplexer owns")
+	}
+	if o.LeafTimeout < 0 {
+		return fmt.Errorf("distrib: LeafTimeout must be >= 0, got %v", o.LeafTimeout)
+	}
+	if !o.Topology.Enabled() {
+		if o.LeafTimeout > 0 {
+			return fmt.Errorf("distrib: LeafTimeout requires an aggregator tree (Topology.Shards > 1)")
+		}
+		if o.ShardQuorum > 0 {
+			return fmt.Errorf("distrib: ShardQuorum requires an aggregator tree (Topology.Shards > 1)")
+		}
+		if o.Faults.TierEnabled() {
+			return fmt.Errorf("distrib: fault plan [%v] targets the aggregator tier but no tree is configured (Topology.Shards > 1)", o.Faults)
+		}
+	} else {
+		if o.ShardQuorum < 0 || o.ShardQuorum > o.Topology.Shards {
+			return fmt.Errorf("distrib: ShardQuorum %d out of range [0,%d]", o.ShardQuorum, o.Topology.Shards)
+		}
+		if o.Faults.TierLossy() && o.LeafTimeout <= 0 {
+			return fmt.Errorf("distrib: fault plan [%v] can lose shard digests or leaves; set a positive LeafTimeout so the root does not wait forever", o.Faults)
+		}
 	}
 	seen := make(map[int]bool, len(o.Population))
 	for _, id := range o.Population {
@@ -251,6 +286,11 @@ type roundStats struct {
 	corrupt atomic.Int64
 	retries atomic.Int64
 	unknown atomic.Int64
+	// Tier-plane counters: digests the root gave up waiting for, leaf-side
+	// digest send retries, and duplicate digests the root rejected.
+	leafTimeouts  atomic.Int64
+	digestRetries atomic.Int64
+	digestDups    atomic.Int64
 }
 
 func (rs *roundStats) reset() {
@@ -259,6 +299,9 @@ func (rs *roundStats) reset() {
 	rs.corrupt.Store(0)
 	rs.retries.Store(0)
 	rs.unknown.Store(0)
+	rs.leafTimeouts.Store(0)
+	rs.digestRetries.Store(0)
+	rs.digestDups.Store(0)
 }
 
 // recordRobustness folds one tolerant round's failure profile into the
@@ -266,15 +309,24 @@ func (rs *roundStats) reset() {
 // healthy chaos rounds are visible too).
 func recordRobustness(t, expected int, runner *engine.Runner, rec *obs.Recorder, opts *Options, rp *roundReport, rs *roundStats, injected int64) {
 	var crashed, timedOut []int
+	n := runner.Config().Env.Cfg.NumClients
+	inLost := make(map[int]bool, len(rp.lostShards))
+	for _, sh := range rp.lostShards {
+		inLost[sh] = true
+	}
 	for _, c := range rp.missing {
-		if opts.Faults.CrashesAt(c, t) {
+		switch {
+		case opts.Faults.CrashesAt(c, t):
 			crashed = append(crashed, c)
-		} else {
+		case opts.Topology.Enabled() && inLost[ShardOf(c, n, opts.Topology.Shards)]:
+			// Lost with its whole shard: the per-shard detail in LostShards
+			// already accounts for it, so neither client list repeats it.
+		default:
 			timedOut = append(timedOut, c)
 		}
 	}
-	if rp.cohort < expected {
-		runner.RecordDegraded(fl.DegradedRound{Round: t, Cohort: rp.cohort, Expected: expected, Missing: rp.missing})
+	if rp.cohort < expected || len(rp.lostShards) > 0 {
+		runner.RecordDegraded(fl.DegradedRound{Round: t, Cohort: rp.cohort, Expected: expected, Missing: rp.missing, LostShards: rp.lostShards})
 	}
 	rec.SetRobustness(obs.Robustness{
 		Cohort:         rp.cohort,
@@ -286,6 +338,10 @@ func recordRobustness(t, expected int, runner *engine.Runner, rec *obs.Recorder,
 		CorruptDropped: int(rs.corrupt.Load()),
 		UnknownDropped: int(rs.unknown.Load()),
 		Retries:        int(rs.retries.Load()),
+		LeafTimeouts:   int(rs.leafTimeouts.Load()),
+		DigestRetries:  int(rs.digestRetries.Load()),
+		DigestDups:     int(rs.digestDups.Load()),
+		ShardsLost:     rp.lostShards,
 		FaultsInjected: injected,
 	})
 }
@@ -296,6 +352,10 @@ type roundReport struct {
 	// time; missing lists the rest, sorted ascending.
 	cohort  int
 	missing []int
+	// lostShards lists the shards whose digest never made it into the
+	// round's merge (crashed leaf, late/corrupt digest), sorted ascending.
+	// Tree rounds only.
+	lostShards []int
 }
 
 // serverRound runs the server side of one round: fan out RoundStart to the
@@ -760,6 +820,13 @@ func clientRound(p *clientPeer, t int, runner *engine.Runner, rec *obs.Recorder,
 	if opts.Faults.CrashesAt(p.id, t) {
 		p.stats.CountCrash()
 		return p.restart()
+	}
+	if opts.Topology.Enabled() &&
+		opts.Faults.LeafCrashesAt(ShardOf(p.id, runner.Config().Env.Cfg.NumClients, opts.Topology.Shards), t) {
+		// This client's leaf aggregator is crashed for the round, so its
+		// RoundStart can never arrive. Skip deterministically — the leaf-plane
+		// failure detector — instead of burning the recv deadline.
+		return nil
 	}
 	hooks := runner.Hooks()
 	rc := runner.Context(t)

@@ -1,11 +1,15 @@
 package distrib
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
 	"fedpkd/internal/comm"
+	"fedpkd/internal/faults"
 	"fedpkd/internal/fl/engine"
 	"fedpkd/internal/obs"
+	"fedpkd/internal/stats"
 	"fedpkd/internal/transport"
 )
 
@@ -23,7 +27,7 @@ import (
 // reporting one result per round on the tree's done channel — the leaf-tier
 // mirror of clientWorker.
 func (s *Service) leafWorker(shard int, start <-chan int) {
-	up := s.tree.upper.clients[shard]
+	up := s.tree.leafUp[shard]
 	rx := s.tree.leafRx[shard]
 	for t := range start {
 		s.tree.leafDone <- s.leafRound(shard, t, up, rx)
@@ -40,6 +44,10 @@ func (s *Service) leafWorker(shard int, start <-chan int) {
 // assignment arrives mean the upper fabric is dead, in which case the root's
 // collect fails too and the service tears the transports down.
 func (s *Service) leafRound(shard, t int, up transport.Conn, rx *receiver) error {
+	if s.treeTol && s.opts.Faults.LeafCrashesAt(shard, t) {
+		s.fstats.CountLeafCrash()
+		return s.leafCrashRestart(shard, t, up, rx)
+	}
 	runner := s.runner
 	ledger := runner.Ledger()
 	codec := runner.Codec()
@@ -144,6 +152,33 @@ func (s *Service) leafRound(shard, t int, up transport.Conn, rx *receiver) error
 	return roundErr
 }
 
+// leafCrashRestart executes one injected leaf crash: the leaf serves nothing
+// this round — it fans no round opening, collects no uploads, and sends no
+// digest (the root's deterministic failure detector already wrote the shard
+// off). It still consumes its round framing from the root (assignment, then
+// the close the root fans to lost shards too) so the tier link carries no
+// stale traffic into the next round, then drops whatever its client-plane
+// inbox buffered — the restarted-process semantics clientPeer.restart gives
+// the bus — and rejoins at the next round, where collectShard re-collects
+// the shard's uploads through the usual validation ladder.
+func (s *Service) leafCrashRestart(shard, t int, up transport.Conn, rx *receiver) error {
+	for {
+		e, err := up.Recv()
+		if err != nil {
+			// The fabric died mid-crash (fatal abort elsewhere tears down the
+			// upper transport): surface it like any other dead-link failure.
+			return fmt.Errorf("distrib: leaf %d await close: %w", shard, err)
+		}
+		if e.Kind == transport.KindShardEnd && e.Round == t {
+			break
+		}
+		// The round's assignment (and any stale tier traffic) is consumed
+		// without action — a crashed leaf serves nobody.
+	}
+	rx.drain()
+	return nil
+}
+
 // collectShard runs the shard's upload collection: the synchronous ladder
 // with a streaming sink into the partial, or the flush ladder followed by an
 // arrival-order fold (exact partials sort on insert, so the digest is
@@ -210,17 +245,38 @@ func buildDigest(t, shard int, part *engine.Partial, report *roundReport, digest
 
 // sendDigest ships one digest upward and bills the tier backhaul. An encode
 // failure degrades to an empty payload — the root's decode then fails the
-// round, which still unblocks its untimed collect; silence would deadlock
-// it. Send failures are likewise survivable: they only happen when the
-// fabric is tearing down, and then the root's collect errors on its own.
+// round, which still unblocks its collect; silence would burn the whole
+// LeafTimeout. Injected transient send failures are retried with the same
+// deterministic backoff the clients use, on a jitter stream disjoint from
+// every other RNG consumer; each attempt is billed (attempt counts are a
+// pure function of the plan, so billing stays replay-stable). Real send
+// failures only happen when the fabric is tearing down, and then the root's
+// collect errors on its own.
 func (s *Service) sendDigest(t, shard int, d *transport.ShardDigest) {
 	payload, err := transport.Encode(d)
 	if err != nil {
 		payload = nil
 	}
 	env := &transport.Envelope{Kind: transport.KindShardDigest, From: shard, To: -1, Round: t, Payload: payload}
-	_ = s.tree.upper.clients[shard].Send(env)
-	s.runner.Ledger().AddTierUp(env.WireSize())
+	b := s.opts.Retry.WithDefaults()
+	var rng *stats.RNG
+	for attempt := 1; ; attempt++ {
+		sendErr := s.tree.leafUp[shard].Send(env)
+		s.runner.Ledger().AddTierUp(env.WireSize())
+		if sendErr == nil || !s.treeTol || !errors.Is(sendErr, faults.ErrTransient) || attempt >= b.Attempts {
+			return
+		}
+		if rng == nil {
+			var seed uint64
+			if s.opts.Faults != nil {
+				seed = s.opts.Faults.Seed
+			}
+			rng = stats.Split(seed, uint64(t)*1000+800+uint64(shard))
+		}
+		s.rs.digestRetries.Add(1)
+		s.noteShardRetry(shard)
+		time.Sleep(b.Delay(attempt, rng))
+	}
 }
 
 // awaitAssign receives round t's shard assignment. A nil assignment means no

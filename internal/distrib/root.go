@@ -3,6 +3,7 @@ package distrib
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"fedpkd/internal/fl/engine"
 	"fedpkd/internal/obs"
@@ -38,7 +39,8 @@ func (s *Service) rootRound(t int, cohort []int) (*roundReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i, members := range shardCohorts(cohort, s.n, topo.Shards) {
+	cohorts := shardCohorts(cohort, s.n, topo.Shards)
+	for i, members := range cohorts {
 		sa := transport.ShardAssign{
 			Round: t, Shard: i, Compact: topo.Compact,
 			Start: startPayload, HasGlobal: hasGlobal, StartRaw: startRaw, Ref: refParams,
@@ -52,12 +54,16 @@ func (s *Service) rootRound(t int, cohort []int) (*roundReport, error) {
 		}
 	}
 
-	digests, err := s.collectDigests(t)
+	digests, lostShards, err := s.collectDigests(t)
 	if err != nil {
 		return nil, err
 	}
-	report, parts, count, roundErr := s.mergeDigests(digests)
+	report, parts, count, roundErr := s.mergeDigests(digests, cohorts, lostShards)
 
+	if roundErr == nil && s.opts.ShardQuorum > 0 && topo.Shards-len(lostShards) < s.opts.ShardQuorum {
+		roundErr = fmt.Errorf("%w: round %d merged %d of %d shard digests, quorum %d",
+			ErrShardQuorumNotMet, t, topo.Shards-len(lostShards), topo.Shards, s.opts.ShardQuorum)
+	}
 	if roundErr == nil && s.opts.MinQuorum > 0 && count < s.opts.MinQuorum {
 		roundErr = fmt.Errorf("%w: round %d aggregated %d of %d required uploads", ErrQuorumNotMet, t, count, s.opts.MinQuorum)
 	}
@@ -96,7 +102,8 @@ func (s *Service) rootFlush(t int, plan *engine.AsyncFlushPlan) (contributors []
 	topo := s.tree.topo
 
 	idx := 0
-	for i, members := range shardCohorts(plan.Chosen, s.n, topo.Shards) {
+	cohorts := shardCohorts(plan.Chosen, s.n, topo.Shards)
+	for i, members := range cohorts {
 		sa := transport.ShardAssign{Round: t, Shard: i, Flush: true,
 			Clients: make([]transport.ClientStart, len(members))}
 		for j, c := range members {
@@ -120,11 +127,15 @@ func (s *Service) rootFlush(t int, plan *engine.AsyncFlushPlan) (contributors []
 		}
 	}
 
-	digests, err := s.collectDigests(t)
+	digests, lostShards, err := s.collectDigests(t)
 	if err != nil {
 		return nil, nil, err
 	}
-	report, parts, count, roundErr := s.mergeDigests(digests)
+	report, parts, count, roundErr := s.mergeDigests(digests, cohorts, lostShards)
+	if roundErr == nil && s.opts.ShardQuorum > 0 && topo.Shards-len(lostShards) < s.opts.ShardQuorum {
+		roundErr = fmt.Errorf("%w: flush %d merged %d of %d shard digests, quorum %d",
+			ErrShardQuorumNotMet, t, topo.Shards-len(lostShards), topo.Shards, s.opts.ShardQuorum)
+	}
 	if roundErr == nil && s.opts.MinQuorum > 0 && count < s.opts.MinQuorum {
 		roundErr = fmt.Errorf("%w: flush %d aggregated %d of %d required uploads", ErrQuorumNotMet, t, count, s.opts.MinQuorum)
 	}
@@ -183,54 +194,144 @@ func (s *Service) sendShardEnds(t int, end []byte, hasBroadcast bool, endRaw int
 	return nil
 }
 
-// collectDigests awaits exactly one digest per shard. Leaves are
-// infrastructure, not chaos subjects: the root waits without a deadline
-// (every leaf digests every round, failed ones included) and any protocol
-// violation on a tier link is an error even in tolerant runs.
-func (s *Service) collectDigests(t int) ([]*transport.ShardDigest, error) {
+// rootWaitSlice bounds any single wait of the root's digest collect. Strict
+// tree mode still waits for every digest indefinitely — but in slices, so no
+// receive in this file ever blocks without a deadline (the structural gate in
+// scripts/check.sh holds the root to that shape).
+const rootWaitSlice = time.Second
+
+// collectDigests awaits up to one digest per shard and returns the digests
+// alongside the sorted list of lost shards. Strict tree mode (no LeafTimeout,
+// no tier fault plan) keeps the old contract: every leaf digests every round
+// and any tier-link protocol violation is an error. Tolerant tree mode makes
+// leaves chaos subjects — shards the fault schedule crashes are never awaited
+// (the deterministic failure detector, so a crash-heavy round does not burn
+// the deadline), a corrupt or misrouted digest loses its shard, a duplicate
+// digest is rejected, and whatever has not arrived when LeafTimeout expires
+// is lost to a leaf timeout.
+func (s *Service) collectDigests(t int) ([]*transport.ShardDigest, []int, error) {
 	shards := s.tree.topo.Shards
 	digests := make([]*transport.ShardDigest, shards)
-	for got := 0; got < shards; {
-		e, err := s.tree.rootRx.recv(0)
+	lost := make(map[int]bool, shards)
+	await := shards
+	for i := 0; i < shards; i++ {
+		if s.treeTol && s.opts.Faults.LeafCrashesAt(i, t) {
+			lost[i] = true
+			await--
+		}
+	}
+	markLost := func(shard int) {
+		if shard >= 0 && shard < shards && !lost[shard] && digests[shard] == nil {
+			lost[shard] = true
+			await--
+		}
+	}
+	var deadline time.Time
+	if s.opts.LeafTimeout > 0 {
+		deadline = time.Now().Add(s.opts.LeafTimeout)
+	}
+	for await > 0 {
+		wait := rootWaitSlice
+		if !deadline.IsZero() {
+			until := time.Until(deadline)
+			if until <= 0 {
+				break
+			}
+			if until < wait {
+				wait = until
+			}
+		}
+		e, err := s.tree.rootRx.recv(wait)
+		if errors.Is(err, errRecvTimeout) {
+			continue // the loop head re-checks the deadline
+		}
+		var gone *peerGoneError
+		if errors.As(err, &gone) && s.treeTol {
+			markLost(gone.id)
+			continue
+		}
 		if err != nil {
-			return nil, fmt.Errorf("distrib: root recv: %w", err)
+			return nil, nil, fmt.Errorf("distrib: root recv: %w", err)
 		}
 		if e.Kind != transport.KindShardDigest || e.Round != t {
-			return nil, fmt.Errorf("distrib: root got kind %v round %d during round %d", e.Kind, e.Round, t)
+			if s.treeTol {
+				s.rs.stale.Add(1)
+				continue
+			}
+			return nil, nil, fmt.Errorf("distrib: root got kind %v round %d during round %d", e.Kind, e.Round, t)
 		}
 		var d transport.ShardDigest
 		if derr := transport.Decode(e.Payload, &d); derr != nil {
-			return nil, derr
+			if s.treeTol {
+				s.rs.corrupt.Add(1)
+				markLost(e.From)
+				continue
+			}
+			return nil, nil, derr
 		}
 		if verr := d.Validate(); verr != nil {
-			return nil, verr
+			if s.treeTol {
+				s.rs.corrupt.Add(1)
+				markLost(e.From)
+				continue
+			}
+			return nil, nil, verr
 		}
 		if d.Shard < 0 || d.Shard >= shards || d.Shard != e.From {
-			return nil, fmt.Errorf("distrib: digest labeled shard %d arrived from leaf %d", d.Shard, e.From)
+			if s.treeTol {
+				s.rs.corrupt.Add(1)
+				markLost(e.From)
+				continue
+			}
+			return nil, nil, fmt.Errorf("distrib: digest labeled shard %d arrived from leaf %d", d.Shard, e.From)
 		}
-		if digests[d.Shard] != nil {
-			return nil, fmt.Errorf("distrib: duplicate digest from shard %d in round %d", d.Shard, t)
+		if digests[d.Shard] != nil || lost[d.Shard] {
+			if s.treeTol {
+				s.rs.digestDups.Add(1)
+				continue
+			}
+			return nil, nil, fmt.Errorf("distrib: duplicate digest from shard %d in round %d", d.Shard, t)
 		}
 		digests[d.Shard] = &d
-		got++
+		await--
+		s.noteShardDigest(d.Shard, t)
 	}
-	return digests, nil
+	var lostList []int
+	for i := 0; i < shards; i++ {
+		if digests[i] != nil {
+			continue
+		}
+		if !lost[i] {
+			// Neither crashed nor attributably corrupt: the digest simply
+			// missed the deadline.
+			s.rs.leafTimeouts.Add(1)
+		}
+		lostList = append(lostList, i)
+		s.noteShardLost(i)
+	}
+	return digests, lostList, nil
 }
 
 // mergeDigests folds the shard digests into engine partials plus the
 // round's merged membership report (Σ heard, concatenated missing — already
-// ascending because shards are ascending contiguous ranges). The first
-// shard-order Err becomes the round error with its text intact, so the
-// round close a tree run fans on failure carries the same message a flat
-// run's would.
-func (s *Service) mergeDigests(digests []*transport.ShardDigest) (*roundReport, []*engine.Partial, int, error) {
+// ascending because shards are ascending contiguous ranges). A lost shard
+// contributes a nil partial (engine.MergeExact and MergeCompact skip them)
+// and its whole cohort slice to missing, so a degraded tree round reports
+// exactly the clients the merge never saw. The first shard-order Err becomes
+// the round error with its text intact, so the round close a tree run fans
+// on failure carries the same message a flat run's would.
+func (s *Service) mergeDigests(digests []*transport.ShardDigest, cohorts [][]int, lostShards []int) (*roundReport, []*engine.Partial, int, error) {
 	stop := s.rec.Span(obs.PhaseRootMerge)
 	defer stop()
 	parts := make([]*engine.Partial, len(digests))
-	report := &roundReport{missing: make([]int, 0)}
+	report := &roundReport{missing: make([]int, 0), lostShards: lostShards}
 	count := 0
 	var roundErr error
 	for i, d := range digests {
+		if d == nil {
+			report.missing = append(report.missing, cohorts[i]...)
+			continue
+		}
 		report.cohort += d.Heard
 		report.missing = append(report.missing, d.Missing...)
 		if d.Err != "" {

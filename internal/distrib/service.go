@@ -29,6 +29,12 @@ type Service struct {
 	opts     Options
 	n        int
 	tolerant bool
+	// treeTol marks the tree's tier as failure-tolerant: a LeafTimeout or a
+	// tier fault plan makes leaves chaos subjects (root-side shard deadlines,
+	// digest retry, degraded-tree rounds). The client-plane tolerant flag is
+	// independent — a run can tolerate leaf loss while staying strict about
+	// client traffic, and vice versa.
+	treeTol bool
 	// dynamic marks a run whose population can differ from the fixed full
 	// fleet: a partial initial population, wire registration, or an
 	// availability trace. Only dynamic runs record churn traces, so legacy
@@ -48,6 +54,9 @@ type Service struct {
 	// workers exactly as start fans them to client workers.
 	tree      *treeParts
 	leafStart []chan int
+	// shardHealth tracks per-leaf liveness for the operator's ctl status
+	// (guarded by mu, like status). Nil for flat runs.
+	shardHealth []ShardHealth
 
 	roundOpen atomic.Bool
 	trOnce    sync.Once
@@ -72,6 +81,25 @@ type Status struct {
 	Registered int `json:"registered"`
 	Online     int `json:"online"`
 	Cohort     int `json:"cohort"`
+	// Shards reports per-leaf health in tree mode (nil for flat runs): which
+	// round each leaf last digested, how often it retried, and how many
+	// rounds lost its shard — enough for an operator to spot a sick leaf.
+	Shards []ShardHealth `json:"shards,omitempty"`
+}
+
+// ShardHealth is one leaf aggregator's liveness profile, refreshed as the
+// root collects digests.
+type ShardHealth struct {
+	// Shard is the leaf's shard index.
+	Shard int `json:"shard"`
+	// LastDigestRound is the most recent round whose digest the root accepted
+	// from this leaf (-1 before the first).
+	LastDigestRound int `json:"last_digest_round"`
+	// Retries counts the leaf's digest send retries across the run.
+	Retries int `json:"retries"`
+	// Lost counts the rounds that lost this shard (crash, timeout, or
+	// corrupt digest).
+	Lost int `json:"lost"`
 }
 
 // NewService builds the transport fabric, registry, and parked client
@@ -103,6 +131,7 @@ func NewService(algo fl.Algorithm, opts Options) (*Service, error) {
 		opts:     opts,
 		n:        n,
 		tolerant: opts.ClientTimeout > 0 || opts.Faults.Enabled(),
+		treeTol:  opts.LeafTimeout > 0 || opts.Faults.TierEnabled(),
 		dynamic:  opts.Population != nil || opts.WireRegistration || runner.Availability() != nil,
 		rec:      opts.Recorder,
 		rs:       &roundStats{},
@@ -216,6 +245,9 @@ func (s *Service) runSync(rounds int) error {
 			return fmt.Errorf("%w: round %d has %d registered online clients, quorum %d",
 				ErrQuorumNotMet, t, len(cohort), s.opts.MinQuorum)
 		}
+		if err := s.preRoundShardQuorum(t); err != nil {
+			return err
+		}
 		s.runner.BeginRound()
 		s.roundOpen.Store(true)
 		s.rs.reset()
@@ -259,7 +291,7 @@ func (s *Service) runSync(rounds int) error {
 		if firstErr != nil {
 			return firstErr
 		}
-		if s.tolerant {
+		if s.tolerant || s.treeTol {
 			recordRobustness(t, len(cohort), s.runner, s.rec, &s.opts, report, s.rs, s.fstats.Snapshot().Total()-faultBase)
 		}
 		if s.dynamic {
@@ -275,6 +307,28 @@ func (s *Service) runSync(rounds int) error {
 		if err := s.runner.CompleteRound(); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// preRoundShardQuorum fails fast when the fault schedule already dooms too
+// many leaves this round to meet ShardQuorum — the tier-plane mirror of the
+// pre-round MinQuorum check, so a hopeless tree round aborts before any
+// fan-out instead of burning its deadline.
+func (s *Service) preRoundShardQuorum(t int) error {
+	if s.tree == nil || s.opts.ShardQuorum <= 0 || !s.treeTol {
+		return nil
+	}
+	shards := s.tree.topo.Shards
+	doomed := 0
+	for i := 0; i < shards; i++ {
+		if s.opts.Faults.LeafCrashesAt(i, t) {
+			doomed++
+		}
+	}
+	if shards-doomed < s.opts.ShardQuorum {
+		return fmt.Errorf("%w: round %d has %d of %d leaves scheduled to crash, quorum %d",
+			ErrShardQuorumNotMet, t, doomed, shards, s.opts.ShardQuorum)
 	}
 	return nil
 }
@@ -421,7 +475,13 @@ func (s *Service) applyFinal() {
 func (s *Service) Status() Status {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.status
+	st := s.status
+	// Shard health is attached live rather than at the barrier, so an
+	// operator polling mid-round sees a leaf sicken as it happens.
+	if s.shardHealth != nil {
+		st.Shards = append([]ShardHealth(nil), s.shardHealth...)
+	}
+	return st
 }
 
 func (s *Service) setStatus(t int) {
@@ -435,6 +495,26 @@ func (s *Service) setStatus(t int) {
 	}
 	s.mu.Lock()
 	s.status = st
+	s.mu.Unlock()
+}
+
+// noteShardDigest, noteShardRetry, and noteShardLost refresh the operator's
+// per-shard health view as the root collects and the leaves retry.
+func (s *Service) noteShardDigest(shard, t int) {
+	s.mu.Lock()
+	s.shardHealth[shard].LastDigestRound = t
+	s.mu.Unlock()
+}
+
+func (s *Service) noteShardRetry(shard int) {
+	s.mu.Lock()
+	s.shardHealth[shard].Retries++
+	s.mu.Unlock()
+}
+
+func (s *Service) noteShardLost(shard int) {
+	s.mu.Lock()
+	s.shardHealth[shard].Lost++
 	s.mu.Unlock()
 }
 

@@ -1,6 +1,10 @@
 package distrib
 
-import "errors"
+import (
+	"errors"
+
+	"fedpkd/internal/faults"
+)
 
 // Aggregator-tree plumbing. With Options.Topology enabled the service splits
 // the flat server's receive path into two composable roles: leaf aggregators
@@ -19,6 +23,11 @@ type treeParts struct {
 	// upper is the leaf↔root fabric: upper.clients[i] is leaf i's upward
 	// conn, upper.server the root's fan-in.
 	upper *transportParts
+	// leafUp[i] is leaf i's upward conn behind the tier chaos decorator
+	// (faults.WrapTier): digests sent through it are fault subjects, every
+	// other kind and all receives pass through untouched. With no tier plan
+	// the decorator is a pass-through, so strict trees are unchanged.
+	leafUp []*faults.Conn
 	// rootRx pumps the root's fan-in so digest collection can use the shared
 	// receiver semantics.
 	rootRx *receiver
@@ -99,15 +108,19 @@ func (s *Service) setupTree() error {
 		upper:    upper,
 		rootRx:   newReceiver(upper.server),
 		leafRx:   make([]*receiver, topo.Shards),
+		leafUp:   make([]*faults.Conn, topo.Shards),
 		leafDone: make(chan error, topo.Shards),
 	}
 	// A leaf inbox must absorb a full shard of uploads plus tolerant-mode
 	// stragglers and registration traffic without stalling the demux.
 	buf := 2*(s.n/topo.Shards+1) + 16
 	s.leafStart = make([]chan int, topo.Shards)
+	s.shardHealth = make([]ShardHealth, topo.Shards)
 	for i := range tree.leafRx {
 		tree.leafRx[i] = newChanReceiver(buf)
+		tree.leafUp[i] = faults.WrapTier(upper.clients[i], s.opts.Faults, i, s.fstats)
 		s.leafStart[i] = make(chan int, 1)
+		s.shardHealth[i] = ShardHealth{Shard: i, LastDigestRound: -1}
 	}
 	s.tree = tree
 	go s.demux()

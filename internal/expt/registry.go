@@ -41,6 +41,7 @@ func Runners() map[string]Runner {
 		"async":                  RunAsync,
 		"churn":                  RunChurn,
 		"hierarchy":              RunHierarchy,
+		"treefaults":             RunTreeFaults,
 	}
 }
 

@@ -67,12 +67,33 @@ type Plan struct {
 	// for the whole round: it trains nothing, sends nothing, and rejoins at
 	// the next round start.
 	CrashProb float64
+
+	// Tier-link faults target the aggregator tree's leaf→root backhaul.
+	// They are injected by a WrapTier decorator on each leaf's upward conn
+	// and fire only on shard digests (transport.KindShardDigest):
+	// assignments and round closes remain infrastructure, so a leaf always
+	// learns its cohort and always receives a close — the deadlock-freedom
+	// invariants of leaf.go survive any tier plan. Every tier draw uses its
+	// own salt family, so adding tier chaos never shifts a client-plane
+	// fault pattern (same-seed client runs stay byte-identical).
+	TierDropProb    float64
+	TierDelayProb   float64
+	TierDupProb     float64
+	TierCorruptProb float64
+	// TierSendFailProb makes a leaf's digest Send return ErrTransient —
+	// the exerciser for the leaf's seeded-backoff digest retry.
+	TierSendFailProb float64
+	// LeafCrashProb is the per-(leaf, round) probability a leaf aggregator
+	// crashes for the whole round: it fans nothing, collects nothing, sends
+	// no digest, and restarts with a drained inbox at the next round. Drawn
+	// via LeafCrashesAt and executed by the protocol driver.
+	LeafCrashProb float64
 }
 
 // Enabled reports whether any fault kind can fire.
 func (p *Plan) Enabled() bool {
 	return p != nil && (p.DropProb > 0 || p.DelayProb > 0 || p.DupProb > 0 ||
-		p.CorruptProb > 0 || p.SendFailProb > 0 || p.CrashProb > 0)
+		p.CorruptProb > 0 || p.SendFailProb > 0 || p.CrashProb > 0 || p.TierEnabled())
 }
 
 // Lossy reports whether the plan can make a message or a whole client
@@ -80,6 +101,20 @@ func (p *Plan) Enabled() bool {
 // collecting side to avoid deadlock.
 func (p *Plan) Lossy() bool {
 	return p != nil && (p.DropProb > 0 || p.CorruptProb > 0 || p.SendFailProb > 0 || p.CrashProb > 0)
+}
+
+// TierEnabled reports whether any tier-link or leaf fault can fire.
+func (p *Plan) TierEnabled() bool {
+	return p != nil && (p.TierDropProb > 0 || p.TierDelayProb > 0 || p.TierDupProb > 0 ||
+		p.TierCorruptProb > 0 || p.TierSendFailProb > 0 || p.LeafCrashProb > 0)
+}
+
+// TierLossy reports whether the plan can make a shard digest or a whole leaf
+// disappear — the tier fault kinds that require a finite LeafTimeout on the
+// root so its digest collect cannot wait forever.
+func (p *Plan) TierLossy() bool {
+	return p != nil && (p.TierDropProb > 0 || p.TierCorruptProb > 0 ||
+		p.TierSendFailProb > 0 || p.LeafCrashProb > 0)
 }
 
 // Validate rejects out-of-range probabilities.
@@ -93,6 +128,8 @@ func (p *Plan) Validate() error {
 	}{
 		{"DropProb", p.DropProb}, {"DelayProb", p.DelayProb}, {"DupProb", p.DupProb},
 		{"CorruptProb", p.CorruptProb}, {"SendFailProb", p.SendFailProb}, {"CrashProb", p.CrashProb},
+		{"TierDropProb", p.TierDropProb}, {"TierDelayProb", p.TierDelayProb}, {"TierDupProb", p.TierDupProb},
+		{"TierCorruptProb", p.TierCorruptProb}, {"TierSendFailProb", p.TierSendFailProb}, {"LeafCrashProb", p.LeafCrashProb},
 	} {
 		if f.v < 0 || f.v >= 1 {
 			return fmt.Errorf("faults: %s must be in [0,1), got %v", f.name, f.v)
@@ -125,6 +162,17 @@ const (
 	saltCrash
 	saltDelayMag
 	saltCorruptPos
+	// Tier-role salts: the aggregator tree's leaf↔root links draw from
+	// streams disjoint from every client-plane salt, so enabling tier chaos
+	// leaves client fault patterns byte-identical.
+	saltTierSendDrop
+	saltTierSendDup
+	saltTierSendCorrupt
+	saltTierSendFail
+	saltTierSendDelay
+	saltLeafCrash
+	saltTierDelayMag
+	saltTierCorruptPos
 )
 
 // mix folds the draw coordinates into one stream label (splitmix64-style
@@ -154,11 +202,26 @@ func (p *Plan) CrashesAt(client, round int) bool {
 	return p.roll(saltCrash, client, 0, round, 0) < p.CrashProb
 }
 
+// LeafCrashesAt reports whether the plan crashes the given leaf aggregator
+// for the given round. Pure, like CrashesAt: the root uses it as a
+// deterministic failure detector (crashed shards are never awaited), the leaf
+// to execute the crash, and clients of the crashed shard to skip a round
+// whose RoundStart can never arrive.
+func (p *Plan) LeafCrashesAt(leaf, round int) bool {
+	if p == nil || p.LeafCrashProb <= 0 {
+		return false
+	}
+	return p.roll(saltLeafCrash, leaf, 0, round, 0) < p.LeafCrashProb
+}
+
 // Stats counts injected faults, shared by every Conn wrapped against it.
 // All methods are safe for concurrent use and nil-receiver-safe.
 type Stats struct {
 	mu                                                sync.Mutex
 	drops, delays, dups, corrupts, sendFails, crashes int64
+	// Tier-link counters, bumped by WrapTier decorators and the leaf-crash
+	// executor — kept separate so tests can tell the planes apart.
+	tierDrops, tierDelays, tierDups, tierCorrupts, tierSendFails, leafCrashes int64
 }
 
 // add bumps the counter selected by pick. Nil-receiver-safe.
@@ -181,14 +244,26 @@ func (s *Stats) countSendFail() { s.add(func(s *Stats) *int64 { return &s.sendFa
 // protocol layer, which owns crash execution).
 func (s *Stats) CountCrash() { s.add(func(s *Stats) *int64 { return &s.crashes }) }
 
+// CountLeafCrash records one injected leaf-round crash (driven by the
+// protocol layer, which owns crash execution).
+func (s *Stats) CountLeafCrash() { s.add(func(s *Stats) *int64 { return &s.leafCrashes }) }
+
+func (s *Stats) countTierDrop()     { s.add(func(s *Stats) *int64 { return &s.tierDrops }) }
+func (s *Stats) countTierDelay()    { s.add(func(s *Stats) *int64 { return &s.tierDelays }) }
+func (s *Stats) countTierDup()      { s.add(func(s *Stats) *int64 { return &s.tierDups }) }
+func (s *Stats) countTierCorrupt()  { s.add(func(s *Stats) *int64 { return &s.tierCorrupts }) }
+func (s *Stats) countTierSendFail() { s.add(func(s *Stats) *int64 { return &s.tierSendFails }) }
+
 // Snapshot is a point-in-time copy of the fault counters.
 type Snapshot struct {
-	Drops, Delays, Dups, Corrupts, SendFails, Crashes int64
+	Drops, Delays, Dups, Corrupts, SendFails, Crashes                         int64
+	TierDrops, TierDelays, TierDups, TierCorrupts, TierSendFails, LeafCrashes int64
 }
 
-// Total returns the number of injected faults of every kind.
+// Total returns the number of injected faults of every kind, both planes.
 func (sn Snapshot) Total() int64 {
-	return sn.Drops + sn.Delays + sn.Dups + sn.Corrupts + sn.SendFails + sn.Crashes
+	return sn.Drops + sn.Delays + sn.Dups + sn.Corrupts + sn.SendFails + sn.Crashes +
+		sn.TierDrops + sn.TierDelays + sn.TierDups + sn.TierCorrupts + sn.TierSendFails + sn.LeafCrashes
 }
 
 // Snapshot returns the current counter values.
@@ -201,6 +276,8 @@ func (s *Stats) Snapshot() Snapshot {
 	return Snapshot{
 		Drops: s.drops, Delays: s.delays, Dups: s.dups,
 		Corrupts: s.corrupts, SendFails: s.sendFails, Crashes: s.crashes,
+		TierDrops: s.tierDrops, TierDelays: s.tierDelays, TierDups: s.tierDups,
+		TierCorrupts: s.tierCorrupts, TierSendFails: s.tierSendFails, LeafCrashes: s.leafCrashes,
 	}
 }
 
@@ -212,6 +289,10 @@ type Conn struct {
 	plan  *Plan
 	peer  int
 	stats *Stats
+	// tier marks a WrapTier decorator: faults draw from the tier salt
+	// family, fire only on shard digests, and only on the send path (the
+	// leaf owns its upward link; the root's server conn stays unwrapped).
+	tier bool
 
 	mu    sync.Mutex
 	inner transport.Conn
@@ -242,6 +323,16 @@ func Wrap(conn transport.Conn, plan *Plan, peer int, stats *Stats) *Conn {
 		attempts: make(map[attemptKey]int),
 		recvSeen: make(map[attemptKey]int),
 	}
+}
+
+// WrapTier decorates a leaf aggregator's upward conn with the plan's
+// tier-link faults, keyed by shard id. Faults fire only on shard digests and
+// only on the send path; every other kind — and every receive — passes
+// through untouched, so assignments and round closes stay infrastructure.
+func WrapTier(conn transport.Conn, plan *Plan, shard int, stats *Stats) *Conn {
+	c := Wrap(conn, plan, shard, stats)
+	c.tier = true
+	return c
 }
 
 // SetInner swaps the underlying conn (reconnect-and-rejoin) without
@@ -293,6 +384,9 @@ func (c *Conn) nextRecv(e *transport.Envelope) int {
 // corruption, duplication. Exactly one decision per kind per (message,
 // attempt), each from its own stream.
 func (c *Conn) Send(e *transport.Envelope) error {
+	if c.tier {
+		return c.sendTier(e)
+	}
 	p := c.plan
 	if !p.Enabled() {
 		return c.Inner().Send(e)
@@ -314,7 +408,7 @@ func (c *Conn) Send(e *transport.Envelope) error {
 	if p.CorruptProb > 0 && len(e.Payload) > 0 &&
 		p.roll(saltSendCorrupt, c.peer, e.Kind, e.Round, attempt) < p.CorruptProb {
 		c.stats.countCorrupt()
-		out = corruptEnvelope(p, c.peer, e, attempt)
+		out = corruptEnvelope(p, saltCorruptPos, c.peer, e, attempt)
 	}
 	if err := inner.Send(out); err != nil {
 		return err
@@ -326,9 +420,53 @@ func (c *Conn) Send(e *transport.Envelope) error {
 	return nil
 }
 
+// sendTier is the tier-plane Send: the same fault order as the client plane
+// (transient failure, delay, drop, corruption, duplication), but drawn from
+// the tier salt family, keyed by shard id, and applied only to shard
+// digests. Everything else a leaf sends upward is infrastructure and passes
+// through without burning an attempt counter.
+func (c *Conn) sendTier(e *transport.Envelope) error {
+	p := c.plan
+	if !p.TierEnabled() || e.Kind != transport.KindShardDigest {
+		return c.Inner().Send(e)
+	}
+	attempt, inner := c.nextAttempt(e)
+	if p.TierSendFailProb > 0 && p.roll(saltTierSendFail, c.peer, e.Kind, e.Round, attempt) < p.TierSendFailProb {
+		c.stats.countTierSendFail()
+		return ErrTransient
+	}
+	if p.TierDelayProb > 0 && p.roll(saltTierSendDelay, c.peer, e.Kind, e.Round, attempt) < p.TierDelayProb {
+		c.stats.countTierDelay()
+		time.Sleep(c.tierDelayFor(e, attempt))
+	}
+	if p.TierDropProb > 0 && p.roll(saltTierSendDrop, c.peer, e.Kind, e.Round, attempt) < p.TierDropProb {
+		c.stats.countTierDrop()
+		return nil // lost in transit: the leaf believes the digest went out
+	}
+	out := e
+	if p.TierCorruptProb > 0 && len(e.Payload) > 0 &&
+		p.roll(saltTierSendCorrupt, c.peer, e.Kind, e.Round, attempt) < p.TierCorruptProb {
+		c.stats.countTierCorrupt()
+		out = corruptEnvelope(p, saltTierCorruptPos, c.peer, e, attempt)
+	}
+	if err := inner.Send(out); err != nil {
+		return err
+	}
+	if p.TierDupProb > 0 && p.roll(saltTierSendDup, c.peer, e.Kind, e.Round, attempt) < p.TierDupProb {
+		c.stats.countTierDup()
+		return inner.Send(out)
+	}
+	return nil
+}
+
 // Recv applies receive-path faults: a dropped delivery is consumed and
 // never surfaced (the reader keeps waiting), a delayed one sleeps first.
 func (c *Conn) Recv() (*transport.Envelope, error) {
+	if c.tier {
+		// Tier faults are send-side only: the leaf's downward traffic
+		// (assignments, round closes) is infrastructure.
+		return c.Inner().Recv()
+	}
 	p := c.plan
 	for {
 		e, err := c.Inner().Recv()
@@ -363,12 +501,23 @@ func (c *Conn) delayFor(e *transport.Envelope, attempt int) time.Duration {
 	return d
 }
 
+// tierDelayFor is delayFor on the tier salt family.
+func (c *Conn) tierDelayFor(e *transport.Envelope, attempt int) time.Duration {
+	frac := c.plan.roll(saltTierDelayMag, c.peer, e.Kind, e.Round, attempt)
+	d := time.Duration(frac * float64(c.plan.maxDelay()))
+	if d <= 0 {
+		d = time.Microsecond
+	}
+	return d
+}
+
 // corruptEnvelope returns a copy of e with a deterministic sprinkle of
-// payload bytes flipped. The header (kind, peers, round) is left intact so
-// the receiver can still attribute the garbage to its sender.
-func corruptEnvelope(p *Plan, peer int, e *transport.Envelope, attempt int) *transport.Envelope {
+// payload bytes flipped, positioned by the given salt's stream. The header
+// (kind, peers, round) is left intact so the receiver can still attribute
+// the garbage to its sender.
+func corruptEnvelope(p *Plan, salt uint64, peer int, e *transport.Envelope, attempt int) *transport.Envelope {
 	payload := append([]byte(nil), e.Payload...)
-	rng := stats.Split(p.Seed, mix(saltCorruptPos, uint64(peer)+1, uint64(e.Kind), uint64(int64(e.Round))+2, uint64(attempt)+3))
+	rng := stats.Split(p.Seed, mix(salt, uint64(peer)+1, uint64(e.Kind), uint64(int64(e.Round))+2, uint64(attempt)+3))
 	flips := 1 + len(payload)/512
 	for i := 0; i < flips; i++ {
 		pos := rng.IntN(len(payload))
@@ -439,8 +588,10 @@ func (b Backoff) Delay(attempt int, rng *stats.RNG) time.Duration {
 //
 //	drop=0.1,crash=0.2,dup=0.05,corrupt=0.01,delay=0.3,sendfail=0.1
 //
-// into a Plan seeded with seed. Keys may appear in any order; unknown keys
-// are an error. An empty spec returns nil (no chaos).
+// into a Plan seeded with seed. Tier-plane keys (tierdrop, tierdelay,
+// tierdup, tiercorrupt, tiersendfail, leafcrash) target the aggregator
+// tree's leaf→root links. Keys may appear in any order; unknown keys are an
+// error. An empty spec returns nil (no chaos).
 func ParsePlan(spec string, seed uint64) (*Plan, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
@@ -450,6 +601,8 @@ func ParsePlan(spec string, seed uint64) (*Plan, error) {
 	fields := map[string]*float64{
 		"drop": &p.DropProb, "delay": &p.DelayProb, "dup": &p.DupProb,
 		"corrupt": &p.CorruptProb, "sendfail": &p.SendFailProb, "crash": &p.CrashProb,
+		"tierdrop": &p.TierDropProb, "tierdelay": &p.TierDelayProb, "tierdup": &p.TierDupProb,
+		"tiercorrupt": &p.TierCorruptProb, "tiersendfail": &p.TierSendFailProb, "leafcrash": &p.LeafCrashProb,
 	}
 	for _, part := range strings.Split(spec, ",") {
 		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
@@ -504,5 +657,11 @@ func (p *Plan) String() string {
 	add("corrupt", p.CorruptProb)
 	add("sendfail", p.SendFailProb)
 	add("crash", p.CrashProb)
+	add("tierdrop", p.TierDropProb)
+	add("tierdelay", p.TierDelayProb)
+	add("tierdup", p.TierDupProb)
+	add("tiercorrupt", p.TierCorruptProb)
+	add("tiersendfail", p.TierSendFailProb)
+	add("leafcrash", p.LeafCrashProb)
 	return strings.Join(parts, ",")
 }

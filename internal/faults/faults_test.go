@@ -382,7 +382,7 @@ func TestParsePlanRejectsMalformedSpecs(t *testing.T) {
 	}{
 		{"bare-key", "drop", `faults: bad chaos term "drop" (want key=prob)`},
 		{"empty-term", "drop=0.1,,crash=0.2", `faults: bad chaos term "" (want key=prob)`},
-		{"unknown-key", "nope=0.1", `faults: unknown chaos key "nope" (have corrupt, crash, delay, drop, dup, maxdelay, sendfail)`},
+		{"unknown-key", "nope=0.1", `faults: unknown chaos key "nope" (have corrupt, crash, delay, drop, dup, leafcrash, maxdelay, sendfail, tiercorrupt, tierdelay, tierdrop, tierdup, tiersendfail)`},
 		{"non-numeric-prob", "drop=x", `faults: bad probability "x" for drop`},
 		{"prob-at-one", "crash=1", `faults: CrashProb must be in [0,1), got 1`},
 		{"prob-above-one", "drop=1.5", `faults: DropProb must be in [0,1), got 1.5`},
@@ -401,5 +401,169 @@ func TestParsePlanRejectsMalformedSpecs(t *testing.T) {
 				t.Errorf("ParsePlan(%q) error = %q, want prefix %q", tc.spec, err, tc.wantErr)
 			}
 		})
+	}
+}
+
+// ---- Tier-link fault family ----
+
+// TestTierDrawsIndependentOfClientPlane pins the salt-family separation:
+// adding tier probabilities to a plan must not shift one client-plane draw,
+// and adding client probabilities must not shift one tier draw — the two
+// planes consume disjoint decision streams.
+func TestTierDrawsIndependentOfClientPlane(t *testing.T) {
+	clientOnly := &Plan{Seed: 7, DropProb: 0.4}
+	both := &Plan{Seed: 7, DropProb: 0.4,
+		TierDropProb: 0.9, TierDupProb: 0.9, TierCorruptProb: 0.9, TierSendFailProb: 0.9, LeafCrashProb: 0.9}
+	a := sendPattern(t, clientOnly, 2, 40)
+	b := sendPattern(t, both, 2, 40)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("client-plane send %d shifted when tier probabilities were added", i)
+		}
+	}
+
+	tierPattern := func(plan *Plan) []bool {
+		pipe := newPipe()
+		c := WrapTier(pipe, plan, 1, &Stats{})
+		out := make([]bool, 40)
+		for r := 0; r < 40; r++ {
+			if err := c.Send(env(transport.KindShardDigest, r, []byte{9, 9})); err != nil && err != ErrTransient {
+				t.Fatal(err)
+			}
+			select {
+			case <-pipe.ch:
+				out[r] = true
+			default:
+			}
+		}
+		return out
+	}
+	tierOnly := tierPattern(&Plan{Seed: 7, TierDropProb: 0.4})
+	tierBoth := tierPattern(&Plan{Seed: 7, TierDropProb: 0.4,
+		DropProb: 0.9, DupProb: 0.9, CorruptProb: 0.9, SendFailProb: 0.9, CrashProb: 0.9})
+	for i := range tierOnly {
+		if tierOnly[i] != tierBoth[i] {
+			t.Fatalf("tier send %d shifted when client probabilities were added", i)
+		}
+	}
+}
+
+// TestWrapTierFaultsDigestSendsOnly: a tier decorator injects only into
+// outbound shard digests — every other kind, and the whole receive path, is
+// infrastructure and passes through untouched even under a saturated plan.
+func TestWrapTierFaultsDigestSendsOnly(t *testing.T) {
+	plan := &Plan{Seed: 5,
+		TierDropProb: 0.9, TierDupProb: 0.9, TierCorruptProb: 0.9, TierDelayProb: 0.9,
+		DropProb: 0.9, CorruptProb: 0.9}
+	pipe := newPipe()
+	st := &Stats{}
+	c := WrapTier(pipe, plan, 0, st)
+	orig := []byte{10, 20, 30, 40}
+	for r := 0; r < 20; r++ {
+		for _, kind := range []transport.Kind{transport.KindUpload, transport.KindShardAssign, transport.KindShardEnd, transport.KindRoundStart} {
+			if err := c.Send(env(kind, r, append([]byte(nil), orig...))); err != nil {
+				t.Fatal(err)
+			}
+			got := <-pipe.ch
+			if got.Kind != kind || len(got.Payload) != len(orig) || got.Payload[0] != orig[0] || got.Payload[3] != orig[3] {
+				t.Fatalf("non-digest send altered: %+v", got)
+			}
+		}
+	}
+	if st.Snapshot().Total() != 0 {
+		t.Fatalf("non-digest sends drew faults: %+v", st.Snapshot())
+	}
+
+	// The receive path passes through even for digests.
+	pipe.ch <- env(transport.KindShardDigest, 3, append([]byte(nil), orig...))
+	got, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Round != 3 || got.Payload[0] != orig[0] {
+		t.Fatalf("tier recv altered the envelope: %+v", got)
+	}
+
+	// Digest sends do draw from the tier family.
+	fired := false
+	for r := 0; r < 20 && !fired; r++ {
+		if err := c.Send(env(transport.KindShardDigest, r, append([]byte(nil), orig...))); err != nil && err != ErrTransient {
+			t.Fatal(err)
+		}
+		sn := st.Snapshot()
+		fired = sn.TierDrops+sn.TierDups+sn.TierCorrupts+sn.TierDelays > 0
+	}
+	if !fired {
+		t.Fatal("no tier faults fired on digest sends at p=0.9")
+	}
+	if sn := st.Snapshot(); sn.Drops+sn.Dups+sn.Corrupts+sn.Delays+sn.SendFails > 0 {
+		t.Fatalf("tier decorator bumped client-plane counters: %+v", sn)
+	}
+}
+
+// TestLeafCrashesAtDeterministicAndDistinct mirrors the client crash
+// schedule's contract on the tier salt: stable per (leaf, round), not
+// degenerate, and drawn from a different stream than CrashesAt so the two
+// schedules do not mirror each other.
+func TestLeafCrashesAtDeterministicAndDistinct(t *testing.T) {
+	p := &Plan{Seed: 9, CrashProb: 0.3, LeafCrashProb: 0.3}
+	crashes, mirrored := 0, 0
+	for l := 0; l < 5; l++ {
+		for r := 0; r < 20; r++ {
+			a, b := p.LeafCrashesAt(l, r), p.LeafCrashesAt(l, r)
+			if a != b {
+				t.Fatalf("LeafCrashesAt(%d,%d) not stable", l, r)
+			}
+			if a {
+				crashes++
+			}
+			if a == p.CrashesAt(l, r) {
+				mirrored++
+			}
+		}
+	}
+	if crashes == 0 || crashes == 100 {
+		t.Fatalf("leaf-crash pattern degenerate: %d/100", crashes)
+	}
+	if mirrored == 100 {
+		t.Fatal("leaf-crash schedule mirrors the client crash schedule at equal probability")
+	}
+	var nilPlan *Plan
+	if nilPlan.LeafCrashesAt(0, 0) || nilPlan.TierEnabled() || nilPlan.TierLossy() {
+		t.Error("nil plan must schedule no tier faults")
+	}
+}
+
+// TestParsePlanTierKeys: the CLI grammar's tier half round-trips through
+// ParsePlan and String, and the tier fields carry the same [0,1) validation
+// as the client plane.
+func TestParsePlanTierKeys(t *testing.T) {
+	p, err := ParsePlan("tierdrop=0.1,tierdelay=0.2,tierdup=0.05,tiercorrupt=0.01,tiersendfail=0.15,leafcrash=0.3", 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TierDropProb != 0.1 || p.TierDelayProb != 0.2 || p.TierDupProb != 0.05 ||
+		p.TierCorruptProb != 0.01 || p.TierSendFailProb != 0.15 || p.LeafCrashProb != 0.3 {
+		t.Errorf("parsed plan %+v", p)
+	}
+	if !p.TierEnabled() || !p.TierLossy() {
+		t.Error("plan with tier drop must be tier-enabled and tier-lossy")
+	}
+	if p.Lossy() {
+		t.Error("tier-only plan must not be client-plane lossy")
+	}
+	s := p.String()
+	for _, key := range []string{"tierdrop=0.1", "tierdelay=0.2", "tierdup=0.05", "tiercorrupt=0.01", "tiersendfail=0.15", "leafcrash=0.3"} {
+		if !strings.Contains(s, key) {
+			t.Errorf("String() = %q, missing %q", s, key)
+		}
+	}
+	for _, bad := range []string{"tierdrop=1.5", "leafcrash=1", "tiercorrupt=-0.1"} {
+		if _, err := ParsePlan(bad, 1); err == nil {
+			t.Errorf("spec %q should fail", bad)
+		}
+	}
+	if (&Plan{TierDelayProb: 0.5}).TierLossy() {
+		t.Error("tier delay alone must not be lossy")
 	}
 }

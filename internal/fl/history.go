@@ -29,6 +29,11 @@ type DegradedRound struct {
 	// Missing lists the client ids whose uploads did not make the round,
 	// sorted ascending so records are deterministic.
 	Missing []int `json:",omitempty"`
+	// LostShards lists the aggregator-tree shards whose digest never made the
+	// round's merge (crashed leaf, late or corrupt digest), sorted ascending.
+	// Nil for flat rounds and healthy tree rounds, so those histories
+	// serialize exactly as before the tier fault model existed.
+	LostShards []int `json:",omitempty"`
 }
 
 // AsyncFlush records one buffer flush of an asynchronous run: which clients'

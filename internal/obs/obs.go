@@ -290,6 +290,15 @@ type Robustness struct {
 	// the chaos layer's injection count delta for the round.
 	Retries        int   `json:"retries,omitempty"`
 	FaultsInjected int64 `json:"faults_injected,omitempty"`
+	// Tier-plane counters, present only for aggregator-tree rounds:
+	// LeafTimeouts counts shards whose digest missed the root's LeafTimeout,
+	// DigestRetries counts leaf-side digest send retries, DigestDups counts
+	// duplicate digests the root rejected, and ShardsLost lists the shards
+	// excluded from the round's merge, sorted ascending.
+	LeafTimeouts  int   `json:"leaf_timeouts,omitempty"`
+	DigestRetries int   `json:"digest_retries,omitempty"`
+	DigestDups    int   `json:"digest_dups,omitempty"`
+	ShardsLost    []int `json:"shards_lost,omitempty"`
 }
 
 // TotalBytes returns upload + download + control bytes.

@@ -26,9 +26,23 @@ go test -race -count=1 -run 'MatchesInProcess|RunOver' ./internal/distrib/
 # Seeded chaos suite: deterministic fault injection (crash/drop/dup/corrupt/
 # sendfail) over bus and TCP with partial-cohort aggregation, retry, and
 # quorum aborts. Crash/restart churns connections and receiver goroutines, so
-# this too must hold under the race detector (DESIGN.md §9).
+# this too must hold under the race detector (DESIGN.md §9). The unanchored
+# pattern also picks up the TestTreeChaos* tier suite: leaf crashes, digest
+# drop/corrupt/dup/sendfail on the leaf↔root links, shard deadlines and
+# quorum aborts, degraded-tree rounds, and byte-identical replay over bus and
+# TCP (DESIGN.md §14).
 echo ">> go test -race -count=1 -run 'Chaos' ./internal/distrib/"
 go test -race -count=1 -run 'Chaos' ./internal/distrib/
+
+# Structural invariant of the fault-tolerant root: the root's only receive is
+# the deadline-sliced collector loop — a bare conn.Recv() or a zero-wait
+# rx.recv(0) in root.go would block forever on a lost digest and turn a leaf
+# failure back into a hung round (DESIGN.md §14).
+echo ">> structural check: no deadline-less blocking receive in root.go"
+if grep -nE '\.Recv\(\)|\.recv\(0\)' internal/distrib/root.go; then
+    echo "FAIL: internal/distrib/root.go must receive digests only through the deadline-sliced collector; a blocking receive hangs the round on a lost shard (DESIGN.md §14)" >&2
+    exit 1
+fi
 
 # Async determinism gate: same-seed barrier-free runs must replay to
 # byte-identical histories and ledger totals — in-process at the root, and

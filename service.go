@@ -18,6 +18,9 @@ type (
 	Service = distrib.Service
 	// ServiceStatus is the service's per-barrier population snapshot.
 	ServiceStatus = distrib.Status
+	// ShardHealth is the per-leaf liveness profile a tree-mode ServiceStatus
+	// carries: last digest round, retry and lost-round counts.
+	ShardHealth = distrib.ShardHealth
 	// AvailabilityTrace is the seeded diurnal connect/disconnect model churn
 	// runs sample their cohorts from.
 	AvailabilityTrace = engine.AvailabilityTrace
@@ -25,6 +28,9 @@ type (
 	ControlGate = ctl.Gate
 	// ControlStatus is what the control plane's ping command reports.
 	ControlStatus = ctl.Status
+	// ControlShardHealth is the per-leaf health row a tree-mode ControlStatus
+	// carries (the control plane's mirror of ShardHealth).
+	ControlShardHealth = ctl.ShardHealth
 	// ControlResponse is the JSON reply to one control command.
 	ControlResponse = ctl.Response
 	// ControlServer serves the pause/ping/resume/save/quit line protocol
